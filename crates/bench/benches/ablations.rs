@@ -1,0 +1,87 @@
+//! Ablations for the design choices the paper argues qualitatively:
+//!
+//! * `rbk_vs_gbk` — `reduceByKey` vs `groupByKey` on the runtime (§4's
+//!   reason for generating reduceByKey).
+//! * `coo_vs_tiled` — coordinate-format (DIABLO, §4) vs block-array
+//!   multiplication (§5's motivation).
+//! * `tile_size` — sensitivity of the GBJ plan to the block side length.
+
+use bench::{bench_session, dense_local, tiled_of};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::MatMulStrategy;
+use sparkline::Context;
+use tiled::{CooMatrix, TiledMatrix};
+
+fn rbk_vs_gbk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rbk_vs_gbk");
+    group.sample_size(10);
+    let ctx = Context::builder().workers(4).build();
+    let data: Vec<(i64, i64)> = (0..200_000).map(|i| (i % 512, i)).collect();
+    let d = ctx.parallelize(data, 8).cache();
+    d.count();
+    group.bench_function("reduce_by_key", |b| {
+        b.iter(|| d.reduce_by_key(8, |x, y| x + y).count())
+    });
+    group.bench_function("group_by_key", |b| {
+        b.iter(|| d.group_by_key(8).map_values(|v| v.iter().sum::<i64>()).count())
+    });
+    group.finish();
+}
+
+fn coo_vs_tiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_coo_vs_tiled");
+    group.sample_size(10);
+    let n = 128;
+    let session = bench_session(MatMulStrategy::GroupByJoin);
+    let a = dense_local(n, 1);
+    let b = dense_local(n, 2);
+    let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+    ta.tiles().count();
+    tb.tiles().count();
+    group.bench_function("tiled_gbj", |bench| {
+        bench.iter(|| {
+            sac::linalg::multiply(&session, &ta, &tb)
+                .expect("plan")
+                .tiles()
+                .count()
+        })
+    });
+    let ctx = session.spark();
+    let (ca, cb) = (
+        CooMatrix::from_local(ctx, &a, 8),
+        CooMatrix::from_local(ctx, &b, 8),
+    );
+    group.bench_function("coo_join_rbk", |bench| {
+        bench.iter(|| ca.multiply(&cb, 8).entries().count())
+    });
+    group.finish();
+}
+
+fn tile_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tile_size");
+    group.sample_size(10);
+    let n = 256;
+    let a = dense_local(n, 3);
+    let b = dense_local(n, 4);
+    for tile in [16usize, 32, 64, 128] {
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let ta =
+            TiledMatrix::from_local(session.spark(), &a, tile, 8).cache();
+        let tb =
+            TiledMatrix::from_local(session.spark(), &b, tile, 8).cache();
+        ta.tiles().count();
+        tb.tiles().count();
+        group.bench_with_input(BenchmarkId::new("gbj_multiply", tile), &tile, |bench, _| {
+            bench.iter(|| {
+                sac::linalg::multiply(&session, &ta, &tb)
+                    .expect("plan")
+                    .tiles()
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rbk_vs_gbk, coo_vs_tiled, tile_size);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 4.A — matrix addition: total time vs matrix elements.
+//!
+//! Series: MLlib `BlockMatrix.add` vs the SAC tiling-preserving plan
+//! (rule 17) generated from Query (8). Paper shape: SAC slightly faster.
+
+use bench::{bench_session, block_of, dense_local, tiled_of};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::MatMulStrategy;
+
+fn fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_addition");
+    group.sample_size(10);
+    for n in [256usize, 384, 512, 640] {
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let a = dense_local(n, 100 + n as u64);
+        let b = dense_local(n, 200 + n as u64);
+        let elements = (n * n) as u64;
+
+        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        ba.blocks().count();
+        bb.blocks().count();
+        group.bench_with_input(BenchmarkId::new("mllib", elements), &n, |bench, _| {
+            bench.iter(|| ba.add(&bb).blocks().count());
+        });
+
+        let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+        ta.tiles().count();
+        tb.tiles().count();
+        group.bench_with_input(BenchmarkId::new("sac", elements), &n, |bench, _| {
+            bench.iter(|| {
+                sac::linalg::add(&session, &ta, &tb)
+                    .expect("plan")
+                    .tiles()
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4a);
+criterion_main!(benches);

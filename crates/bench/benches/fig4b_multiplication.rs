@@ -1,0 +1,50 @@
+//! Figure 4.B — matrix multiplication: total time vs matrix elements.
+//!
+//! Series: MLlib `BlockMatrix.multiply` (replicate + cogroup + reduceByKey),
+//! SAC join + group-by (the §4 naive translation), and SAC GBJ (§5.4
+//! group-by-join / SUMMA). Paper shape: SAC join+group-by slowest (up to 3x
+//! slower than MLlib), SAC GBJ fastest (MLlib up to 6x slower than it).
+
+use bench::{bench_session, block_of, dense_local, tiled_of};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::MatMulStrategy;
+
+fn fig4b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_multiplication");
+    group.sample_size(10);
+    for n in [128usize, 192, 256, 320] {
+        let a = dense_local(n, 300 + n as u64);
+        let b = dense_local(n, 400 + n as u64);
+        let elements = (n * n) as u64;
+
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        ba.blocks().count();
+        bb.blocks().count();
+        group.bench_with_input(BenchmarkId::new("mllib", elements), &n, |bench, _| {
+            bench.iter(|| ba.multiply(&bb).blocks().count());
+        });
+
+        for (label, strategy) in [
+            ("sac_join_groupby", MatMulStrategy::JoinGroupBy),
+            ("sac_gbj", MatMulStrategy::GroupByJoin),
+        ] {
+            let session = bench_session(strategy);
+            let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+            ta.tiles().count();
+            tb.tiles().count();
+            group.bench_with_input(BenchmarkId::new(label, elements), &n, |bench, _| {
+                bench.iter(|| {
+                    sac::linalg::multiply(&session, &ta, &tb)
+                        .expect("plan")
+                        .tiles()
+                        .count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4b);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 4.C — one gradient-descent iteration of matrix factorization.
+//!
+//! Series: MLlib (composed BlockMatrix library calls) vs SAC GBJ
+//! (comprehension-compiled). Paper shape: SAC GBJ up to 3x faster.
+//! Paper parameters: R sparse (10% non-zero, values 0..5), γ=0.002, λ=0.02,
+//! rank k scaled with the matrices.
+
+use bench::{
+    bench_session, block_of, mllib_factorization_step, sac_factorization_step, sparse_local,
+    tiled_of, TILE,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac::MatMulStrategy;
+use tiled::LocalMatrix;
+
+fn fig4c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_factorization");
+    group.sample_size(10);
+    let k = TILE; // one tile-column of factors, like the paper's k=1000=N
+    for n in [128usize, 192, 256] {
+        let elements = (n * n) as u64;
+        let r = sparse_local(n, 500 + n as u64);
+        let mut rng = StdRng::seed_from_u64(600 + n as u64);
+        let p = LocalMatrix::random(n, k, 0.0, 1.0, &mut rng);
+        let q = LocalMatrix::random(n, k, 0.0, 1.0, &mut rng);
+
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let (br, bp, bq) = (
+            block_of(&session, &r).cache(),
+            block_of(&session, &p).cache(),
+            block_of(&session, &q).cache(),
+        );
+        br.blocks().count();
+        bp.blocks().count();
+        bq.blocks().count();
+        group.bench_with_input(BenchmarkId::new("mllib", elements), &n, |bench, _| {
+            bench.iter(|| {
+                let (p2, q2) = mllib_factorization_step(&br, &bp, &bq, 0.002, 0.02);
+                p2.blocks().count() + q2.blocks().count()
+            });
+        });
+
+        let (tr, tp, tq) = (
+            tiled_of(&session, &r).cache(),
+            tiled_of(&session, &p).cache(),
+            tiled_of(&session, &q).cache(),
+        );
+        tr.tiles().count();
+        tp.tiles().count();
+        tq.tiles().count();
+        group.bench_with_input(BenchmarkId::new("sac_gbj", elements), &n, |bench, _| {
+            bench.iter(|| {
+                let (p2, q2) = sac_factorization_step(&session, &tr, &tp, &tq, 0.002, 0.02);
+                p2.tiles().count() + q2.tiles().count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4c);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! Regenerate the paper's Figure 4 (panels A, B, C) as printed tables.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures            # all panels
+//! cargo run --release -p bench --bin figures -- a       # one panel
+//! cargo run --release -p bench --bin figures -- b quick # smaller sizes
+//! ```
+//!
+//! For every panel the harness prints the same series the paper plots —
+//! total time per operation for each system — plus the shuffle-byte
+//! accounting that explains the orderings. Absolute numbers differ from the
+//! paper (laptop vs 4-node cluster, scaled matrices); the *shape* (who wins,
+//! by what factor) is the reproduction target recorded in EXPERIMENTS.md.
+
+use bench::{
+    bench_session, block_of, dense_local, mllib_factorization_step, sac_factorization_step,
+    sparse_local, tiled_of, TILE,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac::{MatMulStrategy, Session};
+use std::time::Instant;
+use tiled::LocalMatrix;
+
+const REPEATS: usize = 3;
+
+/// Run `f` REPEATS times, returning (mean seconds, shuffled MiB per run).
+fn measure(session: &Session, mut f: impl FnMut()) -> (f64, f64) {
+    // Warm-up run.
+    f();
+    let before = session.spark().metrics().snapshot();
+    let start = Instant::now();
+    for _ in 0..REPEATS {
+        f();
+    }
+    let secs = start.elapsed().as_secs_f64() / REPEATS as f64;
+    let delta = session.spark().metrics().snapshot().since(&before);
+    let mib = delta.shuffle_bytes as f64 / (1u64 << 20) as f64 / REPEATS as f64;
+    (secs, mib)
+}
+
+fn panel_a(sizes: &[usize]) {
+    println!("\n=== Figure 4.A — Matrix Addition: total time vs elements ===");
+    println!(
+        "{:>8} {:>12} | {:>12} {:>12} | {:>10} {:>12}",
+        "n", "elements", "MLlib (s)", "SAC (s)", "SAC/MLlib", "plan"
+    );
+    for &n in sizes {
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let a = dense_local(n, 100 + n as u64);
+        let b = dense_local(n, 200 + n as u64);
+
+        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        ba.blocks().count();
+        bb.blocks().count();
+        let (mllib_s, _) = measure(&session, || {
+            ba.add(&bb).blocks().count();
+        });
+
+        let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+        ta.tiles().count();
+        tb.tiles().count();
+        let (sac_s, _) = measure(&session, || {
+            sac::linalg::add(&session, &ta, &tb)
+                .expect("plan")
+                .tiles()
+                .count();
+        });
+        println!(
+            "{:>8} {:>12} | {:>12.4} {:>12.4} | {:>10.2} {:>12}",
+            n,
+            n * n,
+            mllib_s,
+            sac_s,
+            sac_s / mllib_s,
+            "eltwise"
+        );
+    }
+    println!("paper shape: SAC a bit faster than MLlib (ratio < 1).");
+}
+
+fn panel_b(sizes: &[usize]) {
+    println!("\n=== Figure 4.B — Matrix Multiplication: total time vs elements ===");
+    println!(
+        "{:>6} {:>10} | {:>11} {:>14} {:>11} | {:>9} {:>9}",
+        "n", "elements", "MLlib (s)", "SAC j+gb (s)", "SAC GBJ(s)", "jgb MiB", "gbj MiB"
+    );
+    for &n in sizes {
+        let a = dense_local(n, 300 + n as u64);
+        let b = dense_local(n, 400 + n as u64);
+
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        ba.blocks().count();
+        bb.blocks().count();
+        let (mllib_s, _) = measure(&session, || {
+            ba.multiply(&bb).blocks().count();
+        });
+
+        let run_sac = |strategy: MatMulStrategy| -> (f64, f64) {
+            let session = bench_session(strategy);
+            let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+            ta.tiles().count();
+            tb.tiles().count();
+            measure(&session, || {
+                sac::linalg::multiply(&session, &ta, &tb)
+                    .expect("plan")
+                    .tiles()
+                    .count();
+            })
+        };
+        let (jgb_s, jgb_mib) = run_sac(MatMulStrategy::JoinGroupBy);
+        let (gbj_s, gbj_mib) = run_sac(MatMulStrategy::GroupByJoin);
+        println!(
+            "{:>6} {:>10} | {:>11.4} {:>14.4} {:>11.4} | {:>9.1} {:>9.1}",
+            n,
+            n * n,
+            mllib_s,
+            jgb_s,
+            gbj_s,
+            jgb_mib,
+            gbj_mib
+        );
+    }
+    println!("paper shape: SAC join+group-by slowest, SAC GBJ fastest, MLlib between.");
+}
+
+fn panel_c(sizes: &[usize]) {
+    println!("\n=== Figure 4.C — Matrix Factorization (1 GD iteration) ===");
+    println!(
+        "{:>6} {:>10} | {:>12} {:>14} | {:>10}",
+        "n", "elements", "MLlib (s)", "SAC GBJ (s)", "MLlib/SAC"
+    );
+    let k = TILE;
+    for &n in sizes {
+        let r = sparse_local(n, 500 + n as u64);
+        let mut rng = StdRng::seed_from_u64(600 + n as u64);
+        let p = LocalMatrix::random(n, k, 0.0, 1.0, &mut rng);
+        let q = LocalMatrix::random(n, k, 0.0, 1.0, &mut rng);
+
+        let session = bench_session(MatMulStrategy::GroupByJoin);
+        let (br, bp, bq) = (
+            block_of(&session, &r).cache(),
+            block_of(&session, &p).cache(),
+            block_of(&session, &q).cache(),
+        );
+        br.blocks().count();
+        bp.blocks().count();
+        bq.blocks().count();
+        let (mllib_s, _) = measure(&session, || {
+            let (p2, q2) = mllib_factorization_step(&br, &bp, &bq, 0.002, 0.02);
+            p2.blocks().count();
+            q2.blocks().count();
+        });
+
+        let (tr, tp, tq) = (
+            tiled_of(&session, &r).cache(),
+            tiled_of(&session, &p).cache(),
+            tiled_of(&session, &q).cache(),
+        );
+        tr.tiles().count();
+        tp.tiles().count();
+        tq.tiles().count();
+        let (sac_s, _) = measure(&session, || {
+            let (p2, q2) = sac_factorization_step(&session, &tr, &tp, &tq, 0.002, 0.02);
+            p2.tiles().count();
+            q2.tiles().count();
+        });
+        println!(
+            "{:>6} {:>10} | {:>12.4} {:>14.4} | {:>10.2}",
+            n,
+            n * n,
+            mllib_s,
+            sac_s,
+            mllib_s / sac_s
+        );
+    }
+    println!("paper shape: SAC GBJ up to ~3x faster than MLlib (ratio > 1).");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let panel = args
+        .iter()
+        .find(|a| ["a", "b", "c"].contains(&a.as_str()))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let (a_sizes, b_sizes, c_sizes): (Vec<usize>, Vec<usize>, Vec<usize>) = if quick {
+        (vec![128, 256], vec![128, 192], vec![128])
+    } else {
+        (
+            vec![256, 512, 768, 1024, 1280],
+            vec![128, 256, 384, 512, 640],
+            vec![128, 256, 384, 512],
+        )
+    };
+
+    match panel.as_str() {
+        "a" => panel_a(&a_sizes),
+        "b" => panel_b(&b_sizes),
+        "c" => panel_c(&c_sizes),
+        _ => {
+            panel_a(&a_sizes);
+            panel_b(&b_sizes);
+            panel_c(&c_sizes);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! The paper's evaluation (§6) runs three programs over tiled matrices —
+//! addition, multiplication, and one gradient-descent iteration of matrix
+//! factorization — comparing SAC-generated plans against Spark MLlib's
+//! `BlockMatrix`. This module constructs those workloads, scaled from the
+//! paper's cluster sizes (tiles of 1000², matrices to 40000²) down to
+//! laptop sizes with the same *shapes*.
+
+use mllib::BlockMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac::{MatMulStrategy, Session};
+use tiled::{LocalMatrix, TiledMatrix};
+
+/// Default tile side for benchmark matrices (the paper used 1000).
+pub const TILE: usize = 64;
+
+/// Build a SAC session sized for benchmarking.
+pub fn bench_session(strategy: MatMulStrategy) -> Session {
+    Session::builder()
+        .workers(std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .partitions(8)
+        .matmul(strategy)
+        .build()
+}
+
+/// A dense random `n x n` matrix with values in `[0, 10)` — the paper's
+/// addition/multiplication operand distribution.
+pub fn dense_local(n: usize, seed: u64) -> LocalMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::random(n, n, 0.0, 10.0, &mut rng)
+}
+
+/// The paper's factorization input: sparse `n x n`, 10% non-zero, integer
+/// values in `0..=5`.
+pub fn sparse_local(n: usize, seed: u64) -> LocalMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::sparse_random(n, n, 0.10, &mut rng)
+}
+
+/// Distribute a local matrix for SAC.
+pub fn tiled_of(s: &Session, m: &LocalMatrix) -> TiledMatrix {
+    TiledMatrix::from_local(s.spark(), m, TILE, s.config().partitions)
+}
+
+/// Distribute a local matrix for the MLlib baseline.
+pub fn block_of(s: &Session, m: &LocalMatrix) -> BlockMatrix {
+    BlockMatrix::from_local(s.spark(), m, TILE, s.config().partitions)
+}
+
+/// One MLlib-style factorization iteration, composed from `BlockMatrix`
+/// library calls exactly as an MLlib user would write it:
+///
+/// ```text
+/// E  = R  - P·Qᵀ
+/// P' = (1 − γλ)·P + 2γ·(E·Q)
+/// Q' = (1 − γλ)·Q + 2γ·(Eᵀ·P)
+/// ```
+pub fn mllib_factorization_step(
+    r: &BlockMatrix,
+    p: &BlockMatrix,
+    q: &BlockMatrix,
+    gamma: f64,
+    lambda: f64,
+) -> (BlockMatrix, BlockMatrix) {
+    let e = r.subtract(&p.multiply(&q.transpose()));
+    let p2 = p.scale(1.0 - gamma * lambda).add(&e.multiply(q).scale(2.0 * gamma));
+    let q2 = q
+        .scale(1.0 - gamma * lambda)
+        .add(&e.transpose().multiply(p).scale(2.0 * gamma));
+    (p2, q2)
+}
+
+/// SAC factorization iteration (comprehension-compiled), re-exported for the
+/// harness.
+pub fn sac_factorization_step(
+    s: &Session,
+    r: &TiledMatrix,
+    p: &TiledMatrix,
+    q: &TiledMatrix,
+    gamma: f64,
+    lambda: f64,
+) -> (TiledMatrix, TiledMatrix) {
+    sac::linalg::factorization_step(s, r, p, q, gamma, lambda)
+        .expect("factorization step must plan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mllib_and_sac_factorization_agree() {
+        let s = bench_session(MatMulStrategy::GroupByJoin);
+        let n = 96;
+        let r = sparse_local(n, 1);
+        let p = dense_local_thin(n, 16, 2);
+        let q = dense_local_thin(n, 16, 3);
+        let (mp, mq) = mllib_factorization_step(
+            &block_of(&s, &r),
+            &block_of(&s, &p),
+            &block_of(&s, &q),
+            0.002,
+            0.02,
+        );
+        let (sp, sq) = sac_factorization_step(
+            &s,
+            &tiled_of(&s, &r),
+            &tiled_of(&s, &p),
+            &tiled_of(&s, &q),
+            0.002,
+            0.02,
+        );
+        assert!(mp.to_local().max_abs_diff(&sp.to_local()) < 1e-9);
+        assert!(mq.to_local().max_abs_diff(&sq.to_local()) < 1e-9);
+    }
+
+    fn dense_local_thin(n: usize, k: usize, seed: u64) -> LocalMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LocalMatrix::random(n, k, 0.0, 1.0, &mut rng)
+    }
+}

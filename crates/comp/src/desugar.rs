@@ -1,0 +1,254 @@
+//! Desugaring rules (4)–(7) of Fig. 3: translate group-by-free
+//! comprehensions into the core calculus of `flatMap` / `let` / `if` /
+//! singleton, exactly as the paper (and Wadler's classic scheme) specifies:
+//!
+//! ```text
+//! (4)  [ e1 | p <- e2, q ]  =  e2.flatMap(λp. [ e1 | q ])
+//! (5)  [ e1 | let p = e2, q ]  =  let p = e2 in [ e1 | q ]
+//! (6)  [ e1 | e2, q ]  =  if (e2) then [ e1 | q ] else Nil
+//! (7)  [ e | ]  =  [ e ]
+//! ```
+//!
+//! The core form is what the paper's algebra/optimizer consumes; here it
+//! serves as an executable specification: `eval_core ∘ desugar` must equal
+//! the direct comprehension semantics, which the tests check on the paper's
+//! own examples.
+
+use crate::ast::{Comprehension, Expr, Pattern, Qualifier};
+use crate::errors::CompError;
+use crate::eval::{eval, Env};
+use crate::value::Value;
+
+/// The core calculus after desugaring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Core {
+    /// `source.flatMap(λ pattern. body)` — rule (4).
+    FlatMap {
+        pattern: Pattern,
+        source: Expr,
+        body: Box<Core>,
+    },
+    /// `let pattern = value in body` — rule (5).
+    Let {
+        pattern: Pattern,
+        value: Expr,
+        body: Box<Core>,
+    },
+    /// `if (cond) body else Nil` — rule (6).
+    Filter { cond: Expr, body: Box<Core> },
+    /// `[ e ]` — rule (7).
+    Singleton(Expr),
+}
+
+impl Core {
+    /// Count of `flatMap` nodes (used to check rule application).
+    pub fn flat_map_depth(&self) -> usize {
+        match self {
+            Core::FlatMap { body, .. } => 1 + body.flat_map_depth(),
+            Core::Let { body, .. } | Core::Filter { body, .. } => body.flat_map_depth(),
+            Core::Singleton(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Core::FlatMap {
+                pattern,
+                source,
+                body,
+            } => write!(f, "{source}.flatMap(\\{pattern}. {body})"),
+            Core::Let {
+                pattern,
+                value,
+                body,
+            } => write!(f, "let {pattern} = {value} in {body}"),
+            Core::Filter { cond, body } => write!(f, "if ({cond}) {body} else Nil"),
+            Core::Singleton(e) => write!(f, "[{e}]"),
+        }
+    }
+}
+
+/// Apply rules (4)–(7) to a group-by-free comprehension.
+///
+/// # Errors
+/// If the comprehension contains a group-by qualifier (those desugar through
+/// rule (11) instead; see [`mod@crate::eval`]).
+pub fn desugar(c: &Comprehension) -> Result<Core, CompError> {
+    desugar_quals(&c.qualifiers, &c.head)
+}
+
+fn desugar_quals(quals: &[Qualifier], head: &Expr) -> Result<Core, CompError> {
+    match quals.split_first() {
+        // Rule (7).
+        None => Ok(Core::Singleton(head.clone())),
+        // Rule (4).
+        Some((Qualifier::Generator(p, e), rest)) => Ok(Core::FlatMap {
+            pattern: p.clone(),
+            source: e.clone(),
+            body: Box::new(desugar_quals(rest, head)?),
+        }),
+        // Rule (5).
+        Some((Qualifier::Let(p, e), rest)) => Ok(Core::Let {
+            pattern: p.clone(),
+            value: e.clone(),
+            body: Box::new(desugar_quals(rest, head)?),
+        }),
+        // Rule (6).
+        Some((Qualifier::Guard(e), rest)) => Ok(Core::Filter {
+            cond: e.clone(),
+            body: Box::new(desugar_quals(rest, head)?),
+        }),
+        Some((Qualifier::GroupBy(_, _), _)) => Err(CompError::eval(
+            "rules (4)-(7) apply to group-by-free comprehensions; \
+             group-by desugars through rule (11)",
+        )),
+    }
+}
+
+/// Evaluate a core term to the list it denotes.
+pub fn eval_core(core: &Core, env: &mut Env) -> Result<Vec<Value>, CompError> {
+    match core {
+        Core::Singleton(e) => Ok(vec![eval(e, env)?]),
+        Core::FlatMap {
+            pattern,
+            source,
+            body,
+        } => {
+            let items = eval(source, env)?.into_list()?;
+            let mut out = Vec::new();
+            for item in items {
+                let mark = env.mark();
+                env.bind_pattern(pattern, item)?;
+                out.extend(eval_core(body, env)?);
+                env.reset(mark);
+            }
+            Ok(out)
+        }
+        Core::Let {
+            pattern,
+            value,
+            body,
+        } => {
+            let v = eval(value, env)?;
+            let mark = env.mark();
+            env.bind_pattern(pattern, v)?;
+            let out = eval_core(body, env)?;
+            env.reset(mark);
+            Ok(out)
+        }
+        Core::Filter { cond, body } => {
+            if eval(cond, env)?.as_bool()? {
+                eval_core(body, env)
+            } else {
+                Ok(Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_comprehension;
+    use crate::parser::parse_expr;
+
+    fn as_comprehension(src: &str) -> Comprehension {
+        match parse_expr(src).unwrap() {
+            Expr::Comprehension(c) => c,
+            other => panic!("expected comprehension, got {other:?}"),
+        }
+    }
+
+    fn sample_env() -> Env {
+        let mut env = Env::new();
+        let matrix = Value::List(
+            (0..3)
+                .flat_map(|i| {
+                    (0..3).map(move |j| {
+                        Value::pair(
+                            Value::pair(Value::Int(i), Value::Int(j)),
+                            Value::Float((i * 3 + j) as f64),
+                        )
+                    })
+                })
+                .collect(),
+        );
+        env.bind("M", matrix.clone());
+        env.bind("N", matrix);
+        env
+    }
+
+    /// `eval_core ∘ desugar` must equal the direct comprehension semantics.
+    #[test]
+    fn desugaring_preserves_semantics() {
+        for src in [
+            "[ v | ((i,j),v) <- M ]",
+            "[ (i, v * 2.0) | ((i,j),v) <- M, i == j ]",
+            "[ (i, j, a, b) | ((i,j),a) <- M, ((ii,jj),b) <- N, ii == i, jj == j ]",
+            "[ x + y | x <- 0 until 4, let y = x * x, y > 2 ]",
+            "[ x | x <- 0 until 10, x % 2 == 0, x > 3 ]",
+        ] {
+            let c = as_comprehension(src);
+            let core = desugar(&c).unwrap();
+            let mut env1 = sample_env();
+            let mut env2 = sample_env();
+            assert_eq!(
+                eval_core(&core, &mut env1).unwrap(),
+                eval_comprehension(&c, &mut env2).unwrap(),
+                "desugaring changed the meaning of {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule4_generator_becomes_flat_map() {
+        let c = as_comprehension("[ v | ((i,j),v) <- M ]");
+        let core = desugar(&c).unwrap();
+        assert!(matches!(core, Core::FlatMap { .. }));
+        assert_eq!(core.flat_map_depth(), 1);
+    }
+
+    #[test]
+    fn rule5_let_and_rule6_guard_nest_in_order() {
+        let c = as_comprehension("[ y | x <- 0 until 3, let y = x + 1, y > 1 ]");
+        let core = desugar(&c).unwrap();
+        let Core::FlatMap { body, .. } = core else {
+            panic!()
+        };
+        let Core::Let { body, .. } = *body else {
+            panic!()
+        };
+        assert!(matches!(*body, Core::Filter { .. }));
+    }
+
+    #[test]
+    fn rule7_empty_qualifiers_is_singleton() {
+        let c = Comprehension {
+            head: Box::new(Expr::Int(42)),
+            qualifiers: vec![],
+        };
+        assert_eq!(desugar(&c).unwrap(), Core::Singleton(Expr::Int(42)));
+        let mut env = Env::new();
+        assert_eq!(
+            eval_core(&desugar(&c).unwrap(), &mut env).unwrap(),
+            vec![Value::Int(42)]
+        );
+    }
+
+    #[test]
+    fn group_by_is_rejected() {
+        let c = as_comprehension("[ (i, +/v) | ((i,j),v) <- M, group by i ]");
+        assert!(desugar(&c).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = as_comprehension("[ v | (k, v) <- M, k == 1 ]");
+        let core = desugar(&c).unwrap();
+        let s = format!("{core}");
+        assert!(s.contains(".flatMap("), "{s}");
+        assert!(s.contains("if ("), "{s}");
+    }
+}

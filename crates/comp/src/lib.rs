@@ -1,0 +1,55 @@
+//! # comp — the array-comprehension language
+//!
+//! Front-end for the paper's comprehension calculus (Fig. 2):
+//!
+//! ```text
+//! e ::= [ e | q1, ..., qn ]      comprehension
+//!     | ⊕/e                      reduction by a monoid  (+/, */, &&/, ||/, max/, min/, ++/)
+//!     | v[e1, ..., en]           array indexing
+//!     | builder(args)[ e | q ]   builder application (matrix, vector, tiled, rdd, array, set)
+//!     | ...                      literals, tuples, arithmetic, comparisons, ranges
+//! q ::= p <- e                   generator
+//!     | let p = e                local declaration
+//!     | e                        filter (guard)
+//!     | group by p [: e]         group-by
+//! ```
+//!
+//! The crate contains:
+//! * [`lexer`] / [`parser`] — text → [`ast::Expr`].
+//! * [`ast`] — expressions, patterns, qualifiers, monoids, with pretty
+//!   printing ([`pretty`]).
+//! * [`types`] — lightweight type inference used to validate comprehensions
+//!   and select sparsifiers, mirroring the paper's use of the Scala
+//!   typechecker.
+//! * [`desugar`] — rules (4)–(7): comprehension → `flatMap`/`let`/`if` core
+//!   calculus, with an executable core evaluator checked against the direct
+//!   semantics.
+//! * [`mod@eval`] — the reference interpreter implementing the formal semantics
+//!   of §2–§3 directly (group-by via `groupBy` + variable lifting,
+//!   rule (11)). Every distributed plan is checked against it.
+//! * [`normalize`] — the source-to-source rules: comprehension flattening
+//!   (rule 3), array-indexing removal (§2), index-range fusion (§2), and
+//!   group-by elimination for injective keys (rule 15).
+
+pub mod ast;
+pub mod desugar;
+pub mod errors;
+pub mod eval;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod pretty;
+pub mod types;
+pub mod value;
+
+pub use ast::{BinOp, Comprehension, Expr, Monoid, Pattern, Qualifier, UnOp};
+pub use errors::CompError;
+pub use eval::{eval, Env};
+pub use parser::parse_expr;
+pub use value::Value;
+
+/// Parse and normalize a comprehension program in one step.
+pub fn compile_text(src: &str) -> Result<Expr, CompError> {
+    let ast = parser::parse_expr(src)?;
+    Ok(normalize::normalize(ast))
+}

@@ -1,0 +1,195 @@
+//! Pretty printing of the AST back to (parseable) surface syntax.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Var(v) => f.write_str(v),
+            Pattern::Wildcard => f.write_str("_"),
+            Pattern::Tuple(ps) => {
+                f.write_str("(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Generator(p, e) => write!(f, "{p} <- {e}"),
+            Qualifier::Let(p, e) => write!(f, "let {p} = {e}"),
+            Qualifier::Guard(e) => write!(f, "{e}"),
+            Qualifier::GroupBy(p, None) => write!(f, "group by {p}"),
+            Qualifier::GroupBy(p, Some(k)) => write!(f, "group by {p}: {k}"),
+        }
+    }
+}
+
+impl fmt::Display for Comprehension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[ {} | ", self.head)?;
+        for (i, q) in self.qualifiers.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        f.write_str(" ]")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Str(s) => write!(f, "\"{s}\""),
+            Expr::Var(v) => f.write_str(v),
+            Expr::Tuple(es) => {
+                f.write_str("(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Comprehension(c) => write!(f, "{c}"),
+            Expr::Reduce(m, e) => write!(f, "{}/{}", m.symbol(), paren(e)),
+            Expr::BinOp(op, a, b) => write!(f, "{} {op} {}", paren(a), paren(b)),
+            Expr::UnOp(UnOp::Neg, e) => write!(f, "-{}", paren(e)),
+            Expr::UnOp(UnOp::Not, e) => write!(f, "!{}", paren(e)),
+            Expr::Index(b, idx) => {
+                write!(f, "{}[", paren(b))?;
+                for (i, e) in idx.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("]")
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, e) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Field(b, field) => write!(f, "{}.{field}", paren(b)),
+            Expr::Range { lo, hi, inclusive } => {
+                let kw = if *inclusive { "to" } else { "until" };
+                write!(f, "{} {kw} {}", paren(lo), paren(hi))
+            }
+            Expr::If(c, t, e) => write!(f, "if ({c}) {} else {}", paren(t), paren(e)),
+            Expr::Build {
+                builder,
+                args,
+                body,
+            } => {
+                f.write_str(builder)?;
+                if !args.is_empty() {
+                    f.write_str("(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                match body.as_ref() {
+                    Expr::Comprehension(c) => write!(f, "{c}"),
+                    other => write!(f, "[ {other} ]"),
+                }
+            }
+        }
+    }
+}
+
+/// Wrap compound sub-expressions in parentheses for re-parseability.
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Bool(_)
+        | Expr::Str(_)
+        | Expr::Var(_)
+        | Expr::Tuple(_)
+        | Expr::Call(_, _)
+        | Expr::Comprehension(_) => format!("{e}"),
+        other => format!("({other})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_expr;
+
+    /// Pretty-printed output must re-parse to the same AST.
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        for src in [
+            "[ (i, +/m) | ((i,j),m) <- M, group by i ]",
+            "matrix(n,m)[ ((i,j), +/v) | ((i,k),a) <- M, ((kk,j),b) <- N, kk == k, \
+             let v = a*b, group by (i,j) ]",
+            "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]",
+            "[ x | x <- 0 until 10, x % 2 == 0 ]",
+            "if (a > 0) a else -a",
+            "rdd[ (k, count(v)) | (k,v) <- D, group by k ]",
+        ] {
+            let ast = parse_expr(src).unwrap();
+            let printed = format!("{ast}");
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+            assert_eq!(ast, reparsed, "pretty print of `{src}` was `{printed}`");
+        }
+    }
+
+    #[test]
+    fn prints_expected_shape() {
+        let ast = parse_expr("[ (i, +/m) | ((i,j),m) <- M, group by i ]").unwrap();
+        assert_eq!(format!("{ast}"), "[ (i, +/m) | ((i,j),m) <- M, group by i ]");
+    }
+}

@@ -1,0 +1,410 @@
+//! Lightweight type inference for comprehensions.
+//!
+//! The paper uses the Scala typechecker to infer the types of generator
+//! domains and select sparsifiers (§2). This module plays the same role:
+//! given the types of free (registered) arrays, it infers the type of a
+//! comprehension, checks pattern arities, and reports where a sparsifier
+//! would be inserted.
+
+use crate::ast::*;
+use crate::errors::CompError;
+use std::collections::HashMap;
+
+/// Types of the comprehension language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Float,
+    Bool,
+    Str,
+    Tuple(Vec<Type>),
+    List(Box<Type>),
+    /// Unknown/any — produced when inference cannot be precise; unifies with
+    /// everything.
+    Unknown,
+}
+
+impl Type {
+    /// The association-list type of a matrix: `List[((Int,Int), Float)]`.
+    pub fn matrix() -> Type {
+        Type::List(Box::new(Type::Tuple(vec![
+            Type::Tuple(vec![Type::Int, Type::Int]),
+            Type::Float,
+        ])))
+    }
+
+    /// The association-list type of a vector: `List[(Int, Float)]`.
+    pub fn vector() -> Type {
+        Type::List(Box::new(Type::Tuple(vec![Type::Int, Type::Float])))
+    }
+
+    /// Structural compatibility, with `Unknown` as a wildcard.
+    pub fn compatible(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Unknown, _) | (_, Type::Unknown) => true,
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.compatible(y))
+            }
+            (Type::List(a), Type::List(b)) => a.compatible(b),
+            (a, b) => a == b,
+        }
+    }
+
+    fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Unknown)
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => f.write_str("Int"),
+            Type::Float => f.write_str("Float"),
+            Type::Bool => f.write_str("Bool"),
+            Type::Str => f.write_str("String"),
+            Type::Unknown => f.write_str("?"),
+            Type::Tuple(ts) => {
+                f.write_str("(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::List(t) => write!(f, "List[{t}]"),
+        }
+    }
+}
+
+/// Typing environment: free variable types.
+pub type TypeEnv = HashMap<String, Type>;
+
+/// Infer the type of `expr` under `env`.
+pub fn infer(expr: &Expr, env: &TypeEnv) -> Result<Type, CompError> {
+    match expr {
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Float(_) => Ok(Type::Float),
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::Str(_) => Ok(Type::Str),
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CompError::typing(format!("unbound variable `{v}`"))),
+        Expr::Tuple(es) => Ok(Type::Tuple(
+            es.iter().map(|e| infer(e, env)).collect::<Result<_, _>>()?,
+        )),
+        Expr::Comprehension(c) => infer_comprehension(c, env),
+        Expr::Reduce(m, e) => {
+            let t = infer(e, env)?;
+            let elem = match t {
+                Type::List(e) => *e,
+                Type::Unknown => Type::Unknown,
+                other => {
+                    return Err(CompError::typing(format!(
+                        "reduction over non-list type {other}"
+                    )))
+                }
+            };
+            match m {
+                Monoid::Sum | Monoid::Product | Monoid::Max | Monoid::Min => {
+                    if elem.is_numeric() {
+                        Ok(elem)
+                    } else {
+                        Err(CompError::typing(format!(
+                            "numeric reduction over {elem}"
+                        )))
+                    }
+                }
+                Monoid::And | Monoid::Or => {
+                    if elem.compatible(&Type::Bool) {
+                        Ok(Type::Bool)
+                    } else {
+                        Err(CompError::typing(format!("boolean reduction over {elem}")))
+                    }
+                }
+                Monoid::Concat => Ok(elem),
+            }
+        }
+        Expr::BinOp(op, a, b) => {
+            let ta = infer(a, env)?;
+            let tb = infer(b, env)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    if !ta.is_numeric() || !tb.is_numeric() {
+                        return Err(CompError::typing(format!(
+                            "arithmetic on non-numeric types {ta} and {tb}"
+                        )));
+                    }
+                    if ta == Type::Float || tb == Type::Float {
+                        Ok(Type::Float)
+                    } else if ta == Type::Unknown || tb == Type::Unknown {
+                        Ok(Type::Unknown)
+                    } else {
+                        Ok(Type::Int)
+                    }
+                }
+                BinOp::And | BinOp::Or => Ok(Type::Bool),
+                _ => {
+                    if ta.compatible(&tb) {
+                        Ok(Type::Bool)
+                    } else {
+                        Err(CompError::typing(format!(
+                            "comparison of incompatible types {ta} and {tb}"
+                        )))
+                    }
+                }
+            }
+        }
+        Expr::UnOp(UnOp::Neg, e) => {
+            let t = infer(e, env)?;
+            if t.is_numeric() {
+                Ok(t)
+            } else {
+                Err(CompError::typing(format!("negation of {t}")))
+            }
+        }
+        Expr::UnOp(UnOp::Not, e) => {
+            let t = infer(e, env)?;
+            if t.compatible(&Type::Bool) {
+                Ok(Type::Bool)
+            } else {
+                Err(CompError::typing(format!("logical not of {t}")))
+            }
+        }
+        Expr::Index(base, _) => {
+            // Indexing an association list yields its value component.
+            match infer(base, env)? {
+                Type::List(elem) => match *elem {
+                    Type::Tuple(kv) if kv.len() == 2 => Ok(kv[1].clone()),
+                    _ => Ok(Type::Unknown),
+                },
+                _ => Ok(Type::Unknown),
+            }
+        }
+        Expr::Call(f, args) => {
+            let ts: Vec<Type> = args.iter().map(|e| infer(e, env)).collect::<Result<_, _>>()?;
+            match (f.as_str(), ts.as_slice()) {
+                ("count", [Type::List(_) | Type::Unknown]) => Ok(Type::Int),
+                ("sum" | "min" | "max", [Type::List(e)]) => Ok((**e).clone()),
+                ("sum" | "min" | "max", [Type::Unknown]) => Ok(Type::Unknown),
+                ("avg", [Type::List(_) | Type::Unknown]) => Ok(Type::Float),
+                ("abs", [t]) if t.is_numeric() => Ok(t.clone()),
+                ("sqrt", [t]) if t.is_numeric() => Ok(Type::Float),
+                _ => Err(CompError::typing(format!(
+                    "unknown function `{f}` on argument types {ts:?}"
+                ))),
+            }
+        }
+        Expr::Field(e, field) if field == "length" => match infer(e, env)? {
+            Type::List(_) | Type::Unknown => Ok(Type::Int),
+            t => Err(CompError::typing(format!(".length on non-list {t}"))),
+        },
+        Expr::Field(_, f) => Err(CompError::typing(format!("unknown field `{f}`"))),
+        Expr::Range { lo, hi, .. } => {
+            for e in [lo, hi] {
+                let t = infer(e, env)?;
+                if !t.compatible(&Type::Int) {
+                    return Err(CompError::typing(format!("range bound of type {t}")));
+                }
+            }
+            Ok(Type::List(Box::new(Type::Int)))
+        }
+        Expr::If(c, t, e) => {
+            let tc = infer(c, env)?;
+            if !tc.compatible(&Type::Bool) {
+                return Err(CompError::typing(format!("if condition of type {tc}")));
+            }
+            let tt = infer(t, env)?;
+            let te = infer(e, env)?;
+            if tt.compatible(&te) {
+                Ok(if tt == Type::Unknown { te } else { tt })
+            } else {
+                Err(CompError::typing(format!(
+                    "if branches have incompatible types {tt} and {te}"
+                )))
+            }
+        }
+        Expr::Build { builder, body, .. } => {
+            let bt = infer(body, env)?;
+            match builder.as_str() {
+                "matrix" | "tiled" => Ok(Type::matrix()),
+                "vector" | "array" | "tiled_vector" => Ok(Type::vector()),
+                "rdd" | "set" | "list" => Ok(bt),
+                other => Err(CompError::typing(format!("unknown builder `{other}`"))),
+            }
+        }
+    }
+}
+
+fn bind_pattern_type(p: &Pattern, t: &Type, env: &mut TypeEnv) -> Result<(), CompError> {
+    match (p, t) {
+        (Pattern::Wildcard, _) => Ok(()),
+        (Pattern::Var(v), t) => {
+            env.insert(v.clone(), t.clone());
+            Ok(())
+        }
+        (Pattern::Tuple(ps), Type::Tuple(ts)) if ps.len() == ts.len() => {
+            for (p, t) in ps.iter().zip(ts) {
+                bind_pattern_type(p, t, env)?;
+            }
+            Ok(())
+        }
+        (Pattern::Tuple(ps), Type::Unknown) => {
+            for p in ps {
+                bind_pattern_type(p, &Type::Unknown, env)?;
+            }
+            Ok(())
+        }
+        (p, t) => Err(CompError::typing(format!(
+            "pattern {p} does not match type {t}"
+        ))),
+    }
+}
+
+fn infer_comprehension(c: &Comprehension, env: &TypeEnv) -> Result<Type, CompError> {
+    let mut scope = env.clone();
+    let mut locals: Vec<String> = Vec::new();
+    for q in &c.qualifiers {
+        match q {
+            Qualifier::Generator(p, e) => {
+                let t = infer(e, &scope)?;
+                let elem = match t {
+                    Type::List(e) => *e,
+                    Type::Unknown => Type::Unknown,
+                    other => {
+                        return Err(CompError::typing(format!(
+                            "generator over non-list type {other}"
+                        )))
+                    }
+                };
+                bind_pattern_type(p, &elem, &mut scope)?;
+                locals.extend(p.vars());
+            }
+            Qualifier::Let(p, e) => {
+                let t = infer(e, &scope)?;
+                bind_pattern_type(p, &t, &mut scope)?;
+                locals.extend(p.vars());
+            }
+            Qualifier::Guard(e) => {
+                let t = infer(e, &scope)?;
+                if !t.compatible(&Type::Bool) {
+                    return Err(CompError::typing(format!("guard of type {t}")));
+                }
+            }
+            Qualifier::GroupBy(p, key) => {
+                if let Some(k) = key {
+                    let kt = infer(k, &scope)?;
+                    bind_pattern_type(p, &kt, &mut scope)?;
+                }
+                // Lift every local variable not in the key to a list.
+                let key_vars = p.vars();
+                for v in &locals {
+                    if key_vars.contains(v) {
+                        continue;
+                    }
+                    if let Some(t) = scope.get(v).cloned() {
+                        scope.insert(v.clone(), Type::List(Box::new(t)));
+                    }
+                }
+                locals.extend(key_vars);
+            }
+        }
+    }
+    let head = infer(&c.head, &scope)?;
+    Ok(Type::List(Box::new(head)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn env_with_matrices() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.insert("M".into(), Type::matrix());
+        env.insert("N".into(), Type::matrix());
+        env.insert("n".into(), Type::Int);
+        env.insert("m".into(), Type::Int);
+        env
+    }
+
+    #[test]
+    fn row_sums_types_as_vector_assoc_list() {
+        let e = parse_expr("[ (i, +/m) | ((i,j),m) <- M, group by i ]").unwrap();
+        let t = infer(&e, &env_with_matrices()).unwrap();
+        assert_eq!(t, Type::vector());
+    }
+
+    #[test]
+    fn matmul_types_as_matrix() {
+        let e = parse_expr(
+            "matrix(n,m)[ ((i,j), +/v) | ((i,k),a) <- M, ((kk,j),b) <- N, kk == k, \
+             let v = a*b, group by (i,j) ]",
+        )
+        .unwrap();
+        assert_eq!(infer(&e, &env_with_matrices()).unwrap(), Type::matrix());
+    }
+
+    #[test]
+    fn group_by_lifts_variable_types() {
+        // After group by i, m: Float becomes List[Float]; +/m: Float.
+        let e = parse_expr("[ (i, m) | ((i,j),m) <- M, group by i ]").unwrap();
+        let t = infer(&e, &env_with_matrices()).unwrap();
+        assert_eq!(
+            t,
+            Type::List(Box::new(Type::Tuple(vec![
+                Type::Int,
+                Type::List(Box::new(Type::Float))
+            ])))
+        );
+    }
+
+    #[test]
+    fn guard_must_be_boolean() {
+        let e = parse_expr("[ x | x <- 0 until 5, x + 1 ]").unwrap();
+        assert!(infer(&e, &TypeEnv::new()).is_err());
+    }
+
+    #[test]
+    fn generator_must_be_list() {
+        let e = parse_expr("[ x | x <- n ]").unwrap();
+        assert!(infer(&e, &env_with_matrices()).is_err());
+    }
+
+    #[test]
+    fn pattern_arity_mismatch_is_rejected() {
+        let e = parse_expr("[ x | (x, y, z) <- M ]").unwrap();
+        assert!(infer(&e, &env_with_matrices()).is_err());
+    }
+
+    #[test]
+    fn boolean_reduction() {
+        let mut env = TypeEnv::new();
+        env.insert("V".into(), Type::vector());
+        let e = parse_expr("&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]").unwrap();
+        assert_eq!(infer(&e, &env).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn unknown_variable_reported() {
+        let e = parse_expr("[ x | x <- Xs ]").unwrap();
+        let err = infer(&e, &TypeEnv::new()).unwrap_err();
+        assert!(err.message.contains("Xs"));
+    }
+
+    #[test]
+    fn arithmetic_type_promotion() {
+        let env = env_with_matrices();
+        assert_eq!(
+            infer(&parse_expr("1 + 2").unwrap(), &env).unwrap(),
+            Type::Int
+        );
+        assert_eq!(
+            infer(&parse_expr("1 + 2.0").unwrap(), &env).unwrap(),
+            Type::Float
+        );
+        assert!(infer(&parse_expr("true + 1").unwrap(), &env).is_err());
+    }
+}

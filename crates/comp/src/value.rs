@@ -1,0 +1,305 @@
+//! Dynamic values for the reference interpreter.
+
+use crate::ast::Monoid;
+use crate::errors::CompError;
+use std::hash::{Hash, Hasher};
+
+/// A runtime value of the comprehension language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    Tuple(Vec<Value>),
+    List(Vec<Value>),
+}
+
+// Equality treats floats bitwise, which is fine for grouping keys (keys are
+// produced deterministically by the same expressions).
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(n) => {
+                0u8.hash(state);
+                n.hash(state);
+            }
+            Value::Float(x) => {
+                1u8.hash(state);
+                x.to_bits().hash(state);
+            }
+            Value::Bool(b) => {
+                2u8.hash(state);
+                b.hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Tuple(vs) => {
+                4u8.hash(state);
+                vs.hash(state);
+            }
+            Value::List(vs) => {
+                5u8.hash(state);
+                vs.hash(state);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Numeric value as `f64`; errors for non-numbers.
+    pub fn as_f64(&self) -> Result<f64, CompError> {
+        match self {
+            Value::Int(n) => Ok(*n as f64),
+            Value::Float(x) => Ok(*x),
+            other => Err(CompError::eval(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    /// Integer value; errors for non-integers.
+    pub fn as_i64(&self) -> Result<i64, CompError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => Err(CompError::eval(format!(
+                "expected an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool, CompError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(CompError::eval(format!("expected a boolean, got {other:?}"))),
+        }
+    }
+
+    /// List contents; errors otherwise.
+    pub fn into_list(self) -> Result<Vec<Value>, CompError> {
+        match self {
+            Value::List(vs) => Ok(vs),
+            other => Err(CompError::eval(format!("expected a list, got {other:?}"))),
+        }
+    }
+
+    /// Build a pair value.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Tuple(vec![a, b])
+    }
+
+    /// True if both values are numeric and either is a float.
+    fn promotes_to_float(&self, other: &Value) -> bool {
+        matches!(self, Value::Float(_)) || matches!(other, Value::Float(_))
+    }
+
+    /// Arithmetic addition with int/float promotion; `++` for lists.
+    pub fn add(&self, other: &Value) -> Result<Value, CompError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+            (Value::List(a), Value::List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(Value::List(out))
+            }
+            _ if self.promotes_to_float(other) => {
+                Ok(Value::Float(self.as_f64()? + other.as_f64()?))
+            }
+            _ => Err(CompError::eval(format!("cannot add {self:?} and {other:?}"))),
+        }
+    }
+
+    pub fn sub(&self, other: &Value) -> Result<Value, CompError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a - b)),
+            _ => Ok(Value::Float(self.as_f64()? - other.as_f64()?)),
+        }
+    }
+
+    pub fn mul(&self, other: &Value) -> Result<Value, CompError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a * b)),
+            _ => Ok(Value::Float(self.as_f64()? * other.as_f64()?)),
+        }
+    }
+
+    /// Division: integer division for two ints (as in the paper's `i/N` tile
+    /// coordinates), float division otherwise.
+    pub fn div(&self, other: &Value) -> Result<Value, CompError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(CompError::eval("integer division by zero"))
+                } else {
+                    Ok(Value::Int(a.div_euclid(*b)))
+                }
+            }
+            _ => Ok(Value::Float(self.as_f64()? / other.as_f64()?)),
+        }
+    }
+
+    pub fn rem(&self, other: &Value) -> Result<Value, CompError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(CompError::eval("integer modulo by zero"))
+                } else {
+                    Ok(Value::Int(a.rem_euclid(*b)))
+                }
+            }
+            _ => Err(CompError::eval("modulo requires integers")),
+        }
+    }
+
+    /// Total comparison for ordering operators and min/max monoids.
+    pub fn compare(&self, other: &Value) -> Result<std::cmp::Ordering, CompError> {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            (Value::Tuple(a), Value::Tuple(b)) if a.len() == b.len() => {
+                for (x, y) in a.iter().zip(b) {
+                    match x.compare(y)? {
+                        Ordering::Equal => continue,
+                        ord => return Ok(ord),
+                    }
+                }
+                Ok(Ordering::Equal)
+            }
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+                    .ok_or_else(|| CompError::eval("NaN in comparison"))
+            }
+        }
+    }
+}
+
+impl Monoid {
+    /// The identity element `1⊕`.
+    pub fn zero(self) -> Value {
+        match self {
+            Monoid::Sum => Value::Int(0),
+            Monoid::Product => Value::Int(1),
+            Monoid::And => Value::Bool(true),
+            Monoid::Or => Value::Bool(false),
+            Monoid::Max => Value::Float(f64::NEG_INFINITY),
+            Monoid::Min => Value::Float(f64::INFINITY),
+            Monoid::Concat => Value::List(vec![]),
+        }
+    }
+
+    /// Combine two values with the monoid operation.
+    pub fn combine(self, a: &Value, b: &Value) -> Result<Value, CompError> {
+        match self {
+            Monoid::Sum => a.add(b),
+            Monoid::Product => a.mul(b),
+            Monoid::And => Ok(Value::Bool(a.as_bool()? && b.as_bool()?)),
+            Monoid::Or => Ok(Value::Bool(a.as_bool()? || b.as_bool()?)),
+            Monoid::Max => Ok(if a.compare(b)? == std::cmp::Ordering::Less {
+                b.clone()
+            } else {
+                a.clone()
+            }),
+            Monoid::Min => Ok(if a.compare(b)? == std::cmp::Ordering::Greater {
+                b.clone()
+            } else {
+                a.clone()
+            }),
+            Monoid::Concat => a.add(b),
+        }
+    }
+
+    /// Reduce a list of values; empty lists yield the identity.
+    pub fn reduce(self, items: &[Value]) -> Result<Value, CompError> {
+        // Fold from the first element so ints stay ints (the identity of
+        // max/min is a float sentinel).
+        match items.split_first() {
+            None => Ok(self.zero()),
+            Some((first, rest)) => {
+                let mut acc = first.clone();
+                for v in rest {
+                    acc = self.combine(&acc, v)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(
+            Value::Int(2).add(&Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Value::Float(1.0).mul(&Value::Int(4)).unwrap(),
+            Value::Float(4.0)
+        );
+    }
+
+    #[test]
+    fn integer_division_matches_tile_coordinates() {
+        // i/N and i%N for tile addressing.
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(4)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Value::Int(7).rem(&Value::Int(4)).unwrap(),
+            Value::Int(3)
+        );
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn list_concat() {
+        let a = Value::List(vec![Value::Int(1)]);
+        let b = Value::List(vec![Value::Int(2)]);
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn monoid_identities_and_reduce() {
+        assert_eq!(Monoid::Sum.reduce(&[]).unwrap(), Value::Int(0));
+        let xs = [Value::Int(3), Value::Int(5), Value::Int(2)];
+        assert_eq!(Monoid::Sum.reduce(&xs).unwrap(), Value::Int(10));
+        assert_eq!(Monoid::Product.reduce(&xs).unwrap(), Value::Int(30));
+        assert_eq!(Monoid::Max.reduce(&xs).unwrap(), Value::Int(5));
+        assert_eq!(Monoid::Min.reduce(&xs).unwrap(), Value::Int(2));
+        let bs = [Value::Bool(true), Value::Bool(false)];
+        assert_eq!(Monoid::And.reduce(&bs).unwrap(), Value::Bool(false));
+        assert_eq!(Monoid::Or.reduce(&bs).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn tuple_comparison_is_lexicographic() {
+        let a = Value::Tuple(vec![Value::Int(1), Value::Int(9)]);
+        let b = Value::Tuple(vec![Value::Int(2), Value::Int(0)]);
+        assert_eq!(a.compare(&b).unwrap(), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn hash_distinguishes_int_and_float() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Float(1.0));
+        assert_eq!(set.len(), 2);
+    }
+}

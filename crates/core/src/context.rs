@@ -1,0 +1,321 @@
+//! The SAC session: registered arrays + scalars + the compilation pipeline.
+
+use comp::errors::CompError;
+use comp::types::{infer, Type, TypeEnv};
+use planner::{DistArray, ExecResult, MatMulStrategy, PlanConfig, PlanEnv, Planned};
+use sparkline::Context;
+use tiled::{CooMatrix, LocalMatrix, TiledMatrix, TiledVector};
+
+/// Builder for [`Session`].
+pub struct SessionBuilder {
+    workers: usize,
+    partitions: usize,
+    tile_threads: usize,
+    matmul: MatMulStrategy,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            partitions: 8,
+            tile_threads: 1,
+            matmul: MatMulStrategy::GroupByJoin,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Executor threads of the underlying runtime.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Shuffle partition count.
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n.max(1);
+        self
+    }
+
+    /// Threads per tile kernel (the paper's Scala `.par` multicore level).
+    pub fn tile_threads(mut self, n: usize) -> Self {
+        self.tile_threads = n.max(1);
+        self
+    }
+
+    /// Contraction strategy (§5.3 reduceByKey vs §5.4 group-by-join).
+    pub fn matmul(mut self, s: MatMulStrategy) -> Self {
+        self.matmul = s;
+        self
+    }
+
+    pub fn build(self) -> Session {
+        Session {
+            ctx: Context::builder().workers(self.workers).build(),
+            env: PlanEnv::new(),
+            config: PlanConfig {
+                partitions: self.partitions,
+                matmul: self.matmul,
+                tile_threads: self.tile_threads,
+                allow_local_fallback: true,
+            },
+        }
+    }
+}
+
+/// A SAC session: owns the runtime context, the registered arrays and
+/// scalars, and the planner configuration.
+pub struct Session {
+    ctx: Context,
+    env: PlanEnv,
+    config: PlanConfig,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// The underlying runtime context (for metrics, parallelize, ...).
+    pub fn spark(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Planner configuration (mutable: switch matmul strategy, partitions).
+    pub fn config_mut(&mut self) -> &mut PlanConfig {
+        &mut self.config
+    }
+
+    pub fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
+    /// Register a tiled matrix under a name.
+    pub fn register_matrix(&mut self, name: impl Into<String>, m: TiledMatrix) {
+        self.env.set_array(name, DistArray::Matrix(m));
+    }
+
+    /// Tile and register a local matrix.
+    pub fn register_local_matrix(
+        &mut self,
+        name: impl Into<String>,
+        m: &LocalMatrix,
+        tile_size: usize,
+    ) {
+        let tiled = TiledMatrix::from_local(&self.ctx, m, tile_size, self.config.partitions);
+        self.register_matrix(name, tiled);
+    }
+
+    /// Register a tiled vector.
+    pub fn register_vector(&mut self, name: impl Into<String>, v: TiledVector) {
+        self.env.set_array(name, DistArray::Vector(v));
+    }
+
+    /// Register a coordinate-format matrix (§4 storage).
+    pub fn register_coo(&mut self, name: impl Into<String>, m: CooMatrix) {
+        self.env.set_array(name, DistArray::Coo(m));
+    }
+
+    /// Bind an integer scalar (matrix dimensions etc.).
+    pub fn set_int(&mut self, name: impl Into<String>, v: i64) {
+        self.env.set_scalar(name, comp::Value::Int(v));
+    }
+
+    /// Bind a float scalar (learning rate etc.).
+    pub fn set_float(&mut self, name: impl Into<String>, v: f64) {
+        self.env.set_scalar(name, comp::Value::Float(v));
+    }
+
+    /// Fetch a registered matrix.
+    pub fn matrix_named(&self, name: &str) -> Option<TiledMatrix> {
+        self.env.array(name)?.as_matrix().cloned()
+    }
+
+    /// Type-check a comprehension against the registered bindings,
+    /// returning its abstract type (the paper's use of the host
+    /// typechecker to pick sparsifiers, §2).
+    pub fn typecheck(&self, src: &str) -> Result<Type, CompError> {
+        let expr = comp::parse_expr(src)?;
+        let mut tenv = TypeEnv::new();
+        for name in expr.free_vars() {
+            if let Some(a) = self.env.array(&name) {
+                let t = match a {
+                    DistArray::Matrix(_) | DistArray::Coo(_) => Type::matrix(),
+                    DistArray::Vector(_) => Type::vector(),
+                };
+                tenv.insert(name.clone(), t);
+            } else if let Some(v) = self.env.scalar(&name) {
+                let t = match v {
+                    comp::Value::Int(_) => Type::Int,
+                    comp::Value::Float(_) => Type::Float,
+                    comp::Value::Bool(_) => Type::Bool,
+                    comp::Value::Str(_) => Type::Str,
+                    _ => Type::Unknown,
+                };
+                tenv.insert(name.clone(), t);
+            }
+        }
+        // `tiled(...)` builders see abstract matrices; the checker treats
+        // registered arrays as their association-list types.
+        infer(&expr, &tenv)
+    }
+
+    /// Compile a comprehension to a plan without executing it.
+    pub fn compile(&self, src: &str) -> Result<Planned, CompError> {
+        let expr = comp::parse_expr(src)?;
+        planner::plan::plan(&expr, &self.env, &self.config)
+    }
+
+    /// Explain the plan a comprehension would run as.
+    pub fn explain(&self, src: &str) -> Result<String, CompError> {
+        Ok(self.compile(src)?.explain())
+    }
+
+    /// Compile and execute a comprehension.
+    pub fn run(&self, src: &str) -> Result<ExecResult, CompError> {
+        let expr = comp::parse_expr(src)?;
+        planner::run(&expr, &self.env, &self.ctx, &self.config)
+    }
+
+    /// Compile and execute an already-parsed expression (for front-ends
+    /// such as the DIABLO loop translator that build ASTs directly).
+    pub fn run_expr(&self, expr: &comp::Expr) -> Result<ExecResult, CompError> {
+        planner::run(expr, &self.env, &self.ctx, &self.config)
+    }
+
+    /// Plan an already-parsed expression without executing it.
+    pub fn compile_expr(&self, expr: &comp::Expr) -> Result<Planned, CompError> {
+        planner::plan::plan(expr, &self.env, &self.config)
+    }
+
+    /// Compile and execute against an explicit environment instead of the
+    /// session's registered bindings (used by the typed `linalg` wrappers so
+    /// their scratch names never clobber user registrations).
+    pub fn run_in_env(&self, src: &str, env: &PlanEnv) -> Result<ExecResult, CompError> {
+        let expr = comp::parse_expr(src)?;
+        planner::run(&expr, env, &self.ctx, &self.config)
+    }
+
+    /// Run a comprehension that produces a tiled matrix.
+    pub fn matrix(&self, src: &str) -> Result<TiledMatrix, CompError> {
+        self.run(src)?.into_matrix()
+    }
+
+    /// Run a comprehension that produces a tiled vector.
+    pub fn vector(&self, src: &str) -> Result<TiledVector, CompError> {
+        self.run(src)?.into_vector()
+    }
+
+    /// Run a comprehension that produces a driver-side value (total
+    /// aggregations, SQL-style queries).
+    pub fn value(&self, src: &str) -> Result<comp::Value, CompError> {
+        self.run(src)?.into_local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session_with(names: &[(&str, usize, usize, u64)]) -> (Session, Vec<LocalMatrix>) {
+        let mut s = Session::builder().workers(4).partitions(4).build();
+        let mut locals = Vec::new();
+        for (name, r, c, seed) in names {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let m = LocalMatrix::random(*r, *c, -1.0, 1.0, &mut rng);
+            s.register_local_matrix(*name, &m, 4);
+            locals.push(m);
+        }
+        (s, locals)
+    }
+
+    #[test]
+    fn run_matrix_addition() {
+        let (mut s, ms) = session_with(&[("A", 6, 6, 1), ("B", 6, 6, 2)]);
+        s.set_int("n", 6);
+        let got = s
+            .matrix(
+                "tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, \
+                 ii == i, jj == j ]",
+            )
+            .unwrap()
+            .to_local();
+        assert!(got.approx_eq(&ms[0].add(&ms[1]), 1e-12));
+    }
+
+    #[test]
+    fn explain_reports_plan() {
+        let (mut s, _) = session_with(&[("A", 6, 6, 3), ("B", 6, 6, 4)]);
+        s.set_int("n", 6);
+        let e = s
+            .explain(
+                "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+                 let v = a*b, group by (i,j) ]",
+            )
+            .unwrap();
+        assert!(e.contains("contraction"), "{e}");
+    }
+
+    #[test]
+    fn typecheck_accepts_and_rejects() {
+        let (mut s, _) = session_with(&[("A", 4, 4, 5)]);
+        s.set_int("n", 4);
+        assert_eq!(
+            s.typecheck("tiled(n,n)[ ((i,j), a) | ((i,j),a) <- A ]").unwrap(),
+            Type::matrix()
+        );
+        assert!(s.typecheck("[ x | x <- n ]").is_err());
+        assert!(s.typecheck("[ x | x <- Unknown ]").is_err());
+    }
+
+    #[test]
+    fn value_runs_total_aggregation() {
+        let (mut s, ms) = session_with(&[("A", 4, 4, 6)]);
+        s.set_int("n", 4);
+        let total = s.value("+/[ a | ((i,j),a) <- A ]").unwrap();
+        let expected: f64 = ms[0].data().iter().sum();
+        match total {
+            comp::Value::Float(x) => assert!((x - expected).abs() < 1e-9),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matmul_strategy_is_configurable() {
+        let (mut s, ms) = session_with(&[("A", 8, 8, 7), ("B", 8, 8, 8)]);
+        s.set_int("n", 8);
+        let src = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+                    let v = a*b, group by (i,j) ]";
+        let expected = ms[0].multiply(&ms[1]);
+        s.config_mut().matmul = MatMulStrategy::ReduceByKey;
+        assert!(s.explain(src).unwrap().contains("reduceByKey"));
+        assert!(s.matrix(src).unwrap().to_local().max_abs_diff(&expected) < 1e-9);
+        s.config_mut().matmul = MatMulStrategy::GroupByJoin;
+        assert!(s.explain(src).unwrap().contains("groupByJoin"));
+        assert!(s.matrix(src).unwrap().to_local().max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn matrix_named_roundtrip() {
+        let (s, ms) = session_with(&[("A", 5, 5, 9)]);
+        assert!(s
+            .matrix_named("A")
+            .unwrap()
+            .to_local()
+            .approx_eq(&ms[0], 1e-12));
+        assert!(s.matrix_named("missing").is_none());
+    }
+}

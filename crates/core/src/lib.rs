@@ -1,0 +1,36 @@
+//! # sac — Scalable Array Comprehensions (the paper's system, in Rust)
+//!
+//! Public API of the reproduction of *"Scalable Linear Algebra Programming
+//! for Big Data Analysis"* (Fegaras, EDBT 2021). The paper's SAC system
+//! compiles SQL-like **array comprehensions with group-by** into distributed
+//! data-parallel programs over block (tiled) arrays. So does this crate:
+//!
+//! ```
+//! use sac::Session;
+//! use tiled::LocalMatrix;
+//!
+//! let mut session = Session::builder().workers(2).partitions(2).build();
+//! let a = LocalMatrix::from_fn(4, 4, |i, j| (i + j) as f64);
+//! let b = LocalMatrix::from_fn(4, 4, |i, j| (i * j) as f64);
+//! session.register_local_matrix("A", &a, 2);
+//! session.register_local_matrix("B", &b, 2);
+//! session.set_int("n", 4);
+//!
+//! // Query (8) of the paper: matrix addition as a comprehension.
+//! let sum = session
+//!     .matrix("tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]")
+//!     .unwrap();
+//! assert!(sum.to_local().approx_eq(&a.add(&b), 1e-12));
+//! ```
+//!
+//! The [`Session`] compiles comprehension text through the full pipeline
+//! (parse → normalize → plan → execute on the `sparkline` runtime);
+//! [`linalg`] provides the paper's evaluation workloads (§6) pre-written as
+//! comprehensions: addition, multiplication (both §5.3 and §5.4 plans), and
+//! one gradient-descent iteration of matrix factorization.
+
+pub mod context;
+pub mod linalg;
+
+pub use context::{Session, SessionBuilder};
+pub use planner::{ExecResult, MatMulStrategy, OutputKind, PlanConfig};

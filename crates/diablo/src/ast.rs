@@ -1,0 +1,109 @@
+//! Abstract syntax of the loop language.
+
+use comp::ast::Expr;
+
+/// Accumulating assignment operators (each corresponds to a monoid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=` — plain (re)definition.
+    Set,
+    /// `+=` — sum accumulation.
+    AddAssign,
+    /// `*=` — product accumulation.
+    MulAssign,
+}
+
+/// A statement of the loop language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for v = lo, hi do body` — inclusive bounds, as in DIABLO/Fortran.
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `A[e1, ..., en] op rhs;`
+    Assign {
+        array: String,
+        indices: Vec<Expr>,
+        op: AssignOp,
+        rhs: Expr,
+    },
+}
+
+/// A program: a sequence of top-level statements, each loop nest producing
+/// (or updating) one array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Stmt {
+    /// The innermost assignment of a perfect loop nest, with the loop
+    /// variables and bounds collected outside-in. `None` if the nest is not
+    /// perfect (multiple statements at some level).
+    pub fn as_perfect_nest(&self) -> Option<(Vec<(String, Expr, Expr)>, &Stmt)> {
+        let mut loops = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Stmt::For { var, lo, hi, body } => {
+                    if body.len() != 1 {
+                        return None;
+                    }
+                    loops.push((var.clone(), lo.clone(), hi.clone()));
+                    cur = &body[0];
+                }
+                assign @ Stmt::Assign { .. } => return Some((loops, assign)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_nest_extraction() {
+        let inner = Stmt::Assign {
+            array: "V".into(),
+            indices: vec![Expr::Var("i".into())],
+            op: AssignOp::AddAssign,
+            rhs: Expr::Int(1),
+        };
+        let nest = Stmt::For {
+            var: "i".into(),
+            lo: Expr::Int(0),
+            hi: Expr::Int(9),
+            body: vec![Stmt::For {
+                var: "j".into(),
+                lo: Expr::Int(0),
+                hi: Expr::Int(4),
+                body: vec![inner.clone()],
+            }],
+        };
+        let (loops, assign) = nest.as_perfect_nest().unwrap();
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].0, "i");
+        assert_eq!(assign, &inner);
+    }
+
+    #[test]
+    fn imperfect_nest_is_rejected() {
+        let a = Stmt::Assign {
+            array: "V".into(),
+            indices: vec![Expr::Var("i".into())],
+            op: AssignOp::Set,
+            rhs: Expr::Int(0),
+        };
+        let nest = Stmt::For {
+            var: "i".into(),
+            lo: Expr::Int(0),
+            hi: Expr::Int(9),
+            body: vec![a.clone(), a],
+        };
+        assert!(nest.as_perfect_nest().is_none());
+    }
+}

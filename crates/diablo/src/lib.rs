@@ -1,0 +1,38 @@
+//! # diablo — a loop front-end for SAC
+//!
+//! The paper (§1.1) presents SAC as the back-end half of a pipeline whose
+//! front-end, DIABLO, "translates array-based loops to array
+//! comprehensions". This crate provides that front-end: a small imperative
+//! loop language whose programs translate into the comprehensions the SAC
+//! planner compiles — so the classic loop-based formulations of linear
+//! algebra run as distributed block-array plans with no further work.
+//!
+//! ```text
+//! for i = 0, n-1 do
+//!   for j = 0, n-1 do
+//!     for k = 0, n-1 do
+//!       C[i, j] += A[i, k] * B[k, j];
+//! ```
+//!
+//! translates to Query (9) of the paper,
+//!
+//! ```text
+//! tiled(n,n)[ ((i,j), +/%v) | ((i,k),%a) <- A, ((%k,j),%b) <- B, %k == k,
+//!             let %v = %a * %b, group by (i,j) ]
+//! ```
+//!
+//! which the planner recognizes as a contraction and runs as a group-by-join.
+//!
+//! Translation restrictions (the paper's "simple syntactic restrictions"):
+//! each loop nest is perfect (one assignment innermost), loop bounds start
+//! at 0, array subscripts in *reads* are loop variables, and the assignment
+//! is either `=` (pure) or `+=`/`*=` (an accumulation, which becomes a
+//! group-by with the matching monoid).
+
+pub mod ast;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{AssignOp, Program, Stmt};
+pub use parser::parse_program;
+pub use translate::{translate, Translated};

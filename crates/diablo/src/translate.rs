@@ -1,0 +1,436 @@
+//! Loop-nest → comprehension translation.
+//!
+//! Each perfect loop nest with one innermost assignment becomes one array
+//! comprehension:
+//!
+//! * every array *read* `X[e1, ..., en]` becomes a generator over `X`; index
+//!   positions that are fresh loop variables bind them, repeated or complex
+//!   positions get fresh variables plus equality guards (this is what makes
+//!   joins appear — rule 14 fires on the guards);
+//! * loop variables not bound by any read become range generators;
+//! * `=` assignments produce a plain comprehension; `+=`/`*=` accumulations
+//!   produce a group-by over the written indices with the matching monoid —
+//!   exactly the recurrence restriction DIABLO imposes;
+//! * a preceding `X[...] = 0;`-style initialization nest for an accumulated
+//!   array is recognized and absorbed (the dense builder zero-fills).
+//!
+//! The output is a `tiled(...)` / `tiled_vector(...)` builder expression the
+//! SAC planner compiles; matrix multiplication written as a triple loop
+//! plans as a contraction, row sums as an axis reduction, and so on.
+
+use crate::ast::{AssignOp, Program, Stmt};
+use comp::ast::{BinOp, Comprehension, Expr, Monoid, Pattern, Qualifier};
+use comp::errors::CompError;
+use std::collections::BTreeSet;
+
+/// A translated program: one comprehension per produced array.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// `(array name, builder expression)`, in program order.
+    pub outputs: Vec<(String, Expr)>,
+}
+
+/// Translate a whole program.
+pub fn translate(program: &Program) -> Result<Translated, CompError> {
+    let mut outputs: Vec<(String, Expr)> = Vec::new();
+    let stmts = &program.stmts;
+    let mut skip: Vec<usize> = Vec::new();
+
+    // Recognize zero-initialization nests absorbed by later accumulations.
+    for (i, stmt) in stmts.iter().enumerate() {
+        let Some((_, Stmt::Assign { array, op, rhs, .. })) = stmt.as_perfect_nest() else {
+            continue;
+        };
+        if *op == AssignOp::Set && is_zero(rhs) {
+            let accumulated_later = stmts.iter().skip(i + 1).any(|later| {
+                matches!(
+                    later.as_perfect_nest(),
+                    Some((_, Stmt::Assign { array: a, op, .. }))
+                        if a == array && *op != AssignOp::Set
+                )
+            });
+            if accumulated_later {
+                skip.push(i);
+            }
+        }
+    }
+
+    for (i, stmt) in stmts.iter().enumerate() {
+        if skip.contains(&i) {
+            continue;
+        }
+        let Some((loops, assign)) = stmt.as_perfect_nest() else {
+            return Err(CompError::plan(
+                "only perfect loop nests (one innermost assignment) are translatable",
+            ));
+        };
+        let Stmt::Assign {
+            array,
+            indices,
+            op,
+            rhs,
+        } = assign
+        else {
+            unreachable!()
+        };
+        let expr = translate_nest(&loops, array, indices, *op, rhs)?;
+        outputs.push((array.clone(), expr));
+    }
+    Ok(Translated { outputs })
+}
+
+fn is_zero(e: &Expr) -> bool {
+    matches!(e, Expr::Int(0)) || matches!(e, Expr::Float(x) if *x == 0.0)
+}
+
+/// Translate one perfect nest.
+fn translate_nest(
+    loops: &[(String, Expr, Expr)],
+    array: &str,
+    indices: &[Expr],
+    op: AssignOp,
+    rhs: &Expr,
+) -> Result<Expr, CompError> {
+    if indices.is_empty() || indices.len() > 2 {
+        return Err(CompError::plan(
+            "only 1-D and 2-D array targets are translatable",
+        ));
+    }
+    for (v, lo, _) in loops {
+        if !is_zero(lo) {
+            return Err(CompError::plan(format!(
+                "loop `{v}` must start at 0 (found {lo})"
+            )));
+        }
+    }
+    let loop_vars: Vec<&String> = loops.iter().map(|(v, _, _)| v).collect();
+
+    // Replace array reads with generators.
+    let mut state = ReadLift {
+        loop_vars: loop_vars.iter().map(|v| (*v).clone()).collect(),
+        bound: BTreeSet::new(),
+        generators: Vec::new(),
+        guards: Vec::new(),
+        reads: Vec::new(),
+        counter: 0,
+    };
+    let value = state.lift(rhs.clone());
+
+    // Range generators for loop variables no read binds.
+    let mut qualifiers: Vec<Qualifier> = state.generators;
+    for (v, lo, hi) in loops {
+        if !state.bound.contains(v) {
+            qualifiers.push(Qualifier::Generator(
+                Pattern::Var(v.clone()),
+                Expr::Range {
+                    lo: Box::new(lo.clone()),
+                    hi: Box::new(hi.clone()),
+                    inclusive: true,
+                },
+            ));
+        }
+    }
+    qualifiers.extend(state.guards.into_iter().map(Qualifier::Guard));
+
+    // Output dimensions: hi+1 of the first loop variable in each index.
+    let mut dims = Vec::new();
+    for idx in indices {
+        let fv = idx.free_vars();
+        let dim_loop = loops
+            .iter()
+            .find(|(v, _, _)| fv.contains(v))
+            .ok_or_else(|| {
+                CompError::plan(format!(
+                    "written index `{idx}` does not reference a loop variable"
+                ))
+            })?;
+        dims.push(Expr::BinOp(
+            BinOp::Add,
+            Box::new(dim_loop.2.clone()),
+            Box::new(Expr::Int(1)),
+        ));
+    }
+
+    // Head and (for accumulations) the group-by.
+    let key = if indices.len() == 1 {
+        indices[0].clone()
+    } else {
+        Expr::Tuple(indices.to_vec())
+    };
+    let head_value = match op {
+        AssignOp::Set => value,
+        AssignOp::AddAssign | AssignOp::MulAssign => {
+            let monoid = if op == AssignOp::AddAssign {
+                Monoid::Sum
+            } else {
+                Monoid::Product
+            };
+            // Group by the written indices. Plain loop-variable keys group
+            // by pattern; anything else groups by expression key.
+            let all_vars = indices
+                .iter()
+                .all(|e| matches!(e, Expr::Var(v) if state.loop_vars.contains(v)));
+            if all_vars {
+                let pat = if indices.len() == 1 {
+                    let Expr::Var(v) = &indices[0] else { unreachable!() };
+                    Pattern::Var(v.clone())
+                } else {
+                    Pattern::Tuple(
+                        indices
+                            .iter()
+                            .map(|e| {
+                                let Expr::Var(v) = e else { unreachable!() };
+                                Pattern::Var(v.clone())
+                            })
+                            .collect(),
+                    )
+                };
+                qualifiers.push(Qualifier::GroupBy(pat, None));
+            } else {
+                state.counter += 1;
+                let kv = format!("_key{}", state.counter);
+                qualifiers.push(Qualifier::GroupBy(Pattern::Var(kv), Some(key.clone())));
+            }
+            Expr::Reduce(monoid, Box::new(value))
+        }
+    };
+    let comp = Comprehension {
+        head: Box::new(Expr::Tuple(vec![key, head_value])),
+        qualifiers,
+    };
+    let builder = if indices.len() == 1 {
+        "tiled_vector"
+    } else {
+        "tiled"
+    };
+    let _ = array;
+    Ok(Expr::Build {
+        builder: builder.into(),
+        args: dims,
+        body: Box::new(Expr::Comprehension(comp)),
+    })
+}
+
+/// Rewrites array reads into generators while walking an expression.
+struct ReadLift {
+    loop_vars: Vec<String>,
+    bound: BTreeSet<String>,
+    generators: Vec<Qualifier>,
+    guards: Vec<Expr>,
+    /// `(array, rendered indices, value var)` for read deduplication.
+    reads: Vec<(String, String, String)>,
+    counter: usize,
+}
+
+impl ReadLift {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("_{prefix}{}", self.counter)
+    }
+
+    fn lift(&mut self, e: Expr) -> Expr {
+        match e {
+            Expr::Index(base, idx) => {
+                if let Expr::Var(name) = base.as_ref() {
+                    return self.lift_read(name.clone(), idx);
+                }
+                Expr::Index(
+                    Box::new(self.lift(*base)),
+                    idx.into_iter().map(|x| self.lift(x)).collect(),
+                )
+            }
+            Expr::BinOp(op, a, b) => Expr::BinOp(
+                op,
+                Box::new(self.lift(*a)),
+                Box::new(self.lift(*b)),
+            ),
+            Expr::UnOp(op, a) => Expr::UnOp(op, Box::new(self.lift(*a))),
+            Expr::Tuple(es) => Expr::Tuple(es.into_iter().map(|x| self.lift(x)).collect()),
+            Expr::Call(f, args) => {
+                Expr::Call(f, args.into_iter().map(|x| self.lift(x)).collect())
+            }
+            Expr::If(c, t, f) => Expr::If(
+                Box::new(self.lift(*c)),
+                Box::new(self.lift(*t)),
+                Box::new(self.lift(*f)),
+            ),
+            other => other,
+        }
+    }
+
+    fn lift_read(&mut self, array: String, idx: Vec<Expr>) -> Expr {
+        let rendered = idx
+            .iter()
+            .map(|e| format!("{e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        if let Some((_, _, val)) = self
+            .reads
+            .iter()
+            .find(|(a, r, _)| *a == array && *r == rendered)
+        {
+            return Expr::Var(val.clone());
+        }
+        let mut index_pats = Vec::new();
+        for e in &idx {
+            match e {
+                Expr::Var(v) if self.loop_vars.contains(v) && !self.bound.contains(v) => {
+                    self.bound.insert(v.clone());
+                    index_pats.push(Pattern::Var(v.clone()));
+                }
+                other => {
+                    let fresh = self.fresh("g");
+                    self.guards.push(Expr::BinOp(
+                        BinOp::Eq,
+                        Box::new(Expr::Var(fresh.clone())),
+                        Box::new(other.clone()),
+                    ));
+                    index_pats.push(Pattern::Var(fresh));
+                }
+            }
+        }
+        let val = self.fresh("v");
+        let key_pat = if index_pats.len() == 1 {
+            index_pats.pop().expect("one pattern")
+        } else {
+            Pattern::Tuple(index_pats)
+        };
+        self.generators.push(Qualifier::Generator(
+            Pattern::Tuple(vec![key_pat, Pattern::Var(val.clone())]),
+            Expr::Var(array.clone()),
+        ));
+        self.reads.push((array, rendered, val.clone()));
+        Expr::Var(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn translate_src(src: &str) -> Vec<(String, Expr)> {
+        translate(&parse_program(src).unwrap()).unwrap().outputs
+    }
+
+    #[test]
+    fn matmul_loop_becomes_query9() {
+        let outs = translate_src(
+            "for i = 0, n-1 do for j = 0, n-1 do for k = 0, n-1 do \
+             C[i, j] += A[i, k] * B[k, j];",
+        );
+        assert_eq!(outs.len(), 1);
+        let Expr::Build { builder, body, .. } = &outs[0].1 else {
+            panic!()
+        };
+        assert_eq!(builder, "tiled");
+        let Expr::Comprehension(c) = body.as_ref() else {
+            panic!()
+        };
+        // Two matrix generators, one equality guard (the contraction), one
+        // group-by, a sum-reduce head.
+        let gens = c
+            .qualifiers
+            .iter()
+            .filter(|q| matches!(q, Qualifier::Generator(_, Expr::Var(_))))
+            .count();
+        assert_eq!(gens, 2, "{c}");
+        assert!(c
+            .qualifiers
+            .iter()
+            .any(|q| matches!(q, Qualifier::Guard(_))));
+        assert!(c
+            .qualifiers
+            .iter()
+            .any(|q| matches!(q, Qualifier::GroupBy(Pattern::Tuple(_), None))));
+    }
+
+    #[test]
+    fn row_sums_loop_becomes_fig1() {
+        let outs = translate_src(
+            "for i = 0, n-1 do for j = 0, m-1 do V[i] += M[i, j];",
+        );
+        let Expr::Build { builder, body, .. } = &outs[0].1 else {
+            panic!()
+        };
+        assert_eq!(builder, "tiled_vector");
+        let Expr::Comprehension(c) = body.as_ref() else {
+            panic!()
+        };
+        assert!(c
+            .qualifiers
+            .iter()
+            .any(|q| matches!(q, Qualifier::GroupBy(Pattern::Var(v), None) if v == "i")));
+    }
+
+    #[test]
+    fn zero_init_is_absorbed() {
+        let outs = translate_src(
+            "for i = 0, n-1 do V[i] = 0.0; \
+             for i = 0, n-1 do for j = 0, n-1 do V[i] += M[i, j];",
+        );
+        assert_eq!(outs.len(), 1, "init nest must be absorbed");
+    }
+
+    #[test]
+    fn pure_assignment_has_no_group_by() {
+        let outs = translate_src(
+            "for i = 0, n-1 do for j = 0, m-1 do C[i, j] = A[i, j] + B[i, j];",
+        );
+        let Expr::Build { body, .. } = &outs[0].1 else {
+            panic!()
+        };
+        let Expr::Comprehension(c) = body.as_ref() else {
+            panic!()
+        };
+        assert!(!c
+            .qualifiers
+            .iter()
+            .any(|q| matches!(q, Qualifier::GroupBy(_, _))));
+        // A and B both read at (i,j): second read gets fresh vars + guards.
+        let guards = c
+            .qualifiers
+            .iter()
+            .filter(|q| matches!(q, Qualifier::Guard(_)))
+            .count();
+        assert_eq!(guards, 2, "{c}");
+    }
+
+    #[test]
+    fn uncovered_loop_vars_become_ranges() {
+        let outs = translate_src("for i = 0, 9 do V[i] = 1.0;");
+        let Expr::Build { body, .. } = &outs[0].1 else {
+            panic!()
+        };
+        let Expr::Comprehension(c) = body.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(
+            &c.qualifiers[0],
+            Qualifier::Generator(_, Expr::Range { inclusive: true, .. })
+        ));
+    }
+
+    #[test]
+    fn nonzero_lower_bound_is_rejected() {
+        let prog = parse_program("for i = 1, 9 do V[i] = 1.0;").unwrap();
+        assert!(translate(&prog).is_err());
+    }
+
+    #[test]
+    fn shifted_write_index_groups_by_expression() {
+        let outs = translate_src(
+            "for i = 0, n-1 do for j = 0, m-1 do C[i / 2, j] += M[i, j];",
+        );
+        let Expr::Build { body, .. } = &outs[0].1 else {
+            panic!()
+        };
+        let Expr::Comprehension(c) = body.as_ref() else {
+            panic!()
+        };
+        assert!(c
+            .qualifiers
+            .iter()
+            .any(|q| matches!(q, Qualifier::GroupBy(_, Some(_)))));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mllib — the baseline: Spark MLlib `BlockMatrix`, reimplemented
+//!
+//! The paper's evaluation (§6) compares SAC against Spark MLlib's
+//! `mllib.linalg.distributed.BlockMatrix`. This crate reimplements the
+//! *algorithms* of that class on the [`sparkline`] runtime with the same plan
+//! shapes as MLlib 3.0:
+//!
+//! * [`BlockMatrix::add`] — cogroup of the two block sets on a
+//!   `GridPartitioner`, pairwise block addition.
+//! * [`BlockMatrix::multiply`] — MLlib's `simulateMultiply` replication:
+//!   every left block is sent to each result partition that needs its block
+//!   row, every right block to each result partition that needs its block
+//!   column; the replicated streams are cogrouped **by partition id**, local
+//!   GEMMs produce partial product blocks, and a final `reduceByKey` adds
+//!   them. Note the *two* shuffle rounds (cogroup + reduceByKey of partial
+//!   products) — this is the data movement SAC's group-by-join avoids, which
+//!   is the source of the paper's Fig. 4.B gap.
+//! * [`BlockMatrix::transpose`], [`BlockMatrix::scale`],
+//!   [`BlockMatrix::subtract`] — narrow block maps, as in MLlib.
+
+pub mod block_matrix;
+
+pub use block_matrix::BlockMatrix;

@@ -1,0 +1,135 @@
+//! The planning environment: what each free variable of a comprehension is
+//! bound to — a distributed array, or a driver-side scalar.
+
+use comp::Value;
+use std::collections::HashMap;
+use tiled::{CooMatrix, TiledMatrix, TiledVector};
+
+/// A distributed array a comprehension can range over or produce.
+#[derive(Clone)]
+pub enum DistArray {
+    /// A block (tiled) matrix — the paper's main storage (§5).
+    Matrix(TiledMatrix),
+    /// A block vector (Fig. 1).
+    Vector(TiledVector),
+    /// A coordinate-format matrix (§4 / DIABLO storage).
+    Coo(CooMatrix),
+}
+
+impl DistArray {
+    /// Short kind name for plan explanations.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DistArray::Matrix(_) => "tiled matrix",
+            DistArray::Vector(_) => "tiled vector",
+            DistArray::Coo(_) => "coo matrix",
+        }
+    }
+
+    pub fn as_matrix(&self) -> Option<&TiledMatrix> {
+        match self {
+            DistArray::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_vector(&self) -> Option<&TiledVector> {
+        match self {
+            DistArray::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Free-variable bindings available while planning a comprehension.
+#[derive(Clone, Default)]
+pub struct PlanEnv {
+    arrays: HashMap<String, DistArray>,
+    scalars: HashMap<String, Value>,
+}
+
+impl PlanEnv {
+    pub fn new() -> Self {
+        PlanEnv::default()
+    }
+
+    /// Register a distributed array under a name.
+    pub fn set_array(&mut self, name: impl Into<String>, array: DistArray) {
+        self.arrays.insert(name.into(), array);
+    }
+
+    /// Register a driver-side scalar (dimension, learning rate, ...).
+    pub fn set_scalar(&mut self, name: impl Into<String>, value: Value) {
+        self.scalars.insert(name.into(), value);
+    }
+
+    pub fn set_int(&mut self, name: impl Into<String>, value: i64) {
+        self.set_scalar(name, Value::Int(value));
+    }
+
+    pub fn set_float(&mut self, name: impl Into<String>, value: f64) {
+        self.set_scalar(name, Value::Float(value));
+    }
+
+    pub fn array(&self, name: &str) -> Option<&DistArray> {
+        self.arrays.get(name)
+    }
+
+    pub fn scalar(&self, name: &str) -> Option<&Value> {
+        self.scalars.get(name)
+    }
+
+    /// Integer scalar lookup for index-expression compilation.
+    pub fn int_scalar(&self, name: &str) -> Option<i64> {
+        match self.scalars.get(name) {
+            Some(Value::Int(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Float scalar lookup for scalar-expression compilation (ints coerce).
+    pub fn float_scalar(&self, name: &str) -> Option<f64> {
+        match self.scalars.get(name) {
+            Some(Value::Int(n)) => Some(*n as f64),
+            Some(Value::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn array_names(&self) -> impl Iterator<Item = &String> {
+        self.arrays.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkline::Context;
+    use tiled::LocalMatrix;
+
+    #[test]
+    fn scalars_coerce() {
+        let mut env = PlanEnv::new();
+        env.set_int("n", 4);
+        env.set_float("gamma", 0.5);
+        assert_eq!(env.int_scalar("n"), Some(4));
+        assert_eq!(env.float_scalar("n"), Some(4.0));
+        assert_eq!(env.float_scalar("gamma"), Some(0.5));
+        assert_eq!(env.int_scalar("gamma"), None);
+        assert_eq!(env.int_scalar("missing"), None);
+    }
+
+    #[test]
+    fn arrays_register_and_report_kind() {
+        let ctx = Context::builder().workers(2).build();
+        let m = LocalMatrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let mut env = PlanEnv::new();
+        env.set_array(
+            "M",
+            DistArray::Matrix(TiledMatrix::from_local(&ctx, &m, 2, 2)),
+        );
+        assert_eq!(env.array("M").unwrap().kind(), "tiled matrix");
+        assert!(env.array("M").unwrap().as_matrix().is_some());
+        assert!(env.array("M").unwrap().as_vector().is_none());
+    }
+}

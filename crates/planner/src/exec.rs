@@ -1,0 +1,1198 @@
+//! Plan execution on the `sparkline` runtime.
+
+use crate::env::{DistArray, PlanEnv};
+use crate::plan::{GroupKey, MatMulStrategy, OutputKind, Plan, PlanConfig, Planned};
+use crate::scalar::ScalarFn;
+use comp::ast::{Expr, Monoid, Pattern, Qualifier};
+use comp::errors::CompError;
+use comp::eval::eval_comprehension;
+use comp::{Comprehension, Value};
+use sparkline::{Context, Dataset};
+use std::collections::HashMap;
+use tiled::{DenseMatrix, LocalMatrix, TileCoord, TiledMatrix, TiledVector};
+
+/// The result of executing a plan.
+#[derive(Clone)]
+pub enum ExecResult {
+    Matrix(TiledMatrix),
+    Vector(TiledVector),
+    Local(Value),
+}
+
+impl ExecResult {
+    pub fn into_matrix(self) -> Result<TiledMatrix, CompError> {
+        match self {
+            ExecResult::Matrix(m) => Ok(m),
+            _ => Err(CompError::plan("result is not a tiled matrix")),
+        }
+    }
+
+    pub fn into_vector(self) -> Result<TiledVector, CompError> {
+        match self {
+            ExecResult::Vector(v) => Ok(v),
+            _ => Err(CompError::plan("result is not a tiled vector")),
+        }
+    }
+
+    pub fn into_local(self) -> Result<Value, CompError> {
+        match self {
+            ExecResult::Local(v) => Ok(v),
+            _ => Err(CompError::plan("result is not a local value")),
+        }
+    }
+}
+
+/// The f64 embedding of a monoid: identity and combine.
+pub fn monoid_f64(m: Monoid) -> Result<(f64, fn(f64, f64) -> f64), CompError> {
+    Ok(match m {
+        Monoid::Sum => (0.0, |a, b| a + b),
+        Monoid::Product => (1.0, |a, b| a * b),
+        Monoid::Max => (f64::NEG_INFINITY, f64::max),
+        Monoid::Min => (f64::INFINITY, f64::min),
+        // Booleans embed as 0/1.
+        Monoid::And => (1.0, f64::min),
+        Monoid::Or => (0.0, f64::max),
+        Monoid::Concat => {
+            return Err(CompError::plan(
+                "list concatenation cannot run on scalar accumulator planes",
+            ))
+        }
+    })
+}
+
+/// Execute a planned comprehension.
+pub fn execute(
+    planned: &Planned,
+    env: &PlanEnv,
+    ctx: &Context,
+    config: &PlanConfig,
+) -> Result<ExecResult, CompError> {
+    match (&planned.plan, &planned.output) {
+        (Plan::Eltwise { .. }, OutputKind::Matrix { rows, cols }) => {
+            exec_eltwise(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
+        }
+        (Plan::Contraction { .. }, OutputKind::Matrix { rows, cols }) => {
+            exec_contraction(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
+        }
+        (Plan::IndexRemap { .. }, OutputKind::Matrix { rows, cols }) => {
+            exec_index_remap(&planned.plan, env, ctx, config, *rows, *cols)
+                .map(ExecResult::Matrix)
+        }
+        (Plan::GroupByAggregate { .. }, OutputKind::Matrix { rows, cols }) => {
+            exec_group_aggregate_matrix(&planned.plan, env, ctx, config, *rows, *cols)
+                .map(ExecResult::Matrix)
+        }
+        (Plan::AxisReduce { .. }, OutputKind::Vector { len }) => {
+            exec_axis_reduce(&planned.plan, env, config, *len).map(ExecResult::Vector)
+        }
+        (Plan::MatVec { .. }, OutputKind::Vector { len }) => {
+            exec_mat_vec(&planned.plan, env, config, *len).map(ExecResult::Vector)
+        }
+        (Plan::VectorEltwise { .. }, OutputKind::Vector { len }) => {
+            exec_vector_eltwise(&planned.plan, env, config, *len).map(ExecResult::Vector)
+        }
+        (Plan::GroupByAggregate { .. }, OutputKind::Vector { len }) => {
+            exec_group_aggregate_vector(&planned.plan, env, ctx, config, *len)
+                .map(ExecResult::Vector)
+        }
+        (Plan::LocalFallback { expr }, output) => exec_local(expr, env, ctx, config, output),
+        (plan, output) => Err(CompError::plan(format!(
+            "plan {} cannot produce output {output:?}",
+            plan.strategy_name()
+        ))),
+    }
+}
+
+fn matrix_input<'a>(env: &'a PlanEnv, name: &str) -> Result<&'a TiledMatrix, CompError> {
+    env.array(name)
+        .and_then(DistArray::as_matrix)
+        .ok_or_else(|| CompError::plan(format!("`{name}` is not a registered tiled matrix")))
+}
+
+/// §5.1: join co-indexed tile sets and apply the element kernel.
+fn exec_eltwise(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<TiledMatrix, CompError> {
+    let Plan::Eltwise {
+        inputs,
+        transposed,
+        value,
+        guard,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let mats: Vec<&TiledMatrix> = inputs
+        .iter()
+        .map(|n| matrix_input(env, n))
+        .collect::<Result<_, _>>()?;
+    let first = mats[0];
+    let n = first.tile_size();
+    for m in &mats {
+        if !m.same_shape(first) {
+            return Err(CompError::plan(
+                "element-wise inputs must have identical dimensions and tiling",
+            ));
+        }
+    }
+    let (in_rows, in_cols) = (first.rows(), first.cols());
+    let expected = if *transposed {
+        (in_cols, in_rows)
+    } else {
+        (in_rows, in_cols)
+    };
+    if expected != (rows, cols) {
+        return Err(CompError::plan(format!(
+            "builder dimensions ({rows},{cols}) do not match input dimensions {expected:?}"
+        )));
+    }
+
+    // Join all inputs on tile coordinates. Tile coordinates are unique per
+    // matrix, so each cogroup side holds at most one tile — popping it moves
+    // the buffer instead of cloning a join pair.
+    let mut joined: Dataset<(TileCoord, Vec<DenseMatrix>)> =
+        first.tiles().map(|(c, t)| (c, vec![t]));
+    for m in &mats[1..] {
+        joined = joined
+            .cogroup(m.tiles(), config.partitions)
+            .flat_map(|(c, (mut accs, mut ts))| {
+                match (accs.pop(), ts.pop()) {
+                    (Some(mut acc), Some(t)) => {
+                        acc.push(t);
+                        vec![(c, acc)]
+                    }
+                    // Inner-join semantics: unmatched coordinates drop.
+                    _ => vec![],
+                }
+            });
+    }
+
+    let value = value.clone();
+    let guard = guard.clone();
+    let transposed = *transposed;
+    let k = mats.len();
+    // Index buffers are only materialized when the expression uses them.
+    let max_slot = value
+        .max_slot()
+        .max(guard.as_ref().and_then(ScalarFn::max_slot));
+    let needs_indices = max_slot.is_some_and(|s| s >= k);
+    let tiles = joined.map(move |((bi, bj), ts)| {
+        debug_assert_eq!(ts.len(), k, "join dropped an input tile");
+        let len = n * n;
+        // Slot buffers: the input tiles, then (lazily) global row/col.
+        let mut bufs: Vec<&[f64]> = ts.iter().map(|t| t.data()).collect();
+        let idx_bufs;
+        if needs_indices {
+            let mut rows_buf = Vec::with_capacity(len);
+            let mut cols_buf = Vec::with_capacity(len);
+            for ti in 0..n {
+                for tj in 0..n {
+                    rows_buf.push((bi * n as i64 + ti as i64) as f64);
+                    cols_buf.push((bj * n as i64 + tj as i64) as f64);
+                }
+            }
+            idx_bufs = (rows_buf, cols_buf);
+            bufs.push(&idx_bufs.0);
+            bufs.push(&idx_bufs.1);
+        }
+        let mut data = value.eval_batch(&bufs, len);
+        if let Some(g) = &guard {
+            let mask = g.eval_batch(&bufs, len);
+            for (d, m) in data.iter_mut().zip(mask) {
+                if m == 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        // Zero the padding region (elements past the logical bounds).
+        let valid_rows = ((in_rows - bi * n as i64).clamp(0, n as i64)) as usize;
+        let valid_cols = ((in_cols - bj * n as i64).clamp(0, n as i64)) as usize;
+        if valid_rows < n {
+            data[valid_rows * n..].fill(0.0);
+        }
+        if valid_cols < n {
+            for ti in 0..valid_rows {
+                data[ti * n + valid_cols..(ti + 1) * n].fill(0.0);
+            }
+        }
+        let out = DenseMatrix::from_vec(n, n, data);
+        if transposed {
+            ((bj, bi), out.transpose())
+        } else {
+            ((bi, bj), out)
+        }
+    });
+    Ok(TiledMatrix::new(rows, cols, n, tiles))
+}
+
+/// Multiply two tiles with an arbitrary element combine (the general §5.3
+/// kernel); `valid_k` masks the zero-padding of the contracted dimension.
+fn general_tile_contract(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    value: &ScalarFn,
+    valid_k: usize,
+    out: &mut DenseMatrix,
+) {
+    let n = a.rows();
+    let mut slots = [0.0f64; 2];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = out.get(i, j);
+            for k in 0..valid_k {
+                slots[0] = a.get(i, k);
+                slots[1] = b.get(k, j);
+                acc += value.eval(&slots);
+            }
+            out.set(i, j, acc);
+        }
+    }
+}
+
+/// §5.3 (join + reduceByKey) and §5.4 (group-by-join / SUMMA).
+fn exec_contraction(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<TiledMatrix, CompError> {
+    let Plan::Contraction {
+        left,
+        right,
+        left_contract_row,
+        right_contract_col,
+        swap_output,
+        value,
+        strategy,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let a = matrix_input(env, left)?;
+    let b = matrix_input(env, right)?;
+    if a.tile_size() != b.tile_size() {
+        return Err(CompError::plan("contraction inputs must share a tile size"));
+    }
+    // Normalize to standard C = A' * B' with contraction on A'.col / B'.row.
+    let a = if *left_contract_row {
+        a.transpose()
+    } else {
+        a.clone()
+    };
+    let b = if *right_contract_col {
+        b.transpose()
+    } else {
+        b.clone()
+    };
+    if a.cols() != b.rows() {
+        return Err(CompError::plan(format!(
+            "contraction inner dimensions differ: {} vs {}",
+            a.cols(),
+            b.rows()
+        )));
+    }
+    let std_dims = (a.rows(), b.cols());
+    let expected = if *swap_output {
+        (std_dims.1, std_dims.0)
+    } else {
+        std_dims
+    };
+    if expected != (rows, cols) {
+        return Err(CompError::plan(format!(
+            "builder dimensions ({rows},{cols}) do not match contraction output {expected:?}"
+        )));
+    }
+
+    let n = a.tile_size();
+    let inner = a.cols();
+    let fast_gemm = value.is_product_of(0, 1);
+    let value = value.clone();
+    let threads = config.tile_threads.max(1);
+    let multiply = move |av: &DenseMatrix, bv: &DenseMatrix, bk: i64, out: &mut DenseMatrix| {
+        if fast_gemm {
+            if threads > 1 {
+                out.gemm_acc_parallel(av, bv, threads);
+            } else {
+                out.gemm_acc(av, bv);
+            }
+        } else {
+            let valid_k = ((inner - bk * n as i64).min(n as i64)).max(0) as usize;
+            general_tile_contract(av, bv, &value, valid_k, out);
+        }
+    };
+
+    let std = match strategy {
+        MatMulStrategy::JoinGroupBy => {
+            // §4's naive translation: every partial product tile crosses the
+            // shuffle inside a per-key list, no map-side combining.
+            let lhs = a.tiles().map(|((i, k), t)| (k, (i, t)));
+            let rhs = b.tiles().map(|((k, j), t)| (k, (j, t)));
+            let multiply = multiply.clone();
+            let prods = lhs
+                .join(&rhs, config.partitions)
+                .map(move |(k, ((i, av), (j, bv)))| {
+                    let mut out = DenseMatrix::zeros(n, n);
+                    multiply(&av, &bv, k, &mut out);
+                    ((i, j), out)
+                });
+            prods
+                .group_by_key(config.partitions)
+                .map_values(move |tiles| {
+                    let mut acc = DenseMatrix::zeros(n, n);
+                    for t in tiles {
+                        acc.add_in_place(&t);
+                    }
+                    acc
+                })
+        }
+        MatMulStrategy::ReduceByKey => {
+            // §5.3: join on the contracted block index, one partial product
+            // tile per (i, k, j), reduceByKey adds partials.
+            let lhs = a.tiles().map(|((i, k), t)| (k, (i, t)));
+            let rhs = b.tiles().map(|((k, j), t)| (k, (j, t)));
+            let multiply = multiply.clone();
+            let prods = lhs
+                .join(&rhs, config.partitions)
+                .map(move |(k, ((i, av), (j, bv)))| {
+                    let mut out = DenseMatrix::zeros(n, n);
+                    multiply(&av, &bv, k, &mut out);
+                    ((i, j), out)
+                });
+            prods.reduce_by_key_in_place(config.partitions, |acc, t| acc.add_in_place(&t))
+        }
+        MatMulStrategy::GroupByJoin => {
+            // §5.4: replicate rows of A across result columns and columns of
+            // B across result rows, cogroup by result coordinate, reduce
+            // locally — one shuffle round, no partial-product shuffle.
+            let bcols_b = b.block_cols();
+            let brows_a = a.block_rows();
+            let lefts = a.tiles().flat_map(move |((i, k), t)| {
+                (0..bcols_b)
+                    .map(|j| (((i, j)), (k, t.clone())))
+                    .collect::<Vec<_>>()
+            });
+            let rights = b.tiles().flat_map(move |((k, j), t)| {
+                (0..brows_a)
+                    .map(|i| (((i, j)), (k, t.clone())))
+                    .collect::<Vec<_>>()
+            });
+            lefts
+                .cogroup(&rights, config.partitions)
+                .map(move |(coord, (ls, rs))| {
+                    let mut out = DenseMatrix::zeros(n, n);
+                    // Index the right tiles by contraction coordinate.
+                    let mut by_k: HashMap<i64, &DenseMatrix> = HashMap::new();
+                    for (k, t) in &rs {
+                        by_k.insert(*k, t);
+                    }
+                    for (k, av) in &ls {
+                        if let Some(bv) = by_k.get(k) {
+                            multiply(av, bv, *k, &mut out);
+                        }
+                    }
+                    (coord, out)
+                })
+        }
+    };
+    let result = TiledMatrix::new(std_dims.0, std_dims.1, n, std);
+    Ok(if *swap_output {
+        result.transpose()
+    } else {
+        result
+    })
+}
+
+/// Fig. 1: per-tile axis reduction then block-wise `reduceByKey`.
+fn exec_axis_reduce(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    len: i64,
+) -> Result<TiledVector, CompError> {
+    let Plan::AxisReduce {
+        input,
+        by_row,
+        monoid,
+        value,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let m = matrix_input(env, input)?;
+    let expected = if *by_row { m.rows() } else { m.cols() };
+    if expected != len {
+        return Err(CompError::plan(format!(
+            "builder length {len} does not match reduced axis {expected}"
+        )));
+    }
+    let (zero, combine) = monoid_f64(*monoid)?;
+    let n = m.tile_size();
+    let (rows, cols) = (m.rows(), m.cols());
+    let by_row = *by_row;
+    let value = value.clone();
+    let partial = m.tiles().map(move |((bi, bj), t)| {
+        let mut block = vec![zero; n];
+        let mut slots = [0.0f64; 3];
+        for ti in 0..n {
+            let gi = bi * n as i64 + ti as i64;
+            if gi >= rows {
+                break;
+            }
+            for tj in 0..n {
+                let gj = bj * n as i64 + tj as i64;
+                if gj >= cols {
+                    break;
+                }
+                slots[0] = t.get(ti, tj);
+                slots[1] = gi as f64;
+                slots[2] = gj as f64;
+                let v = value.eval(&slots);
+                let slot = if by_row { ti } else { tj };
+                block[slot] = combine(block[slot], v);
+            }
+        }
+        let coord = if by_row { bi } else { bj };
+        (coord, block)
+    });
+    let blocks = partial.reduce_by_key(config.partitions, move |mut a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = combine(*x, y);
+        }
+        a
+    });
+    // Replace identity remnants in valid positions is unnecessary: every
+    // valid index receives at least one element (matrices are dense).
+    Ok(TiledVector::new(len, n, blocks))
+}
+
+fn vector_input<'a>(env: &'a PlanEnv, name: &str) -> Result<&'a TiledVector, CompError> {
+    env.array(name)
+        .and_then(DistArray::as_vector)
+        .ok_or_else(|| CompError::plan(format!("`{name}` is not a registered tiled vector")))
+}
+
+/// Matrix–vector contraction: join tiles with vector blocks on the
+/// contracted block coordinate, partial block products, block `reduceByKey`.
+fn exec_mat_vec(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    len: i64,
+) -> Result<TiledVector, CompError> {
+    let Plan::MatVec {
+        matrix,
+        vector,
+        contract_row,
+        value,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let m = matrix_input(env, matrix)?;
+    let v = vector_input(env, vector)?;
+    if m.tile_size() != v.block_size() {
+        return Err(CompError::plan(
+            "matrix tile size and vector block size must match",
+        ));
+    }
+    // Normalize to y = A'·x with the contraction on A'.col.
+    let m = if *contract_row {
+        m.transpose()
+    } else {
+        m.clone()
+    };
+    if m.cols() != v.len() {
+        return Err(CompError::plan(format!(
+            "matrix-vector inner dimensions differ: {} vs {}",
+            m.cols(),
+            v.len()
+        )));
+    }
+    if m.rows() != len {
+        return Err(CompError::plan(format!(
+            "builder length {len} does not match output dimension {}",
+            m.rows()
+        )));
+    }
+    let n = m.tile_size();
+    let inner = m.cols();
+    let fast = value.is_product_of(0, 1);
+    let value = value.clone();
+    let lhs = m.tiles().map(|((i, k), t)| (k, (i, t)));
+    let partial = lhs
+        .join(v.blocks(), config.partitions)
+        .map(move |(k, ((i, tile), block))| {
+            let y = if fast {
+                tile.matvec(&block)
+            } else {
+                // General combine: mask the padded contraction tail.
+                let valid = ((inner - k * n as i64).clamp(0, n as i64)) as usize;
+                let mut y = vec![0.0; n];
+                let mut slots = [0.0f64; 2];
+                for (r, out) in y.iter_mut().enumerate() {
+                    for c in 0..valid {
+                        slots[0] = tile.get(r, c);
+                        slots[1] = block[c];
+                        *out += value.eval(&slots);
+                    }
+                }
+                y
+            };
+            (i, y)
+        });
+    let blocks = partial.reduce_by_key(config.partitions, |mut a, b| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    });
+    Ok(TiledVector::new(len, n, blocks))
+}
+
+/// Element-wise over co-indexed vector blocks (1-D rule 17).
+fn exec_vector_eltwise(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    len: i64,
+) -> Result<TiledVector, CompError> {
+    let Plan::VectorEltwise {
+        inputs,
+        value,
+        guard,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let vecs: Vec<&TiledVector> = inputs
+        .iter()
+        .map(|name| vector_input(env, name))
+        .collect::<Result<_, _>>()?;
+    let first = vecs[0];
+    let n = first.block_size();
+    for v in &vecs {
+        if v.len() != first.len() || v.block_size() != n {
+            return Err(CompError::plan(
+                "element-wise vector inputs must have identical length and blocking",
+            ));
+        }
+    }
+    if first.len() != len {
+        return Err(CompError::plan(format!(
+            "builder length {len} does not match input length {}",
+            first.len()
+        )));
+    }
+    let mut joined: Dataset<(i64, Vec<Vec<f64>>)> =
+        first.blocks().map(|(b, block)| (b, vec![block]));
+    for v in &vecs[1..] {
+        joined = joined
+            .cogroup(v.blocks(), config.partitions)
+            .flat_map(|(b, (mut accs, mut blocks))| match (accs.pop(), blocks.pop()) {
+                (Some(mut acc), Some(block)) => {
+                    acc.push(block);
+                    vec![(b, acc)]
+                }
+                _ => vec![],
+            });
+    }
+    let k = vecs.len();
+    let value = value.clone();
+    let guard = guard.clone();
+    let max_slot = value
+        .max_slot()
+        .max(guard.as_ref().and_then(ScalarFn::max_slot));
+    let needs_index = max_slot.is_some_and(|s| s >= k);
+    let in_len = first.len();
+    let blocks = joined.map(move |(b, parts)| {
+        let mut bufs: Vec<&[f64]> = parts.iter().map(|p| p.as_slice()).collect();
+        let idx_buf;
+        if needs_index {
+            idx_buf = (0..n as i64)
+                .map(|off| (b * n as i64 + off) as f64)
+                .collect::<Vec<_>>();
+            bufs.push(&idx_buf);
+        }
+        let mut data = value.eval_batch(&bufs, n);
+        if let Some(g) = &guard {
+            let mask = g.eval_batch(&bufs, n);
+            for (d, m) in data.iter_mut().zip(mask) {
+                if m == 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        // Zero the padding tail of the last block.
+        let valid = ((in_len - b * n as i64).clamp(0, n as i64)) as usize;
+        data[valid..].fill(0.0);
+        (b, data)
+    });
+    Ok(TiledVector::new(len, n, blocks))
+}
+
+/// §5.2 rule 19: replicate tiles to the output coordinates their elements
+/// map to, regroup, assemble output tiles.
+fn exec_index_remap(
+    plan: &Plan,
+    env: &PlanEnv,
+    ctx: &Context,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<TiledMatrix, CompError> {
+    let Plan::IndexRemap {
+        input,
+        fi,
+        fj,
+        value,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let m = matrix_input(env, input)?;
+    let n = m.tile_size();
+    let (in_rows, in_cols) = (m.rows(), m.cols());
+    let ni = n as i64;
+
+    // Map stage: each tile is sent to every output tile one of its elements
+    // lands in — the I_f(K) image set of §5.2.
+    let (fi2, fj2) = (fi.clone(), fj.clone());
+    let replicated = m.tiles().flat_map(move |((bi, bj), t)| {
+        let mut dests: Vec<TileCoord> = Vec::new();
+        for ti in 0..n {
+            let gi = bi * ni + ti as i64;
+            if gi >= in_rows {
+                break;
+            }
+            for tj in 0..n {
+                let gj = bj * ni + tj as i64;
+                if gj >= in_cols {
+                    break;
+                }
+                let (di, dj) = (fi2.eval(&[gi, gj]), fj2.eval(&[gi, gj]));
+                if di >= 0 && di < rows && dj >= 0 && dj < cols {
+                    let dest = (di.div_euclid(ni), dj.div_euclid(ni));
+                    if !dests.contains(&dest) {
+                        dests.push(dest);
+                    }
+                }
+            }
+        }
+        dests
+            .into_iter()
+            .map(|d| (d, ((bi, bj), t.clone())))
+            .collect::<Vec<_>>()
+    });
+
+    // Reduce stage: assemble each output tile from the shuffled inputs.
+    let (fi3, fj3, value) = (fi.clone(), fj.clone(), value.clone());
+    let assembled = replicated
+        .group_by_key(config.partitions)
+        .map(move |((di, dj), sources)| {
+            let mut out = DenseMatrix::zeros(n, n);
+            let mut slots = [0.0f64; 3];
+            for ((bi, bj), t) in sources {
+                for ti in 0..n {
+                    let gi = bi * ni + ti as i64;
+                    if gi >= in_rows {
+                        break;
+                    }
+                    for tj in 0..n {
+                        let gj = bj * ni + tj as i64;
+                        if gj >= in_cols {
+                            break;
+                        }
+                        let (oi, oj) = (fi3.eval(&[gi, gj]), fj3.eval(&[gi, gj]));
+                        if oi.div_euclid(ni) == di && oj.div_euclid(ni) == dj
+                            && oi >= 0 && oi < rows && oj >= 0 && oj < cols
+                        {
+                            slots[0] = t.get(ti, tj);
+                            slots[1] = gi as f64;
+                            slots[2] = gj as f64;
+                            out.set(
+                                oi.rem_euclid(ni) as usize,
+                                oj.rem_euclid(ni) as usize,
+                                value.eval(&slots),
+                            );
+                        }
+                    }
+                }
+            }
+            ((di, dj), out)
+        });
+
+    // Complete the grid: output tiles no input element maps to are zero.
+    let tiles = union_with_zero_skeleton(assembled, ctx, rows, cols, n, config.partitions);
+    Ok(TiledMatrix::new(rows, cols, n, tiles))
+}
+
+/// Union a tile set with an all-zero full grid so every coordinate exists.
+fn union_with_zero_skeleton(
+    tiles: Dataset<(TileCoord, DenseMatrix)>,
+    ctx: &Context,
+    rows: i64,
+    cols: i64,
+    tile_size: usize,
+    partitions: usize,
+) -> Dataset<(TileCoord, DenseMatrix)> {
+    let brows = (rows + tile_size as i64 - 1) / tile_size as i64;
+    let bcols = (cols + tile_size as i64 - 1) / tile_size as i64;
+    let coords: Vec<TileCoord> = (0..brows)
+        .flat_map(|i| (0..bcols).map(move |j| (i, j)))
+        .collect();
+    let skeleton = ctx
+        .parallelize(coords, partitions)
+        .map(move |c| (c, DenseMatrix::zeros(tile_size, tile_size)));
+    tiles
+        .union(&skeleton)
+        .reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
+}
+
+/// Accumulator planes for the generic group-by plan: one `DenseMatrix` per
+/// aggregate plus a trailing hit-count plane.
+type Planes = Vec<DenseMatrix>;
+
+struct AggSpec {
+    zeros: Vec<f64>,
+    combines: Vec<fn(f64, f64) -> f64>,
+    inputs: Vec<Expr>,
+}
+
+fn agg_spec(plan_aggs: &[crate::analysis::Aggregate]) -> Result<AggSpec, CompError> {
+    let mut zeros = Vec::new();
+    let mut combines = Vec::new();
+    let mut inputs = Vec::new();
+    for a in plan_aggs {
+        let (z, c) = monoid_f64(a.monoid)?;
+        zeros.push(z);
+        combines.push(c);
+        inputs.push(a.input.clone());
+    }
+    // Hidden hit-count plane.
+    zeros.push(0.0);
+    combines.push(|a, b| a + b);
+    Ok(AggSpec {
+        zeros,
+        combines,
+        inputs,
+    })
+}
+
+/// Build the per-element mini-comprehension `[ (key, (in_0, ..)) | quals ]`.
+fn mini_comprehension(
+    inner_quals: &[Qualifier],
+    key: &GroupKey,
+    key_expr: &Option<Expr>,
+    inputs: &[Expr],
+) -> Comprehension {
+    let key_value = match key_expr {
+        Some(e) => e.clone(),
+        None => match key {
+            GroupKey::Cell(k1, k2) => Expr::Tuple(vec![
+                Expr::Var(k1.clone()),
+                Expr::Var(k2.clone()),
+            ]),
+            GroupKey::Index(k) => Expr::Var(k.clone()),
+        },
+    };
+    // When the key is an expression, the key pattern still needs binding for
+    // any post-key uses; the fast plans have none, so only the value matters.
+    let mut quals = inner_quals.to_vec();
+    if key_expr.is_some() {
+        let pat = match key {
+            GroupKey::Cell(k1, k2) => Pattern::Tuple(vec![
+                Pattern::Var(k1.clone()),
+                Pattern::Var(k2.clone()),
+            ]),
+            GroupKey::Index(k) => Pattern::Var(k.clone()),
+        };
+        quals.push(Qualifier::Let(pat, key_value.clone()));
+    }
+    Comprehension {
+        head: Box::new(Expr::Tuple(vec![
+            key_value,
+            Expr::Tuple(inputs.to_vec()),
+        ])),
+        qualifiers: quals,
+    }
+}
+
+/// Bind the planner scalars into a `comp` environment.
+fn scalar_env(env: &PlanEnv, names: &[String]) -> comp::Env {
+    let mut cenv = comp::Env::new();
+    for n in names {
+        if let Some(v) = env.scalar(n) {
+            cenv.bind(n.clone(), v.clone());
+        }
+    }
+    cenv
+}
+
+/// §5.3 generic plan, matrix-shaped keys.
+fn exec_group_aggregate_matrix(
+    plan: &Plan,
+    env: &PlanEnv,
+    ctx: &Context,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<TiledMatrix, CompError> {
+    let Plan::GroupByAggregate {
+        input,
+        gen_vars,
+        inner_quals,
+        key,
+        key_expr,
+        aggregates,
+        finalizer,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let m = matrix_input(env, input)?;
+    let n = m.tile_size();
+    let ni = n as i64;
+    let spec = agg_spec(aggregates)?;
+    let nplanes = spec.zeros.len();
+    let mini = mini_comprehension(inner_quals, key, key_expr, &spec.inputs);
+
+    // Scalars referenced anywhere in the mini comprehension.
+    let free: Vec<String> = Expr::Comprehension(mini.clone())
+        .free_vars()
+        .into_iter()
+        .collect();
+    let base_env = scalar_env(env, &free);
+    let (rv, cv, vv) = gen_vars.clone();
+    let (in_rows, in_cols) = (m.rows(), m.cols());
+    let zeros = spec.zeros.clone();
+    let combines = spec.combines.clone();
+
+    let partial = m.tiles().flat_map(move |((bi, bj), t)| {
+        let mut acc: HashMap<TileCoord, Planes> = HashMap::new();
+        let mut cenv = base_env.clone();
+        for ti in 0..n {
+            let gi = bi * ni + ti as i64;
+            if gi >= in_rows {
+                break;
+            }
+            for tj in 0..n {
+                let gj = bj * ni + tj as i64;
+                if gj >= in_cols {
+                    break;
+                }
+                let scope = cenv.mark();
+                cenv.bind(rv.clone(), Value::Int(gi));
+                cenv.bind(cv.clone(), Value::Int(gj));
+                cenv.bind(vv.clone(), Value::Float(t.get(ti, tj)));
+                let rows_out = eval_comprehension(&mini, &mut cenv)
+                    .expect("group-by aggregate inner evaluation failed");
+                cenv.reset(scope);
+                for row in rows_out {
+                    let Value::Tuple(kv) = row else { continue };
+                    let (key_v, inputs_v) = (&kv[0], &kv[1]);
+                    let Value::Tuple(kij) = key_v else { continue };
+                    let (Ok(k1), Ok(k2)) = (kij[0].as_i64(), kij[1].as_i64()) else {
+                        continue;
+                    };
+                    if k1 < 0 || k1 >= rows || k2 < 0 || k2 >= cols {
+                        continue;
+                    }
+                    let dest = (k1.div_euclid(ni), k2.div_euclid(ni));
+                    let off = (
+                        k1.rem_euclid(ni) as usize,
+                        k2.rem_euclid(ni) as usize,
+                    );
+                    let planes = acc.entry(dest).or_insert_with(|| {
+                        zeros
+                            .iter()
+                            .map(|&z| {
+                                let mut p = DenseMatrix::zeros(n, n);
+                                p.data_mut().fill(z);
+                                p
+                            })
+                            .collect()
+                    });
+                    let Value::Tuple(ins) = inputs_v else { continue };
+                    for (p, (inv, combine)) in
+                        ins.iter().zip(combines.iter()).enumerate()
+                    {
+                        let x = inv.as_f64().unwrap_or(0.0);
+                        let cur = planes[p].get(off.0, off.1);
+                        planes[p].set(off.0, off.1, combine(cur, x));
+                    }
+                    // Hit count plane.
+                    let last = nplanes - 1;
+                    let cur = planes[last].get(off.0, off.1);
+                    planes[last].set(off.0, off.1, cur + 1.0);
+                }
+            }
+        }
+        acc.into_iter().collect::<Vec<_>>()
+    });
+
+    let combines2 = spec.combines.clone();
+    let reduced = partial.reduce_by_key(config.partitions, move |mut a, b| {
+        for ((pa, pb), combine) in a.iter_mut().zip(b).zip(combines2.iter()) {
+            for (x, y) in pa.data_mut().iter_mut().zip(pb.data()) {
+                *x = combine(*x, *y);
+            }
+        }
+        a
+    });
+
+    // Finalize each cell: untouched cells are 0 (dense builder semantics).
+    let agg_slots: Vec<String> = (0..aggregates.len()).map(|i| format!("%agg{i}")).collect();
+    let fenv = env.clone();
+    let fin = ScalarFn::compile(finalizer, &agg_slots, &|v| fenv.float_scalar(v))?;
+    let finalized = reduced.map_values(move |planes| {
+        let mut out = DenseMatrix::zeros(n, n);
+        let mut slots = vec![0.0; agg_slots.len()];
+        let count = &planes[planes.len() - 1];
+        for e in 0..n * n {
+            if count.data()[e] == 0.0 {
+                continue;
+            }
+            for (s, p) in planes[..planes.len() - 1].iter().enumerate() {
+                slots[s] = p.data()[e];
+            }
+            out.data_mut()[e] = fin.eval(&slots);
+        }
+        out
+    });
+    let tiles = union_with_zero_skeleton(finalized, ctx, rows, cols, n, config.partitions);
+    Ok(TiledMatrix::new(rows, cols, n, tiles))
+}
+
+/// §5.3 generic plan, vector-shaped keys.
+fn exec_group_aggregate_vector(
+    plan: &Plan,
+    env: &PlanEnv,
+    _ctx: &Context,
+    config: &PlanConfig,
+    len: i64,
+) -> Result<TiledVector, CompError> {
+    let Plan::GroupByAggregate {
+        input,
+        gen_vars,
+        inner_quals,
+        key,
+        key_expr,
+        aggregates,
+        finalizer,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let m = matrix_input(env, input)?;
+    let n = m.tile_size();
+    let ni = n as i64;
+    let spec = agg_spec(aggregates)?;
+    let nplanes = spec.zeros.len();
+    let mini = mini_comprehension(inner_quals, key, key_expr, &spec.inputs);
+    let free: Vec<String> = Expr::Comprehension(mini.clone())
+        .free_vars()
+        .into_iter()
+        .collect();
+    let base_env = scalar_env(env, &free);
+    let (rv, cv, vv) = gen_vars.clone();
+    let (in_rows, in_cols) = (m.rows(), m.cols());
+    let zeros = spec.zeros.clone();
+    let combines = spec.combines.clone();
+
+    let partial = m.tiles().flat_map(move |((bi, bj), t)| {
+        let mut acc: HashMap<i64, Vec<Vec<f64>>> = HashMap::new();
+        let mut cenv = base_env.clone();
+        for ti in 0..n {
+            let gi = bi * ni + ti as i64;
+            if gi >= in_rows {
+                break;
+            }
+            for tj in 0..n {
+                let gj = bj * ni + tj as i64;
+                if gj >= in_cols {
+                    break;
+                }
+                let scope = cenv.mark();
+                cenv.bind(rv.clone(), Value::Int(gi));
+                cenv.bind(cv.clone(), Value::Int(gj));
+                cenv.bind(vv.clone(), Value::Float(t.get(ti, tj)));
+                let rows_out = eval_comprehension(&mini, &mut cenv)
+                    .expect("group-by aggregate inner evaluation failed");
+                cenv.reset(scope);
+                for row in rows_out {
+                    let Value::Tuple(kv) = row else { continue };
+                    let Ok(k) = kv[0].as_i64() else { continue };
+                    if k < 0 || k >= len {
+                        continue;
+                    }
+                    let dest = k.div_euclid(ni);
+                    let off = k.rem_euclid(ni) as usize;
+                    let planes = acc
+                        .entry(dest)
+                        .or_insert_with(|| zeros.iter().map(|&z| vec![z; n]).collect());
+                    let Value::Tuple(ins) = &kv[1] else { continue };
+                    for (p, (inv, combine)) in
+                        ins.iter().zip(combines.iter()).enumerate()
+                    {
+                        let x = inv.as_f64().unwrap_or(0.0);
+                        planes[p][off] = combine(planes[p][off], x);
+                    }
+                    planes[nplanes - 1][off] += 1.0;
+                }
+            }
+        }
+        acc.into_iter().collect::<Vec<_>>()
+    });
+
+    let combines2 = spec.combines.clone();
+    let reduced = partial.reduce_by_key(config.partitions, move |mut a, b| {
+        for ((pa, pb), combine) in a.iter_mut().zip(b).zip(combines2.iter()) {
+            for (x, y) in pa.iter_mut().zip(pb) {
+                *x = combine(*x, y);
+            }
+        }
+        a
+    });
+    let agg_slots: Vec<String> = (0..aggregates.len()).map(|i| format!("%agg{i}")).collect();
+    let fenv = env.clone();
+    let fin = ScalarFn::compile(finalizer, &agg_slots, &|v| fenv.float_scalar(v))?;
+    let blocks = reduced.map_values(move |planes| {
+        let mut out = vec![0.0; n];
+        let mut slots = vec![0.0; agg_slots.len()];
+        let count = &planes[planes.len() - 1];
+        for e in 0..n {
+            if count[e] == 0.0 {
+                continue;
+            }
+            for (s, p) in planes[..planes.len() - 1].iter().enumerate() {
+                slots[s] = p[e];
+            }
+            out[e] = fin.eval(&slots);
+        }
+        out
+    });
+    Ok(TiledVector::new(len, n, blocks))
+}
+
+/// Fallback: sparsify every registered array, run the reference interpreter,
+/// rebuild the output storage.
+fn exec_local(
+    expr: &Expr,
+    env: &PlanEnv,
+    ctx: &Context,
+    config: &PlanConfig,
+    output: &OutputKind,
+) -> Result<ExecResult, CompError> {
+    let mut cenv = comp::Env::new();
+    for name in expr.free_vars() {
+        if let Some(v) = env.scalar(&name) {
+            cenv.bind(name.clone(), v.clone());
+            continue;
+        }
+        match env.array(&name) {
+            Some(DistArray::Matrix(m)) => {
+                cenv.bind(name.clone(), triplets_to_value(&m.to_local().to_triplets()));
+            }
+            Some(DistArray::Vector(v)) => {
+                let vals = v.to_local();
+                cenv.bind(
+                    name.clone(),
+                    Value::List(
+                        vals.iter()
+                            .enumerate()
+                            .map(|(i, &x)| {
+                                Value::pair(Value::Int(i as i64), Value::Float(x))
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            Some(DistArray::Coo(m)) => {
+                cenv.bind(name.clone(), triplets_to_value(&m.entries().collect()));
+            }
+            None => {}
+        }
+    }
+    let result = comp::eval(expr, &mut cenv)?;
+    match output {
+        OutputKind::Local => Ok(ExecResult::Local(result)),
+        OutputKind::Matrix { rows, cols } => {
+            let triplets = value_to_triplets(&result)?;
+            let local =
+                LocalMatrix::from_triplets(*rows as usize, *cols as usize, &triplets);
+            let tile = default_tile_size(env);
+            Ok(ExecResult::Matrix(TiledMatrix::from_local(
+                ctx,
+                &local,
+                tile,
+                config.partitions,
+            )))
+        }
+        OutputKind::Vector { len } => {
+            let list = result.into_list()?;
+            let mut vals = vec![0.0; *len as usize];
+            for item in list {
+                let Value::Tuple(kv) = item else {
+                    return Err(CompError::plan("vector result must be (i, v) pairs"));
+                };
+                let i = kv[0].as_i64()?;
+                if i >= 0 && i < *len {
+                    vals[i as usize] = kv[1].as_f64()?;
+                }
+            }
+            let tile = default_tile_size(env);
+            Ok(ExecResult::Vector(TiledVector::from_local(
+                ctx,
+                &vals,
+                tile,
+                config.partitions,
+            )))
+        }
+    }
+}
+
+fn default_tile_size(env: &PlanEnv) -> usize {
+    for name in env.array_names() {
+        if let Some(DistArray::Matrix(m)) = env.array(name) {
+            return m.tile_size();
+        }
+    }
+    64
+}
+
+fn triplets_to_value(triplets: &[((i64, i64), f64)]) -> Value {
+    Value::List(
+        triplets
+            .iter()
+            .map(|&((i, j), v)| {
+                Value::pair(
+                    Value::pair(Value::Int(i), Value::Int(j)),
+                    Value::Float(v),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn value_to_triplets(v: &Value) -> Result<Vec<((i64, i64), f64)>, CompError> {
+    let Value::List(items) = v else {
+        return Err(CompError::plan("matrix result must be an association list"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Value::Tuple(kv) = item else {
+                return Err(CompError::plan("matrix entries must be ((i,j), v)"));
+            };
+            let Value::Tuple(ij) = &kv[0] else {
+                return Err(CompError::plan("matrix entries must be ((i,j), v)"));
+            };
+            Ok(((ij[0].as_i64()?, ij[1].as_i64()?), kv[1].as_f64()?))
+        })
+        .collect()
+}

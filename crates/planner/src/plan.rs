@@ -1,0 +1,808 @@
+//! Plan selection — the paper's translation rules as pattern matches over
+//! the decomposed comprehension.
+//!
+//! Dispatch order for `tiled(n,m)[ e | q ]`:
+//!
+//! 1. **Eltwise** (§5.1, rule 17) — every generator ranges over a tiled
+//!    matrix, generators are equated on both indices (rule 14 join
+//!    detection), and the head key is those indices (possibly swapped →
+//!    transpose). No shuffle beyond co-partitioning; tile kernels do the
+//!    work.
+//! 2. **Contraction** (§5.3 / §5.4) — two tiled generators joined on one
+//!    index, group-by over the two free indices, head `⊕/v` with
+//!    `v = f(a, b)`: matrix-multiplication-like. Translated to join +
+//!    tile-level `reduceByKey` (rule 13) or to the **group-by-join** /
+//!    SUMMA plan (§5.4), per configuration.
+//! 3. **IndexRemap** (§5.2, rule 19) — one tiled generator, head key is an
+//!    arbitrary index map: tiles are replicated to the output tiles their
+//!    elements land in (the `I_f(K)` image sets), then regrouped.
+//! 4. **GroupByAggregate** (§5.3 general) — one tiled generator plus range
+//!    generators/guards and a group-by: the generic
+//!    replicate-and-`reduceByKey` translation with one accumulator plane per
+//!    aggregate (the product-of-monoids of §3). Covers stencils such as the
+//!    paper's smoothing example.
+//!
+//! `tiled_vector(n)[ e | q ]` dispatches to **AxisReduce** (Fig. 1 row
+//! sums) or GroupByAggregate. Anything else falls back to the reference
+//! interpreter over sparsified arrays (`LocalFallback`), preserving
+//! semantics at the cost of distribution.
+
+use crate::analysis::{
+    decompose, extract_aggregates, inline_lets, Aggregate, Decomposed, GenKind, VarClasses,
+};
+use crate::env::{DistArray, PlanEnv};
+use crate::scalar::{IdxFn, ScalarFn};
+use comp::ast::{Expr, Monoid, Pattern, Qualifier};
+use comp::errors::CompError;
+use comp::normalize::normalize;
+
+/// How to execute a contraction (matrix multiplication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatMulStrategy {
+    /// §4's unoptimized translation: join on the contracted index, tile
+    /// products, then `groupByKey` collecting all partial products into
+    /// lists before reducing — the "SAC (join + group-by)" series of
+    /// Fig. 4.B.
+    JoinGroupBy,
+    /// §5.3: join on the contracted index, tile products, `reduceByKey`
+    /// (map-side combined).
+    ReduceByKey,
+    /// §5.4: group-by-join (SUMMA) — replicate tiles to result coordinates,
+    /// cogroup once, reduce locally.
+    GroupByJoin,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlanConfig {
+    /// Shuffle partition count.
+    pub partitions: usize,
+    /// Strategy for contraction plans.
+    pub matmul: MatMulStrategy,
+    /// Threads for intra-tile kernels (the paper's `.par`); 1 = sequential.
+    pub tile_threads: usize,
+    /// Permit falling back to the driver-side reference interpreter.
+    pub allow_local_fallback: bool,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            partitions: 8,
+            matmul: MatMulStrategy::GroupByJoin,
+            tile_threads: 1,
+            allow_local_fallback: true,
+        }
+    }
+}
+
+/// Output shape of a planned comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputKind {
+    Matrix { rows: i64, cols: i64 },
+    Vector { len: i64 },
+    Local,
+}
+
+/// Key shape for the generic group-by plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKey {
+    /// 2-D key `(k1, k2)` — matrix output.
+    Cell(String, String),
+    /// 1-D key — vector output.
+    Index(String),
+}
+
+/// A selected physical plan.
+#[derive(Clone)]
+pub enum Plan {
+    /// §5.1 element-wise over co-indexed tiled matrices.
+    Eltwise {
+        /// Input matrix names, in value-slot order.
+        inputs: Vec<String>,
+        /// Head key is `(col, row)` — transpose the output.
+        transposed: bool,
+        /// Value over slots `[val_0, ..., val_{k-1}, row, col]`.
+        value: ScalarFn,
+        /// Optional guard (same slots); failing elements become 0.
+        guard: Option<ScalarFn>,
+    },
+    /// §5.3/§5.4 contraction (matrix multiplication shaped).
+    Contraction {
+        left: String,
+        right: String,
+        /// The contracted index of the left input is its **row** (so the
+        /// left operand must be transposed tile-wise first).
+        left_contract_row: bool,
+        /// The contracted index of the right input is its **column**.
+        right_contract_col: bool,
+        /// Head key is `(right_free, left_free)` — transpose the result.
+        swap_output: bool,
+        /// Element combine over slots `[a, b]` (must reduce with `+`).
+        value: ScalarFn,
+        strategy: MatMulStrategy,
+    },
+    /// Fig. 1 row/column reduction to a tiled vector.
+    AxisReduce {
+        input: String,
+        /// Group by the row index (true) or the column index (false).
+        by_row: bool,
+        monoid: Monoid,
+        /// Per-element input over slots `[val, row, col]`.
+        value: ScalarFn,
+    },
+    /// §5.2 rule 19: element-wise index remap with tile replication.
+    IndexRemap {
+        input: String,
+        /// Destination row index over slots `[i, j]`.
+        fi: IdxFn,
+        /// Destination column index over slots `[i, j]`.
+        fj: IdxFn,
+        /// Value over slots `[val, i, j]`.
+        value: ScalarFn,
+    },
+    /// §5.3 generic single-input group-by with aggregate planes.
+    GroupByAggregate {
+        input: String,
+        /// The matrix generator's bound names `(row, col, val)`.
+        gen_vars: (String, String, String),
+        /// Qualifiers between the generator and the group-by (ranges,
+        /// lets, guards), evaluated per element by the reference evaluator.
+        inner_quals: Vec<Qualifier>,
+        key: GroupKey,
+        /// Optional key expression (`group by p: e`).
+        key_expr: Option<Expr>,
+        aggregates: Vec<Aggregate>,
+        /// Finalizer over `%aggN` slots.
+        finalizer: Expr,
+    },
+    /// Matrix–vector contraction `y_i = Σ_k f(A_ik, x_k)` (and the
+    /// transposed orientation): join tiles with vector blocks on the
+    /// contracted block index, partial block products, `reduceByKey`.
+    MatVec {
+        matrix: String,
+        vector: String,
+        /// The contracted index of the matrix is its **row** (computes
+        /// `Aᵀ·x`).
+        contract_row: bool,
+        /// Element combine over slots `[a, x]` (reduced with `+`).
+        value: ScalarFn,
+    },
+    /// Element-wise over co-indexed tiled vectors (rule 17, 1-D).
+    VectorEltwise {
+        /// Input vector names, in value-slot order.
+        inputs: Vec<String>,
+        /// Value over slots `[val_0, ..., val_{k-1}, idx]`.
+        value: ScalarFn,
+        /// Optional guard (same slots); failing elements become 0.
+        guard: Option<ScalarFn>,
+    },
+    /// Reference interpreter over sparsified arrays.
+    LocalFallback { expr: Expr },
+}
+
+/// A plan plus its output shape.
+#[derive(Clone)]
+pub struct Planned {
+    pub plan: Plan,
+    pub output: OutputKind,
+}
+
+impl Plan {
+    /// Human-readable strategy name (used by plan-shape tests and explain).
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            Plan::Eltwise { .. } => "eltwise",
+            Plan::Contraction {
+                strategy: MatMulStrategy::JoinGroupBy,
+                ..
+            } => "contraction/joinGroupBy",
+            Plan::Contraction {
+                strategy: MatMulStrategy::ReduceByKey,
+                ..
+            } => "contraction/reduceByKey",
+            Plan::Contraction {
+                strategy: MatMulStrategy::GroupByJoin,
+                ..
+            } => "contraction/groupByJoin",
+            Plan::AxisReduce { .. } => "axisReduce",
+            Plan::MatVec { .. } => "matVec",
+            Plan::VectorEltwise { .. } => "vectorEltwise",
+            Plan::IndexRemap { .. } => "indexRemap",
+            Plan::GroupByAggregate { .. } => "groupByAggregate",
+            Plan::LocalFallback { .. } => "localFallback",
+        }
+    }
+}
+
+impl Planned {
+    /// One-line plan explanation.
+    pub fn explain(&self) -> String {
+        let shape = match &self.output {
+            OutputKind::Matrix { rows, cols } => format!("matrix {rows}x{cols}"),
+            OutputKind::Vector { len } => format!("vector {len}"),
+            OutputKind::Local => "local value".to_string(),
+        };
+        format!("{} -> {}", self.plan.strategy_name(), shape)
+    }
+}
+
+/// Plan a (possibly unnormalized) comprehension expression.
+pub fn plan(expr: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<Planned, CompError> {
+    let expr = normalize(expr.clone());
+    let planned = match &expr {
+        Expr::Build {
+            builder,
+            args,
+            body,
+        } if builder == "tiled" && args.len() == 2 => {
+            let rows = eval_int_arg(&args[0], env)?;
+            let cols = eval_int_arg(&args[1], env)?;
+            let output = OutputKind::Matrix { rows, cols };
+            match plan_matrix_body(body, env, config) {
+                Ok(plan) => Planned { plan, output },
+                Err(e) => fallback(&expr, output, env, config, e)?,
+            }
+        }
+        Expr::Build {
+            builder,
+            args,
+            body,
+        } if builder == "tiled_vector" && args.len() == 1 => {
+            let len = eval_int_arg(&args[0], env)?;
+            let output = OutputKind::Vector { len };
+            match plan_vector_body(body, env, config) {
+                Ok(plan) => Planned { plan, output },
+                Err(e) => fallback(&expr, output, env, config, e)?,
+            }
+        }
+        other => {
+            let output = OutputKind::Local;
+            fallback(other, output, env, config, CompError::plan("not a tiled builder"))?
+        }
+    };
+    Ok(planned)
+}
+
+fn fallback(
+    expr: &Expr,
+    output: OutputKind,
+    _env: &PlanEnv,
+    config: &PlanConfig,
+    cause: CompError,
+) -> Result<Planned, CompError> {
+    if !config.allow_local_fallback {
+        return Err(CompError::plan(format!(
+            "no distributed plan applies and local fallback is disabled: {}",
+            cause.message
+        )));
+    }
+    Ok(Planned {
+        plan: Plan::LocalFallback { expr: expr.clone() },
+        output,
+    })
+}
+
+fn eval_int_arg(e: &Expr, env: &PlanEnv) -> Result<i64, CompError> {
+    let mut cenv = comp::Env::new();
+    for name in e.free_vars() {
+        if let Some(v) = env.scalar(&name) {
+            cenv.bind(name.clone(), v.clone());
+        }
+    }
+    comp::eval(e, &mut cenv)?.as_i64()
+}
+
+fn body_comprehension(body: &Expr) -> Result<&comp::Comprehension, CompError> {
+    match body {
+        Expr::Comprehension(c) => Ok(c),
+        _ => Err(CompError::plan("builder body must be a comprehension")),
+    }
+}
+
+/// Head must be `(key, value)`.
+fn split_head(head: &Expr) -> Result<(&Expr, &Expr), CompError> {
+    match head {
+        Expr::Tuple(items) if items.len() == 2 => Ok((&items[0], &items[1])),
+        other => Err(CompError::plan(format!(
+            "head must be a (key, value) pair: {other}"
+        ))),
+    }
+}
+
+fn gen_kind(env: &PlanEnv) -> impl Fn(&str) -> GenKind + '_ {
+    |n: &str| match env.array(n) {
+        Some(DistArray::Matrix(_)) => GenKind::Matrix,
+        Some(DistArray::Vector(_)) => GenKind::Vector,
+        _ => GenKind::Unknown,
+    }
+}
+
+fn plan_matrix_body(
+    body: &Expr,
+    env: &PlanEnv,
+    config: &PlanConfig,
+) -> Result<Plan, CompError> {
+    let c = body_comprehension(body)?;
+    let d = decompose(&c.head, &c.qualifiers, &gen_kind(env))?;
+    if d.post_group_quals > 0 {
+        return Err(CompError::plan(
+            "qualifiers after group-by are not supported by distributed plans",
+        ));
+    }
+    if d.group_by.is_none() {
+        if let Ok(p) = plan_eltwise(&d, env) {
+            return Ok(p);
+        }
+        return plan_index_remap(&d, env);
+    }
+    if let Ok(p) = plan_contraction(&d, env, config) {
+        return Ok(p);
+    }
+    plan_group_by_aggregate(&d, env, GroupShape::Matrix)
+}
+
+fn plan_vector_body(
+    body: &Expr,
+    env: &PlanEnv,
+    _config: &PlanConfig,
+) -> Result<Plan, CompError> {
+    let c = body_comprehension(body)?;
+    let d = decompose(&c.head, &c.qualifiers, &gen_kind(env))?;
+    if d.post_group_quals > 0 {
+        return Err(CompError::plan(
+            "qualifiers after group-by are not supported by distributed plans",
+        ));
+    }
+    if let Ok(p) = plan_axis_reduce(&d, env) {
+        return Ok(p);
+    }
+    if let Ok(p) = plan_mat_vec(&d, env) {
+        return Ok(p);
+    }
+    if let Ok(p) = plan_vector_eltwise(&d, env) {
+        return Ok(p);
+    }
+    plan_group_by_aggregate(&d, env, GroupShape::Vector)
+}
+
+/// §5.1 rule 17.
+fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+    if d.matrix_gens.is_empty()
+        || !d.vector_gens.is_empty()
+        || !d.range_gens.is_empty()
+        || d.group_by.is_some()
+    {
+        return Err(CompError::plan("not an element-wise comprehension"));
+    }
+    let classes = VarClasses::from_equalities(&d.var_equalities);
+    let row_class = classes.find(&d.matrix_gens[0].row);
+    let col_class = classes.find(&d.matrix_gens[0].col);
+    if row_class == col_class {
+        return Err(CompError::plan("row and column indices equated (diagonal)"));
+    }
+    for g in &d.matrix_gens {
+        if classes.find(&g.row) != row_class || classes.find(&g.col) != col_class {
+            return Err(CompError::plan(
+                "generators are not joined on both indices",
+            ));
+        }
+    }
+    // Equalities between non-index (value) variables are filters, not join
+    // keys — keep them as guards.
+    let index_vars: Vec<&String> = d
+        .matrix_gens
+        .iter()
+        .flat_map(|g| [&g.row, &g.col])
+        .collect();
+    let mut extra_guards: Vec<Expr> = Vec::new();
+    for (x, y) in &d.var_equalities {
+        if !index_vars.iter().any(|v| *v == x) || !index_vars.iter().any(|v| *v == y) {
+            extra_guards.push(Expr::BinOp(
+                comp::BinOp::Eq,
+                Box::new(Expr::Var(x.clone())),
+                Box::new(Expr::Var(y.clone())),
+            ));
+        }
+    }
+    let head = inline_lets(&d.head, &d.lets);
+    let (key, value) = split_head(&head)?;
+    let Expr::Tuple(kij) = key else {
+        return Err(CompError::plan("matrix head key must be (i, j)"));
+    };
+    let [Expr::Var(ka), Expr::Var(kb)] = kij.as_slice() else {
+        return Err(CompError::plan("matrix head key must be index variables"));
+    };
+    let transposed = if classes.find(ka) == row_class && classes.find(kb) == col_class {
+        false
+    } else if classes.find(ka) == col_class && classes.find(kb) == row_class {
+        true
+    } else {
+        return Err(CompError::plan("head key is not the generator indices"));
+    };
+
+    // Slots: all value vars (and their equality aliases resolve to the same
+    // slot via class representatives), then row, then col.
+    let mut slots: Vec<String> = d.matrix_gens.iter().map(|g| g.val.clone()).collect();
+    slots.push(d.matrix_gens[0].row.clone());
+    slots.push(d.matrix_gens[0].col.clone());
+    // Rewrite index aliases to the canonical generator's names.
+    let canon = |e: &Expr| canonicalize_vars(e, d, &classes);
+    let consts = |v: &str| env.float_scalar(v);
+    let value = ScalarFn::compile(&canon(value), &slots, &consts)?;
+    let all_guards: Vec<Expr> = d
+        .other_guards
+        .iter()
+        .cloned()
+        .chain(extra_guards)
+        .collect();
+    let guard = match all_guards.as_slice() {
+        [] => None,
+        guards => {
+            let mut conj = canon(&guards[0]);
+            for g in &guards[1..] {
+                conj = Expr::BinOp(comp::BinOp::And, Box::new(conj), Box::new(canon(g)));
+            }
+            Some(ScalarFn::compile(&conj, &slots, &consts)?)
+        }
+    };
+    Ok(Plan::Eltwise {
+        inputs: d.matrix_gens.iter().map(|g| g.name.clone()).collect(),
+        transposed,
+        value,
+        guard,
+    })
+}
+
+/// Rewrite each index variable to its class representative (the first
+/// generator's index with that class, in generator order) so slot lookup
+/// finds it.
+fn canonicalize_vars(e: &Expr, d: &Decomposed, classes: &VarClasses) -> Expr {
+    let all_idx: Vec<String> = d
+        .matrix_gens
+        .iter()
+        .flat_map(|g| [g.row.clone(), g.col.clone()])
+        .collect();
+    let mut reps: Vec<(String, String)> = Vec::new();
+    for idx in &all_idx {
+        let class = classes.find(idx);
+        if !reps.iter().any(|(c, _)| *c == class) {
+            reps.push((class, idx.clone()));
+        }
+    }
+    let mut out = e.clone();
+    for idx in &all_idx {
+        let class = classes.find(idx);
+        let rep = &reps
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("representative registered")
+            .1;
+        if idx != rep {
+            out = crate::analysis::substitute(&out, idx, &Expr::Var(rep.clone()));
+        }
+    }
+    out
+}
+
+/// §5.3/§5.4 contraction.
+fn plan_contraction(
+    d: &Decomposed,
+    env: &PlanEnv,
+    config: &PlanConfig,
+) -> Result<Plan, CompError> {
+    if d.matrix_gens.len() != 2
+        || !d.vector_gens.is_empty()
+        || !d.range_gens.is_empty()
+        || !d.other_guards.is_empty()
+    {
+        return Err(CompError::plan("not a contraction comprehension"));
+    }
+    if d.var_equalities.len() != 1 {
+        return Err(CompError::plan(
+            "contraction requires exactly the contracted-index equality",
+        ));
+    }
+    let Some((Pattern::Tuple(kp), None)) = &d.group_by else {
+        return Err(CompError::plan("contraction requires `group by (i,j)`"));
+    };
+    let [Pattern::Var(kx), Pattern::Var(ky)] = kp.as_slice() else {
+        return Err(CompError::plan("contraction key must be two variables"));
+    };
+    let classes = VarClasses::from_equalities(&d.var_equalities);
+    let (a, b) = (&d.matrix_gens[0], &d.matrix_gens[1]);
+
+    // Find the contracted pair: one index of a equated with one index of b.
+    let mut contracted: Option<(bool, bool)> = None; // (a_row_contracted, b_col_contracted)
+    for (a_idx, a_is_row) in [(&a.row, true), (&a.col, false)] {
+        for (b_idx, b_is_row) in [(&b.row, true), (&b.col, false)] {
+            if classes.same(a_idx, b_idx) {
+                if contracted.is_some() {
+                    return Err(CompError::plan("more than one contracted index pair"));
+                }
+                contracted = Some((a_is_row, !b_is_row));
+            }
+        }
+    }
+    let Some((left_contract_row, right_contract_col)) = contracted else {
+        return Err(CompError::plan("no contracted index pair"));
+    };
+    let a_free = if left_contract_row { &a.col } else { &a.row };
+    let b_free = if right_contract_col { &b.row } else { &b.col };
+
+    let swap_output = if classes.same(kx, a_free) && classes.same(ky, b_free) {
+        false
+    } else if classes.same(kx, b_free) && classes.same(ky, a_free) {
+        true
+    } else {
+        return Err(CompError::plan(
+            "group-by key is not the pair of free indices",
+        ));
+    };
+
+    let head = inline_lets(&d.head, &d.lets);
+    let (_key, value) = split_head(&head)?;
+    let Expr::Reduce(Monoid::Sum, inner) = value else {
+        return Err(CompError::plan(
+            "contraction head must be a sum reduction `+/v`",
+        ));
+    };
+    let slots = vec![a.val.clone(), b.val.clone()];
+    let value = ScalarFn::compile(inner, &slots, &|v| env.float_scalar(v))?;
+    Ok(Plan::Contraction {
+        left: a.name.clone(),
+        right: b.name.clone(),
+        left_contract_row,
+        right_contract_col,
+        swap_output,
+        value,
+        strategy: config.matmul,
+    })
+}
+
+/// Fig. 1 axis reduction.
+fn plan_axis_reduce(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+    if d.matrix_gens.len() != 1
+        || !d.vector_gens.is_empty()
+        || !d.range_gens.is_empty()
+        || !d.other_guards.is_empty()
+        || !d.var_equalities.is_empty()
+    {
+        return Err(CompError::plan("not an axis reduction"));
+    }
+    let Some((Pattern::Var(k), None)) = &d.group_by else {
+        return Err(CompError::plan("axis reduction requires `group by i`"));
+    };
+    let g = &d.matrix_gens[0];
+    let by_row = if k == &g.row {
+        true
+    } else if k == &g.col {
+        false
+    } else {
+        return Err(CompError::plan("group-by key is not a generator index"));
+    };
+    let head = inline_lets(&d.head, &d.lets);
+    let (key, value) = split_head(&head)?;
+    if key != &Expr::Var(k.clone()) {
+        return Err(CompError::plan("head key must be the group-by index"));
+    }
+    let Expr::Reduce(monoid, inner) = value else {
+        return Err(CompError::plan("head value must be a reduction"));
+    };
+    let slots = vec![g.val.clone(), g.row.clone(), g.col.clone()];
+    let value = ScalarFn::compile(inner, &slots, &|v| env.float_scalar(v))?;
+    Ok(Plan::AxisReduce {
+        input: g.name.clone(),
+        by_row,
+        monoid: *monoid,
+        value,
+    })
+}
+
+/// §5.2 rule 19.
+fn plan_index_remap(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+    if d.matrix_gens.len() != 1
+        || !d.vector_gens.is_empty()
+        || !d.range_gens.is_empty()
+        || d.group_by.is_some()
+        || !d.other_guards.is_empty()
+    {
+        return Err(CompError::plan("not an index remap"));
+    }
+    let g = &d.matrix_gens[0];
+    let head = inline_lets(&d.head, &d.lets);
+    let (key, value) = split_head(&head)?;
+    let Expr::Tuple(kij) = key else {
+        return Err(CompError::plan("matrix head key must be a pair"));
+    };
+    let [e1, e2] = kij.as_slice() else {
+        return Err(CompError::plan("matrix head key must be a pair"));
+    };
+    let idx_slots = vec![g.row.clone(), g.col.clone()];
+    let iconsts = |v: &str| env.int_scalar(v);
+    let fi = IdxFn::compile(e1, &idx_slots, &iconsts)?;
+    let fj = IdxFn::compile(e2, &idx_slots, &iconsts)?;
+    let val_slots = vec![g.val.clone(), g.row.clone(), g.col.clone()];
+    let value = ScalarFn::compile(value, &val_slots, &|v| env.float_scalar(v))?;
+    Ok(Plan::IndexRemap {
+        input: g.name.clone(),
+        fi,
+        fj,
+        value,
+    })
+}
+
+/// Matrix–vector contraction: one matrix generator, one vector generator,
+/// joined on one matrix index, grouped by the other.
+fn plan_mat_vec(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+    if d.matrix_gens.len() != 1
+        || d.vector_gens.len() != 1
+        || !d.range_gens.is_empty()
+        || !d.other_guards.is_empty()
+        || d.var_equalities.len() != 1
+    {
+        return Err(CompError::plan("not a matrix-vector contraction"));
+    }
+    let Some((Pattern::Var(g), None)) = &d.group_by else {
+        return Err(CompError::plan("matrix-vector requires `group by i`"));
+    };
+    let m = &d.matrix_gens[0];
+    let v = &d.vector_gens[0];
+    let classes = VarClasses::from_equalities(&d.var_equalities);
+    let contract_row = if classes.same(&m.col, &v.idx) {
+        false
+    } else if classes.same(&m.row, &v.idx) {
+        true
+    } else {
+        return Err(CompError::plan("vector index is not joined with the matrix"));
+    };
+    let free = if contract_row { &m.col } else { &m.row };
+    if !classes.same(g, free) {
+        return Err(CompError::plan("group-by key is not the free matrix index"));
+    }
+    let head = inline_lets(&d.head, &d.lets);
+    let (key, value) = split_head(&head)?;
+    if key != &Expr::Var(g.clone()) {
+        return Err(CompError::plan("head key must be the group-by index"));
+    }
+    let Expr::Reduce(Monoid::Sum, inner) = value else {
+        return Err(CompError::plan("matrix-vector head must be `+/v`"));
+    };
+    let slots = vec![m.val.clone(), v.val.clone()];
+    let value = ScalarFn::compile(inner, &slots, &|x| env.float_scalar(x))?;
+    Ok(Plan::MatVec {
+        matrix: m.name.clone(),
+        vector: v.name.clone(),
+        contract_row,
+        value,
+    })
+}
+
+/// Element-wise over vectors joined on their index.
+fn plan_vector_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+    if d.vector_gens.is_empty()
+        || !d.matrix_gens.is_empty()
+        || !d.range_gens.is_empty()
+        || d.group_by.is_some()
+    {
+        return Err(CompError::plan("not a vector element-wise comprehension"));
+    }
+    let classes = VarClasses::from_equalities(&d.var_equalities);
+    let idx_class = classes.find(&d.vector_gens[0].idx);
+    for g in &d.vector_gens {
+        if classes.find(&g.idx) != idx_class {
+            return Err(CompError::plan("vector generators are not joined on index"));
+        }
+    }
+    let head = inline_lets(&d.head, &d.lets);
+    let (key, value) = split_head(&head)?;
+    let Expr::Var(k) = key else {
+        return Err(CompError::plan("vector head key must be the index variable"));
+    };
+    if classes.find(k) != idx_class {
+        return Err(CompError::plan("head key is not the generator index"));
+    }
+    // Canonicalize index aliases to the first generator's name.
+    let canon_idx = d.vector_gens[0].idx.clone();
+    let canon = |e: &Expr| {
+        let mut out = e.clone();
+        for g in &d.vector_gens[1..] {
+            out = crate::analysis::substitute(&out, &g.idx, &Expr::Var(canon_idx.clone()));
+        }
+        out
+    };
+    let mut slots: Vec<String> = d.vector_gens.iter().map(|g| g.val.clone()).collect();
+    slots.push(canon_idx.clone());
+    let consts = |x: &str| env.float_scalar(x);
+    let value = ScalarFn::compile(&canon(value), &slots, &consts)?;
+    let guard = match d.other_guards.as_slice() {
+        [] => None,
+        guards => {
+            let mut conj = canon(&guards[0]);
+            for g in &guards[1..] {
+                conj = Expr::BinOp(comp::BinOp::And, Box::new(conj), Box::new(canon(g)));
+            }
+            Some(ScalarFn::compile(&conj, &slots, &consts)?)
+        }
+    };
+    Ok(Plan::VectorEltwise {
+        inputs: d.vector_gens.iter().map(|g| g.name.clone()).collect(),
+        value,
+        guard,
+    })
+}
+
+enum GroupShape {
+    Matrix,
+    Vector,
+}
+
+/// §5.3 generic group-by aggregation (stencils, histograms).
+fn plan_group_by_aggregate(
+    d: &Decomposed,
+    _env: &PlanEnv,
+    shape: GroupShape,
+) -> Result<Plan, CompError> {
+    if d.matrix_gens.len() != 1 || !d.vector_gens.is_empty() {
+        return Err(CompError::plan(
+            "generic group-by plan requires exactly one tiled matrix generator",
+        ));
+    }
+    let g = &d.matrix_gens[0];
+    let Some((key_pat, key_expr)) = &d.group_by else {
+        return Err(CompError::plan("generic group-by plan requires a group-by"));
+    };
+    let key = match (shape, key_pat) {
+        (GroupShape::Matrix, Pattern::Tuple(kp)) => {
+            let [Pattern::Var(k1), Pattern::Var(k2)] = kp.as_slice() else {
+                return Err(CompError::plan("matrix group key must be two variables"));
+            };
+            GroupKey::Cell(k1.clone(), k2.clone())
+        }
+        (GroupShape::Vector, Pattern::Var(k)) => GroupKey::Index(k.clone()),
+        _ => return Err(CompError::plan("group key shape does not match builder")),
+    };
+    let head = inline_lets(&d.head, &d.lets);
+    let (_key_part, value_part) = split_head(&head)?;
+    let (finalizer, aggregates) = extract_aggregates(value_part);
+    if aggregates.is_empty() {
+        return Err(CompError::plan("group-by head has no aggregates"));
+    }
+    // Reconstruct the inner qualifiers between the generator and group-by:
+    // range generators, lets, and guards, in a deterministic order (ranges,
+    // lets, then guards — ranges and lets only depend on earlier bindings in
+    // well-formed comprehensions).
+    let mut inner_quals: Vec<Qualifier> = Vec::new();
+    for r in &d.range_gens {
+        inner_quals.push(Qualifier::Generator(
+            Pattern::Var(r.var.clone()),
+            Expr::Range {
+                lo: Box::new(r.lo.clone()),
+                hi: Box::new(r.hi.clone()),
+                inclusive: r.inclusive,
+            },
+        ));
+    }
+    for (n, e) in &d.lets {
+        inner_quals.push(Qualifier::Let(Pattern::Var(n.clone()), e.clone()));
+    }
+    for (x, y) in &d.var_equalities {
+        inner_quals.push(Qualifier::Guard(Expr::BinOp(
+            comp::BinOp::Eq,
+            Box::new(Expr::Var(x.clone())),
+            Box::new(Expr::Var(y.clone())),
+        )));
+    }
+    for gd in &d.other_guards {
+        inner_quals.push(Qualifier::Guard(gd.clone()));
+    }
+    Ok(Plan::GroupByAggregate {
+        input: g.name.clone(),
+        gen_vars: (g.row.clone(), g.col.clone(), g.val.clone()),
+        inner_quals,
+        key,
+        key_expr: key_expr.clone(),
+        aggregates,
+        finalizer,
+    })
+}

@@ -1,0 +1,389 @@
+//! Compiled scalar and index expressions.
+//!
+//! Tile kernels must not pay dynamic-dispatch or hashing costs per element,
+//! so the planner compiles the scalar fragments of a comprehension (head
+//! values, guards, index maps) into small slot-addressed expression trees
+//! over `f64` / `i64`.
+
+use comp::ast::{BinOp, Expr, UnOp};
+use comp::errors::CompError;
+
+/// A scalar (`f64`) expression over a fixed set of variable slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarFn {
+    Const(f64),
+    /// Slot index into the argument array.
+    Var(usize),
+    Add(Box<ScalarFn>, Box<ScalarFn>),
+    Sub(Box<ScalarFn>, Box<ScalarFn>),
+    Mul(Box<ScalarFn>, Box<ScalarFn>),
+    Div(Box<ScalarFn>, Box<ScalarFn>),
+    Neg(Box<ScalarFn>),
+    Abs(Box<ScalarFn>),
+    Sqrt(Box<ScalarFn>),
+    /// `if cond != 0 then a else b` (conditions compile comparisons to 0/1).
+    If(Box<ScalarFn>, Box<ScalarFn>, Box<ScalarFn>),
+    /// Comparison producing 1.0 / 0.0.
+    Cmp(BinOp, Box<ScalarFn>, Box<ScalarFn>),
+}
+
+impl ScalarFn {
+    /// Compile `expr`, resolving variables against `slots` (slot `i` holds
+    /// the variable named `slots[i]`). Scalars bound in `consts` inline.
+    pub fn compile(
+        expr: &Expr,
+        slots: &[String],
+        consts: &dyn Fn(&str) -> Option<f64>,
+    ) -> Result<ScalarFn, CompError> {
+        let c = |e: &Expr| ScalarFn::compile(e, slots, consts);
+        Ok(match expr {
+            Expr::Int(n) => ScalarFn::Const(*n as f64),
+            Expr::Float(x) => ScalarFn::Const(*x),
+            Expr::Bool(b) => ScalarFn::Const(if *b { 1.0 } else { 0.0 }),
+            Expr::Var(v) => match slots.iter().position(|s| s == v) {
+                Some(i) => ScalarFn::Var(i),
+                None => match consts(v) {
+                    Some(x) => ScalarFn::Const(x),
+                    None => {
+                        return Err(CompError::plan(format!(
+                            "variable `{v}` is not an element variable or registered scalar"
+                        )))
+                    }
+                },
+            },
+            Expr::BinOp(op, a, b) => {
+                let (a, b) = (Box::new(c(a)?), Box::new(c(b)?));
+                match op {
+                    BinOp::Add => ScalarFn::Add(a, b),
+                    BinOp::Sub => ScalarFn::Sub(a, b),
+                    BinOp::Mul => ScalarFn::Mul(a, b),
+                    BinOp::Div => ScalarFn::Div(a, b),
+                    BinOp::And => ScalarFn::Mul(a, b),
+                    BinOp::Or => {
+                        // a || b  ==  min(a + b, 1) for 0/1 operands.
+                        ScalarFn::Cmp(
+                            BinOp::Gt,
+                            Box::new(ScalarFn::Add(a, b)),
+                            Box::new(ScalarFn::Const(0.0)),
+                        )
+                    }
+                    cmp => ScalarFn::Cmp(*cmp, a, b),
+                }
+            }
+            Expr::UnOp(UnOp::Neg, e) => ScalarFn::Neg(Box::new(c(e)?)),
+            Expr::UnOp(UnOp::Not, e) => ScalarFn::Sub(
+                Box::new(ScalarFn::Const(1.0)),
+                Box::new(c(e)?),
+            ),
+            Expr::If(cond, t, f) => {
+                ScalarFn::If(Box::new(c(cond)?), Box::new(c(t)?), Box::new(c(f)?))
+            }
+            Expr::Call(f, args) if f == "abs" && args.len() == 1 => {
+                ScalarFn::Abs(Box::new(c(&args[0])?))
+            }
+            Expr::Call(f, args) if f == "sqrt" && args.len() == 1 => {
+                ScalarFn::Sqrt(Box::new(c(&args[0])?))
+            }
+            other => {
+                return Err(CompError::plan(format!(
+                    "expression is not a compilable scalar: {other}"
+                )))
+            }
+        })
+    }
+
+    /// Evaluate over the slot values.
+    pub fn eval(&self, vars: &[f64]) -> f64 {
+        match self {
+            ScalarFn::Const(x) => *x,
+            ScalarFn::Var(i) => vars[*i],
+            ScalarFn::Add(a, b) => a.eval(vars) + b.eval(vars),
+            ScalarFn::Sub(a, b) => a.eval(vars) - b.eval(vars),
+            ScalarFn::Mul(a, b) => a.eval(vars) * b.eval(vars),
+            ScalarFn::Div(a, b) => a.eval(vars) / b.eval(vars),
+            ScalarFn::Neg(a) => -a.eval(vars),
+            ScalarFn::Abs(a) => a.eval(vars).abs(),
+            ScalarFn::Sqrt(a) => a.eval(vars).sqrt(),
+            ScalarFn::If(c, t, f) => {
+                if c.eval(vars) != 0.0 {
+                    t.eval(vars)
+                } else {
+                    f.eval(vars)
+                }
+            }
+            ScalarFn::Cmp(op, a, b) => {
+                let (x, y) = (a.eval(vars), b.eval(vars));
+                let r = match op {
+                    BinOp::Eq => x == y,
+                    BinOp::Ne => x != y,
+                    BinOp::Lt => x < y,
+                    BinOp::Le => x <= y,
+                    BinOp::Gt => x > y,
+                    BinOp::Ge => x >= y,
+                    _ => unreachable!("non-comparison in Cmp"),
+                };
+                if r {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// True if this is exactly `Var(a) * Var(b)` — the GEMM fast-path probe.
+    pub fn is_product_of(&self, a: usize, b: usize) -> bool {
+        matches!(self, ScalarFn::Mul(x, y)
+            if **x == ScalarFn::Var(a) && **y == ScalarFn::Var(b))
+    }
+
+    /// Highest slot index referenced, if any.
+    pub fn max_slot(&self) -> Option<usize> {
+        match self {
+            ScalarFn::Const(_) => None,
+            ScalarFn::Var(i) => Some(*i),
+            ScalarFn::Add(a, b)
+            | ScalarFn::Sub(a, b)
+            | ScalarFn::Mul(a, b)
+            | ScalarFn::Div(a, b)
+            | ScalarFn::Cmp(_, a, b) => a.max_slot().max(b.max_slot()),
+            ScalarFn::Neg(a) | ScalarFn::Abs(a) | ScalarFn::Sqrt(a) => a.max_slot(),
+            ScalarFn::If(c, t, f) => c.max_slot().max(t.max_slot()).max(f.max_slot()),
+        }
+    }
+
+    /// Vectorized evaluation: apply the expression to whole buffers at once
+    /// (one loop per tree node instead of one tree walk per element). This
+    /// is what makes compiled element-wise plans competitive with
+    /// hand-written kernels — the analog of the paper generating straight
+    /// Scala loops instead of interpreting the AST.
+    ///
+    /// Every slot buffer must have at least `len` elements.
+    pub fn eval_batch(&self, vars: &[&[f64]], len: usize) -> Vec<f64> {
+        match self {
+            ScalarFn::Const(c) => vec![*c; len],
+            ScalarFn::Var(i) => vars[*i][..len].to_vec(),
+            ScalarFn::Add(a, b) => zip_batch(a, b, vars, len, |x, y| x + y),
+            ScalarFn::Sub(a, b) => zip_batch(a, b, vars, len, |x, y| x - y),
+            ScalarFn::Mul(a, b) => zip_batch(a, b, vars, len, |x, y| x * y),
+            ScalarFn::Div(a, b) => zip_batch(a, b, vars, len, |x, y| x / y),
+            ScalarFn::Neg(a) => map_batch(a, vars, len, |x| -x),
+            ScalarFn::Abs(a) => map_batch(a, vars, len, f64::abs),
+            ScalarFn::Sqrt(a) => map_batch(a, vars, len, f64::sqrt),
+            ScalarFn::If(c, t, f) => {
+                let mut cond = c.eval_batch(vars, len);
+                let then = t.eval_batch(vars, len);
+                let els = f.eval_batch(vars, len);
+                for ((c, t), e) in cond.iter_mut().zip(then).zip(els) {
+                    *c = if *c != 0.0 { t } else { e };
+                }
+                cond
+            }
+            ScalarFn::Cmp(op, a, b) => {
+                let cmp: fn(f64, f64) -> bool = match op {
+                    BinOp::Eq => |x, y| x == y,
+                    BinOp::Ne => |x, y| x != y,
+                    BinOp::Lt => |x, y| x < y,
+                    BinOp::Le => |x, y| x <= y,
+                    BinOp::Gt => |x, y| x > y,
+                    BinOp::Ge => |x, y| x >= y,
+                    _ => unreachable!("non-comparison in Cmp"),
+                };
+                zip_batch(a, b, vars, len, move |x, y| {
+                    if cmp(x, y) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+            }
+        }
+    }
+}
+
+fn zip_batch(
+    a: &ScalarFn,
+    b: &ScalarFn,
+    vars: &[&[f64]],
+    len: usize,
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<f64> {
+    let mut x = a.eval_batch(vars, len);
+    let y = b.eval_batch(vars, len);
+    for (xv, yv) in x.iter_mut().zip(y) {
+        *xv = f(*xv, yv);
+    }
+    x
+}
+
+fn map_batch(a: &ScalarFn, vars: &[&[f64]], len: usize, f: impl Fn(f64) -> f64) -> Vec<f64> {
+    let mut x = a.eval_batch(vars, len);
+    for xv in x.iter_mut() {
+        *xv = f(*xv);
+    }
+    x
+}
+
+/// An integer index expression over index-variable slots (for tile
+/// coordinate maps, rule 19's `f(k)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdxFn {
+    Const(i64),
+    Var(usize),
+    Add(Box<IdxFn>, Box<IdxFn>),
+    Sub(Box<IdxFn>, Box<IdxFn>),
+    Mul(Box<IdxFn>, Box<IdxFn>),
+    /// Euclidean division (the paper's `i/N` tile coordinates).
+    Div(Box<IdxFn>, Box<IdxFn>),
+    /// Euclidean remainder (`i%N`).
+    Mod(Box<IdxFn>, Box<IdxFn>),
+    Neg(Box<IdxFn>),
+}
+
+impl IdxFn {
+    /// Compile an index expression; variables resolve against `slots`,
+    /// other names against `consts` (registered integer scalars like `n`).
+    pub fn compile(
+        expr: &Expr,
+        slots: &[String],
+        consts: &dyn Fn(&str) -> Option<i64>,
+    ) -> Result<IdxFn, CompError> {
+        let c = |e: &Expr| IdxFn::compile(e, slots, consts);
+        Ok(match expr {
+            Expr::Int(n) => IdxFn::Const(*n),
+            Expr::Var(v) => match slots.iter().position(|s| s == v) {
+                Some(i) => IdxFn::Var(i),
+                None => match consts(v) {
+                    Some(x) => IdxFn::Const(x),
+                    None => {
+                        return Err(CompError::plan(format!(
+                            "variable `{v}` is not an index variable or registered scalar"
+                        )))
+                    }
+                },
+            },
+            Expr::BinOp(op, a, b) => {
+                let (a, b) = (Box::new(c(a)?), Box::new(c(b)?));
+                match op {
+                    BinOp::Add => IdxFn::Add(a, b),
+                    BinOp::Sub => IdxFn::Sub(a, b),
+                    BinOp::Mul => IdxFn::Mul(a, b),
+                    BinOp::Div => IdxFn::Div(a, b),
+                    BinOp::Mod => IdxFn::Mod(a, b),
+                    other => {
+                        return Err(CompError::plan(format!(
+                            "operator {other} is not an index operation"
+                        )))
+                    }
+                }
+            }
+            Expr::UnOp(UnOp::Neg, e) => IdxFn::Neg(Box::new(c(e)?)),
+            other => {
+                return Err(CompError::plan(format!(
+                    "expression is not a compilable index map: {other}"
+                )))
+            }
+        })
+    }
+
+    pub fn eval(&self, vars: &[i64]) -> i64 {
+        match self {
+            IdxFn::Const(x) => *x,
+            IdxFn::Var(i) => vars[*i],
+            IdxFn::Add(a, b) => a.eval(vars) + b.eval(vars),
+            IdxFn::Sub(a, b) => a.eval(vars) - b.eval(vars),
+            IdxFn::Mul(a, b) => a.eval(vars) * b.eval(vars),
+            IdxFn::Div(a, b) => a.eval(vars).div_euclid(b.eval(vars)),
+            IdxFn::Mod(a, b) => a.eval(vars).rem_euclid(b.eval(vars)),
+            IdxFn::Neg(a) => -a.eval(vars),
+        }
+    }
+
+    /// True if this is exactly the slot variable `i` (identity map).
+    pub fn is_identity(&self, slot: usize) -> bool {
+        *self == IdxFn::Var(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comp::parser::parse_expr;
+
+    fn compile_s(src: &str, slots: &[&str]) -> ScalarFn {
+        let slots: Vec<String> = slots.iter().map(|s| s.to_string()).collect();
+        ScalarFn::compile(&parse_expr(src).unwrap(), &slots, &|_| None).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_slots() {
+        let f = compile_s("a * b + 2.0", &["a", "b"]);
+        assert_eq!(f.eval(&[3.0, 4.0]), 14.0);
+    }
+
+    #[test]
+    fn product_probe() {
+        let f = compile_s("a * b", &["a", "b"]);
+        assert!(f.is_product_of(0, 1));
+        assert!(!f.is_product_of(1, 0));
+        assert!(!compile_s("a + b", &["a", "b"]).is_product_of(0, 1));
+    }
+
+    #[test]
+    fn comparisons_produce_indicator() {
+        let f = compile_s("a > 10", &["a"]);
+        assert_eq!(f.eval(&[11.0]), 1.0);
+        assert_eq!(f.eval(&[9.0]), 0.0);
+    }
+
+    #[test]
+    fn if_and_builtins() {
+        let f = compile_s("if (a > 0) sqrt(a) else abs(a)", &["a"]);
+        assert_eq!(f.eval(&[4.0]), 2.0);
+        assert_eq!(f.eval(&[-3.0]), 3.0);
+    }
+
+    #[test]
+    fn consts_inline() {
+        let slots = vec!["a".to_string()];
+        let f = ScalarFn::compile(
+            &parse_expr("a * gamma").unwrap(),
+            &slots,
+            &|v| (v == "gamma").then_some(0.5),
+        )
+        .unwrap();
+        assert_eq!(f.eval(&[8.0]), 4.0);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let slots = vec!["a".to_string()];
+        assert!(ScalarFn::compile(&parse_expr("a + z").unwrap(), &slots, &|_| None).is_err());
+    }
+
+    fn compile_i(src: &str, slots: &[&str]) -> IdxFn {
+        let slots: Vec<String> = slots.iter().map(|s| s.to_string()).collect();
+        IdxFn::compile(&parse_expr(src).unwrap(), &slots, &|_| None).unwrap()
+    }
+
+    #[test]
+    fn index_rotation_map() {
+        let f = compile_i("(i + 1) % 4", &["i"]);
+        assert_eq!(f.eval(&[0]), 1);
+        assert_eq!(f.eval(&[3]), 0);
+    }
+
+    #[test]
+    fn index_identity_probe() {
+        assert!(compile_i("i", &["i"]).is_identity(0));
+        assert!(!compile_i("i + 0", &["i"]).is_identity(0));
+    }
+
+    #[test]
+    fn euclidean_semantics() {
+        let f = compile_i("i / 4", &["i"]);
+        assert_eq!(f.eval(&[-1]), -1);
+        let g = compile_i("i % 4", &["i"]);
+        assert_eq!(g.eval(&[-1]), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Execution context: configuration, the executor pool, task retry, and
+//! failure injection.
+
+use crate::metrics::Metrics;
+use crate::Data;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Builder for [`Context`].
+pub struct ContextBuilder {
+    workers: usize,
+    default_parallelism: usize,
+    max_task_attempts: u32,
+}
+
+impl Default for ContextBuilder {
+    fn default() -> Self {
+        ContextBuilder {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            default_parallelism: 8,
+            max_task_attempts: 4,
+        }
+    }
+}
+
+impl ContextBuilder {
+    /// Number of executor threads used to run tasks.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Default number of partitions for sources and shuffles when the caller
+    /// does not specify one.
+    pub fn default_parallelism(mut self, n: usize) -> Self {
+        self.default_parallelism = n.max(1);
+        self
+    }
+
+    /// Maximum attempts per task before the job fails (Spark's
+    /// `spark.task.maxFailures`).
+    pub fn max_task_attempts(mut self, n: u32) -> Self {
+        self.max_task_attempts = n.max(1);
+        self
+    }
+
+    pub fn build(self) -> Context {
+        Context {
+            inner: Arc::new(CtxInner {
+                workers: self.workers,
+                default_parallelism: self.default_parallelism,
+                max_task_attempts: self.max_task_attempts,
+                metrics: Metrics::default(),
+                injected_failures: AtomicI64::new(0),
+                shuffle_ids: AtomicU64::new(0),
+                broadcasts: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+}
+
+pub(crate) struct CtxInner {
+    pub(crate) workers: usize,
+    pub(crate) default_parallelism: usize,
+    pub(crate) max_task_attempts: u32,
+    pub(crate) metrics: Metrics,
+    injected_failures: AtomicI64,
+    shuffle_ids: AtomicU64,
+    // Broadcast variables are kept alive by the context, like Spark's
+    // BlockManager does; they are just Arc'd values here.
+    broadcasts: Mutex<Vec<Arc<dyn std::any::Any + Send + Sync>>>,
+}
+
+/// Handle to the runtime: creates datasets, runs stages, owns metrics.
+///
+/// Cheap to clone; all clones share one executor pool and metrics sink.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) inner: Arc<CtxInner>,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        ContextBuilder::default().build()
+    }
+}
+
+impl Context {
+    /// A context with the default configuration.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Start building a customized context.
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder::default()
+    }
+
+    /// Number of executor threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Default partition count for sources and shuffles.
+    pub fn default_parallelism(&self) -> usize {
+        self.inner.default_parallelism
+    }
+
+    /// Runtime metrics sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Create a dataset from a local collection, splitting it into
+    /// `partitions` roughly equal chunks.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> crate::Dataset<T> {
+        crate::Dataset::from_vec(self.clone(), data, partitions.max(1))
+    }
+
+    /// [`Context::parallelize`] with the default parallelism.
+    pub fn parallelize_default<T: Data>(&self, data: Vec<T>) -> crate::Dataset<T> {
+        self.parallelize(data, self.inner.default_parallelism)
+    }
+
+    /// Register a broadcast value: a read-only value shared by all tasks.
+    pub fn broadcast<T: Send + Sync + 'static>(&self, value: T) -> Arc<T> {
+        let arc = Arc::new(value);
+        self.inner
+            .broadcasts
+            .lock()
+            .push(arc.clone() as Arc<dyn std::any::Any + Send + Sync>);
+        arc
+    }
+
+    /// Make the next `n` task attempts fail with an injected panic. Used by
+    /// fault-tolerance tests: the scheduler must retry and jobs must still
+    /// produce correct results.
+    pub fn inject_task_failures(&self, n: u32) {
+        self.inner
+            .injected_failures
+            .fetch_add(n as i64, Ordering::SeqCst);
+    }
+
+    pub(crate) fn next_shuffle_id(&self) -> u64 {
+        self.inner.shuffle_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn maybe_injected_failure(&self) {
+        let prev = self.inner.injected_failures.fetch_sub(1, Ordering::SeqCst);
+        if prev > 0 {
+            panic!("sparkline: injected task failure");
+        }
+        // Undo the decrement if no failure was pending.
+        self.inner.injected_failures.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Run one stage of `n` tasks on the executor pool, retrying failed tasks
+    /// up to the configured attempt limit, and return the per-task results in
+    /// task order.
+    ///
+    /// Panics (re-raising the task's panic) if any task exhausts its attempts.
+    pub fn run_tasks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Send + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.inner.metrics.stage_run();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let failure: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let workers = self.inner.workers.min(n);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    if failure.lock().is_some() {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        return;
+                    }
+                    let mut attempt = 0;
+                    loop {
+                        self.inner.metrics.task_launched();
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            self.maybe_injected_failure();
+                            f(i)
+                        }));
+                        match out {
+                            Ok(v) => {
+                                *results[i].lock() = Some(v);
+                                break;
+                            }
+                            Err(cause) => {
+                                self.inner.metrics.task_failed();
+                                attempt += 1;
+                                if attempt >= self.inner.max_task_attempts {
+                                    *failure.lock() = Some(cause);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("executor scope");
+        if let Some(cause) = failure.into_inner() {
+            resume_unwind(cause);
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("task result missing"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tasks_returns_in_task_order() {
+        let ctx = Context::builder().workers(4).build();
+        let out = ctx.run_tasks(16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tasks_zero_tasks() {
+        let ctx = Context::new();
+        let out: Vec<u32> = ctx.run_tasks(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn injected_failures_are_retried() {
+        let ctx = Context::builder().workers(2).build();
+        ctx.inject_task_failures(3);
+        let out = ctx.run_tasks(8, |i| i + 1);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        assert!(ctx.metrics().snapshot().tasks_failed >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected task failure")]
+    fn exhausting_attempts_fails_the_job() {
+        let ctx = Context::builder().workers(1).max_task_attempts(2).build();
+        // More injected failures than total allowed attempts for one task.
+        ctx.inject_task_failures(10);
+        let _ = ctx.run_tasks(1, |i| i);
+    }
+
+    #[test]
+    fn broadcast_is_shared() {
+        let ctx = Context::new();
+        let b = ctx.broadcast(vec![1, 2, 3]);
+        let sums = ctx.run_tasks(4, |_| b.iter().sum::<i32>());
+        assert_eq!(sums, vec![6; 4]);
+    }
+
+    #[test]
+    fn stage_counter_increments() {
+        let ctx = Context::new();
+        let before = ctx.metrics().snapshot().stages_run;
+        ctx.run_tasks(2, |i| i);
+        ctx.run_tasks(2, |i| i);
+        assert_eq!(ctx.metrics().snapshot().stages_run - before, 2);
+    }
+}

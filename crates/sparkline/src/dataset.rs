@@ -1,0 +1,563 @@
+//! The public [`Dataset`] API — the RDD analog.
+
+use crate::context::Context;
+use crate::ops::{CachedOp, MapPartitionsOp, Op, SourceOp, UnionOp};
+use crate::partitioner::KeyPartitioner;
+use crate::shuffle::{Aggregator, CoGroupOp, ShuffleOp};
+use crate::size::SizeOf;
+use crate::Data;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A lazy, immutable, partitioned distributed collection.
+///
+/// Transformations (`map`, `filter`, `join`, ...) are lazy and build an
+/// operator DAG; actions (`collect`, `count`, `reduce`) run the DAG on the
+/// executor pool of the owning [`Context`].
+pub struct Dataset<T: Data> {
+    ctx: Context,
+    op: Arc<dyn Op<T>>,
+}
+
+impl<T: Data> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: self.op.clone(),
+        }
+    }
+}
+
+impl<T: Data> Dataset<T> {
+    pub(crate) fn from_vec(ctx: Context, data: Vec<T>, partitions: usize) -> Self {
+        Dataset {
+            ctx,
+            op: Arc::new(SourceOp::new(data, partitions)),
+        }
+    }
+
+    /// Wrap an operator node (used by higher layers building custom plans).
+    pub fn from_op(ctx: Context, op: Arc<dyn Op<T>>) -> Self {
+        Dataset { ctx, op }
+    }
+
+    /// The context this dataset belongs to.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The underlying operator node.
+    pub fn op(&self) -> &Arc<dyn Op<T>> {
+        &self.op
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.op.num_partitions()
+    }
+
+    /// Descriptor of the partitioner, if this dataset is the output of a
+    /// partitioner-aware shuffle.
+    pub fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        self.op.partitioner_descriptor()
+    }
+
+    /// Operator DAG description, innermost source last.
+    pub fn describe(&self) -> String {
+        self.op.name()
+    }
+
+    fn narrow<U: Data>(
+        &self,
+        label: &str,
+        preserves: bool,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(MapPartitionsOp {
+                parent: self.op.clone(),
+                f: Arc::new(f),
+                preserves_partitioning: preserves,
+                label: label.to_string(),
+            }),
+        }
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Dataset<U> {
+        self.narrow("map", false, move |_, v| v.into_iter().map(&f).collect())
+    }
+
+    /// Element-to-many transformation.
+    pub fn flat_map<U: Data, I: IntoIterator<Item = U>>(
+        &self,
+        f: impl Fn(T) -> I + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        self.narrow("flatMap", false, move |_, v| {
+            v.into_iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Keep elements satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
+        self.narrow("filter", true, move |_, v| {
+            v.into_iter().filter(|t| f(t)).collect()
+        })
+    }
+
+    /// Partition-at-a-time transformation; `f` receives the partition index.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        self.narrow("mapPartitions", false, f)
+    }
+
+    /// Concatenate two datasets.
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(UnionOp {
+                left: self.op.clone(),
+                right: other.op.clone(),
+            }),
+        }
+    }
+
+    /// Distinct elements (the `set` builder of §5.2's image sets): a
+    /// deduplicating shuffle keyed by the element itself.
+    pub fn distinct(&self, partitions: usize) -> Dataset<T>
+    where
+        T: std::hash::Hash + Eq + SizeOf,
+    {
+        self.map(|x| (x, ()))
+            .reduce_by_key(partitions, |_, _| ())
+            .map(|(x, ())| x)
+    }
+
+    /// Cache partitions in memory on first computation.
+    pub fn cache(&self) -> Dataset<T> {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(CachedOp::new(self.op.clone())),
+        }
+    }
+
+    /// Action: materialize every partition and concatenate.
+    pub fn collect(&self) -> Vec<T> {
+        let parts = self
+            .ctx
+            .run_tasks(self.op.num_partitions(), |p| self.op.compute(p, &self.ctx));
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Action: number of elements.
+    pub fn count(&self) -> usize {
+        self.ctx
+            .run_tasks(self.op.num_partitions(), |p| {
+                self.op.compute(p, &self.ctx).len()
+            })
+            .into_iter()
+            .sum()
+    }
+
+    /// Action: reduce all elements with an associative function. Returns
+    /// `None` on an empty dataset.
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> Option<T> {
+        let partials: Vec<Option<T>> = self.ctx.run_tasks(self.op.num_partitions(), |p| {
+            self.op.compute(p, &self.ctx).into_iter().reduce(&f)
+        });
+        partials.into_iter().flatten().reduce(f)
+    }
+
+    /// Action: fold with a zero value and an associative combine.
+    pub fn fold<A: Data>(
+        &self,
+        zero: A,
+        fold: impl Fn(A, T) -> A + Send + Sync + 'static,
+        combine: impl Fn(A, A) -> A + Send + Sync + 'static,
+    ) -> A {
+        let z = zero.clone();
+        let partials: Vec<A> = self.ctx.run_tasks(self.op.num_partitions(), |p| {
+            self.op
+                .compute(p, &self.ctx)
+                .into_iter()
+                .fold(z.clone(), &fold)
+        });
+        partials.into_iter().fold(zero, combine)
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data + SizeOf,
+{
+    /// Transform values, keeping keys (and therefore partitioning).
+    pub fn map_values<U: Data>(
+        &self,
+        f: impl Fn(V) -> U + Send + Sync + 'static,
+    ) -> Dataset<(K, U)> {
+        self.narrow("mapValues", true, move |_, v| {
+            v.into_iter().map(|(k, val)| (k, f(val))).collect()
+        })
+    }
+
+    /// Spark's `reduceByKey`: merge values per key with map-side combining.
+    pub fn reduce_by_key(
+        &self,
+        partitions: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Dataset<(K, V)> {
+        self.reduce_by_key_with(KeyPartitioner::hash(partitions), f)
+    }
+
+    /// `reduceByKey` with an explicit partitioner.
+    pub fn reduce_by_key_with(
+        &self,
+        partitioner: KeyPartitioner<K>,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Dataset<(K, V)> {
+        self.shuffle(partitioner, Aggregator::reducing(f), "reduceByKey")
+    }
+
+    /// `reduceByKey` folding values in place (avoids cloning large combiners
+    /// such as tiles).
+    pub fn reduce_by_key_in_place(
+        &self,
+        partitions: usize,
+        f: impl Fn(&mut V, V) + Send + Sync + 'static,
+    ) -> Dataset<(K, V)> {
+        self.shuffle(
+            KeyPartitioner::hash(partitions),
+            Aggregator::reducing_in_place(f),
+            "reduceByKey",
+        )
+    }
+
+    /// Spark's `groupByKey`: collect all values per key into a list. No
+    /// map-side combining, so every record crosses the shuffle.
+    pub fn group_by_key(&self, partitions: usize) -> Dataset<(K, Vec<V>)> {
+        self.group_by_key_with(KeyPartitioner::hash(partitions))
+    }
+
+    /// `groupByKey` with an explicit partitioner.
+    pub fn group_by_key_with(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, Vec<V>)> {
+        self.shuffle(partitioner, Aggregator::grouping(), "groupByKey")
+    }
+
+    /// Generic combine-by-key shuffle (Spark's `combineByKey`).
+    pub fn shuffle<C: Data + SizeOf>(
+        &self,
+        partitioner: KeyPartitioner<K>,
+        agg: Aggregator<V, C>,
+        operator: &str,
+    ) -> Dataset<(K, C)> {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(ShuffleOp::new(
+                &self.ctx,
+                self.op.clone(),
+                partitioner,
+                agg,
+                operator,
+            )),
+        }
+    }
+
+    /// Redistribute records by a partitioner without combining; duplicate
+    /// keys are preserved. A no-op (narrow) if already co-partitioned.
+    pub fn partition_by(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, V)> {
+        let target = (
+            partitioner.descriptor().to_string(),
+            partitioner.partitions(),
+        );
+        if self.op.partitioner_descriptor().as_ref() == Some(&target) {
+            return self.clone();
+        }
+        self.shuffle(partitioner, Aggregator::pass_through(), "partitionBy")
+    }
+
+    /// Cogroup with another keyed dataset: all values for each key from both
+    /// sides. Narrow (no shuffle) for sides already co-partitioned with the
+    /// chosen partitioner.
+    pub fn cogroup<W: Data + SizeOf>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+        self.cogroup_with(other, KeyPartitioner::hash(partitions))
+    }
+
+    /// Cogroup with an explicit partitioner. If either input is already
+    /// partitioned by an equal partitioner it is not re-shuffled.
+    pub fn cogroup_with<W: Data + SizeOf>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitioner: KeyPartitioner<K>,
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(CoGroupOp::new(
+                &self.ctx,
+                self.op.clone(),
+                other.op.clone(),
+                partitioner,
+                "cogroup",
+            )),
+        }
+    }
+
+    /// Inner join: one output record per matching pair of values.
+    pub fn join<W: Data + SizeOf>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (V, W))> {
+        self.join_with(other, KeyPartitioner::hash(partitions))
+    }
+
+    /// Inner join with an explicit partitioner.
+    pub fn join_with<W: Data + SizeOf>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitioner: KeyPartitioner<K>,
+    ) -> Dataset<(K, (V, W))> {
+        self.cogroup_with(other, partitioner)
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
+                }
+                out
+            })
+    }
+
+    /// Action: collect into a `HashMap` (later values win for duplicates).
+    pub fn collect_map(&self) -> std::collections::HashMap<K, V> {
+        self.collect().into_iter().collect()
+    }
+
+    /// Look up all values for a key (full scan; for tests and small data).
+    pub fn lookup(&self, key: &K) -> Vec<V> {
+        let key = key.clone();
+        self.filter(move |(k, _)| *k == key)
+            .collect()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::builder().workers(4).default_parallelism(4).build()
+    }
+
+    #[test]
+    fn map_filter_collect() {
+        let c = ctx();
+        let d = c.parallelize((0..100).collect(), 8);
+        let out = d.map(|x| x * 2).filter(|x| x % 3 == 0).collect();
+        let expected: Vec<i32> = (0..100).map(|x| x * 2).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn flat_map_and_count() {
+        let c = ctx();
+        let d = c.parallelize(vec![1, 2, 3], 2);
+        assert_eq!(d.flat_map(|x| vec![x; x as usize]).count(), 6);
+    }
+
+    #[test]
+    fn reduce_and_fold() {
+        let c = ctx();
+        let d = c.parallelize((1..=10).collect(), 3);
+        assert_eq!(d.reduce(|a, b| a + b), Some(55));
+        assert_eq!(d.fold(0, |a, b| a + b, |a, b| a + b), 55);
+        let empty: Dataset<i32> = c.parallelize(vec![], 2);
+        assert_eq!(empty.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let c = ctx();
+        let d = c.parallelize(vec![(1, 10), (2, 20), (1, 1), (2, 2), (3, 3)], 3);
+        let mut out = d.reduce_by_key(4, |a, b| a + b).collect();
+        out.sort();
+        assert_eq!(out, vec![(1, 11), (2, 22), (3, 3)]);
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let c = ctx();
+        let d = c.parallelize(vec![(1, 1), (1, 2), (1, 3), (2, 9)], 2);
+        let mut out = d.group_by_key(2).collect();
+        out.sort();
+        let (k1, mut v1) = out[0].clone();
+        v1.sort();
+        assert_eq!((k1, v1), (1, vec![1, 2, 3]));
+        assert_eq!(out[1], (2, vec![9]));
+    }
+
+    #[test]
+    fn reduce_by_key_shuffles_fewer_records_than_group_by_key() {
+        let c = ctx();
+        let data: Vec<(i32, i64)> = (0..1000).map(|i| (i % 10, i as i64)).collect();
+        let d = c.parallelize(data, 8);
+        let before = c.metrics().snapshot();
+        d.reduce_by_key(4, |a, b| a + b).collect();
+        let mid = c.metrics().snapshot();
+        d.group_by_key(4).collect();
+        let after = c.metrics().snapshot();
+        let rbk = mid.since(&before);
+        let gbk = after.since(&mid);
+        // reduceByKey writes at most keys*maps records, groupByKey all 1000.
+        assert!(rbk.shuffle_records <= 80, "rbk: {rbk:?}");
+        assert_eq!(gbk.shuffle_records, 1000, "gbk: {gbk:?}");
+        assert!(rbk.shuffle_bytes < gbk.shuffle_bytes);
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        let c = ctx();
+        let a = c.parallelize(vec![(1, "a"), (2, "b"), (2, "bb")], 2);
+        let b = c.parallelize(vec![(2, 20.0), (3, 30.0)], 2);
+        let mut out = a.join(&b, 2).collect();
+        out.sort_by_key(|(k, (v, _))| (*k, v.to_string()));
+        assert_eq!(out, vec![(2, ("b", 20.0)), (2, ("bb", 20.0))]);
+    }
+
+    #[test]
+    fn cogroup_keeps_unmatched_keys() {
+        let c = ctx();
+        let a = c.parallelize(vec![(1, 10)], 2);
+        let b = c.parallelize(vec![(2, 20)], 2);
+        let mut out = a.cogroup(&b, 2).collect();
+        out.sort();
+        assert_eq!(out, vec![(1, (vec![10], vec![])), (2, (vec![], vec![20]))]);
+    }
+
+    #[test]
+    fn co_partitioned_join_is_narrow() {
+        let c = ctx();
+        let p = KeyPartitioner::<i64>::hash(4);
+        let a = c
+            .parallelize((0..100i64).map(|i| (i, i)).collect(), 4)
+            .partition_by(p.clone());
+        let b = c
+            .parallelize((0..100i64).map(|i| (i, i * 2)).collect(), 4)
+            .partition_by(p.clone());
+        // Materialize both shuffles.
+        a.count();
+        b.count();
+        let before = c.metrics().snapshot();
+        let out = a.join_with(&b, p).collect();
+        let after = c.metrics().snapshot();
+        assert_eq!(out.len(), 100);
+        assert_eq!(
+            after.since(&before).shuffle_count,
+            0,
+            "co-partitioned join must not shuffle"
+        );
+    }
+
+    #[test]
+    fn partition_by_preserves_duplicates_and_sets_partitioner() {
+        let c = ctx();
+        let d = c.parallelize(vec![(1, 1), (1, 2), (1, 3)], 2);
+        let p = d.partition_by(KeyPartitioner::hash(3));
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.partitioner_descriptor(), Some(("hash(3)".into(), 3)));
+        // Re-partitioning by the same partitioner is a no-op.
+        let q = p.partition_by(KeyPartitioner::hash(3));
+        let before = c.metrics().snapshot();
+        q.count();
+        let _ = before;
+    }
+
+    #[test]
+    fn map_values_preserves_partitioning() {
+        let c = ctx();
+        let d = c
+            .parallelize(vec![(1i64, 1i64), (2, 2)], 2)
+            .partition_by(KeyPartitioner::hash(2));
+        let m = d.map_values(|v| v * 10);
+        assert_eq!(m.partitioner_descriptor(), Some(("hash(2)".into(), 2)));
+        let mut out = m.collect();
+        out.sort();
+        assert_eq!(out, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let c = ctx();
+        let d = c.parallelize(vec![1, 2, 2, 3, 1, 1], 3);
+        let mut out = d.distinct(2).collect();
+        out.sort();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = c.parallelize(vec![1, 2], 1);
+        let b = c.parallelize(vec![3], 1);
+        assert_eq!(a.union(&b).collect(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cache_reuses_partitions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = ctx();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let d = c
+            .parallelize((0..10).collect(), 2)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .cache();
+        d.collect();
+        d.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn lookup_finds_all_values() {
+        let c = ctx();
+        let d = c.parallelize(vec![(1, 10), (2, 20), (1, 11)], 3);
+        let mut vs = d.lookup(&1);
+        vs.sort();
+        assert_eq!(vs, vec![10, 11]);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let mk = |workers| {
+            let c = Context::builder().workers(workers).build();
+            let d = c.parallelize((0..500i64).map(|i| (i % 7, i)).collect(), 8);
+            d.reduce_by_key(3, |a, b| a + b).collect()
+        };
+        assert_eq!(mk(1), mk(8));
+    }
+
+    #[test]
+    fn failure_injection_still_produces_correct_results() {
+        let c = ctx();
+        let d = c.parallelize((0..100i64).map(|i| (i % 5, 1i64)).collect(), 4);
+        c.inject_task_failures(2);
+        let mut out = d.reduce_by_key(2, |a, b| a + b).collect();
+        out.sort();
+        assert_eq!(out, (0..5).map(|k| (k, 20)).collect::<Vec<_>>());
+        assert!(c.metrics().snapshot().tasks_failed >= 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # sparkline — a Spark-like in-process distributed dataflow runtime
+//!
+//! This crate is the execution substrate for the SAC reproduction. The paper
+//! ("Scalable Linear Algebra Programming for Big Data Analysis", EDBT 2021)
+//! compiles array comprehensions to Apache Spark RDD programs; `sparkline`
+//! provides the same programming and execution model in-process:
+//!
+//! * [`Dataset<T>`] — a lazy, immutable, partitioned collection (an RDD).
+//!   Transformations build a DAG; actions (`collect`, `count`, `reduce`)
+//!   trigger execution.
+//! * **Narrow transformations** (`map`, `flat_map`, `filter`,
+//!   `map_partitions`, `map_values`) run pipelined inside one task per
+//!   partition.
+//! * **Wide transformations** (`reduce_by_key`, `group_by_key`, `join`,
+//!   `cogroup`, `partition_by`) introduce a shuffle: map tasks bucket their
+//!   output by a [`KeyPartitioner`], reduce tasks merge the buckets. Shuffled
+//!   bytes and record counts are accounted in [`Metrics`] so the cost claims
+//!   of the paper (e.g. `reduceByKey` shuffles less than `groupByKey` thanks
+//!   to map-side combining) are observable, not just asserted.
+//! * **Executors** are worker threads; every stage's tasks are scheduled onto
+//!   them, and failed tasks are retried from lineage (narrow chains recompute,
+//!   shuffle outputs are reused), which is exercised by the failure-injection
+//!   tests.
+//!
+//! The runtime is intentionally faithful to Spark semantics where the paper
+//! relies on them:
+//!
+//! * `reduce_by_key` performs **map-side combining** (Spark's combiner), so a
+//!   tile-level `reduceByKey` plan writes one partially-reduced tile per key
+//!   per map task rather than one record per product.
+//! * `join`/`cogroup` of two datasets that are **co-partitioned** (same
+//!   [`KeyPartitioner`] descriptor and partition count) execute as a narrow
+//!   zip of partitions without any shuffle, mirroring Spark's
+//!   partitioner-aware joins.
+//! * Nested datasets are not allowed inside task closures (there is no handle
+//!   to smuggle: closures only see plain values), matching Spark's "no nested
+//!   RDDs" rule that §4 of the paper designs around.
+
+pub mod context;
+pub mod dataset;
+pub mod metrics;
+pub mod ops;
+pub mod partitioner;
+pub mod shuffle;
+pub mod size;
+
+pub use context::{Context, ContextBuilder};
+pub use dataset::Dataset;
+pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
+pub use partitioner::KeyPartitioner;
+pub use size::SizeOf;
+
+/// Marker bound for element types stored in datasets.
+///
+/// Everything that flows through the runtime must be shareable across worker
+/// threads and clonable (records are duplicated at shuffle boundaries, as
+/// serialization would do on a real cluster).
+pub trait Data: Send + Sync + Clone + 'static {}
+impl<T: Send + Sync + Clone + 'static> Data for T {}

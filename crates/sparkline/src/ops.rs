@@ -1,0 +1,205 @@
+//! Physical operator DAG nodes (the "RDD" objects behind a [`crate::Dataset`]).
+
+use crate::context::Context;
+use crate::Data;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A node in the operator DAG. `compute` materializes one partition; narrow
+/// operators call their parent's `compute` recursively (pipelining within the
+/// same task), wide operators materialize a shuffle first.
+pub trait Op<T: Data>: Send + Sync + 'static {
+    /// Number of partitions this operator produces.
+    fn num_partitions(&self) -> usize;
+
+    /// Materialize partition `part`.
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<T>;
+
+    /// Descriptor of the key partitioner this output is partitioned by, if
+    /// any — `Some` only for key-value datasets that went through a
+    /// partitioner-aware shuffle. Used for co-partitioned narrow joins.
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        None
+    }
+
+    /// Operator name for debugging / plan explanation.
+    fn name(&self) -> String;
+}
+
+/// Leaf: an in-memory collection split into near-equal chunks.
+pub struct SourceOp<T> {
+    parts: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Data> SourceOp<T> {
+    pub fn new(data: Vec<T>, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        let total = data.len();
+        let chunk = total.div_ceil(partitions).max(1);
+        let mut parts: Vec<Arc<Vec<T>>> = Vec::with_capacity(partitions);
+        let mut it = data.into_iter();
+        for _ in 0..partitions {
+            let p: Vec<T> = it.by_ref().take(chunk).collect();
+            parts.push(Arc::new(p));
+        }
+        SourceOp { parts }
+    }
+}
+
+impl<T: Data> Op<T> for SourceOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    fn compute(&self, part: usize, _ctx: &Context) -> Vec<T> {
+        self.parts[part].as_ref().clone()
+    }
+
+    fn name(&self) -> String {
+        format!("source[{}]", self.parts.len())
+    }
+}
+
+/// Narrow transformation: partition-at-a-time function over the parent.
+/// Implements `map`, `flat_map`, `filter`, `map_partitions`, `map_values`.
+pub struct MapPartitionsOp<T: Data, U: Data> {
+    pub(crate) parent: Arc<dyn Op<T>>,
+    pub(crate) f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+    /// If true, the output keeps the parent's partitioner descriptor (legal
+    /// only when keys are not changed, e.g. `map_values`).
+    pub(crate) preserves_partitioning: bool,
+    pub(crate) label: String,
+}
+
+impl<T: Data, U: Data> Op<U> for MapPartitionsOp<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<U> {
+        let input = self.parent.compute(part, ctx);
+        (self.f)(part, input)
+    }
+
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        if self.preserves_partitioning {
+            self.parent.partitioner_descriptor()
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{} <- {}", self.label, self.parent.name())
+    }
+}
+
+/// Concatenation of two datasets; partitions of `left` come first.
+pub struct UnionOp<T: Data> {
+    pub(crate) left: Arc<dyn Op<T>>,
+    pub(crate) right: Arc<dyn Op<T>>,
+}
+
+impl<T: Data> Op<T> for UnionOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions() + self.right.num_partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+        let nl = self.left.num_partitions();
+        if part < nl {
+            self.left.compute(part, ctx)
+        } else {
+            self.right.compute(part - nl, ctx)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("union({}, {})", self.left.name(), self.right.name())
+    }
+}
+
+/// Caches each partition on first computation (Spark's `persist(MEMORY_ONLY)`).
+pub struct CachedOp<T: Data> {
+    pub(crate) parent: Arc<dyn Op<T>>,
+    pub(crate) slots: Vec<Mutex<Option<Arc<Vec<T>>>>>,
+}
+
+impl<T: Data> CachedOp<T> {
+    pub(crate) fn new(parent: Arc<dyn Op<T>>) -> Self {
+        let n = parent.num_partitions();
+        CachedOp {
+            parent,
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+}
+
+impl<T: Data> Op<T> for CachedOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+        let mut slot = self.slots[part].lock();
+        if let Some(cached) = slot.as_ref() {
+            return cached.as_ref().clone();
+        }
+        let data = Arc::new(self.parent.compute(part, ctx));
+        *slot = Some(data.clone());
+        data.as_ref().clone()
+    }
+
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        self.parent.partitioner_descriptor()
+    }
+
+    fn name(&self) -> String {
+        format!("cache({})", self.parent.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_splits_evenly() {
+        let op = SourceOp::new((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(op.num_partitions(), 3);
+        let ctx = Context::new();
+        let all: Vec<i32> = (0..3).flat_map(|p| op.compute(p, &ctx)).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn source_with_more_partitions_than_items() {
+        let op = SourceOp::new(vec![1, 2], 5);
+        assert_eq!(op.num_partitions(), 5);
+        let ctx = Context::new();
+        let total: usize = (0..5).map(|p| op.compute(p, &ctx).len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn cached_computes_parent_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let src: Arc<dyn Op<i32>> = Arc::new(SourceOp::new(vec![1, 2, 3], 1));
+        let counted = Arc::new(MapPartitionsOp {
+            parent: src,
+            f: Arc::new(move |_, v: Vec<i32>| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                v
+            }),
+            preserves_partitioning: false,
+            label: "count".into(),
+        });
+        let cached = CachedOp::new(counted as Arc<dyn Op<i32>>);
+        let ctx = Context::new();
+        assert_eq!(cached.compute(0, &ctx), vec![1, 2, 3]);
+        assert_eq!(cached.compute(0, &ctx), vec![1, 2, 3]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+}

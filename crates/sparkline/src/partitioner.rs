@@ -1,0 +1,169 @@
+//! Key partitioners for shuffles.
+//!
+//! A [`KeyPartitioner`] maps keys to reduce partitions. Two datasets whose
+//! partitioners have equal descriptors and partition counts are
+//! *co-partitioned*: joins and cogroups between them are narrow (no shuffle),
+//! exactly as in Spark. The descriptor string is how partitioner identity is
+//! compared, since closures cannot be.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A partitioner over keys of type `K`.
+pub struct KeyPartitioner<K: ?Sized> {
+    partitions: usize,
+    descriptor: String,
+    func: Arc<dyn Fn(&K) -> usize + Send + Sync>,
+}
+
+impl<K: ?Sized> Clone for KeyPartitioner<K> {
+    fn clone(&self) -> Self {
+        KeyPartitioner {
+            partitions: self.partitions,
+            descriptor: self.descriptor.clone(),
+            func: self.func.clone(),
+        }
+    }
+}
+
+impl<K: ?Sized> std::fmt::Debug for KeyPartitioner<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyPartitioner({})", self.descriptor)
+    }
+}
+
+impl<K: ?Sized> KeyPartitioner<K> {
+    /// Build a partitioner from an arbitrary function. The `descriptor` must
+    /// uniquely identify the partitioning scheme: equal descriptors (and
+    /// partition counts) are treated as co-partitioned.
+    pub fn new(
+        partitions: usize,
+        descriptor: impl Into<String>,
+        func: impl Fn(&K) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        let partitions = partitions.max(1);
+        KeyPartitioner {
+            partitions,
+            descriptor: descriptor.into(),
+            func: Arc::new(func),
+        }
+    }
+
+    /// Number of reduce partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Identity descriptor used for co-partitioning checks.
+    pub fn descriptor(&self) -> &str {
+        &self.descriptor
+    }
+
+    /// The reduce partition for `key`. Always in `0..partitions()`.
+    pub fn partition(&self, key: &K) -> usize {
+        (self.func)(key) % self.partitions
+    }
+
+    /// Co-partitioning check: same scheme and same partition count.
+    pub fn same_as(&self, other: &KeyPartitioner<K>) -> bool {
+        self.partitions == other.partitions && self.descriptor == other.descriptor
+    }
+}
+
+fn hash_one<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K: Hash + ?Sized> KeyPartitioner<K> {
+    /// Spark's default `HashPartitioner`.
+    pub fn hash(partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        KeyPartitioner::new(partitions, format!("hash({partitions})"), move |k: &K| {
+            hash_one(k) as usize
+        })
+    }
+}
+
+impl KeyPartitioner<(i64, i64)> {
+    /// MLlib's `GridPartitioner` over block coordinates `(row, col)` of a
+    /// `rows x cols` block grid: contiguous rectangles of blocks map to the
+    /// same partition, which keeps a block row/column on few partitions.
+    pub fn grid(block_rows: usize, block_cols: usize, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        let block_rows = block_rows.max(1);
+        let block_cols = block_cols.max(1);
+        // Mirror MLlib: choose a sub-grid of partitions of size
+        // ceil(sqrt(partitions)) per side.
+        let side = (partitions as f64).sqrt().ceil() as usize;
+        let rows_per = block_rows.div_ceil(side);
+        let cols_per = block_cols.div_ceil(side);
+        let desc = format!("grid({block_rows}x{block_cols},{partitions})");
+        KeyPartitioner::new(partitions, desc, move |&(i, j): &(i64, i64)| {
+            let bi = (i.max(0) as usize).min(block_rows - 1) / rows_per;
+            let bj = (j.max(0) as usize).min(block_cols - 1) / cols_per;
+            bi + bj * side
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_in_range_and_deterministic() {
+        let p = KeyPartitioner::<i64>::hash(7);
+        for k in -100i64..100 {
+            let a = p.partition(&k);
+            assert!(a < 7);
+            assert_eq!(a, p.partition(&k));
+        }
+    }
+
+    #[test]
+    fn same_descriptor_means_co_partitioned() {
+        let a = KeyPartitioner::<i64>::hash(4);
+        let b = KeyPartitioner::<i64>::hash(4);
+        let c = KeyPartitioner::<i64>::hash(8);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+    }
+
+    #[test]
+    fn grid_partitioner_covers_range() {
+        let p = KeyPartitioner::grid(10, 10, 6);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10i64 {
+            for j in 0..10i64 {
+                let part = p.partition(&(i, j));
+                assert!(part < 6);
+                seen.insert(part);
+            }
+        }
+        assert!(seen.len() > 1, "grid should spread blocks across partitions");
+    }
+
+    #[test]
+    fn grid_partitioner_keeps_neighbors_close() {
+        let p = KeyPartitioner::grid(8, 8, 4);
+        // Blocks in the same sub-rectangle share a partition.
+        assert_eq!(p.partition(&(0, 0)), p.partition(&(1, 1)));
+    }
+
+    #[test]
+    fn zero_partitions_clamped_to_one() {
+        let p = KeyPartitioner::<i64>::hash(0);
+        assert_eq!(p.partitions(), 1);
+        assert_eq!(p.partition(&42), 0);
+    }
+
+    #[test]
+    fn custom_partitioner() {
+        let p = KeyPartitioner::new(3, "mod3", |k: &i64| *k as usize);
+        assert_eq!(p.partition(&4), 1);
+        assert_eq!(p.descriptor(), "mod3");
+    }
+}

@@ -1,0 +1,460 @@
+//! Wide (shuffle) operators: the machinery behind `reduce_by_key`,
+//! `group_by_key`, `partition_by`, `cogroup` and `join`.
+//!
+//! A shuffle materializes in two stages, as in Spark:
+//!
+//! 1. **Map stage** — one task per parent partition computes the parent
+//!    partition, routes each record to a reduce bucket with the
+//!    [`KeyPartitioner`], optionally combining values per key on the map side
+//!    (Spark's combiner; this is what makes `reduceByKey` cheaper than
+//!    `groupByKey`, the distinction §4 of the paper builds on). Bucket sizes
+//!    are accounted in [`crate::Metrics`].
+//! 2. **Reduce stage** — one task per reduce partition merges the buckets
+//!    destined to it, combining per key (or simply concatenating for
+//!    `partition_by`).
+//!
+//! Merging uses insertion-ordered maps so results are deterministic across
+//! runs and worker counts.
+
+use crate::context::Context;
+use crate::metrics::ShuffleDetail;
+use crate::ops::Op;
+use crate::partitioner::KeyPartitioner;
+use crate::size::SizeOf;
+use crate::Data;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// How map-side values become reduce-side combiners.
+pub struct Aggregator<V, C> {
+    /// Make the initial combiner from the first value of a key.
+    pub create: Arc<dyn Fn(V) -> C + Send + Sync>,
+    /// Fold one more value into a combiner (map side).
+    pub merge_value: Arc<dyn Fn(&mut C, V) + Send + Sync>,
+    /// Merge two combiners (reduce side).
+    pub merge_combiners: Arc<dyn Fn(&mut C, C) + Send + Sync>,
+    /// Combine per key on the map side before writing shuffle output.
+    pub map_side_combine: bool,
+    /// Merge combiners per key on the reduce side. `false` for
+    /// `partition_by`, which must preserve duplicate keys.
+    pub merge_on_reduce: bool,
+}
+
+impl<V, C> Clone for Aggregator<V, C> {
+    fn clone(&self) -> Self {
+        Aggregator {
+            create: self.create.clone(),
+            merge_value: self.merge_value.clone(),
+            merge_combiners: self.merge_combiners.clone(),
+            map_side_combine: self.map_side_combine,
+            merge_on_reduce: self.merge_on_reduce,
+        }
+    }
+}
+
+impl<V: Data> Aggregator<V, V> {
+    /// Aggregator for `reduce_by_key(f)`: the combiner is the running value.
+    pub fn reducing(f: impl Fn(V, V) -> V + Send + Sync + 'static) -> Self {
+        let f = Arc::new(f);
+        let f2 = f.clone();
+        Aggregator {
+            create: Arc::new(|v| v),
+            merge_value: Arc::new(move |c: &mut V, v| {
+                let old = c.clone();
+                *c = f(old, v);
+            }),
+            merge_combiners: Arc::new(move |c: &mut V, o| {
+                let old = c.clone();
+                *c = f2(old, o);
+            }),
+            map_side_combine: true,
+            merge_on_reduce: true,
+        }
+    }
+
+    /// Like [`Aggregator::reducing`] but folding in place, avoiding the clone
+    /// of the running combiner — important when values are large tiles.
+    pub fn reducing_in_place(f: impl Fn(&mut V, V) + Send + Sync + 'static) -> Self {
+        let f = Arc::new(f);
+        let f2 = f.clone();
+        Aggregator {
+            create: Arc::new(|v| v),
+            merge_value: Arc::new(move |c: &mut V, v| f(c, v)),
+            merge_combiners: Arc::new(move |c: &mut V, o| f2(c, o)),
+            map_side_combine: true,
+            merge_on_reduce: true,
+        }
+    }
+
+    /// Aggregator for `partition_by`: no combining anywhere, duplicate keys
+    /// are preserved.
+    pub fn pass_through() -> Self {
+        Aggregator {
+            create: Arc::new(|v| v),
+            merge_value: Arc::new(|_c: &mut V, _v| {
+                unreachable!("pass_through never combines")
+            }),
+            merge_combiners: Arc::new(|_c: &mut V, _o| {
+                unreachable!("pass_through never combines")
+            }),
+            map_side_combine: false,
+            merge_on_reduce: false,
+        }
+    }
+}
+
+impl<V: Data> Aggregator<V, Vec<V>> {
+    /// Aggregator for `group_by_key`: the combiner is the list of values.
+    /// No map-side combine — grouping on the map side saves nothing, which is
+    /// exactly why the paper prefers `reduceByKey` plans (§4, §5.3).
+    pub fn grouping() -> Self {
+        Aggregator {
+            create: Arc::new(|v| vec![v]),
+            merge_value: Arc::new(|c: &mut Vec<V>, v| c.push(v)),
+            merge_combiners: Arc::new(|c: &mut Vec<V>, mut o| c.append(&mut o)),
+            map_side_combine: false,
+            merge_on_reduce: true,
+        }
+    }
+}
+
+/// Insertion-ordered key → combiner map, so shuffle output order is
+/// deterministic regardless of hash iteration order.
+pub(crate) struct OrderedMerge<K, C> {
+    index: HashMap<K, usize>,
+    entries: Vec<(K, C)>,
+}
+
+impl<K: Data + Hash + Eq, C> OrderedMerge<K, C> {
+    pub(crate) fn new() -> Self {
+        OrderedMerge {
+            index: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Fold a map-side value into the combiner for `key`.
+    pub(crate) fn fold_value<V>(&mut self, key: K, value: V, agg: &Aggregator<V, C>) {
+        match self.index.get(&key) {
+            Some(&i) => (agg.merge_value)(&mut self.entries[i].1, value),
+            None => {
+                let c = (agg.create)(value);
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, c));
+            }
+        }
+    }
+
+    /// Merge a reduce-side combiner into the combiner for `key`.
+    pub(crate) fn fold_combiner<V>(&mut self, key: K, comb: C, agg: &Aggregator<V, C>) {
+        match self.index.get(&key) {
+            Some(&i) => (agg.merge_combiners)(&mut self.entries[i].1, comb),
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, comb));
+            }
+        }
+    }
+
+    pub(crate) fn into_entries(self) -> Vec<(K, C)> {
+        self.entries
+    }
+}
+
+/// Wide operator producing `(K, C)` pairs partitioned by a [`KeyPartitioner`].
+pub struct ShuffleOp<K: Data, V: Data, C: Data> {
+    parent: Arc<dyn Op<(K, V)>>,
+    partitioner: KeyPartitioner<K>,
+    agg: Aggregator<V, C>,
+    operator: String,
+    shuffle_id: u64,
+    state: Mutex<Option<Arc<Vec<Vec<(K, C)>>>>>,
+}
+
+impl<K, V, C> ShuffleOp<K, V, C>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data,
+    C: Data + SizeOf,
+{
+    pub fn new(
+        ctx: &Context,
+        parent: Arc<dyn Op<(K, V)>>,
+        partitioner: KeyPartitioner<K>,
+        agg: Aggregator<V, C>,
+        operator: impl Into<String>,
+    ) -> Self {
+        ShuffleOp {
+            parent,
+            partitioner,
+            agg,
+            operator: operator.into(),
+            shuffle_id: ctx.next_shuffle_id(),
+            state: Mutex::new(None),
+        }
+    }
+
+    /// Run the map and reduce stages once; later calls reuse the output
+    /// (Spark keeps shuffle files, so retried downstream tasks re-read them).
+    fn ensure_materialized(&self, ctx: &Context) -> Arc<Vec<Vec<(K, C)>>> {
+        let mut state = self.state.lock();
+        if let Some(out) = state.as_ref() {
+            return out.clone();
+        }
+        let n_map = self.parent.num_partitions();
+        let n_red = self.partitioner.partitions();
+
+        // Map stage: route (and maybe combine) records into reduce buckets.
+        let map_outputs: Vec<(Vec<Vec<(K, C)>>, u64, u64)> = ctx.run_tasks(n_map, |p| {
+            let input = self.parent.compute(p, ctx);
+            let records_in = input.len() as u64;
+            let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
+                let mut merges: Vec<OrderedMerge<K, C>> =
+                    (0..n_red).map(|_| OrderedMerge::new()).collect();
+                for (k, v) in input {
+                    let b = self.partitioner.partition(&k);
+                    merges[b].fold_value(k, v, &self.agg);
+                }
+                merges.into_iter().map(OrderedMerge::into_entries).collect()
+            } else {
+                let mut buckets: Vec<Vec<(K, C)>> = (0..n_red).map(|_| Vec::new()).collect();
+                for (k, v) in input {
+                    let b = self.partitioner.partition(&k);
+                    buckets[b].push((k, (self.agg.create)(v)));
+                }
+                buckets
+            };
+            let bytes: u64 = buckets
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                .sum();
+            (buckets, bytes, records_in)
+        });
+
+        let bytes_written: u64 = map_outputs.iter().map(|(_, b, _)| *b).sum();
+        let records_in: u64 = map_outputs.iter().map(|(_, _, r)| *r).sum();
+        let records_written: u64 = map_outputs
+            .iter()
+            .map(|(bs, _, _)| bs.iter().map(Vec::len).sum::<usize>() as u64)
+            .sum();
+        ctx.metrics().record_shuffle(ShuffleDetail {
+            shuffle_id: self.shuffle_id,
+            operator: self.operator.clone(),
+            bytes_written,
+            records_written,
+            records_in,
+            map_partitions: n_map,
+            reduce_partitions: n_red,
+        });
+
+        // Hand each reduce partition ownership of its buckets so merging
+        // moves records instead of cloning them (the "fetch" of a shuffle
+        // read).
+        let mut per_reduce: Vec<Vec<Vec<(K, C)>>> =
+            (0..n_red).map(|_| Vec::with_capacity(n_map)).collect();
+        for (buckets, _, _) in map_outputs {
+            for (r, bucket) in buckets.into_iter().enumerate() {
+                per_reduce[r].push(bucket);
+            }
+        }
+        let slots: Vec<Mutex<Option<Vec<Vec<(K, C)>>>>> =
+            per_reduce.into_iter().map(|b| Mutex::new(Some(b))).collect();
+
+        // Reduce stage: merge all buckets destined to each reduce partition.
+        // Buckets are consumed at most once: a task retried *after* its
+        // merge already started (a user combine function panicked mid-way)
+        // fails loudly rather than producing silently empty output.
+        // Scheduler-injected failures fire before the closure runs, so
+        // ordinary retries never hit this.
+        let reduced: Vec<Vec<(K, C)>> = ctx.run_tasks(n_red, |r| {
+            let buckets = slots[r]
+                .lock()
+                .take()
+                .expect("shuffle reduce input already consumed by a failed attempt");
+            if self.agg.merge_on_reduce {
+                let mut merge = OrderedMerge::new();
+                for bucket in buckets {
+                    for (k, c) in bucket {
+                        merge.fold_combiner(k, c, &self.agg);
+                    }
+                }
+                merge.into_entries()
+            } else {
+                buckets.into_iter().flatten().collect()
+            }
+        });
+
+        let out = Arc::new(reduced);
+        *state = Some(out.clone());
+        out
+    }
+}
+
+impl<K, V, C> Op<(K, C)> for ShuffleOp<K, V, C>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data,
+    C: Data + SizeOf,
+{
+    fn num_partitions(&self) -> usize {
+        self.partitioner.partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<(K, C)> {
+        self.ensure_materialized(ctx)[part].clone()
+    }
+
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        Some((
+            self.partitioner.descriptor().to_string(),
+            self.partitioner.partitions(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        format!("{} <~ {}", self.operator, self.parent.name())
+    }
+}
+
+/// One side of a cogroup: either already grouped by the right partitioner
+/// (narrow) or re-shuffled into groups.
+pub(crate) enum CoGroupSide<K: Data, V: Data> {
+    /// The parent is co-partitioned with the cogroup's partitioner; its
+    /// partitions are read directly and grouped in-task.
+    Narrow(Arc<dyn Op<(K, V)>>),
+    /// The parent is shuffled into per-key groups first.
+    Shuffled(Arc<ShuffleOp<K, V, Vec<V>>>),
+}
+
+impl<K, V> CoGroupSide<K, V>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data + SizeOf,
+{
+    fn grouped_partition(&self, part: usize, ctx: &Context) -> Vec<(K, Vec<V>)> {
+        match self {
+            CoGroupSide::Narrow(op) => {
+                let agg = Aggregator::<V, Vec<V>>::grouping();
+                let mut merge = OrderedMerge::new();
+                for (k, v) in op.compute(part, ctx) {
+                    merge.fold_value(k, v, &agg);
+                }
+                merge.into_entries()
+            }
+            CoGroupSide::Shuffled(op) => op.compute(part, ctx),
+        }
+    }
+
+    fn was_shuffled(&self) -> bool {
+        matches!(self, CoGroupSide::Shuffled(_))
+    }
+}
+
+/// Cogroup of two keyed datasets: `(K, (Vec<V>, Vec<W>))`, one output record
+/// per key present on either side.
+pub struct CoGroupOp<K: Data, V: Data, W: Data> {
+    pub(crate) left: CoGroupSide<K, V>,
+    pub(crate) right: CoGroupSide<K, W>,
+    pub(crate) partitioner: KeyPartitioner<K>,
+}
+
+impl<K, V, W> CoGroupOp<K, V, W>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data + SizeOf,
+    W: Data + SizeOf,
+{
+    /// Build a cogroup, shuffling only the sides that are not already
+    /// co-partitioned with `partitioner`.
+    pub fn new(
+        ctx: &Context,
+        left: Arc<dyn Op<(K, V)>>,
+        right: Arc<dyn Op<(K, W)>>,
+        partitioner: KeyPartitioner<K>,
+        operator: &str,
+    ) -> Self {
+        let target = (
+            partitioner.descriptor().to_string(),
+            partitioner.partitions(),
+        );
+        let left = if left.partitioner_descriptor().as_ref() == Some(&target) {
+            CoGroupSide::Narrow(left)
+        } else {
+            CoGroupSide::Shuffled(Arc::new(ShuffleOp::new(
+                ctx,
+                left,
+                partitioner.clone(),
+                Aggregator::grouping(),
+                format!("{operator}.left"),
+            )))
+        };
+        let right = if right.partitioner_descriptor().as_ref() == Some(&target) {
+            CoGroupSide::Narrow(right)
+        } else {
+            CoGroupSide::Shuffled(Arc::new(ShuffleOp::new(
+                ctx,
+                right,
+                partitioner.clone(),
+                Aggregator::grouping(),
+                format!("{operator}.right"),
+            )))
+        };
+        CoGroupOp {
+            left,
+            right,
+            partitioner,
+        }
+    }
+
+    /// True if either input required a shuffle (used by plan-shape tests).
+    pub fn shuffles(&self) -> bool {
+        self.left.was_shuffled() || self.right.was_shuffled()
+    }
+}
+
+impl<K, V, W> Op<(K, (Vec<V>, Vec<W>))> for CoGroupOp<K, V, W>
+where
+    K: Data + Hash + Eq + SizeOf,
+    V: Data + SizeOf,
+    W: Data + SizeOf,
+{
+    fn num_partitions(&self) -> usize {
+        self.partitioner.partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<(K, (Vec<V>, Vec<W>))> {
+        let lhs = self.left.grouped_partition(part, ctx);
+        let rhs = self.right.grouped_partition(part, ctx);
+        // Merge by key, keeping left-then-right first-seen order.
+        let mut index: HashMap<K, usize> = HashMap::new();
+        let mut out: Vec<(K, (Vec<V>, Vec<W>))> = Vec::with_capacity(lhs.len());
+        for (k, vs) in lhs {
+            index.insert(k.clone(), out.len());
+            out.push((k, (vs, Vec::new())));
+        }
+        for (k, ws) in rhs {
+            match index.get(&k) {
+                Some(&i) => out[i].1 .1 = ws,
+                None => {
+                    index.insert(k.clone(), out.len());
+                    out.push((k, (Vec::new(), ws)));
+                }
+            }
+        }
+        out
+    }
+
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        Some((
+            self.partitioner.descriptor().to_string(),
+            self.partitioner.partitions(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "cogroup".into()
+    }
+}

@@ -1,0 +1,144 @@
+//! Byte-size estimation for shuffle accounting.
+//!
+//! Spark reports shuffle read/write in bytes; the paper's central cost
+//! argument (block arrays shuffle less than coordinate-format arrays, and
+//! `reduceByKey` shuffles less than `groupByKey`) is a statement about these
+//! bytes. [`SizeOf`] estimates the wire size a record would have under a
+//! simple binary encoding, without actually serializing.
+
+/// Estimated encoded size of a value in bytes.
+///
+/// The estimate models a compact binary codec: fixed-width primitives,
+/// `len + elements` for sequences. It only needs to be *consistent* so that
+/// relative comparisons between plans are meaningful.
+pub trait SizeOf {
+    /// Estimated number of encoded bytes for `self`.
+    fn size_of(&self) -> usize;
+}
+
+macro_rules! size_fixed {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl SizeOf for $t {
+            #[inline]
+            fn size_of(&self) -> usize { $n }
+        })*
+    };
+}
+
+size_fixed! {
+    u8 => 1, i8 => 1, u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8, bool => 1, char => 4,
+    () => 0,
+}
+
+impl SizeOf for String {
+    #[inline]
+    fn size_of(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl SizeOf for &str {
+    #[inline]
+    fn size_of(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: SizeOf> SizeOf for Option<T> {
+    #[inline]
+    fn size_of(&self) -> usize {
+        1 + self.as_ref().map_or(0, SizeOf::size_of)
+    }
+}
+
+impl<T: SizeOf> SizeOf for Vec<T> {
+    #[inline]
+    fn size_of(&self) -> usize {
+        4 + self.iter().map(SizeOf::size_of).sum::<usize>()
+    }
+}
+
+impl<T: SizeOf> SizeOf for Box<T> {
+    #[inline]
+    fn size_of(&self) -> usize {
+        (**self).size_of()
+    }
+}
+
+impl<T: SizeOf> SizeOf for std::sync::Arc<T> {
+    #[inline]
+    fn size_of(&self) -> usize {
+        (**self).size_of()
+    }
+}
+
+macro_rules! size_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: SizeOf),+> SizeOf for ($($name,)+) {
+            #[inline]
+            #[allow(non_snake_case)]
+            fn size_of(&self) -> usize {
+                let ($($name,)+) = self;
+                0 $(+ $name.size_of())+
+            }
+        }
+    };
+}
+
+size_tuple!(A);
+size_tuple!(A, B);
+size_tuple!(A, B, C);
+size_tuple!(A, B, C, D);
+size_tuple!(A, B, C, D, E);
+size_tuple!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_fixed_sizes() {
+        assert_eq!(1u8.size_of(), 1);
+        assert_eq!(1i64.size_of(), 8);
+        assert_eq!(1.0f64.size_of(), 8);
+        assert_eq!(true.size_of(), 1);
+        assert_eq!(().size_of(), 0);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1i64, 2.0f64).size_of(), 16);
+        assert_eq!(((1i64, 2i64), 3.0f64).size_of(), 24);
+    }
+
+    #[test]
+    fn vec_counts_header_and_elements() {
+        let v: Vec<f64> = vec![0.0; 10];
+        assert_eq!(v.size_of(), 4 + 80);
+        let empty: Vec<f64> = vec![];
+        assert_eq!(empty.size_of(), 4);
+    }
+
+    #[test]
+    fn string_counts_bytes() {
+        assert_eq!("abc".to_string().size_of(), 7);
+    }
+
+    #[test]
+    fn option_and_smart_pointers() {
+        assert_eq!(Some(1i32).size_of(), 5);
+        assert_eq!(None::<i32>.size_of(), 1);
+        assert_eq!(Box::new(7u64).size_of(), 8);
+        assert_eq!(std::sync::Arc::new(7u64).size_of(), 8);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v = vec![vec![1i32, 2], vec![3]];
+        // outer header 4 + (4 + 8) + (4 + 4)
+        assert_eq!(v.size_of(), 24);
+    }
+}

@@ -1,0 +1,187 @@
+//! Compressed-sparse-column tiles — the §8 "future work" storage extension.
+//!
+//! The paper's conclusion proposes tiled arrays "where each tile is stored in
+//! the compressed sparse column format". [`CscTile`] is that storage, with
+//! the two kernels block plans need: CSC x dense GEMM and pairwise addition.
+//! The extension example and the ablation bench use it to show the layered
+//! sparsifier/builder design is storage-agnostic.
+
+use crate::tile::DenseMatrix;
+use sparkline::SizeOf;
+
+/// A sparse matrix tile in compressed-sparse-column format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscTile {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes the entries of column `j`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SizeOf for CscTile {
+    fn size_of(&self) -> usize {
+        16 + 8 * self.col_ptr.len() + 8 * self.row_idx.len() + 8 * self.values.len()
+    }
+}
+
+impl CscTile {
+    /// Compress a dense tile, dropping zeros.
+    pub fn from_dense(d: &DenseMatrix) -> Self {
+        let (rows, cols) = (d.rows(), d.cols());
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for j in 0..cols {
+            for i in 0..rows {
+                let v = d.get(i, j);
+                if v != 0.0 {
+                    row_idx.push(i);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(values.len());
+        }
+        CscTile {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Decompress into a dense tile.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            for e in self.col_ptr[j]..self.col_ptr[j + 1] {
+                out.set(self.row_idx[e], j, self.values[e]);
+            }
+        }
+        out
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `out += self * dense` — sparse-dense GEMM, iterating only non-zeros.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn spmm_acc(&self, dense: &DenseMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.cols, dense.rows(), "spmm: inner dimension mismatch");
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (self.rows, dense.cols()),
+            "spmm: output dimension mismatch"
+        );
+        let m = dense.cols();
+        for j in 0..self.cols {
+            let brow = dense.row(j);
+            for e in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let i = self.row_idx[e];
+                let v = self.values[e];
+                let crow = &mut out.data_mut()[i * m..(i + 1) * m];
+                for (c, &b) in crow.iter_mut().zip(brow) {
+                    *c += v * b;
+                }
+            }
+        }
+    }
+
+    /// Pairwise addition (dense result; sparsity rarely survives addition).
+    pub fn add(&self, other: &CscTile) -> CscTile {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add: dimension mismatch"
+        );
+        let mut dense = self.to_dense();
+        dense.add_in_place(&other.to_dense());
+        CscTile::from_dense(&dense)
+    }
+
+    /// Fraction of entries stored, `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sparse_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        use crate::local::LocalMatrix;
+        let mut rng = StdRng::seed_from_u64(seed);
+        LocalMatrix::sparse_random(rows, cols, 0.2, &mut rng).to_dense()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sparse_dense(9, 7, 1);
+        let csc = CscTile::from_dense(&d);
+        assert_eq!(csc.to_dense(), d);
+        assert_eq!(csc.nnz(), d.data().iter().filter(|&&x| x != 0.0).count());
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let a = sparse_dense(8, 6, 2);
+        let b = DenseMatrix::from_fn(6, 5, |i, j| (i + j) as f64 * 0.5);
+        let mut got = DenseMatrix::zeros(8, 5);
+        CscTile::from_dense(&a).spmm_acc(&b, &mut got);
+        assert!(got.approx_eq(&a.multiply(&b), 1e-12));
+    }
+
+    #[test]
+    fn spmm_accumulates_into_output() {
+        let a = DenseMatrix::identity(3);
+        let b = DenseMatrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut out = b.clone();
+        CscTile::from_dense(&a).spmm_acc(&b, &mut out);
+        assert!(out.approx_eq(&b.map(|x| 2.0 * x), 1e-12));
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let a = sparse_dense(6, 6, 3);
+        let b = sparse_dense(6, 6, 4);
+        let got = CscTile::from_dense(&a).add(&CscTile::from_dense(&b));
+        let mut want = a.clone();
+        want.add_in_place(&b);
+        assert_eq!(got.to_dense(), want);
+    }
+
+    #[test]
+    fn size_of_smaller_than_dense_when_sparse() {
+        use sparkline::SizeOf;
+        let d = sparse_dense(32, 32, 5);
+        let csc = CscTile::from_dense(&d);
+        assert!(csc.size_of() < d.size_of());
+        assert!(csc.density() < 0.3);
+    }
+
+    #[test]
+    fn empty_tile() {
+        let z = DenseMatrix::zeros(4, 4);
+        let csc = CscTile::from_dense(&z);
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.to_dense(), z);
+    }
+}

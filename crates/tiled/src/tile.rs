@@ -1,0 +1,459 @@
+//! Dense row-major matrices: the tile type and its compute kernels.
+//!
+//! The paper's generated tile code (Fig. 1, §5.1, §5.3) is a pair of loops
+//! over a flat `Array[Double]`, with the outer loop parallelized via Scala's
+//! parallel collections. [`DenseMatrix`] is that flat array plus the kernels
+//! the generated programs need: accumulate-GEMM, pairwise add, transpose, and
+//! element-wise maps/zips. `gemm_acc_parallel` reproduces the intra-node
+//! multicore parallelism with scoped threads over row bands.
+
+use sparkline::SizeOf;
+
+/// A dense `rows x cols` matrix of `f64` stored row-major in one flat vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SizeOf for DenseMatrix {
+    fn size_of(&self) -> usize {
+        16 + 8 * self.data.len()
+    }
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of the (row, col) index.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match dimensions");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        DenseMatrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self += other`, element-wise.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn add_in_place(&mut self, other: &DenseMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add: dimension mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy_in_place(&mut self, alpha: f64, other: &DenseMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy: dimension mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self - other` as a new matrix.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub: dimension mismatch"
+        );
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// `self * scalar`, in place.
+    pub fn scale_in_place(&mut self, scalar: f64) {
+        for a in &mut self.data {
+            *a *= scalar;
+        }
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise zip into a new matrix.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn zip_with(&self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> DenseMatrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip: dimension mismatch"
+        );
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Approximate element-wise equality within `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// `self += a * b` — the accumulate-GEMM kernel at the heart of the
+    /// paper's generated matmul code (§3, §5.3). Uses the cache-friendly
+    /// i-k-j loop order over row slices.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn gemm_acc(&mut self, a: &DenseMatrix, b: &DenseMatrix) {
+        assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.cols),
+            "gemm: output dimension mismatch"
+        );
+        gemm_rows(&mut self.data, &a.data, &b.data, 0..a.rows, a.cols, b.cols);
+    }
+
+    /// Like [`DenseMatrix::gemm_acc`] but splits the row loop over `threads`
+    /// scoped worker threads — the analog of the paper's `(0 until N).par`
+    /// multicore tile processing.
+    pub fn gemm_acc_parallel(&mut self, a: &DenseMatrix, b: &DenseMatrix, threads: usize) {
+        assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.cols),
+            "gemm: output dimension mismatch"
+        );
+        let threads = threads.max(1).min(a.rows.max(1));
+        if threads == 1 || a.rows < 64 {
+            return self.gemm_acc(a, b);
+        }
+        let band = a.rows.div_ceil(threads);
+        let cols = self.cols;
+        let k = a.cols;
+        let (adata, bdata) = (&a.data, &b.data);
+        crossbeam::thread::scope(|s| {
+            for (t, chunk) in self.data.chunks_mut(band * cols).enumerate() {
+                s.spawn(move |_| {
+                    let rows = chunk.len() / cols;
+                    gemm_rows(chunk, &adata[t * band * k..], bdata, 0..rows, k, cols);
+                });
+            }
+        })
+        .expect("tile kernel scope");
+    }
+
+    /// `a * b` as a new matrix.
+    pub fn multiply(&self, b: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, b.cols);
+        out.gemm_acc(self, b);
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    /// If `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, x)| a * x).sum())
+            .collect()
+    }
+
+    /// Copy `other` into this matrix with its top-left corner at `(r0, c0)`,
+    /// clipping to this matrix's bounds. Used to assemble padded edge tiles.
+    pub fn paste(&mut self, r0: usize, c0: usize, other: &DenseMatrix) {
+        let rmax = (r0 + other.rows).min(self.rows);
+        let cmax = (c0 + other.cols).min(self.cols);
+        for i in r0..rmax {
+            for j in c0..cmax {
+                self.data[i * self.cols + j] = other.get(i - r0, j - c0);
+            }
+        }
+    }
+
+    /// Extract the `rows x cols` sub-matrix starting at `(r0, c0)`, zero
+    /// padding past the edge. Used to cut tiles out of a local matrix.
+    pub fn slice_padded(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(rows, cols);
+        let rmax = (r0 + rows).min(self.rows);
+        let cmax = (c0 + cols).min(self.cols);
+        for i in r0..rmax {
+            for j in c0..cmax {
+                out.data[(i - r0) * cols + (j - c0)] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+}
+
+/// Compute `c[0..rows) += a[0..rows) * b` where all buffers are row-major,
+/// `a` is `rows x k` and `b` is `k x m`. Shared by the sequential and
+/// row-banded parallel kernels.
+fn gemm_rows(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+) {
+    for i in rows {
+        let crow = &mut c[i * m..(i + 1) * m];
+        let arow = &a[i * k..(i + 1) * k];
+        for (l, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[l * m..(l + 1) * m];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |i, j| (i * cols + j) as f64)
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = seq(3, 4);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 3), 11.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn from_vec_checks_len() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn identity_multiplication_is_noop() {
+        let m = seq(4, 4);
+        let i = DenseMatrix::identity(4);
+        assert!(m.multiply(&i).approx_eq(&m, 1e-12));
+        assert!(i.multiply(&m).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.multiply(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = DenseMatrix::identity(3);
+        let b = seq(3, 3);
+        let mut c = seq(3, 3);
+        c.gemm_acc(&a, &b);
+        let expected = seq(3, 3).map(|x| 2.0 * x);
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn parallel_gemm_matches_sequential() {
+        let a = DenseMatrix::from_fn(128, 96, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = DenseMatrix::from_fn(96, 80, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let mut seq_out = DenseMatrix::zeros(128, 80);
+        seq_out.gemm_acc(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            let mut par_out = DenseMatrix::zeros(128, 80);
+            par_out.gemm_acc_parallel(&a, &b, threads);
+            assert!(par_out.approx_eq(&seq_out, 1e-9), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = seq(3, 5);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn add_sub_axpy_scale() {
+        let mut a = seq(2, 2);
+        let b = DenseMatrix::identity(2);
+        a.add_in_place(&b);
+        assert_eq!(a.data(), &[1.0, 1.0, 2.0, 4.0]);
+        let d = a.sub(&b);
+        assert_eq!(d.data(), &[0.0, 1.0, 2.0, 3.0]);
+        a.axpy_in_place(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 1.0, 2.0, 6.0]);
+        a.scale_in_place(0.5);
+        assert_eq!(a.data(), &[1.5, 0.5, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = seq(2, 2);
+        assert_eq!(a.map(|x| x + 1.0).data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.zip_with(&a, |x, y| x * y).data(), &[0.0, 1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_matches_gemm() {
+        let a = seq(3, 4);
+        let v = vec![1.0, -1.0, 2.0, 0.5];
+        let via_gemm = a.multiply(&DenseMatrix::from_vec(4, 1, v.clone()));
+        assert_eq!(a.matvec(&v), via_gemm.data());
+    }
+
+    #[test]
+    fn paste_and_slice_roundtrip() {
+        let m = seq(5, 7);
+        let t = m.slice_padded(3, 5, 4, 4);
+        // Bottom-right 2x2 of m lands in t's top-left; the rest is padding.
+        assert_eq!(t.get(0, 0), m.get(3, 5));
+        assert_eq!(t.get(1, 1), m.get(4, 6));
+        assert_eq!(t.get(2, 2), 0.0);
+        let mut back = DenseMatrix::zeros(5, 7);
+        back.paste(3, 5, &t);
+        assert_eq!(back.get(4, 6), m.get(4, 6));
+        assert_eq!(back.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn norms_and_sums() {
+        let a = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.sum(), 7.0);
+    }
+
+    #[test]
+    fn size_of_counts_payload() {
+        let m = DenseMatrix::zeros(10, 10);
+        use sparkline::SizeOf;
+        assert_eq!(m.size_of(), 16 + 800);
+    }
+}

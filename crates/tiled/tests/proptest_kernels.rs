@@ -1,0 +1,120 @@
+//! Property tests for the tile kernels: algebraic identities that must hold
+//! for arbitrary shapes and contents, checked against the naive oracle.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tiled::{CscTile, DenseMatrix, LocalMatrix};
+
+fn rand_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::random(rows, cols, -2.0, 2.0, &mut rng).to_dense()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (A·B)·C = A·(B·C) within float tolerance.
+    #[test]
+    fn gemm_is_associative(n in 1usize..8, k in 1usize..8, m in 1usize..8,
+                           p in 1usize..8, seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 1);
+        let c = rand_dense(m, p, seed + 2);
+        let left = a.multiply(&b).multiply(&c);
+        let right = a.multiply(&b.multiply(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_reverses_products(n in 1usize..8, k in 1usize..8, m in 1usize..8,
+                                   seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 3);
+        let left = a.multiply(&b).transpose();
+        let right = b.transpose().multiply(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    /// GEMM distributes over addition: A·(B+C) = A·B + A·C.
+    #[test]
+    fn gemm_distributes(n in 1usize..8, k in 1usize..8, m in 1usize..8,
+                        seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 4);
+        let c = rand_dense(k, m, seed + 5);
+        let mut sum = b.clone();
+        sum.add_in_place(&c);
+        let left = a.multiply(&sum);
+        let mut right = a.multiply(&b);
+        right.add_in_place(&a.multiply(&c));
+        prop_assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    /// The optimized kernel agrees with the naive oracle on every shape.
+    #[test]
+    fn gemm_matches_naive(n in 1usize..12, k in 1usize..12, m in 1usize..12,
+                          seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 6);
+        let fast = a.multiply(&b);
+        let naive = LocalMatrix::from_dense(&a).multiply(&LocalMatrix::from_dense(&b));
+        prop_assert!(LocalMatrix::from_dense(&fast).approx_eq(&naive, 1e-10));
+    }
+
+    /// The row-parallel kernel agrees with the sequential one.
+    #[test]
+    fn parallel_gemm_matches(threads in 1usize..5, seed in 0u64..200) {
+        let a = rand_dense(96, 64, seed);
+        let b = rand_dense(64, 48, seed + 7);
+        let mut seq = DenseMatrix::zeros(96, 48);
+        seq.gemm_acc(&a, &b);
+        let mut par = DenseMatrix::zeros(96, 48);
+        par.gemm_acc_parallel(&a, &b, threads);
+        prop_assert!(par.approx_eq(&seq, 1e-10));
+    }
+
+    /// slice ∘ paste round-trips any in-bounds window.
+    #[test]
+    fn slice_paste_roundtrip(rows in 1usize..10, cols in 1usize..10,
+                             r0 in 0usize..6, c0 in 0usize..6,
+                             win in 1usize..8, seed in 0u64..1000) {
+        let m = rand_dense(rows, cols, seed);
+        let tile = m.slice_padded(r0, c0, win, win);
+        // Every in-bounds element must match; padding must be zero.
+        for i in 0..win {
+            for j in 0..win {
+                let expected = if r0 + i < rows && c0 + j < cols {
+                    m.get(r0 + i, c0 + j)
+                } else {
+                    0.0
+                };
+                prop_assert_eq!(tile.get(i, j), expected);
+            }
+        }
+    }
+
+    /// CSC compression is exactly lossless.
+    #[test]
+    fn csc_roundtrip(rows in 1usize..16, cols in 1usize..16,
+                     density in 0.0f64..0.9, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = LocalMatrix::sparse_random(rows, cols, density, &mut rng).to_dense();
+        let csc = CscTile::from_dense(&m);
+        prop_assert_eq!(csc.to_dense(), m.clone());
+        prop_assert_eq!(csc.nnz(), m.data().iter().filter(|&&x| x != 0.0).count());
+    }
+
+    /// matvec agrees with GEMM against a column vector.
+    #[test]
+    fn matvec_matches_gemm(n in 1usize..10, m in 1usize..10, seed in 0u64..1000) {
+        let a = rand_dense(n, m, seed);
+        let x = rand_dense(m, 1, seed + 8);
+        let via_gemm = a.multiply(&x);
+        let direct = a.matvec(x.data());
+        for (d, g) in direct.iter().zip(via_gemm.data()) {
+            prop_assert!((d - g).abs() < 1e-12);
+        }
+    }
+}

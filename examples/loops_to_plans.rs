@@ -1,0 +1,67 @@
+//! The §1.1 pipeline end-to-end: imperative array loops → (DIABLO front-end)
+//! array comprehensions → (SAC) distributed block-array plans.
+//!
+//! ```text
+//! cargo run --release --example loops_to_plans
+//! ```
+//!
+//! Three classic loop programs are translated and executed; for each we show
+//! the generated comprehension and the plan the compiler chose.
+
+use diablo::{parse_program, translate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sac::Session;
+use tiled::LocalMatrix;
+
+fn main() {
+    let n = 64usize;
+    let mut session = Session::builder().workers(4).partitions(8).build();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = LocalMatrix::random(n, n, -1.0, 1.0, &mut rng);
+    let b = LocalMatrix::random(n, n, -1.0, 1.0, &mut rng);
+    session.register_local_matrix("A", &a, 16);
+    session.register_local_matrix("B", &b, 16);
+    session.register_local_matrix("M", &a, 16);
+    session.set_int("n", n as i64);
+    session.set_int("m", n as i64);
+
+    let programs: &[(&str, &str)] = &[
+        (
+            "matrix multiplication (triple loop)",
+            "for i = 0, n-1 do for j = 0, n-1 do for k = 0, n-1 do \
+             C[i, j] += A[i, k] * B[k, j];",
+        ),
+        (
+            "row sums (Fig. 1 as loops)",
+            "for i = 0, n-1 do for j = 0, m-1 do V[i] += M[i, j];",
+        ),
+        (
+            "saxpy-style element-wise update",
+            "for i = 0, n-1 do for j = 0, n-1 do C[i, j] = A[i, j] + 2.0 * B[i, j];",
+        ),
+    ];
+
+    for (label, src) in programs {
+        println!("== {label}");
+        println!("loops:         {src}");
+        let translated = translate(&parse_program(src).unwrap()).unwrap();
+        let expr = &translated.outputs[0].1;
+        println!("comprehension: {expr}");
+        let plan = session.compile_expr(expr).unwrap();
+        println!("plan:          {}", plan.explain());
+        session.run_expr(expr).unwrap();
+        println!("executed:      OK\n");
+    }
+
+    // Correctness spot check: the loop matmul equals the local oracle.
+    let translated = translate(&parse_program(programs[0].1).unwrap()).unwrap();
+    let got = session
+        .run_expr(&translated.outputs[0].1)
+        .unwrap()
+        .into_matrix()
+        .unwrap()
+        .to_local();
+    assert!(got.max_abs_diff(&a.multiply(&b)) < 1e-9);
+    println!("loop-program matmul matches the local oracle; done.");
+}

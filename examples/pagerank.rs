@@ -1,0 +1,103 @@
+//! PageRank by power iteration, built entirely from matrix–vector
+//! comprehensions — the kind of iterative analytics pipeline the paper's
+//! introduction motivates (large-scale ML/graph analysis on DISC systems).
+//!
+//! ```text
+//! cargo run --release --example pagerank
+//! ```
+//!
+//! `rank ← d · Mᵀ·rank + (1-d)/n` where `M` is the row-normalized adjacency
+//! matrix of a synthetic scale-free-ish graph. The contraction compiles to
+//! the `matVec` plan, the damping update to a `vectorEltwise` plan; no
+//! graph-specific distributed code exists.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac::{linalg, Session};
+use tiled::{LocalMatrix, TiledMatrix, TiledVector};
+
+fn main() {
+    let n = 128usize;
+    let tile = 32usize;
+    let damping = 0.85;
+    let iterations = 30;
+
+    let session = Session::builder().workers(4).partitions(8).build();
+
+    // Synthetic directed graph: every node links to ~6 preferentially
+    // low-numbered nodes (hubs), plus its successor (connectivity).
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut adj = LocalMatrix::zeros(n, n);
+    for i in 0..n {
+        adj.set(i, (i + 1) % n, 1.0);
+        for _ in 0..6 {
+            let hub = (rng.gen_range(0.0f64..1.0).powi(3) * n as f64) as usize % n;
+            if hub != i {
+                adj.set(i, hub, 1.0);
+            }
+        }
+    }
+    // Row-normalize: M_ij = A_ij / outdegree(i).
+    let m = LocalMatrix::from_fn(n, n, |i, j| {
+        let degree: f64 = (0..n).map(|k| adj.get(i, k)).sum();
+        adj.get(i, j) / degree
+    });
+
+    let dm = TiledMatrix::from_local(session.spark(), &m, tile, 8).cache();
+    let uniform = vec![1.0 / n as f64; n];
+    let mut rank = TiledVector::from_local(session.spark(), &uniform, tile, 8);
+
+    println!("PageRank over {n} nodes, damping {damping}");
+    let mut prev = uniform.clone();
+    for it in 1..=iterations {
+        // rank' = d * Mᵀ rank + (1 - d)/n, two compiled comprehensions.
+        let spread = linalg::mat_vec_t(&session, &dm, &rank).expect("matVec plan");
+        rank = linalg::vector_affine(
+            &session,
+            &spread,
+            &spread,
+            damping,
+            0.0,
+            (1.0 - damping) / n as f64,
+        )
+        .expect("vectorEltwise plan");
+        let cur = rank.to_local();
+        let delta: f64 = cur.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
+        if it % 5 == 0 || delta < 1e-10 {
+            println!("iter {it:>3}: L1 delta = {delta:.3e}");
+        }
+        prev = cur;
+        if delta < 1e-10 {
+            break;
+        }
+    }
+
+    let ranks = rank.to_local();
+    let total: f64 = ranks.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "PageRank must remain a distribution, got total {total}"
+    );
+
+    // Verify against a local power iteration.
+    let mut reference = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mt = m.transpose().to_dense();
+        let spread = mt.matvec(&reference);
+        reference = spread
+            .iter()
+            .map(|x| damping * x + (1.0 - damping) / n as f64)
+            .collect();
+    }
+    let max_err = ranks
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(max_err < 1e-9, "distributed vs local mismatch: {max_err}");
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).unwrap());
+    println!("top nodes by rank: {:?}", &order[..8]);
+    println!("verified against local power iteration (max err {max_err:.2e})");
+}

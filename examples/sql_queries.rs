@@ -1,0 +1,94 @@
+//! SQL-style expressiveness: the comprehension calculus subsumes basic SQL
+//! (the paper's §1.1 claim and its department-count example), plus total
+//! aggregations like the "is sorted" check of §2.
+//!
+//! ```text
+//! cargo run --release --example sql_queries
+//! ```
+
+use comp::{eval, parse_expr, Env, Value};
+
+fn pair(a: Value, b: Value) -> Value {
+    Value::Tuple(vec![a, b])
+}
+
+fn main() {
+    // --- The intro's SQL example: employees per department ---------------
+    let employees = Value::List(
+        [
+            ("alice", 1i64),
+            ("bob", 1),
+            ("carol", 2),
+            ("dave", 1),
+            ("erin", 3),
+        ]
+        .iter()
+        .map(|(name, dno)| pair(Value::Str(name.to_string()), Value::Int(*dno)))
+        .collect(),
+    );
+    let departments = Value::List(
+        [(1i64, "cs"), (2, "ee"), (3, "math")]
+            .iter()
+            .map(|(dno, name)| pair(Value::Int(*dno), Value::Str(name.to_string())))
+            .collect(),
+    );
+
+    let query = "[ (dname, count(e)) | (e, dno) <- Employees, \
+                  (dnumber, dname) <- Departments, dno == dnumber, \
+                  group by dname ]";
+    let ast = parse_expr(query).unwrap();
+    let mut env = Env::new();
+    env.bind("Employees", employees);
+    env.bind("Departments", departments);
+    let result = eval(&ast, &mut env).unwrap();
+    println!("employees per department: {result:?}");
+    let Value::List(rows) = &result else { panic!() };
+    assert!(rows.contains(&pair(Value::Str("cs".into()), Value::Int(3))));
+    assert!(rows.contains(&pair(Value::Str("ee".into()), Value::Int(1))));
+
+    // --- §2's total aggregation: is a vector sorted? ----------------------
+    let sorted_check = "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]";
+    let ast = parse_expr(sorted_check).unwrap();
+    for (data, expected) in [
+        (vec![1.0, 2.0, 3.0, 4.0], true),
+        (vec![1.0, 3.0, 2.0], false),
+        (vec![5.0], true),
+    ] {
+        let v = Value::List(
+            data.iter()
+                .enumerate()
+                .map(|(i, &x)| pair(Value::Int(i as i64), Value::Float(x)))
+                .collect(),
+        );
+        let mut env = Env::new();
+        env.bind("V", v);
+        let got = eval(&ast, &mut env).unwrap();
+        assert_eq!(got, Value::Bool(expected), "sorted({data:?})");
+        println!("sorted({data:?}) = {got:?}");
+    }
+
+    // --- Group-by with several aggregates over the same stream ------------
+    let stats = "[ (k, +/x, count(x), max/x) | (k, x) <- D, group by k ]";
+    let data = Value::List(
+        [(1i64, 5i64), (1, 7), (2, 3), (1, 2), (2, 10)]
+            .iter()
+            .map(|(k, x)| pair(Value::Int(*k), Value::Int(*x)))
+            .collect(),
+    );
+    let ast = parse_expr(stats).unwrap();
+    let mut env = Env::new();
+    env.bind("D", data);
+    let got = eval(&ast, &mut env).unwrap();
+    println!("per-key (sum, count, max): {got:?}");
+    let Value::List(rows) = got else { panic!() };
+    assert_eq!(
+        rows[0],
+        Value::Tuple(vec![
+            Value::Int(1),
+            Value::Int(14),
+            Value::Int(3),
+            Value::Int(7)
+        ])
+    );
+    println!("all SQL-style checks passed");
+}

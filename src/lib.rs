@@ -1,0 +1,17 @@
+//! # sac-repro — umbrella crate
+//!
+//! Re-exports every crate of the reproduction of *"Scalable Linear Algebra
+//! Programming for Big Data Analysis"* (Fegaras, EDBT 2021) so examples and
+//! integration tests can `use sac_repro::...`.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and per-experiment index, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use comp;
+pub use diablo;
+pub use mllib;
+pub use planner;
+pub use sac;
+pub use sparkline;
+pub use tiled;

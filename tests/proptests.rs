@@ -1,0 +1,197 @@
+//! Property-based tests over the whole stack: random shapes, tile sizes, and
+//! contents; distributed plans must agree with the naive local oracle, and
+//! the storage mappings must be lossless.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_repro::mllib::BlockMatrix;
+use sac_repro::sac::{MatMulStrategy, Session};
+use sac_repro::tiled::{sparsify, CscTile, LocalMatrix, TiledMatrix, TiledVector};
+
+fn rand_mat(r: usize, c: usize, seed: u64) -> LocalMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::random(r, c, -3.0, 3.0, &mut rng)
+}
+
+fn session(strategy: MatMulStrategy) -> Session {
+    Session::builder()
+        .workers(2)
+        .partitions(3)
+        .matmul(strategy)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `build ∘ sparsify = id` for arbitrary shapes and tile sizes (§1.1's
+    /// inverse-pair requirement).
+    #[test]
+    fn tiled_roundtrip(rows in 1usize..20, cols in 1usize..20,
+                       tile in 1usize..7, seed in 0u64..1000) {
+        let ctx = sac_repro::sparkline::Context::builder().workers(2).build();
+        let m = rand_mat(rows, cols, seed);
+        let t = TiledMatrix::from_local(&ctx, &m, tile, 2);
+        prop_assert_eq!(t.to_local(), m.clone());
+        let back = sparsify::retile(&t, 2);
+        prop_assert_eq!(back.to_local(), m);
+    }
+
+    /// Block vectors round-trip for arbitrary lengths and block sizes.
+    #[test]
+    fn vector_roundtrip(len in 1usize..40, block in 1usize..9, seed in 0u64..1000) {
+        let ctx = sac_repro::sparkline::Context::builder().workers(2).build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let v = TiledVector::from_local(&ctx, &data, block, 2);
+        prop_assert_eq!(v.to_local(), data);
+    }
+
+    /// Distributed addition equals the oracle for every shape/tiling.
+    #[test]
+    fn addition_matches_oracle(rows in 1usize..14, cols in 1usize..14,
+                               tile in 1usize..6, seed in 0u64..500) {
+        let s = session(MatMulStrategy::GroupByJoin);
+        let a = rand_mat(rows, cols, seed);
+        let b = rand_mat(rows, cols, seed + 7000);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let tb = TiledMatrix::from_local(s.spark(), &b, tile, 2);
+        let got = sac_repro::sac::linalg::add(&s, &ta, &tb).unwrap().to_local();
+        prop_assert!(got.approx_eq(&a.add(&b), 1e-10));
+    }
+
+    /// Distributed multiplication equals the oracle for every shape, tiling,
+    /// and strategy (the contraction dimension need not divide the tile).
+    #[test]
+    fn multiplication_matches_oracle(n in 1usize..10, k in 1usize..10, m in 1usize..10,
+                                     tile in 1usize..5, seed in 0u64..500,
+                                     gbj in proptest::bool::ANY) {
+        let strategy = if gbj { MatMulStrategy::GroupByJoin } else { MatMulStrategy::ReduceByKey };
+        let s = session(strategy);
+        let a = rand_mat(n, k, seed);
+        let b = rand_mat(k, m, seed + 9000);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let tb = TiledMatrix::from_local(s.spark(), &b, tile, 2);
+        let got = sac_repro::sac::linalg::multiply(&s, &ta, &tb).unwrap().to_local();
+        prop_assert!(got.max_abs_diff(&a.multiply(&b)) < 1e-8);
+    }
+
+    /// MLlib baseline multiplication equals the oracle too.
+    #[test]
+    fn mllib_multiplication_matches_oracle(n in 1usize..10, k in 1usize..10, m in 1usize..10,
+                                           tile in 1usize..5, seed in 0u64..500) {
+        let ctx = sac_repro::sparkline::Context::builder().workers(2).build();
+        let a = rand_mat(n, k, seed);
+        let b = rand_mat(k, m, seed + 11000);
+        let ba = BlockMatrix::from_local(&ctx, &a, tile, 3);
+        let bb = BlockMatrix::from_local(&ctx, &b, tile, 3);
+        prop_assert!(ba.multiply(&bb).to_local().max_abs_diff(&a.multiply(&b)) < 1e-8);
+    }
+
+    /// Transpose as a comprehension equals the oracle.
+    #[test]
+    fn transpose_matches_oracle(rows in 1usize..14, cols in 1usize..14,
+                                tile in 1usize..6, seed in 0u64..500) {
+        let s = session(MatMulStrategy::GroupByJoin);
+        let a = rand_mat(rows, cols, seed);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let got = sac_repro::sac::linalg::transpose(&s, &ta).unwrap().to_local();
+        prop_assert!(got.approx_eq(&a.transpose(), 1e-12));
+    }
+
+    /// Row sums (Fig. 1) equal the oracle for all shapes.
+    #[test]
+    fn row_sums_match_oracle(rows in 1usize..14, cols in 1usize..14,
+                             tile in 1usize..6, seed in 0u64..500) {
+        let s = session(MatMulStrategy::GroupByJoin);
+        let a = rand_mat(rows, cols, seed);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let got = sac_repro::sac::linalg::row_sums(&s, &ta).unwrap().to_local();
+        let want = a.row_sums();
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    /// Rotation (rule 19) equals the oracle for all shapes.
+    #[test]
+    fn rotation_matches_oracle(rows in 2usize..14, cols in 1usize..10,
+                               tile in 1usize..6, seed in 0u64..500) {
+        let s = session(MatMulStrategy::GroupByJoin);
+        let a = rand_mat(rows, cols, seed);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let got = sac_repro::sac::linalg::rotate_rows(&s, &ta).unwrap().to_local();
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(got.get((i + 1) % rows, j), a.get(i, j));
+            }
+        }
+    }
+
+    /// Smoothing (stencil plan) equals the oracle for all shapes.
+    #[test]
+    fn smoothing_matches_oracle(rows in 1usize..10, cols in 1usize..10,
+                                tile in 1usize..5, seed in 0u64..300) {
+        let s = session(MatMulStrategy::GroupByJoin);
+        let a = rand_mat(rows, cols, seed);
+        let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+        let got = sac_repro::sac::linalg::smooth(&s, &ta).unwrap().to_local();
+        prop_assert!(got.approx_eq(&a.smooth(), 1e-9));
+    }
+
+    /// CSC compression is lossless and its GEMM agrees with dense.
+    #[test]
+    fn csc_roundtrip_and_gemm(rows in 1usize..12, cols in 1usize..12,
+                              inner in 1usize..12, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = LocalMatrix::sparse_random(rows, inner, 0.3, &mut rng).to_dense();
+        let b = rand_mat(inner, cols, seed + 5).to_dense();
+        let csc = CscTile::from_dense(&a);
+        prop_assert_eq!(csc.to_dense(), a.clone());
+        let mut got = sac_repro::tiled::DenseMatrix::zeros(rows, cols);
+        csc.spmm_acc(&b, &mut got);
+        prop_assert!(got.approx_eq(&a.multiply(&b), 1e-9));
+    }
+
+    /// The runtime's reduce_by_key sums agree with a sequential fold for any
+    /// key skew and partitioning.
+    #[test]
+    fn reduce_by_key_matches_sequential(data in proptest::collection::vec((0i64..8, -100i64..100), 0..200),
+                                        parts in 1usize..6, red in 1usize..6) {
+        let ctx = sac_repro::sparkline::Context::builder().workers(3).build();
+        let mut expected = std::collections::HashMap::new();
+        for (k, v) in &data {
+            *expected.entry(*k).or_insert(0i64) += v;
+        }
+        let got = ctx.parallelize(data, parts).reduce_by_key(red, |a, b| a + b).collect_map();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Group-by comprehension semantics: the reference evaluator's group-by
+    /// sums equal a hash-map fold, for arbitrary key/value streams.
+    #[test]
+    fn evaluator_group_by_matches_fold(data in proptest::collection::vec((0i64..6, -50i64..50), 0..60)) {
+        use sac_repro::comp::{eval, parse_expr, Env, Value};
+        let list = Value::List(
+            data.iter()
+                .map(|(k, v)| Value::Tuple(vec![Value::Int(*k), Value::Int(*v)]))
+                .collect(),
+        );
+        let mut env = Env::new();
+        env.bind("D", list);
+        let ast = parse_expr("[ (k, +/v) | (k,v) <- D, group by k ]").unwrap();
+        let got = eval(&ast, &mut env).unwrap();
+        let Value::List(rows) = got else { panic!() };
+        let mut expected = std::collections::HashMap::new();
+        for (k, v) in &data {
+            *expected.entry(*k).or_insert(0i64) += v;
+        }
+        prop_assert_eq!(rows.len(), expected.len());
+        for row in rows {
+            let Value::Tuple(kv) = row else { panic!() };
+            let (Value::Int(k), Value::Int(s)) = (&kv[0], &kv[1]) else { panic!() };
+            prop_assert_eq!(expected[k], *s);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Runtime (sparkline) integration: multi-stage DAGs, caching in iterative
+//! jobs, shuffle metrics detail, and partitioner behaviour at scale.
+
+use sac_repro::sparkline::{Context, KeyPartitioner};
+
+fn ctx() -> Context {
+    Context::builder().workers(4).default_parallelism(4).build()
+}
+
+#[test]
+fn multi_stage_pipeline_word_count_style() {
+    let c = ctx();
+    let words: Vec<String> = "the quick brown fox jumps over the lazy dog the fox"
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let counts = c
+        .parallelize(words, 3)
+        .map(|w| (w, 1usize))
+        .reduce_by_key(4, |a, b| a + b)
+        .filter(|(_, n)| *n > 1)
+        .collect_map();
+    assert_eq!(counts.len(), 2);
+    assert_eq!(counts["the"], 3);
+    assert_eq!(counts["fox"], 2);
+}
+
+#[test]
+fn chained_shuffles_compose() {
+    let c = ctx();
+    // Two shuffle rounds: sum per key, then histogram the sums.
+    let data: Vec<(i64, i64)> = (0..1000).map(|i| (i % 50, 1)).collect();
+    let out = c
+        .parallelize(data, 8)
+        .reduce_by_key(4, |a, b| a + b) // every key sums to 20
+        .map(|(_, sum)| (sum, 1i64))
+        .reduce_by_key(2, |a, b| a + b)
+        .collect();
+    assert_eq!(out, vec![(20, 50)]);
+}
+
+#[test]
+fn caching_prevents_shuffle_rerun_in_iterations() {
+    let c = ctx();
+    let base = c
+        .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
+        .reduce_by_key(4, |a, b| a + b)
+        .cache();
+    base.count(); // materialize
+    let before = c.metrics().snapshot();
+    for _ in 0..5 {
+        // Iterative narrow work over the cached shuffle output.
+        base.map_values(|v| v * 2).count();
+    }
+    let delta = c.metrics().snapshot().since(&before);
+    assert_eq!(delta.shuffle_count, 0, "iterations must reuse the cache");
+}
+
+#[test]
+fn uncached_shuffle_is_still_reused_via_materialization() {
+    // Spark keeps shuffle files; our ShuffleOp memoizes its output, so even
+    // without cache() the shuffle runs once per op instance.
+    let c = ctx();
+    let d = c
+        .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
+        .reduce_by_key(4, |a, b| a + b);
+    d.count();
+    let before = c.metrics().snapshot();
+    d.count();
+    let delta = c.metrics().snapshot().since(&before);
+    assert_eq!(delta.shuffle_count, 0, "same op instance reuses its shuffle");
+}
+
+#[test]
+fn shuffle_details_expose_operator_names_and_volumes() {
+    let c = ctx();
+    let d = c.parallelize((0..100i64).map(|i| (i % 5, i)).collect(), 4);
+    d.reduce_by_key(2, |a, b| a + b).count();
+    d.group_by_key(2).count();
+    let details = c.metrics().shuffle_details();
+    let rbk = details.iter().find(|d| d.operator == "reduceByKey").unwrap();
+    let gbk = details.iter().find(|d| d.operator == "groupByKey").unwrap();
+    assert_eq!(rbk.records_in, 100);
+    assert!(rbk.records_written <= 20, "combiner must shrink the stream");
+    assert_eq!(gbk.records_written, 100, "groupByKey writes every record");
+    assert_eq!(rbk.map_partitions, 4);
+    assert_eq!(rbk.reduce_partitions, 2);
+}
+
+#[test]
+fn join_handles_skewed_keys() {
+    let c = ctx();
+    // One hot key with 100 matches on each side (10k output pairs).
+    let left: Vec<(i64, i64)> = (0..100).map(|i| (0, i)).chain([(1, -1)]).collect();
+    let right: Vec<(i64, i64)> = (0..100).map(|i| (0, 1000 + i)).chain([(2, -2)]).collect();
+    let joined = c.parallelize(left, 4).join(&c.parallelize(right, 4), 4);
+    assert_eq!(joined.count(), 100 * 100);
+}
+
+#[test]
+fn partition_counts_do_not_change_results() {
+    let data: Vec<(i64, i64)> = (0..500).map(|i| (i % 13, i)).collect();
+    let mut outputs = Vec::new();
+    for (parts, red) in [(1, 1), (3, 5), (8, 2), (16, 16)] {
+        let c = ctx();
+        let mut out = c
+            .parallelize(data.clone(), parts)
+            .reduce_by_key(red, |a, b| a + b)
+            .collect();
+        out.sort();
+        outputs.push(out);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn grid_partitioner_distributes_a_large_grid() {
+    let p = KeyPartitioner::grid(40, 40, 16);
+    let mut histogram = vec![0usize; 16];
+    for i in 0..40i64 {
+        for j in 0..40i64 {
+            histogram[p.partition(&(i, j))] += 1;
+        }
+    }
+    let nonempty = histogram.iter().filter(|&&n| n > 0).count();
+    assert!(nonempty >= 12, "grid should use most partitions: {histogram:?}");
+    let max = histogram.iter().max().unwrap();
+    assert!(*max <= 400, "no partition should hold more than 4x fair share");
+}
+
+#[test]
+fn fold_and_union_across_shuffles() {
+    let c = ctx();
+    let a = c
+        .parallelize((0..50i64).map(|i| (i % 5, 1i64)).collect(), 3)
+        .reduce_by_key(2, |x, y| x + y);
+    let b = c
+        .parallelize((0..50i64).map(|i| (i % 5, 10i64)).collect(), 3)
+        .reduce_by_key(2, |x, y| x + y);
+    let merged = a.union(&b).reduce_by_key(2, |x, y| x + y);
+    let map = merged.collect_map();
+    assert_eq!(map.len(), 5);
+    assert!(map.values().all(|&v| v == 110));
+}
+
+#[test]
+fn deeply_chained_narrow_ops_stay_single_stage() {
+    let c = ctx();
+    let mut d = c.parallelize((0..100i64).collect(), 4);
+    for _ in 0..20 {
+        d = d.map(|x| x + 1).filter(|x| *x > -1);
+    }
+    let before = c.metrics().snapshot();
+    assert_eq!(d.count(), 100);
+    let delta = c.metrics().snapshot().since(&before);
+    // One result stage; pipelining means no intermediate stages or shuffles.
+    assert_eq!(delta.stages_run, 1);
+    assert_eq!(delta.shuffle_count, 0);
+}
+
+#[test]
+fn failure_injection_mid_iteration_recovers() {
+    let c = ctx();
+    let base = c
+        .parallelize((0..200i64).map(|i| (i % 8, i)).collect(), 4)
+        .reduce_by_key(4, |a, b| a + b)
+        .cache();
+    let expected = base.collect_map();
+    for round in 0..3 {
+        c.inject_task_failures(round + 1);
+        let got = base.map_values(|v| v).collect_map();
+        assert_eq!(got, expected, "round {round} corrupted results");
+    }
+}
