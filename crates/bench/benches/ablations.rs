@@ -23,7 +23,11 @@ fn rbk_vs_gbk(c: &mut Criterion) {
         b.iter(|| d.reduce_by_key(8, |x, y| x + y).count())
     });
     group.bench_function("group_by_key", |b| {
-        b.iter(|| d.group_by_key(8).map_values(|v| v.iter().sum::<i64>()).count())
+        b.iter(|| {
+            d.group_by_key(8)
+                .map_values(|v| v.iter().sum::<i64>())
+                .count()
+        })
     });
     group.finish();
 }
@@ -35,7 +39,10 @@ fn coo_vs_tiled(c: &mut Criterion) {
     let session = bench_session(MatMulStrategy::GroupByJoin);
     let a = dense_local(n, 1);
     let b = dense_local(n, 2);
-    let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+    let (ta, tb) = (
+        tiled_of(&session, &a).cache(),
+        tiled_of(&session, &b).cache(),
+    );
     ta.tiles().count();
     tb.tiles().count();
     group.bench_function("tiled_gbj", |bench| {
@@ -65,10 +72,8 @@ fn tile_size(c: &mut Criterion) {
     let b = dense_local(n, 4);
     for tile in [16usize, 32, 64, 128] {
         let session = bench_session(MatMulStrategy::GroupByJoin);
-        let ta =
-            TiledMatrix::from_local(session.spark(), &a, tile, 8).cache();
-        let tb =
-            TiledMatrix::from_local(session.spark(), &b, tile, 8).cache();
+        let ta = TiledMatrix::from_local(session.spark(), &a, tile, 8).cache();
+        let tb = TiledMatrix::from_local(session.spark(), &b, tile, 8).cache();
         ta.tiles().count();
         tb.tiles().count();
         group.bench_with_input(BenchmarkId::new("gbj_multiply", tile), &tile, |bench, _| {

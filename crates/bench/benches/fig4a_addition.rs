@@ -16,14 +16,20 @@ fn fig4a(c: &mut Criterion) {
         let b = dense_local(n, 200 + n as u64);
         let elements = (n * n) as u64;
 
-        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        let (ba, bb) = (
+            block_of(&session, &a).cache(),
+            block_of(&session, &b).cache(),
+        );
         ba.blocks().count();
         bb.blocks().count();
         group.bench_with_input(BenchmarkId::new("mllib", elements), &n, |bench, _| {
             bench.iter(|| ba.add(&bb).blocks().count());
         });
 
-        let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+        let (ta, tb) = (
+            tiled_of(&session, &a).cache(),
+            tiled_of(&session, &b).cache(),
+        );
         ta.tiles().count();
         tb.tiles().count();
         group.bench_with_input(BenchmarkId::new("sac", elements), &n, |bench, _| {

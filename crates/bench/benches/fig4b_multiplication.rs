@@ -18,7 +18,10 @@ fn fig4b(c: &mut Criterion) {
         let elements = (n * n) as u64;
 
         let session = bench_session(MatMulStrategy::GroupByJoin);
-        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        let (ba, bb) = (
+            block_of(&session, &a).cache(),
+            block_of(&session, &b).cache(),
+        );
         ba.blocks().count();
         bb.blocks().count();
         group.bench_with_input(BenchmarkId::new("mllib", elements), &n, |bench, _| {
@@ -30,7 +33,10 @@ fn fig4b(c: &mut Criterion) {
             ("sac_gbj", MatMulStrategy::GroupByJoin),
         ] {
             let session = bench_session(strategy);
-            let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+            let (ta, tb) = (
+                tiled_of(&session, &a).cache(),
+                tiled_of(&session, &b).cache(),
+            );
             ta.tiles().count();
             tb.tiles().count();
             group.bench_with_input(BenchmarkId::new(label, elements), &n, |bench, _| {

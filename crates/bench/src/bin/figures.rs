@@ -4,7 +4,12 @@
 //! cargo run --release -p bench --bin figures            # all panels
 //! cargo run --release -p bench --bin figures -- a       # one panel
 //! cargo run --release -p bench --bin figures -- b quick # smaller sizes
+//! cargo run --release -p bench --bin figures -- b --trace # + JSON event log
 //! ```
+//!
+//! With `--trace`, the SAC runs of each panel are executed with structured
+//! tracing on and the collected event log is written as JSON to
+//! `target/figures_trace_<panel>.json` (schema in EXPERIMENTS.md).
 //!
 //! For every panel the harness prints the same series the paper plots —
 //! total time per operation for each system — plus the shuffle-byte
@@ -19,10 +24,33 @@ use bench::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sac::{MatMulStrategy, Session};
+use sparkline::Event;
 use std::time::Instant;
 use tiled::LocalMatrix;
 
 const REPEATS: usize = 3;
+
+/// Dump a panel's collected event log as a JSON event-log file.
+fn write_trace(panel: &str, events: &[Event]) {
+    std::fs::create_dir_all("target").ok();
+    let path = format!("target/figures_trace_{panel}.json");
+    std::fs::write(&path, sparkline::events::to_json(events)).expect("write trace file");
+    println!("trace: {} events -> {path}", events.len());
+}
+
+/// Drain the events of the SAC runs just measured, if tracing.
+fn drain_trace(session: &Session, trace: bool, sink: &mut Vec<Event>) {
+    if trace {
+        sink.extend(session.spark().take_events());
+        session.spark().stop_trace();
+    }
+}
+
+fn start_trace(session: &Session, trace: bool) {
+    if trace {
+        session.spark().trace();
+    }
+}
 
 /// Run `f` REPEATS times, returning (mean seconds, shuffled MiB per run).
 fn measure(session: &Session, mut f: impl FnMut()) -> (f64, f64) {
@@ -39,7 +67,8 @@ fn measure(session: &Session, mut f: impl FnMut()) -> (f64, f64) {
     (secs, mib)
 }
 
-fn panel_a(sizes: &[usize]) {
+fn panel_a(sizes: &[usize], trace: bool) {
+    let mut events: Vec<Event> = Vec::new();
     println!("\n=== Figure 4.A — Matrix Addition: total time vs elements ===");
     println!(
         "{:>8} {:>12} | {:>12} {:>12} | {:>10} {:>12}",
@@ -50,22 +79,30 @@ fn panel_a(sizes: &[usize]) {
         let a = dense_local(n, 100 + n as u64);
         let b = dense_local(n, 200 + n as u64);
 
-        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        let (ba, bb) = (
+            block_of(&session, &a).cache(),
+            block_of(&session, &b).cache(),
+        );
         ba.blocks().count();
         bb.blocks().count();
         let (mllib_s, _) = measure(&session, || {
             ba.add(&bb).blocks().count();
         });
 
-        let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+        let (ta, tb) = (
+            tiled_of(&session, &a).cache(),
+            tiled_of(&session, &b).cache(),
+        );
         ta.tiles().count();
         tb.tiles().count();
+        start_trace(&session, trace);
         let (sac_s, _) = measure(&session, || {
             sac::linalg::add(&session, &ta, &tb)
                 .expect("plan")
                 .tiles()
                 .count();
         });
+        drain_trace(&session, trace, &mut events);
         println!(
             "{:>8} {:>12} | {:>12.4} {:>12.4} | {:>10.2} {:>12}",
             n,
@@ -77,9 +114,13 @@ fn panel_a(sizes: &[usize]) {
         );
     }
     println!("paper shape: SAC a bit faster than MLlib (ratio < 1).");
+    if trace {
+        write_trace("a", &events);
+    }
 }
 
-fn panel_b(sizes: &[usize]) {
+fn panel_b(sizes: &[usize], trace: bool) {
+    let mut events: Vec<Event> = Vec::new();
     println!("\n=== Figure 4.B — Matrix Multiplication: total time vs elements ===");
     println!(
         "{:>6} {:>10} | {:>11} {:>14} {:>11} | {:>9} {:>9}",
@@ -90,24 +131,33 @@ fn panel_b(sizes: &[usize]) {
         let b = dense_local(n, 400 + n as u64);
 
         let session = bench_session(MatMulStrategy::GroupByJoin);
-        let (ba, bb) = (block_of(&session, &a).cache(), block_of(&session, &b).cache());
+        let (ba, bb) = (
+            block_of(&session, &a).cache(),
+            block_of(&session, &b).cache(),
+        );
         ba.blocks().count();
         bb.blocks().count();
         let (mllib_s, _) = measure(&session, || {
             ba.multiply(&bb).blocks().count();
         });
 
-        let run_sac = |strategy: MatMulStrategy| -> (f64, f64) {
+        let mut run_sac = |strategy: MatMulStrategy| -> (f64, f64) {
             let session = bench_session(strategy);
-            let (ta, tb) = (tiled_of(&session, &a).cache(), tiled_of(&session, &b).cache());
+            let (ta, tb) = (
+                tiled_of(&session, &a).cache(),
+                tiled_of(&session, &b).cache(),
+            );
             ta.tiles().count();
             tb.tiles().count();
-            measure(&session, || {
+            start_trace(&session, trace);
+            let out = measure(&session, || {
                 sac::linalg::multiply(&session, &ta, &tb)
                     .expect("plan")
                     .tiles()
                     .count();
-            })
+            });
+            drain_trace(&session, trace, &mut events);
+            out
         };
         let (jgb_s, jgb_mib) = run_sac(MatMulStrategy::JoinGroupBy);
         let (gbj_s, gbj_mib) = run_sac(MatMulStrategy::GroupByJoin);
@@ -123,9 +173,13 @@ fn panel_b(sizes: &[usize]) {
         );
     }
     println!("paper shape: SAC join+group-by slowest, SAC GBJ fastest, MLlib between.");
+    if trace {
+        write_trace("b", &events);
+    }
 }
 
-fn panel_c(sizes: &[usize]) {
+fn panel_c(sizes: &[usize], trace: bool) {
+    let mut events: Vec<Event> = Vec::new();
     println!("\n=== Figure 4.C — Matrix Factorization (1 GD iteration) ===");
     println!(
         "{:>6} {:>10} | {:>12} {:>14} | {:>10}",
@@ -161,11 +215,13 @@ fn panel_c(sizes: &[usize]) {
         tr.tiles().count();
         tp.tiles().count();
         tq.tiles().count();
+        start_trace(&session, trace);
         let (sac_s, _) = measure(&session, || {
             let (p2, q2) = sac_factorization_step(&session, &tr, &tp, &tq, 0.002, 0.02);
             p2.tiles().count();
             q2.tiles().count();
         });
+        drain_trace(&session, trace, &mut events);
         println!(
             "{:>6} {:>10} | {:>12.4} {:>14.4} | {:>10.2}",
             n,
@@ -176,11 +232,15 @@ fn panel_c(sizes: &[usize]) {
         );
     }
     println!("paper shape: SAC GBJ up to ~3x faster than MLlib (ratio > 1).");
+    if trace {
+        write_trace("c", &events);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let trace = args.iter().any(|a| a == "--trace");
     let panel = args
         .iter()
         .find(|a| ["a", "b", "c"].contains(&a.as_str()))
@@ -198,13 +258,13 @@ fn main() {
     };
 
     match panel.as_str() {
-        "a" => panel_a(&a_sizes),
-        "b" => panel_b(&b_sizes),
-        "c" => panel_c(&c_sizes),
+        "a" => panel_a(&a_sizes, trace),
+        "b" => panel_b(&b_sizes, trace),
+        "c" => panel_c(&c_sizes, trace),
         _ => {
-            panel_a(&a_sizes);
-            panel_b(&b_sizes);
-            panel_c(&c_sizes);
+            panel_a(&a_sizes, trace);
+            panel_b(&b_sizes, trace);
+            panel_c(&c_sizes, trace);
         }
     }
 }

@@ -65,7 +65,9 @@ pub fn mllib_factorization_step(
     lambda: f64,
 ) -> (BlockMatrix, BlockMatrix) {
     let e = r.subtract(&p.multiply(&q.transpose()));
-    let p2 = p.scale(1.0 - gamma * lambda).add(&e.multiply(q).scale(2.0 * gamma));
+    let p2 = p
+        .scale(1.0 - gamma * lambda)
+        .add(&e.multiply(q).scale(2.0 * gamma));
     let q2 = q
         .scale(1.0 - gamma * lambda)
         .add(&e.transpose().multiply(p).scale(2.0 * gamma));

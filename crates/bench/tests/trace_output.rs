@@ -1,0 +1,36 @@
+//! End-to-end check of `figures -- b quick --trace`: the harness must write
+//! a JSON event log that parses back into structured events.
+
+use sparkline::events::parse_events;
+use sparkline::Event;
+
+#[test]
+fn figures_trace_writes_valid_json() {
+    let exe = env!("CARGO_BIN_EXE_figures");
+    let dir = std::env::temp_dir().join(format!("figures-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = std::process::Command::new(exe)
+        .args(["b", "quick", "--trace"])
+        .current_dir(&dir)
+        .output()
+        .expect("run figures");
+    assert!(
+        out.status.success(),
+        "figures failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let path = dir.join("target/figures_trace_b.json");
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    let events = parse_events(&json).expect("trace file is valid event-log JSON");
+    assert!(!events.is_empty(), "trace should contain events");
+    // A traced multiplication run must include stage boundaries and shuffle
+    // traffic from the contraction plans.
+    assert!(events.iter().any(|e| matches!(e, Event::StageStart { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::ShuffleWrite { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::ShuffleRead { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}

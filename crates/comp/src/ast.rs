@@ -178,11 +178,7 @@ impl Expr {
         out
     }
 
-    fn collect_free(
-        &self,
-        bound: &mut Vec<String>,
-        out: &mut std::collections::BTreeSet<String>,
-    ) {
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut std::collections::BTreeSet<String>) {
         match self {
             Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => {}
             Expr::Var(v) => {
@@ -193,9 +189,7 @@ impl Expr {
             Expr::Tuple(es) | Expr::Call(_, es) => {
                 es.iter().for_each(|e| e.collect_free(bound, out))
             }
-            Expr::Reduce(_, e) | Expr::UnOp(_, e) | Expr::Field(e, _) => {
-                e.collect_free(bound, out)
-            }
+            Expr::Reduce(_, e) | Expr::UnOp(_, e) | Expr::Field(e, _) => e.collect_free(bound, out),
             Expr::BinOp(_, a, b) => {
                 a.collect_free(bound, out);
                 b.collect_free(bound, out);

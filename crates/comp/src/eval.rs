@@ -156,7 +156,10 @@ pub fn eval(expr: &Expr, env: &mut Env) -> Result<Value, CompError> {
             Err(CompError::eval(format!("index {key:?} not found")))
         }
         Expr::Call(f, args) => {
-            let vals: Vec<Value> = args.iter().map(|e| eval(e, env)).collect::<Result<_, _>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|e| eval(e, env))
+                .collect::<Result<_, _>>()?;
             call_builtin(f, &vals)
         }
         Expr::Field(e, field) => {
@@ -238,10 +241,7 @@ fn apply_builder(builder: &str, args: &[i64], list: Vec<Value>) -> Result<Value,
             for i in 0..*n {
                 for j in 0..*m {
                     let v = cells.remove(&(i, j)).unwrap_or(Value::Float(0.0));
-                    out.push(Value::pair(
-                        Value::pair(Value::Int(i), Value::Int(j)),
-                        v,
-                    ));
+                    out.push(Value::pair(Value::pair(Value::Int(i), Value::Int(j)), v));
                 }
             }
             Ok(Value::List(out))
@@ -255,12 +255,7 @@ fn apply_builder(builder: &str, args: &[i64], list: Vec<Value>) -> Result<Value,
                 }
             }
             let out = (0..*n)
-                .map(|i| {
-                    Value::pair(
-                        Value::Int(i),
-                        cells.remove(&i).unwrap_or(Value::Float(0.0)),
-                    )
-                })
+                .map(|i| Value::pair(Value::Int(i), cells.remove(&i).unwrap_or(Value::Float(0.0))))
                 .collect();
             Ok(Value::List(out))
         }
@@ -307,7 +302,9 @@ fn decode_keyed1(item: Value) -> Result<(i64, Value), CompError> {
             return Ok((k.as_i64()?, v));
         }
     }
-    Err(CompError::eval("vector builder expects (i, value) elements"))
+    Err(CompError::eval(
+        "vector builder expects (i, value) elements",
+    ))
 }
 
 /// A row of comprehension-local bindings; later entries shadow earlier ones,
@@ -478,10 +475,7 @@ mod tests {
     fn fig1_row_sums() {
         // V_i = Σ_j M_ij over a 2x3 matrix.
         let m = matrix_value(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
-        let got = run(
-            "[ (i, +/m) | ((i,j),m) <- M, group by i ]",
-            vec![("M", m)],
-        );
+        let got = run("[ (i, +/m) | ((i,j),m) <- M, group by i ]", vec![("M", m)]);
         assert_eq!(
             got,
             Value::List(vec![
@@ -647,7 +641,12 @@ mod tests {
         let got = run("[ x | x <- 0 until 10, x % 3 == 0 ]", vec![]);
         assert_eq!(
             got,
-            Value::List(vec![Value::Int(0), Value::Int(3), Value::Int(6), Value::Int(9)])
+            Value::List(vec![
+                Value::Int(0),
+                Value::Int(3),
+                Value::Int(6),
+                Value::Int(9)
+            ])
         );
     }
 

@@ -51,7 +51,7 @@ fn normalize_once(expr: Expr) -> Expr {
 fn map_subexprs(e: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
     match e {
         Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Var(_) => e,
-        Expr::Tuple(es) => Expr::Tuple(es.into_iter().map(|x| f(x)).collect()),
+        Expr::Tuple(es) => Expr::Tuple(es.into_iter().map(&mut *f).collect()),
         Expr::Comprehension(c) => Expr::Comprehension(Comprehension {
             head: Box::new(f(*c.head)),
             qualifiers: c
@@ -61,17 +61,15 @@ fn map_subexprs(e: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
                     Qualifier::Generator(p, e) => Qualifier::Generator(p, f(e)),
                     Qualifier::Let(p, e) => Qualifier::Let(p, f(e)),
                     Qualifier::Guard(e) => Qualifier::Guard(f(e)),
-                    Qualifier::GroupBy(p, k) => Qualifier::GroupBy(p, k.map(|x| f(x))),
+                    Qualifier::GroupBy(p, k) => Qualifier::GroupBy(p, k.map(&mut *f)),
                 })
                 .collect(),
         }),
         Expr::Reduce(m, e) => Expr::Reduce(m, Box::new(f(*e))),
         Expr::BinOp(op, a, b) => Expr::BinOp(op, Box::new(f(*a)), Box::new(f(*b))),
         Expr::UnOp(op, a) => Expr::UnOp(op, Box::new(f(*a))),
-        Expr::Index(b, idx) => {
-            Expr::Index(Box::new(f(*b)), idx.into_iter().map(|x| f(x)).collect())
-        }
-        Expr::Call(name, args) => Expr::Call(name, args.into_iter().map(|x| f(x)).collect()),
+        Expr::Index(b, idx) => Expr::Index(Box::new(f(*b)), idx.into_iter().map(&mut *f).collect()),
+        Expr::Call(name, args) => Expr::Call(name, args.into_iter().map(&mut *f).collect()),
         Expr::Field(b, field) => Expr::Field(Box::new(f(*b)), field),
         Expr::Range { lo, hi, inclusive } => Expr::Range {
             lo: Box::new(f(*lo)),
@@ -85,7 +83,7 @@ fn map_subexprs(e: Expr, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
             body,
         } => Expr::Build {
             builder,
-            args: args.into_iter().map(|x| f(x)).collect(),
+            args: args.into_iter().map(&mut *f).collect(),
             body: Box::new(f(*body)),
         },
     }
@@ -454,9 +452,7 @@ fn reducible_uses_only(e: &Expr, lifted: &[String]) -> bool {
         }
         Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => true,
         Expr::Tuple(es) | Expr::Call(_, es) => es.iter().all(|x| reducible_uses_only(x, lifted)),
-        Expr::BinOp(_, a, b) => {
-            reducible_uses_only(a, lifted) && reducible_uses_only(b, lifted)
-        }
+        Expr::BinOp(_, a, b) => reducible_uses_only(a, lifted) && reducible_uses_only(b, lifted),
         Expr::UnOp(_, a) => reducible_uses_only(a, lifted),
         Expr::Index(b, idx) => {
             reducible_uses_only(b, lifted) && idx.iter().all(|x| reducible_uses_only(x, lifted))
@@ -471,8 +467,7 @@ fn reducible_uses_only(e: &Expr, lifted: &[String]) -> bool {
                 && reducible_uses_only(f, lifted)
         }
         Expr::Build { args, body, .. } => {
-            args.iter().all(|x| reducible_uses_only(x, lifted))
-                && reducible_uses_only(body, lifted)
+            args.iter().all(|x| reducible_uses_only(x, lifted)) && reducible_uses_only(body, lifted)
         }
         // Conservative for nested comprehensions.
         Expr::Comprehension(c) => {
@@ -543,19 +538,20 @@ mod tests {
         let nested = parse_expr("[ x + 1 | x <- [ v * 2 | ((i,j),v) <- M ] ]").unwrap();
         let flat = normalize(nested.clone());
         // One comprehension, no nested generator sources.
-        let Expr::Comprehension(c) = &flat else { panic!() };
-        assert!(c.qualifiers.iter().all(|q| !matches!(
-            q,
-            Qualifier::Generator(_, Expr::Comprehension(_))
-        )));
+        let Expr::Comprehension(c) = &flat else {
+            panic!()
+        };
+        assert!(c
+            .qualifiers
+            .iter()
+            .all(|q| !matches!(q, Qualifier::Generator(_, Expr::Comprehension(_)))));
         assert_eq!(eval_with_m(&nested), eval_with_m(&flat));
     }
 
     #[test]
     fn rule3_renames_to_avoid_capture() {
         // Outer x would capture inner x without renaming.
-        let nested =
-            parse_expr("[ (x, y) | x <- [ x * 2 | (x, v) <- A ], y <- B ]").unwrap();
+        let nested = parse_expr("[ (x, y) | x <- [ x * 2 | (x, v) <- A ], y <- B ]").unwrap();
         let flat = normalize(nested.clone());
         let mut env = Env::new();
         env.bind(
@@ -576,7 +572,9 @@ mod tests {
     fn indexing_becomes_generator_and_guards() {
         let e = parse_expr("matrix(n,m)[ ((i,j), a + N[i,j]) | ((i,j),a) <- M ]").unwrap();
         let n = normalize(e.clone());
-        let Expr::Build { body, .. } = &n else { panic!() };
+        let Expr::Build { body, .. } = &n else {
+            panic!()
+        };
         let Expr::Comprehension(c) = body.as_ref() else {
             panic!()
         };
@@ -592,10 +590,7 @@ mod tests {
 
     #[test]
     fn range_fusion_preserves_semantics() {
-        let e = parse_expr(
-            "[ (i, j) | i <- 0 until 5, j <- 0 until 7, j == i + 1 ]",
-        )
-        .unwrap();
+        let e = parse_expr("[ (i, j) | i <- 0 until 5, j <- 0 until 7, j == i + 1 ]").unwrap();
         let n = normalize(e.clone());
         let Expr::Comprehension(c) = &n else { panic!() };
         // The j range generator must be gone (replaced by a let).

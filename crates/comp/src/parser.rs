@@ -493,9 +493,9 @@ fn replace_expr(e: &mut Expr, target: &Expr, replacement: &Expr) {
     }
     match e {
         Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Var(_) => {}
-        Expr::Tuple(es) | Expr::Call(_, es) => {
-            es.iter_mut().for_each(|x| replace_expr(x, target, replacement))
-        }
+        Expr::Tuple(es) | Expr::Call(_, es) => es
+            .iter_mut()
+            .for_each(|x| replace_expr(x, target, replacement)),
         Expr::Reduce(_, x) | Expr::UnOp(_, x) | Expr::Field(x, _) => {
             replace_expr(x, target, replacement)
         }
@@ -505,7 +505,8 @@ fn replace_expr(e: &mut Expr, target: &Expr, replacement: &Expr) {
         }
         Expr::Index(b, idx) => {
             replace_expr(b, target, replacement);
-            idx.iter_mut().for_each(|x| replace_expr(x, target, replacement));
+            idx.iter_mut()
+                .for_each(|x| replace_expr(x, target, replacement));
         }
         Expr::Range { lo, hi, .. } => {
             replace_expr(lo, target, replacement);
@@ -517,7 +518,8 @@ fn replace_expr(e: &mut Expr, target: &Expr, replacement: &Expr) {
             replace_expr(f, target, replacement);
         }
         Expr::Build { args, body, .. } => {
-            args.iter_mut().for_each(|x| replace_expr(x, target, replacement));
+            args.iter_mut()
+                .for_each(|x| replace_expr(x, target, replacement));
             replace_expr(body, target, replacement);
         }
         Expr::Comprehension(c) => {
@@ -593,9 +595,10 @@ mod tests {
     #[test]
     fn group_by_with_expression_key_substitutes() {
         // The tiled-builder comprehension from §5.
-        let e = parse_expr("rdd[ (i/N, w) | (i,v) <- L, let w = (i%N, v), group by i/N ]")
-            .unwrap();
-        let Expr::Build { body, .. } = e else { panic!() };
+        let e = parse_expr("rdd[ (i/N, w) | (i,v) <- L, let w = (i%N, v), group by i/N ]").unwrap();
+        let Expr::Build { body, .. } = e else {
+            panic!()
+        };
         let Expr::Comprehension(c) = *body else {
             panic!()
         };
@@ -619,7 +622,13 @@ mod tests {
         assert_eq!(c.qualifiers.len(), 8);
         assert!(matches!(
             &c.qualifiers[1],
-            Qualifier::Generator(Pattern::Var(_), Expr::Range { inclusive: true, .. })
+            Qualifier::Generator(
+                Pattern::Var(_),
+                Expr::Range {
+                    inclusive: true,
+                    ..
+                }
+            )
         ));
     }
 

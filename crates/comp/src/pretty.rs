@@ -190,6 +190,9 @@ mod tests {
     #[test]
     fn prints_expected_shape() {
         let ast = parse_expr("[ (i, +/m) | ((i,j),m) <- M, group by i ]").unwrap();
-        assert_eq!(format!("{ast}"), "[ (i, +/m) | ((i,j),m) <- M, group by i ]");
+        assert_eq!(
+            format!("{ast}"),
+            "[ (i, +/m) | ((i,j),m) <- M, group by i ]"
+        );
     }
 }

@@ -112,9 +112,7 @@ pub fn infer(expr: &Expr, env: &TypeEnv) -> Result<Type, CompError> {
                     if elem.is_numeric() {
                         Ok(elem)
                     } else {
-                        Err(CompError::typing(format!(
-                            "numeric reduction over {elem}"
-                        )))
+                        Err(CompError::typing(format!("numeric reduction over {elem}")))
                     }
                 }
                 Monoid::And | Monoid::Or => {
@@ -184,7 +182,10 @@ pub fn infer(expr: &Expr, env: &TypeEnv) -> Result<Type, CompError> {
             }
         }
         Expr::Call(f, args) => {
-            let ts: Vec<Type> = args.iter().map(|e| infer(e, env)).collect::<Result<_, _>>()?;
+            let ts: Vec<Type> = args
+                .iter()
+                .map(|e| infer(e, env))
+                .collect::<Result<_, _>>()?;
             match (f.as_str(), ts.as_slice()) {
                 ("count", [Type::List(_) | Type::Unknown]) => Ok(Type::Int),
                 ("sum" | "min" | "max", [Type::List(e)]) => Ok((**e).clone()),

@@ -73,7 +73,9 @@ impl Value {
     pub fn as_bool(&self) -> Result<bool, CompError> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(CompError::eval(format!("expected a boolean, got {other:?}"))),
+            other => Err(CompError::eval(format!(
+                "expected a boolean, got {other:?}"
+            ))),
         }
     }
 
@@ -107,7 +109,9 @@ impl Value {
             _ if self.promotes_to_float(other) => {
                 Ok(Value::Float(self.as_f64()? + other.as_f64()?))
             }
-            _ => Err(CompError::eval(format!("cannot add {self:?} and {other:?}"))),
+            _ => Err(CompError::eval(format!(
+                "cannot add {self:?} and {other:?}"
+            ))),
         }
     }
 
@@ -236,10 +240,7 @@ mod tests {
 
     #[test]
     fn arithmetic_promotion() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).add(&Value::Float(0.5)).unwrap(),
             Value::Float(2.5)
@@ -253,14 +254,8 @@ mod tests {
     #[test]
     fn integer_division_matches_tile_coordinates() {
         // i/N and i%N for tile addressing.
-        assert_eq!(
-            Value::Int(7).div(&Value::Int(4)).unwrap(),
-            Value::Int(1)
-        );
-        assert_eq!(
-            Value::Int(7).rem(&Value::Int(4)).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(Value::Int(7).div(&Value::Int(4)).unwrap(), Value::Int(1));
+        assert_eq!(Value::Int(7).rem(&Value::Int(4)).unwrap(), Value::Int(3));
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
     }
 

@@ -23,9 +23,8 @@ fn arb_scalar_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_arith_op()).prop_map(|(a, b, op)| {
-                Expr::BinOp(op, Box::new(a), Box::new(b))
-            }),
+            (inner.clone(), inner.clone(), arb_arith_op())
+                .prop_map(|(a, b, op)| { Expr::BinOp(op, Box::new(a), Box::new(b)) }),
             inner.clone().prop_map(|e| match e {
                 // Mirror the parser's literal folding so the roundtrip is
                 // exact.

@@ -72,6 +72,22 @@ pub struct Session {
     config: PlanConfig,
 }
 
+/// Result of [`Session::explain_analyze`]: the compile-time plan explanation
+/// plus the measured runtime profile of one execution.
+pub struct ExplainAnalysis {
+    /// The planner's one-line explanation ([`Planned::explain`]).
+    pub plan: String,
+    /// Per-job, per-stage measured statistics from the event trace.
+    pub profile: sparkline::JobProfile,
+}
+
+impl std::fmt::Display for ExplainAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan: {}", self.plan)?;
+        write!(f, "{}", self.profile.render())
+    }
+}
+
 impl Default for Session {
     fn default() -> Self {
         Session::builder().build()
@@ -107,13 +123,21 @@ impl Session {
     }
 
     /// Tile and register a local matrix.
+    ///
+    /// The tiles are grid-partitioned (MLlib's `GridPartitioner` layout) and
+    /// materialized eagerly, so identically-shaped matrices registered this
+    /// way are co-partitioned: element-wise plans over them cogroup narrowly,
+    /// without any shuffle at query time.
     pub fn register_local_matrix(
         &mut self,
         name: impl Into<String>,
         m: &LocalMatrix,
         tile_size: usize,
     ) {
-        let tiled = TiledMatrix::from_local(&self.ctx, m, tile_size, self.config.partitions);
+        let tiled = TiledMatrix::from_local(&self.ctx, m, tile_size, self.config.partitions)
+            .partition_by_grid(self.config.partitions);
+        // Run the ingest shuffle now, outside any traced query window.
+        tiled.tiles().count();
         self.register_matrix(name, tiled);
     }
 
@@ -180,6 +204,33 @@ impl Session {
     /// Explain the plan a comprehension would run as.
     pub fn explain(&self, src: &str) -> Result<String, CompError> {
         Ok(self.compile(src)?.explain())
+    }
+
+    /// Compile, execute, and profile a comprehension: the plan explanation
+    /// annotated with measured per-stage statistics (task counts, wall time,
+    /// max/median task time, shuffle bytes read and written) from the event
+    /// trace of this exact run.
+    ///
+    /// Tracing is enabled only for the duration of the call; any trace the
+    /// caller had running is restarted empty afterwards.
+    pub fn explain_analyze(&self, src: &str) -> Result<ExplainAnalysis, CompError> {
+        let planned = self.compile(src)?;
+        let was_tracing = self.ctx.is_tracing();
+        self.ctx.trace();
+        let result = planner::exec::execute(&planned, &self.env, &self.ctx, &self.config);
+        if let Ok(r) = &result {
+            // Tiled results are lazy; run their stages inside the window.
+            r.force();
+        }
+        let profile = self.ctx.take_profile();
+        if !was_tracing {
+            self.ctx.stop_trace();
+        }
+        result?;
+        Ok(ExplainAnalysis {
+            plan: planned.explain(),
+            profile,
+        })
     }
 
     /// Compile and execute a comprehension.
@@ -274,7 +325,8 @@ mod tests {
         let (mut s, _) = session_with(&[("A", 4, 4, 5)]);
         s.set_int("n", 4);
         assert_eq!(
-            s.typecheck("tiled(n,n)[ ((i,j), a) | ((i,j),a) <- A ]").unwrap(),
+            s.typecheck("tiled(n,n)[ ((i,j), a) | ((i,j),a) <- A ]")
+                .unwrap(),
             Type::matrix()
         );
         assert!(s.typecheck("[ x | x <- n ]").is_err());

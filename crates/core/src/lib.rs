@@ -32,5 +32,5 @@
 pub mod context;
 pub mod linalg;
 
-pub use context::{Session, SessionBuilder};
+pub use context::{ExplainAnalysis, Session, SessionBuilder};
 pub use planner::{ExecResult, MatMulStrategy, OutputKind, PlanConfig};

@@ -36,11 +36,7 @@ pub fn add(s: &Session, a: &TiledMatrix, b: &TiledMatrix) -> Result<TiledMatrix,
 }
 
 /// Element-wise subtraction `C_ij = A_ij - B_ij`.
-pub fn subtract(
-    s: &Session,
-    a: &TiledMatrix,
-    b: &TiledMatrix,
-) -> Result<TiledMatrix, CompError> {
+pub fn subtract(s: &Session, a: &TiledMatrix, b: &TiledMatrix) -> Result<TiledMatrix, CompError> {
     let mut env = env_of(&[a, b]);
     env.set_int("n", a.rows());
     env.set_int("m", a.cols());
@@ -57,11 +53,8 @@ pub fn scale(s: &Session, a: &TiledMatrix, c: f64) -> Result<TiledMatrix, CompEr
     env.set_int("n", a.rows());
     env.set_int("m", a.cols());
     env.set_float("c", c);
-    s.run_in_env(
-        "tiled(n,m)[ ((i,j), c*a) | ((i,j),a) <- X0 ]",
-        &env,
-    )?
-    .into_matrix()
+    s.run_in_env("tiled(n,m)[ ((i,j), c*a) | ((i,j),a) <- X0 ]", &env)?
+        .into_matrix()
 }
 
 /// Transpose via the tiling-preserving swapped-key comprehension.
@@ -76,11 +69,7 @@ pub fn transpose(s: &Session, a: &TiledMatrix) -> Result<TiledMatrix, CompError>
 /// Query (9): matrix multiplication `C = A · B`. The session's configured
 /// strategy decides between the §5.3 reduceByKey plan and the §5.4
 /// group-by-join (SUMMA) plan.
-pub fn multiply(
-    s: &Session,
-    a: &TiledMatrix,
-    b: &TiledMatrix,
-) -> Result<TiledMatrix, CompError> {
+pub fn multiply(s: &Session, a: &TiledMatrix, b: &TiledMatrix) -> Result<TiledMatrix, CompError> {
     let mut env = env_of(&[a, b]);
     env.set_int("n", a.rows());
     env.set_int("m", b.cols());
@@ -128,11 +117,7 @@ pub fn multiply_at(
 }
 
 /// Matrix–vector product `y = A·x` as a comprehension (the 1-D contraction).
-pub fn mat_vec(
-    s: &Session,
-    a: &TiledMatrix,
-    x: &TiledVector,
-) -> Result<TiledVector, CompError> {
+pub fn mat_vec(s: &Session, a: &TiledMatrix, x: &TiledVector) -> Result<TiledVector, CompError> {
     let mut env = env_of(&[a]);
     env.set_array("X1", planner::DistArray::Vector(x.clone()));
     env.set_int("n", a.rows());
@@ -145,11 +130,7 @@ pub fn mat_vec(
 }
 
 /// `y = Aᵀ·x` by contracting the matrix row index.
-pub fn mat_vec_t(
-    s: &Session,
-    a: &TiledMatrix,
-    x: &TiledVector,
-) -> Result<TiledVector, CompError> {
+pub fn mat_vec_t(s: &Session, a: &TiledMatrix, x: &TiledVector) -> Result<TiledVector, CompError> {
     let mut env = env_of(&[a]);
     env.set_array("X1", planner::DistArray::Vector(x.clone()));
     env.set_int("n", a.cols());
@@ -214,11 +195,8 @@ pub fn rotate_rows(s: &Session, a: &TiledMatrix) -> Result<TiledMatrix, CompErro
     let mut env = env_of(&[a]);
     env.set_int("n", a.rows());
     env.set_int("m", a.cols());
-    s.run_in_env(
-        "tiled(n,m)[ (((i+1)%n, j), v) | ((i,j),v) <- X0 ]",
-        &env,
-    )?
-    .into_matrix()
+    s.run_in_env("tiled(n,m)[ (((i+1)%n, j), v) | ((i,j),v) <- X0 ]", &env)?
+        .into_matrix()
 }
 
 /// One gradient-descent iteration of matrix factorization (§6, Fig. 4.C):
@@ -368,7 +346,10 @@ mod tests {
         let s = session();
         let (a, b) = (rand_mat(7, 5, 1), rand_mat(7, 5, 2));
         let (da, db) = (dist(&s, &a), dist(&s, &b));
-        assert!(add(&s, &da, &db).unwrap().to_local().approx_eq(&a.add(&b), 1e-12));
+        assert!(add(&s, &da, &db)
+            .unwrap()
+            .to_local()
+            .approx_eq(&a.add(&b), 1e-12));
         assert!(subtract(&s, &da, &db)
             .unwrap()
             .to_local()
@@ -444,7 +425,9 @@ mod tests {
         let y: Vec<f64> = (0..13).map(|i| (i * i) as f64).collect();
         let dx = TiledVector::from_local(s.spark(), &x, 4, 2);
         let dy = TiledVector::from_local(s.spark(), &y, 4, 2);
-        let got = vector_affine(&s, &dx, &dy, 2.0, -0.5, 1.0).unwrap().to_local();
+        let got = vector_affine(&s, &dx, &dy, 2.0, -0.5, 1.0)
+            .unwrap()
+            .to_local();
         for i in 0..13 {
             assert!((got[i] - (2.0 * x[i] - 0.5 * y[i] + 1.0)).abs() < 1e-12);
         }
@@ -465,10 +448,12 @@ mod tests {
         let s = session();
         let a = rand_mat(6, 6, 8);
         let da = dist(&s, &a);
-        assert!(smooth(&s, &da).unwrap().to_local().approx_eq(&a.smooth(), 1e-9));
+        assert!(smooth(&s, &da)
+            .unwrap()
+            .to_local()
+            .approx_eq(&a.smooth(), 1e-9));
         let rotated = rotate_rows(&s, &da).unwrap().to_local();
-        let expected =
-            LocalMatrix::from_fn(6, 6, |i, j| a.get((i + 6 - 1) % 6, j));
+        let expected = LocalMatrix::from_fn(6, 6, |i, j| a.get((i + 6 - 1) % 6, j));
         assert!(rotated.approx_eq(&expected, 1e-12));
     }
 
@@ -525,14 +510,19 @@ mod tests {
         let p = LocalMatrix::random(8, 4, 0.0, 1.0, &mut rng);
         let q = LocalMatrix::random(8, 4, 0.0, 1.0, &mut rng);
         let (gamma, lambda) = (0.002, 0.02);
-        let (dp2, dq2) =
-            factorization_step(&s, &dist(&s, &r), &dist(&s, &p), &dist(&s, &q), gamma, lambda)
-                .unwrap();
+        let (dp2, dq2) = factorization_step(
+            &s,
+            &dist(&s, &r),
+            &dist(&s, &p),
+            &dist(&s, &q),
+            gamma,
+            lambda,
+        )
+        .unwrap();
         // Local reference.
         let e = r.sub(&p.multiply(&q.transpose()));
         let p2 = LocalMatrix::from_fn(8, 4, |i, j| {
-            p.get(i, j)
-                + gamma * (2.0 * e.multiply(&q).get(i, j) - lambda * p.get(i, j))
+            p.get(i, j) + gamma * (2.0 * e.multiply(&q).get(i, j) - lambda * p.get(i, j))
         });
         let q2 = LocalMatrix::from_fn(8, 4, |i, j| {
             q.get(i, j)

@@ -43,6 +43,7 @@ impl Stmt {
     /// The innermost assignment of a perfect loop nest, with the loop
     /// variables and bounds collected outside-in. `None` if the nest is not
     /// perfect (multiple statements at some level).
+    #[allow(clippy::type_complexity)]
     pub fn as_perfect_nest(&self) -> Option<(Vec<(String, Expr, Expr)>, &Stmt)> {
         let mut loops = Vec::new();
         let mut cur = self;

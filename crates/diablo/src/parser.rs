@@ -64,9 +64,7 @@ impl LoopParser {
             }
             match t {
                 Token::LParen | Token::LBracket | Token::LBrace => depth += 1,
-                Token::RParen | Token::RBracket | Token::RBrace => {
-                    depth = depth.saturating_sub(1)
-                }
+                Token::RParen | Token::RBracket | Token::RBrace => depth = depth.saturating_sub(1),
                 _ => {}
             }
             self.pos += 1;

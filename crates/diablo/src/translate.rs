@@ -172,7 +172,9 @@ fn translate_nest(
                 .all(|e| matches!(e, Expr::Var(v) if state.loop_vars.contains(v)));
             if all_vars {
                 let pat = if indices.len() == 1 {
-                    let Expr::Var(v) = &indices[0] else { unreachable!() };
+                    let Expr::Var(v) = &indices[0] else {
+                        unreachable!()
+                    };
                     Pattern::Var(v.clone())
                 } else {
                     Pattern::Tuple(
@@ -239,16 +241,12 @@ impl ReadLift {
                     idx.into_iter().map(|x| self.lift(x)).collect(),
                 )
             }
-            Expr::BinOp(op, a, b) => Expr::BinOp(
-                op,
-                Box::new(self.lift(*a)),
-                Box::new(self.lift(*b)),
-            ),
+            Expr::BinOp(op, a, b) => {
+                Expr::BinOp(op, Box::new(self.lift(*a)), Box::new(self.lift(*b)))
+            }
             Expr::UnOp(op, a) => Expr::UnOp(op, Box::new(self.lift(*a))),
             Expr::Tuple(es) => Expr::Tuple(es.into_iter().map(|x| self.lift(x)).collect()),
-            Expr::Call(f, args) => {
-                Expr::Call(f, args.into_iter().map(|x| self.lift(x)).collect())
-            }
+            Expr::Call(f, args) => Expr::Call(f, args.into_iter().map(|x| self.lift(x)).collect()),
             Expr::If(c, t, f) => Expr::If(
                 Box::new(self.lift(*c)),
                 Box::new(self.lift(*t)),
@@ -347,9 +345,7 @@ mod tests {
 
     #[test]
     fn row_sums_loop_becomes_fig1() {
-        let outs = translate_src(
-            "for i = 0, n-1 do for j = 0, m-1 do V[i] += M[i, j];",
-        );
+        let outs = translate_src("for i = 0, n-1 do for j = 0, m-1 do V[i] += M[i, j];");
         let Expr::Build { builder, body, .. } = &outs[0].1 else {
             panic!()
         };
@@ -374,9 +370,8 @@ mod tests {
 
     #[test]
     fn pure_assignment_has_no_group_by() {
-        let outs = translate_src(
-            "for i = 0, n-1 do for j = 0, m-1 do C[i, j] = A[i, j] + B[i, j];",
-        );
+        let outs =
+            translate_src("for i = 0, n-1 do for j = 0, m-1 do C[i, j] = A[i, j] + B[i, j];");
         let Expr::Build { body, .. } = &outs[0].1 else {
             panic!()
         };
@@ -407,7 +402,13 @@ mod tests {
         };
         assert!(matches!(
             &c.qualifiers[0],
-            Qualifier::Generator(_, Expr::Range { inclusive: true, .. })
+            Qualifier::Generator(
+                _,
+                Expr::Range {
+                    inclusive: true,
+                    ..
+                }
+            )
         ));
     }
 
@@ -419,9 +420,7 @@ mod tests {
 
     #[test]
     fn shifted_write_index_groups_by_expression() {
-        let outs = translate_src(
-            "for i = 0, n-1 do for j = 0, m-1 do C[i / 2, j] += M[i, j];",
-        );
+        let outs = translate_src("for i = 0, n-1 do for j = 0, m-1 do C[i / 2, j] += M[i, j];");
         let Expr::Build { body, .. } = &outs[0].1 else {
             panic!()
         };

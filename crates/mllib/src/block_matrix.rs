@@ -172,7 +172,13 @@ impl BlockMatrix {
                     (None, None) => vec![],
                 }
             });
-        BlockMatrix::new(self.rows, self.cols, self.block_size, self.partitions, blocks)
+        BlockMatrix::new(
+            self.rows,
+            self.cols,
+            self.block_size,
+            self.partitions,
+            blocks,
+        )
     }
 
     /// `self - other` (MLlib composes `other.scale(-1)` with `add`).
@@ -186,7 +192,13 @@ impl BlockMatrix {
             block.scale_in_place(s);
             (coord, block)
         });
-        BlockMatrix::new(self.rows, self.cols, self.block_size, self.partitions, blocks)
+        BlockMatrix::new(
+            self.rows,
+            self.cols,
+            self.block_size,
+            self.partitions,
+            blocks,
+        )
     }
 
     /// Transpose — a narrow block map (blocks are square).
@@ -194,7 +206,13 @@ impl BlockMatrix {
         let blocks = self
             .blocks
             .map(|((bi, bj), block)| ((bj, bi), block.transpose()));
-        BlockMatrix::new(self.cols, self.rows, self.block_size, self.partitions, blocks)
+        BlockMatrix::new(
+            self.cols,
+            self.rows,
+            self.block_size,
+            self.partitions,
+            blocks,
+        )
     }
 
     /// Matrix multiplication — MLlib's replicate + cogroup-by-partition +
@@ -246,28 +264,28 @@ impl BlockMatrix {
 
         let block_size = self.block_size;
         let owner = result_partitioner.clone();
-        let products = flat_a
-            .cogroup(&flat_b, result_partitions)
-            .flat_map(move |(pid, (lefts, rights))| {
-                let mut out: Vec<(TileCoord, DenseMatrix)> = Vec::new();
-                for (bi, bk, a) in &lefts {
-                    for (bk2, bj, b) in &rights {
-                        // A pair can meet in several partitions when grid
-                        // regions alias; compute the product only in the
-                        // partition that owns the result block, as MLlib's
-                        // GridPartitioner guarantees structurally.
-                        if bk2 == bk && owner.partition(&(*bi, *bj)) as i64 == pid {
-                            let mut c = DenseMatrix::zeros(block_size, block_size);
-                            f2j_gemm(&mut c, a, b);
-                            out.push(((*bi, *bj), c));
+        let products =
+            flat_a
+                .cogroup(&flat_b, result_partitions)
+                .flat_map(move |(pid, (lefts, rights))| {
+                    let mut out: Vec<(TileCoord, DenseMatrix)> = Vec::new();
+                    for (bi, bk, a) in &lefts {
+                        for (bk2, bj, b) in &rights {
+                            // A pair can meet in several partitions when grid
+                            // regions alias; compute the product only in the
+                            // partition that owns the result block, as MLlib's
+                            // GridPartitioner guarantees structurally.
+                            if bk2 == bk && owner.partition(&(*bi, *bj)) as i64 == pid {
+                                let mut c = DenseMatrix::zeros(block_size, block_size);
+                                f2j_gemm(&mut c, a, b);
+                                out.push(((*bi, *bj), c));
+                            }
                         }
                     }
-                }
-                out
-            });
-        let blocks = products.reduce_by_key_in_place(result_partitions, |acc, b| {
-            acc.add_in_place(&b)
-        });
+                    out
+                });
+        let blocks =
+            products.reduce_by_key_in_place(result_partitions, |acc, b| acc.add_in_place(&b));
         BlockMatrix::new(
             self.rows,
             other.cols,

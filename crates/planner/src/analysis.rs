@@ -324,9 +324,7 @@ pub fn extract_aggregates(e: &Expr) -> (Expr, Vec<Aggregate>) {
                 e.clone()
             }
             Expr::Tuple(es) => Expr::Tuple(es.iter().map(|x| go(x, aggs)).collect()),
-            Expr::BinOp(op, a, b) => {
-                Expr::BinOp(*op, Box::new(go(a, aggs)), Box::new(go(b, aggs)))
-            }
+            Expr::BinOp(op, a, b) => Expr::BinOp(*op, Box::new(go(a, aggs)), Box::new(go(b, aggs))),
             Expr::UnOp(op, a) => Expr::UnOp(*op, Box::new(go(a, aggs))),
             Expr::Call(f, args) => {
                 Expr::Call(f.clone(), args.iter().map(|x| go(x, aggs)).collect())
@@ -403,10 +401,7 @@ mod tests {
 
     #[test]
     fn var_classes_union_find() {
-        let vc = VarClasses::from_equalities(&[
-            ("a".into(), "b".into()),
-            ("b".into(), "c".into()),
-        ]);
+        let vc = VarClasses::from_equalities(&[("a".into(), "b".into()), ("b".into(), "c".into())]);
         assert!(vc.same("a", "c"));
         assert!(!vc.same("a", "d"));
     }

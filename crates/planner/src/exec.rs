@@ -20,6 +20,22 @@ pub enum ExecResult {
 }
 
 impl ExecResult {
+    /// Materialize every lazy stage of the result now. Used by
+    /// `explain_analyze`-style callers that want all stages to run inside a
+    /// trace window (tiled results are otherwise computed on first use).
+    pub fn force(&self) -> &ExecResult {
+        match self {
+            ExecResult::Matrix(m) => {
+                m.tiles().count();
+            }
+            ExecResult::Vector(v) => {
+                v.blocks().count();
+            }
+            ExecResult::Local(_) => {}
+        }
+        self
+    }
+
     pub fn into_matrix(self) -> Result<TiledMatrix, CompError> {
         match self {
             ExecResult::Matrix(m) => Ok(m),
@@ -43,6 +59,7 @@ impl ExecResult {
 }
 
 /// The f64 embedding of a monoid: identity and combine.
+#[allow(clippy::type_complexity)]
 pub fn monoid_f64(m: Monoid) -> Result<(f64, fn(f64, f64) -> f64), CompError> {
     Ok(match m {
         Monoid::Sum => (0.0, |a, b| a + b),
@@ -61,7 +78,23 @@ pub fn monoid_f64(m: Monoid) -> Result<(f64, fn(f64, f64) -> f64), CompError> {
 }
 
 /// Execute a planned comprehension.
+///
+/// The whole dispatch runs under a plan-node tag equal to
+/// [`Plan::strategy_name`], so every shuffle stage the plan constructs is
+/// attributed to its plan node in the event trace (the DAG is built here even
+/// though stages materialize later — shuffles capture the tag eagerly).
 pub fn execute(
+    planned: &Planned,
+    env: &PlanEnv,
+    ctx: &Context,
+    config: &PlanConfig,
+) -> Result<ExecResult, CompError> {
+    ctx.scoped_tag(planned.plan.strategy_name(), || {
+        execute_untagged(planned, env, ctx, config)
+    })
+}
+
+fn execute_untagged(
     planned: &Planned,
     env: &PlanEnv,
     ctx: &Context,
@@ -75,8 +108,7 @@ pub fn execute(
             exec_contraction(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
         }
         (Plan::IndexRemap { .. }, OutputKind::Matrix { rows, cols }) => {
-            exec_index_remap(&planned.plan, env, ctx, config, *rows, *cols)
-                .map(ExecResult::Matrix)
+            exec_index_remap(&planned.plan, env, ctx, config, *rows, *cols).map(ExecResult::Matrix)
         }
         (Plan::GroupByAggregate { .. }, OutputKind::Matrix { rows, cols }) => {
             exec_group_aggregate_matrix(&planned.plan, env, ctx, config, *rows, *cols)
@@ -151,23 +183,24 @@ fn exec_eltwise(
         )));
     }
 
-    // Join all inputs on tile coordinates. Tile coordinates are unique per
-    // matrix, so each cogroup side holds at most one tile — popping it moves
-    // the buffer instead of cloning a join pair.
-    let mut joined: Dataset<(TileCoord, Vec<DenseMatrix>)> =
-        first.tiles().map(|(c, t)| (c, vec![t]));
+    // Join all inputs on tile coordinates using the grid partitioner of the
+    // output shape: inputs registered grid-partitioned (mllib-style) cogroup
+    // narrowly, so e.g. matrix addition runs with zero shuffle stages. Tile
+    // coordinates are unique per matrix, so each cogroup side holds at most
+    // one tile — popping it moves the buffer instead of cloning a join pair.
+    // All per-key steps preserve partitioning, keeping later cogroups in the
+    // chain narrow as well.
+    let grid = first.grid_partitioner(config.partitions);
+    let mut joined: Dataset<(TileCoord, Vec<DenseMatrix>)> = first.tiles().map_values(|t| vec![t]);
     for m in &mats[1..] {
         joined = joined
-            .cogroup(m.tiles(), config.partitions)
-            .flat_map(|(c, (mut accs, mut ts))| {
-                match (accs.pop(), ts.pop()) {
-                    (Some(mut acc), Some(t)) => {
-                        acc.push(t);
-                        vec![(c, acc)]
-                    }
-                    // Inner-join semantics: unmatched coordinates drop.
-                    _ => vec![],
-                }
+            .cogroup_with(m.tiles(), grid.clone())
+            // Inner-join semantics: unmatched coordinates drop.
+            .filter(|(_, (accs, ts))| !accs.is_empty() && !ts.is_empty())
+            .map_values(|(mut accs, mut ts)| {
+                let mut acc = accs.pop().expect("filtered non-empty");
+                acc.push(ts.pop().expect("filtered non-empty"));
+                acc
             });
     }
 
@@ -373,12 +406,12 @@ fn exec_contraction(
             let brows_a = a.block_rows();
             let lefts = a.tiles().flat_map(move |((i, k), t)| {
                 (0..bcols_b)
-                    .map(|j| (((i, j)), (k, t.clone())))
+                    .map(|j| ((i, j), (k, t.clone())))
                     .collect::<Vec<_>>()
             });
             let rights = b.tiles().flat_map(move |((k, j), t)| {
                 (0..brows_a)
-                    .map(|i| (((i, j)), (k, t.clone())))
+                    .map(|i| ((i, j), (k, t.clone())))
                     .collect::<Vec<_>>()
             });
             lefts
@@ -535,9 +568,9 @@ fn exec_mat_vec(
                 let mut y = vec![0.0; n];
                 let mut slots = [0.0f64; 2];
                 for (r, out) in y.iter_mut().enumerate() {
-                    for c in 0..valid {
+                    for (c, &bv) in block.iter().enumerate().take(valid) {
                         slots[0] = tile.get(r, c);
-                        slots[1] = block[c];
+                        slots[1] = bv;
                         *out += value.eval(&slots);
                     }
                 }
@@ -591,15 +624,15 @@ fn exec_vector_eltwise(
     let mut joined: Dataset<(i64, Vec<Vec<f64>>)> =
         first.blocks().map(|(b, block)| (b, vec![block]));
     for v in &vecs[1..] {
-        joined = joined
-            .cogroup(v.blocks(), config.partitions)
-            .flat_map(|(b, (mut accs, mut blocks))| match (accs.pop(), blocks.pop()) {
+        joined = joined.cogroup(v.blocks(), config.partitions).flat_map(
+            |(b, (mut accs, mut blocks))| match (accs.pop(), blocks.pop()) {
                 (Some(mut acc), Some(block)) => {
                     acc.push(block);
                     vec![(b, acc)]
                 }
                 _ => vec![],
-            });
+            },
+        );
     }
     let k = vecs.len();
     let value = value.clone();
@@ -708,8 +741,12 @@ fn exec_index_remap(
                             break;
                         }
                         let (oi, oj) = (fi3.eval(&[gi, gj]), fj3.eval(&[gi, gj]));
-                        if oi.div_euclid(ni) == di && oj.div_euclid(ni) == dj
-                            && oi >= 0 && oi < rows && oj >= 0 && oj < cols
+                        if oi.div_euclid(ni) == di
+                            && oj.div_euclid(ni) == dj
+                            && oi >= 0
+                            && oi < rows
+                            && oj >= 0
+                            && oj < cols
                         {
                             slots[0] = t.get(ti, tj);
                             slots[1] = gi as f64;
@@ -793,10 +830,9 @@ fn mini_comprehension(
     let key_value = match key_expr {
         Some(e) => e.clone(),
         None => match key {
-            GroupKey::Cell(k1, k2) => Expr::Tuple(vec![
-                Expr::Var(k1.clone()),
-                Expr::Var(k2.clone()),
-            ]),
+            GroupKey::Cell(k1, k2) => {
+                Expr::Tuple(vec![Expr::Var(k1.clone()), Expr::Var(k2.clone())])
+            }
             GroupKey::Index(k) => Expr::Var(k.clone()),
         },
     };
@@ -805,19 +841,15 @@ fn mini_comprehension(
     let mut quals = inner_quals.to_vec();
     if key_expr.is_some() {
         let pat = match key {
-            GroupKey::Cell(k1, k2) => Pattern::Tuple(vec![
-                Pattern::Var(k1.clone()),
-                Pattern::Var(k2.clone()),
-            ]),
+            GroupKey::Cell(k1, k2) => {
+                Pattern::Tuple(vec![Pattern::Var(k1.clone()), Pattern::Var(k2.clone())])
+            }
             GroupKey::Index(k) => Pattern::Var(k.clone()),
         };
         quals.push(Qualifier::Let(pat, key_value.clone()));
     }
     Comprehension {
-        head: Box::new(Expr::Tuple(vec![
-            key_value,
-            Expr::Tuple(inputs.to_vec()),
-        ])),
+        head: Box::new(Expr::Tuple(vec![key_value, Expr::Tuple(inputs.to_vec())])),
         qualifiers: quals,
     }
 }
@@ -903,10 +935,7 @@ fn exec_group_aggregate_matrix(
                         continue;
                     }
                     let dest = (k1.div_euclid(ni), k2.div_euclid(ni));
-                    let off = (
-                        k1.rem_euclid(ni) as usize,
-                        k2.rem_euclid(ni) as usize,
-                    );
+                    let off = (k1.rem_euclid(ni) as usize, k2.rem_euclid(ni) as usize);
                     let planes = acc.entry(dest).or_insert_with(|| {
                         zeros
                             .iter()
@@ -917,10 +946,10 @@ fn exec_group_aggregate_matrix(
                             })
                             .collect()
                     });
-                    let Value::Tuple(ins) = inputs_v else { continue };
-                    for (p, (inv, combine)) in
-                        ins.iter().zip(combines.iter()).enumerate()
-                    {
+                    let Value::Tuple(ins) = inputs_v else {
+                        continue;
+                    };
+                    for (p, (inv, combine)) in ins.iter().zip(combines.iter()).enumerate() {
                         let x = inv.as_f64().unwrap_or(0.0);
                         let cur = planes[p].get(off.0, off.1);
                         planes[p].set(off.0, off.1, combine(cur, x));
@@ -1036,9 +1065,7 @@ fn exec_group_aggregate_vector(
                         .entry(dest)
                         .or_insert_with(|| zeros.iter().map(|&z| vec![z; n]).collect());
                     let Value::Tuple(ins) = &kv[1] else { continue };
-                    for (p, (inv, combine)) in
-                        ins.iter().zip(combines.iter()).enumerate()
-                    {
+                    for (p, (inv, combine)) in ins.iter().zip(combines.iter()).enumerate() {
                         let x = inv.as_f64().unwrap_or(0.0);
                         planes[p][off] = combine(planes[p][off], x);
                     }
@@ -1105,9 +1132,7 @@ fn exec_local(
                     Value::List(
                         vals.iter()
                             .enumerate()
-                            .map(|(i, &x)| {
-                                Value::pair(Value::Int(i as i64), Value::Float(x))
-                            })
+                            .map(|(i, &x)| Value::pair(Value::Int(i as i64), Value::Float(x)))
                             .collect(),
                     ),
                 );
@@ -1123,8 +1148,7 @@ fn exec_local(
         OutputKind::Local => Ok(ExecResult::Local(result)),
         OutputKind::Matrix { rows, cols } => {
             let triplets = value_to_triplets(&result)?;
-            let local =
-                LocalMatrix::from_triplets(*rows as usize, *cols as usize, &triplets);
+            let local = LocalMatrix::from_triplets(*rows as usize, *cols as usize, &triplets);
             let tile = default_tile_size(env);
             Ok(ExecResult::Matrix(TiledMatrix::from_local(
                 ctx,
@@ -1170,15 +1194,13 @@ fn triplets_to_value(triplets: &[((i64, i64), f64)]) -> Value {
         triplets
             .iter()
             .map(|&((i, j), v)| {
-                Value::pair(
-                    Value::pair(Value::Int(i), Value::Int(j)),
-                    Value::Float(v),
-                )
+                Value::pair(Value::pair(Value::Int(i), Value::Int(j)), Value::Float(v))
             })
             .collect(),
     )
 }
 
+#[allow(clippy::type_complexity)]
 fn value_to_triplets(v: &Value) -> Result<Vec<((i64, i64), f64)>, CompError> {
     let Value::List(items) = v else {
         return Err(CompError::plan("matrix result must be an association list"));

@@ -258,7 +258,13 @@ pub fn plan(expr: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<Planned, 
         }
         other => {
             let output = OutputKind::Local;
-            fallback(other, output, env, config, CompError::plan("not a tiled builder"))?
+            fallback(
+                other,
+                output,
+                env,
+                config,
+                CompError::plan("not a tiled builder"),
+            )?
         }
     };
     Ok(planned)
@@ -318,11 +324,7 @@ fn gen_kind(env: &PlanEnv) -> impl Fn(&str) -> GenKind + '_ {
     }
 }
 
-fn plan_matrix_body(
-    body: &Expr,
-    env: &PlanEnv,
-    config: &PlanConfig,
-) -> Result<Plan, CompError> {
+fn plan_matrix_body(body: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<Plan, CompError> {
     let c = body_comprehension(body)?;
     let d = decompose(&c.head, &c.qualifiers, &gen_kind(env))?;
     if d.post_group_quals > 0 {
@@ -342,11 +344,7 @@ fn plan_matrix_body(
     plan_group_by_aggregate(&d, env, GroupShape::Matrix)
 }
 
-fn plan_vector_body(
-    body: &Expr,
-    env: &PlanEnv,
-    _config: &PlanConfig,
-) -> Result<Plan, CompError> {
+fn plan_vector_body(body: &Expr, env: &PlanEnv, _config: &PlanConfig) -> Result<Plan, CompError> {
     let c = body_comprehension(body)?;
     let d = decompose(&c.head, &c.qualifiers, &gen_kind(env))?;
     if d.post_group_quals > 0 {
@@ -383,9 +381,7 @@ fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
     }
     for g in &d.matrix_gens {
         if classes.find(&g.row) != row_class || classes.find(&g.col) != col_class {
-            return Err(CompError::plan(
-                "generators are not joined on both indices",
-            ));
+            return Err(CompError::plan("generators are not joined on both indices"));
         }
     }
     // Equalities between non-index (value) variables are filters, not join
@@ -397,7 +393,7 @@ fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
         .collect();
     let mut extra_guards: Vec<Expr> = Vec::new();
     for (x, y) in &d.var_equalities {
-        if !index_vars.iter().any(|v| *v == x) || !index_vars.iter().any(|v| *v == y) {
+        if !index_vars.contains(&x) || !index_vars.contains(&y) {
             extra_guards.push(Expr::BinOp(
                 comp::BinOp::Eq,
                 Box::new(Expr::Var(x.clone())),
@@ -430,12 +426,7 @@ fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
     let canon = |e: &Expr| canonicalize_vars(e, d, &classes);
     let consts = |v: &str| env.float_scalar(v);
     let value = ScalarFn::compile(&canon(value), &slots, &consts)?;
-    let all_guards: Vec<Expr> = d
-        .other_guards
-        .iter()
-        .cloned()
-        .chain(extra_guards)
-        .collect();
+    let all_guards: Vec<Expr> = d.other_guards.iter().cloned().chain(extra_guards).collect();
     let guard = match all_guards.as_slice() {
         [] => None,
         guards => {
@@ -486,11 +477,7 @@ fn canonicalize_vars(e: &Expr, d: &Decomposed, classes: &VarClasses) -> Expr {
 }
 
 /// §5.3/§5.4 contraction.
-fn plan_contraction(
-    d: &Decomposed,
-    env: &PlanEnv,
-    config: &PlanConfig,
-) -> Result<Plan, CompError> {
+fn plan_contraction(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Result<Plan, CompError> {
     if d.matrix_gens.len() != 2
         || !d.vector_gens.is_empty()
         || !d.range_gens.is_empty()
@@ -654,7 +641,9 @@ fn plan_mat_vec(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
     } else if classes.same(&m.row, &v.idx) {
         true
     } else {
-        return Err(CompError::plan("vector index is not joined with the matrix"));
+        return Err(CompError::plan(
+            "vector index is not joined with the matrix",
+        ));
     };
     let free = if contract_row { &m.col } else { &m.row };
     if !classes.same(g, free) {
@@ -697,7 +686,9 @@ fn plan_vector_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError>
     let head = inline_lets(&d.head, &d.lets);
     let (key, value) = split_head(&head)?;
     let Expr::Var(k) = key else {
-        return Err(CompError::plan("vector head key must be the index variable"));
+        return Err(CompError::plan(
+            "vector head key must be the index variable",
+        ));
     };
     if classes.find(k) != idx_class {
         return Err(CompError::plan("head key is not the generator index"));

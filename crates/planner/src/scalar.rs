@@ -71,10 +71,9 @@ impl ScalarFn {
                 }
             }
             Expr::UnOp(UnOp::Neg, e) => ScalarFn::Neg(Box::new(c(e)?)),
-            Expr::UnOp(UnOp::Not, e) => ScalarFn::Sub(
-                Box::new(ScalarFn::Const(1.0)),
-                Box::new(c(e)?),
-            ),
+            Expr::UnOp(UnOp::Not, e) => {
+                ScalarFn::Sub(Box::new(ScalarFn::Const(1.0)), Box::new(c(e)?))
+            }
             Expr::If(cond, t, f) => {
                 ScalarFn::If(Box::new(c(cond)?), Box::new(c(t)?), Box::new(c(f)?))
             }
@@ -189,13 +188,19 @@ impl ScalarFn {
                     BinOp::Ge => |x, y| x >= y,
                     _ => unreachable!("non-comparison in Cmp"),
                 };
-                zip_batch(a, b, vars, len, move |x, y| {
-                    if cmp(x, y) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                })
+                zip_batch(
+                    a,
+                    b,
+                    vars,
+                    len,
+                    move |x, y| {
+                        if cmp(x, y) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    },
+                )
             }
         }
     }
@@ -346,11 +351,9 @@ mod tests {
     #[test]
     fn consts_inline() {
         let slots = vec!["a".to_string()];
-        let f = ScalarFn::compile(
-            &parse_expr("a * gamma").unwrap(),
-            &slots,
-            &|v| (v == "gamma").then_some(0.5),
-        )
+        let f = ScalarFn::compile(&parse_expr("a * gamma").unwrap(), &slots, &|v| {
+            (v == "gamma").then_some(0.5)
+        })
         .unwrap();
         assert_eq!(f.eval(&[8.0]), 4.0);
     }

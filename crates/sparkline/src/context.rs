@@ -1,12 +1,19 @@
-//! Execution context: configuration, the executor pool, task retry, and
-//! failure injection.
+//! Execution context: configuration, the executor pool, task retry, failure
+//! injection, and the structured-event trace.
 
+use crate::events::{Event, EventCollector};
 use crate::metrics::Metrics;
+use crate::profile::JobProfile;
+use crate::sync::Mutex;
 use crate::Data;
-use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Panic message used for scheduler-injected task failures; also how the
+/// tracer recognizes an injected failure when the panic is caught.
+const INJECTED_FAILURE_MSG: &str = "sparkline: injected task failure";
 
 /// Builder for [`Context`].
 pub struct ContextBuilder {
@@ -53,8 +60,13 @@ impl ContextBuilder {
                 default_parallelism: self.default_parallelism,
                 max_task_attempts: self.max_task_attempts,
                 metrics: Metrics::default(),
+                events: EventCollector::default(),
                 injected_failures: AtomicI64::new(0),
                 shuffle_ids: AtomicU64::new(0),
+                stage_ids: AtomicU64::new(0),
+                job_ids: AtomicU64::new(0),
+                active_jobs: Mutex::new(Vec::new()),
+                plan_tags: Mutex::new(Vec::new()),
                 broadcasts: Mutex::new(Vec::new()),
             }),
         }
@@ -66,16 +78,46 @@ pub(crate) struct CtxInner {
     pub(crate) default_parallelism: usize,
     pub(crate) max_task_attempts: u32,
     pub(crate) metrics: Metrics,
+    pub(crate) events: EventCollector,
     injected_failures: AtomicI64,
     shuffle_ids: AtomicU64,
+    stage_ids: AtomicU64,
+    job_ids: AtomicU64,
+    /// Stack of jobs (actions) currently running on the driver; the top one
+    /// is charged for stages submitted while it runs.
+    active_jobs: Mutex<Vec<u64>>,
+    /// Stack of plan-node tags ([`Context::scoped_tag`]); shuffles capture
+    /// the top of this stack when their DAG node is *constructed*, which is
+    /// when the planner is running (materialization happens later).
+    plan_tags: Mutex<Vec<String>>,
     // Broadcast variables are kept alive by the context, like Spark's
     // BlockManager does; they are just Arc'd values here.
     broadcasts: Mutex<Vec<Arc<dyn std::any::Any + Send + Sync>>>,
 }
 
-/// Handle to the runtime: creates datasets, runs stages, owns metrics.
+/// Everything a stage reports about itself when tracing is on. Built lazily:
+/// untraced runs never pay for the strings.
+pub(crate) struct StageMeta {
+    pub(crate) label: String,
+    pub(crate) tag: Option<String>,
+    pub(crate) lineage: Option<String>,
+}
+
+impl StageMeta {
+    pub(crate) fn action(label: &str, lineage: String) -> StageMeta {
+        StageMeta {
+            label: format!("action({label})"),
+            tag: None,
+            lineage: Some(lineage),
+        }
+    }
+}
+
+/// Handle to the runtime: creates datasets, runs stages, owns metrics and
+/// the event trace.
 ///
-/// Cheap to clone; all clones share one executor pool and metrics sink.
+/// Cheap to clone; all clones share one executor pool, metrics sink and
+/// event collector.
 #[derive(Clone)]
 pub struct Context {
     pub(crate) inner: Arc<CtxInner>,
@@ -113,6 +155,80 @@ impl Context {
         &self.inner.metrics
     }
 
+    /// Start collecting structured runtime events, discarding anything
+    /// buffered from an earlier trace window.
+    pub fn trace(&self) {
+        self.inner.events.drain();
+        self.inner.events.set_enabled(true);
+    }
+
+    /// Stop collecting events. Buffered events stay available to
+    /// [`Context::take_events`] / [`Context::take_profile`].
+    pub fn stop_trace(&self) {
+        self.inner.events.set_enabled(false);
+    }
+
+    /// Is event collection currently enabled?
+    pub fn is_tracing(&self) -> bool {
+        self.inner.events.is_enabled()
+    }
+
+    /// Drain the raw event log collected since [`Context::trace`] (or the
+    /// last take). Tracing stays in whatever state it was.
+    pub fn take_events(&self) -> Vec<Event> {
+        self.inner.events.drain()
+    }
+
+    /// Drain the event log and fold it into a queryable [`JobProfile`].
+    pub fn take_profile(&self) -> JobProfile {
+        JobProfile::from_events(&self.take_events())
+    }
+
+    /// Run `f` with `tag` as the current plan-node tag: DAG nodes (shuffles)
+    /// constructed inside `f` are attributed to `tag` in traces. Used by the
+    /// planner to stamp each stage with the plan node that produced it.
+    pub fn scoped_tag<R>(&self, tag: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        self.inner.plan_tags.lock().push(tag.into());
+        let _guard = PopTag(self);
+        f()
+    }
+
+    /// Top of the plan-tag stack, captured by shuffle nodes at construction.
+    pub(crate) fn current_tag(&self) -> Option<String> {
+        self.inner.plan_tags.lock().last().cloned()
+    }
+
+    /// Run `f` as a job (one action). Emits `JobStart`/`JobEnd` and charges
+    /// stages submitted inside to this job. A no-op wrapper when tracing is
+    /// off.
+    pub(crate) fn job_scope<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        if !self.inner.events.is_enabled() {
+            return f();
+        }
+        let job_id = self.inner.job_ids.fetch_add(1, Ordering::Relaxed);
+        self.inner.events.emit(Event::JobStart {
+            job_id,
+            label: label.to_string(),
+            at_micros: self.inner.events.now_micros(),
+        });
+        self.inner.active_jobs.lock().push(job_id);
+        let _guard = EndJob {
+            ctx: self,
+            job_id,
+            started: Instant::now(),
+        };
+        f()
+    }
+
+    /// The context's event sink (for emission sites elsewhere in the crate).
+    pub(crate) fn events(&self) -> &EventCollector {
+        &self.inner.events
+    }
+
+    fn current_job(&self) -> Option<u64> {
+        self.inner.active_jobs.lock().last().copied()
+    }
+
     /// Create a dataset from a local collection, splitting it into
     /// `partitions` roughly equal chunks.
     pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> crate::Dataset<T> {
@@ -148,12 +264,18 @@ impl Context {
     }
 
     fn maybe_injected_failure(&self) {
-        let prev = self.inner.injected_failures.fetch_sub(1, Ordering::SeqCst);
-        if prev > 0 {
-            panic!("sparkline: injected task failure");
+        // Claim one pending failure atomically. A plain fetch_sub +
+        // compensating fetch_add lets two concurrent tasks both observe a
+        // non-positive counter and double-restore it; the CAS loop only ever
+        // decrements a positive counter.
+        let claimed = self.inner.injected_failures.fetch_update(
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            |pending| (pending > 0).then(|| pending - 1),
+        );
+        if claimed.is_ok() {
+            panic!("{INJECTED_FAILURE_MSG}");
         }
-        // Undo the decrement if no failure was pending.
-        self.inner.injected_failures.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Run one stage of `n` tasks on the executor pool, retrying failed tasks
@@ -166,17 +288,53 @@ impl Context {
         R: Send,
         F: Fn(usize) -> R + Send + Sync,
     {
+        self.run_stage(
+            n,
+            || StageMeta {
+                label: "stage".to_string(),
+                tag: None,
+                lineage: None,
+            },
+            f,
+        )
+        .0
+    }
+
+    /// [`Context::run_tasks`] with stage metadata for the event trace.
+    /// Returns the results and the stage id (so callers can attribute
+    /// further per-task facts, e.g. shuffle write sizes, to the stage).
+    pub(crate) fn run_stage<R, F, M>(&self, n: usize, meta: M, f: F) -> (Vec<R>, u64)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Send + Sync,
+        M: FnOnce() -> StageMeta,
+    {
+        let stage_id = self.inner.stage_ids.fetch_add(1, Ordering::Relaxed);
         if n == 0 {
-            return Vec::new();
+            return (Vec::new(), stage_id);
         }
         self.inner.metrics.stage_run();
+        let tracing = self.inner.events.is_enabled();
+        if tracing {
+            let meta = meta();
+            self.inner.events.emit(Event::StageStart {
+                stage_id,
+                job_id: self.current_job(),
+                label: meta.label,
+                tag: meta.tag,
+                lineage: meta.lineage,
+                tasks: n,
+                at_micros: self.inner.events.now_micros(),
+            });
+        }
+        let stage_started = Instant::now();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let failure: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let workers = self.inner.workers.min(n);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     if failure.lock().is_some() {
                         return;
                     }
@@ -187,17 +345,40 @@ impl Context {
                     let mut attempt = 0;
                     loop {
                         self.inner.metrics.task_launched();
+                        let task_started = tracing.then(Instant::now);
                         let out = catch_unwind(AssertUnwindSafe(|| {
                             self.maybe_injected_failure();
                             f(i)
                         }));
+                        let task_micros =
+                            task_started.map_or(0, |t| t.elapsed().as_micros() as u64);
                         match out {
                             Ok(v) => {
+                                if tracing {
+                                    self.inner.events.emit(Event::TaskEnd {
+                                        stage_id,
+                                        task: i,
+                                        attempt,
+                                        wall_micros: task_micros,
+                                        ok: true,
+                                        injected: false,
+                                    });
+                                }
                                 *results[i].lock() = Some(v);
                                 break;
                             }
                             Err(cause) => {
                                 self.inner.metrics.task_failed();
+                                if tracing {
+                                    self.inner.events.emit(Event::TaskEnd {
+                                        stage_id,
+                                        task: i,
+                                        attempt,
+                                        wall_micros: task_micros,
+                                        ok: false,
+                                        injected: panic_is_injected(&cause),
+                                    });
+                                }
                                 attempt += 1;
                                 if attempt >= self.inner.max_task_attempts {
                                     *failure.lock() = Some(cause);
@@ -208,15 +389,59 @@ impl Context {
                     }
                 });
             }
-        })
-        .expect("executor scope");
+        });
+        if tracing {
+            self.inner.events.emit(Event::StageEnd {
+                stage_id,
+                wall_micros: stage_started.elapsed().as_micros() as u64,
+            });
+        }
         if let Some(cause) = failure.into_inner() {
             resume_unwind(cause);
         }
-        results
+        let out = results
             .into_iter()
             .map(|m| m.into_inner().expect("task result missing"))
-            .collect()
+            .collect();
+        (out, stage_id)
+    }
+}
+
+/// True if a caught panic payload is the scheduler's injected failure.
+fn panic_is_injected(cause: &Box<dyn std::any::Any + Send>) -> bool {
+    cause
+        .downcast_ref::<&str>()
+        .is_some_and(|s| *s == INJECTED_FAILURE_MSG)
+        || cause
+            .downcast_ref::<String>()
+            .is_some_and(|s| s == INJECTED_FAILURE_MSG)
+}
+
+struct PopTag<'a>(&'a Context);
+
+impl Drop for PopTag<'_> {
+    fn drop(&mut self) {
+        self.0.inner.plan_tags.lock().pop();
+    }
+}
+
+struct EndJob<'a> {
+    ctx: &'a Context,
+    job_id: u64,
+    started: Instant,
+}
+
+impl Drop for EndJob<'_> {
+    fn drop(&mut self) {
+        let mut jobs = self.ctx.inner.active_jobs.lock();
+        if let Some(pos) = jobs.iter().rposition(|&j| j == self.job_id) {
+            jobs.remove(pos);
+        }
+        drop(jobs);
+        self.ctx.inner.events.emit(Event::JobEnd {
+            job_id: self.job_id,
+            wall_micros: self.started.elapsed().as_micros() as u64,
+        });
     }
 }
 
@@ -248,6 +473,23 @@ mod tests {
     }
 
     #[test]
+    fn injected_failure_counter_is_exact_under_concurrency() {
+        // The fetch_update claim never lets concurrent tasks double-consume
+        // or resurrect injected failures: with N injected and plenty of
+        // tasks, exactly N fail.
+        // One task may claim several injected failures back-to-back, so give
+        // it headroom to retry past all of them.
+        let ctx = Context::builder().workers(8).max_task_attempts(16).build();
+        ctx.inject_task_failures(5);
+        let _ = ctx.run_tasks(64, |i| i);
+        assert_eq!(ctx.metrics().snapshot().tasks_failed, 5);
+        // Counter is spent: later stages see no failures.
+        let before = ctx.metrics().snapshot().tasks_failed;
+        let _ = ctx.run_tasks(64, |i| i);
+        assert_eq!(ctx.metrics().snapshot().tasks_failed, before);
+    }
+
+    #[test]
     #[should_panic(expected = "injected task failure")]
     fn exhausting_attempts_fails_the_job() {
         let ctx = Context::builder().workers(1).max_task_attempts(2).build();
@@ -271,5 +513,77 @@ mod tests {
         ctx.run_tasks(2, |i| i);
         ctx.run_tasks(2, |i| i);
         assert_eq!(ctx.metrics().snapshot().stages_run - before, 2);
+    }
+
+    #[test]
+    fn untraced_contexts_collect_nothing() {
+        let ctx = Context::new();
+        ctx.run_tasks(4, |i| i);
+        assert!(ctx.take_events().is_empty());
+    }
+
+    #[test]
+    fn traced_stage_emits_start_tasks_end() {
+        use crate::events::Event;
+        let ctx = Context::builder().workers(2).build();
+        ctx.trace();
+        ctx.run_tasks(3, |i| i);
+        let events = ctx.take_events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::StageStart { .. }))
+            .count();
+        let tasks = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskEnd { ok: true, .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::StageEnd { .. }))
+            .count();
+        assert_eq!((starts, tasks, ends), (1, 3, 1));
+    }
+
+    #[test]
+    fn traced_retries_mark_injected_failures() {
+        let ctx = Context::builder().workers(1).build();
+        ctx.trace();
+        ctx.inject_task_failures(2);
+        ctx.run_tasks(4, |i| i);
+        let profile = ctx.take_profile();
+        assert_eq!(profile.total_failed_attempts(), 2);
+        assert_eq!(
+            profile
+                .stages
+                .iter()
+                .map(|s| s.injected_failures)
+                .sum::<u32>(),
+            2
+        );
+    }
+
+    #[test]
+    fn scoped_tag_nests_and_restores() {
+        let ctx = Context::new();
+        assert_eq!(ctx.current_tag(), None);
+        ctx.scoped_tag("outer", || {
+            assert_eq!(ctx.current_tag().as_deref(), Some("outer"));
+            ctx.scoped_tag("inner", || {
+                assert_eq!(ctx.current_tag().as_deref(), Some("inner"));
+            });
+            assert_eq!(ctx.current_tag().as_deref(), Some("outer"));
+        });
+        assert_eq!(ctx.current_tag(), None);
+    }
+
+    #[test]
+    fn job_scope_brackets_stages() {
+        let ctx = Context::builder().workers(2).build();
+        ctx.trace();
+        ctx.job_scope("collect", || ctx.run_tasks(2, |i| i));
+        let profile = ctx.take_profile();
+        assert_eq!(profile.jobs.len(), 1);
+        assert_eq!(profile.jobs[0].label, "collect");
+        assert_eq!(profile.jobs[0].stage_ids.len(), 1);
     }
 }

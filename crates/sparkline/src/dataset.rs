@@ -1,6 +1,6 @@
 //! The public [`Dataset`] API — the RDD analog.
 
-use crate::context::Context;
+use crate::context::{Context, StageMeta};
 use crate::ops::{CachedOp, MapPartitionsOp, Op, SourceOp, UnionOp};
 use crate::partitioner::KeyPartitioner;
 use crate::shuffle::{Aggregator, CoGroupOp, ShuffleOp};
@@ -144,20 +144,28 @@ impl<T: Data> Dataset<T> {
         }
     }
 
+    /// Run the action's final stage as a traced job named `label`.
+    fn action_stage<R: Send>(&self, label: &str, f: impl Fn(usize) -> R + Send + Sync) -> Vec<R> {
+        self.ctx.job_scope(label, || {
+            self.ctx
+                .run_stage(
+                    self.op.num_partitions(),
+                    || StageMeta::action(label, self.op.name()),
+                    f,
+                )
+                .0
+        })
+    }
+
     /// Action: materialize every partition and concatenate.
     pub fn collect(&self) -> Vec<T> {
-        let parts = self
-            .ctx
-            .run_tasks(self.op.num_partitions(), |p| self.op.compute(p, &self.ctx));
+        let parts = self.action_stage("collect", |p| self.op.compute(p, &self.ctx));
         parts.into_iter().flatten().collect()
     }
 
     /// Action: number of elements.
     pub fn count(&self) -> usize {
-        self.ctx
-            .run_tasks(self.op.num_partitions(), |p| {
-                self.op.compute(p, &self.ctx).len()
-            })
+        self.action_stage("count", |p| self.op.compute(p, &self.ctx).len())
             .into_iter()
             .sum()
     }
@@ -165,7 +173,7 @@ impl<T: Data> Dataset<T> {
     /// Action: reduce all elements with an associative function. Returns
     /// `None` on an empty dataset.
     pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> Option<T> {
-        let partials: Vec<Option<T>> = self.ctx.run_tasks(self.op.num_partitions(), |p| {
+        let partials: Vec<Option<T>> = self.action_stage("reduce", |p| {
             self.op.compute(p, &self.ctx).into_iter().reduce(&f)
         });
         partials.into_iter().flatten().reduce(f)
@@ -179,7 +187,7 @@ impl<T: Data> Dataset<T> {
         combine: impl Fn(A, A) -> A + Send + Sync + 'static,
     ) -> A {
         let z = zero.clone();
-        let partials: Vec<A> = self.ctx.run_tasks(self.op.num_partitions(), |p| {
+        let partials: Vec<A> = self.action_stage("fold", |p| {
             self.op
                 .compute(p, &self.ctx)
                 .into_iter()

@@ -1,0 +1,734 @@
+//! Structured runtime events — sparkline's analog of Spark's listener bus
+//! and event log.
+//!
+//! The scheduler ([`crate::Context`]) and the shuffle machinery emit one
+//! [`Event`] per interesting occurrence: job and stage boundaries with
+//! wall-clock timing, every task attempt (including retries and injected
+//! failures), and per-task shuffle bytes/records written and read. Events
+//! are gathered by the context's [`EventCollector`] and can be folded into a
+//! queryable [`crate::profile::JobProfile`] or serialized as a JSON event
+//! log (see `EXPERIMENTS.md` for the schema).
+//!
+//! Collection is off by default and costs one relaxed atomic load per
+//! emission site when disabled, so the instrumented hot paths stay cheap.
+
+use crate::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// One structured runtime event. Timestamps are microseconds since the
+/// collector's epoch (context creation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An action (job) started on the driver.
+    JobStart {
+        job_id: u64,
+        /// Action name, e.g. `collect` or `count`.
+        label: String,
+        at_micros: u64,
+    },
+    /// The matching action finished (successfully or not).
+    JobEnd { job_id: u64, wall_micros: u64 },
+    /// A stage of `tasks` tasks was submitted to the executor pool.
+    StageStart {
+        stage_id: u64,
+        /// Innermost job running when the stage was submitted, if any.
+        job_id: Option<u64>,
+        /// Scheduler-level stage kind, e.g. `shuffle.map(reduceByKey)` or
+        /// `action(collect)`.
+        label: String,
+        /// Plan node that produced this stage (set by the planner), e.g.
+        /// `contraction/groupByJoin`.
+        tag: Option<String>,
+        /// Operator lineage of the stage's input, innermost source last.
+        lineage: Option<String>,
+        tasks: usize,
+        at_micros: u64,
+    },
+    /// One task attempt finished. Failed attempts (`ok == false`) are
+    /// emitted too, so retry storms are visible; `injected` marks failures
+    /// planted by [`crate::Context::inject_task_failures`].
+    TaskEnd {
+        stage_id: u64,
+        task: usize,
+        attempt: u32,
+        wall_micros: u64,
+        ok: bool,
+        injected: bool,
+    },
+    /// All tasks of the stage completed.
+    StageEnd { stage_id: u64, wall_micros: u64 },
+    /// One map task's shuffle output (its partition of the shuffle write).
+    ShuffleWrite {
+        stage_id: u64,
+        shuffle_id: u64,
+        operator: String,
+        task: usize,
+        bytes: u64,
+        records: u64,
+    },
+    /// One reduce task's shuffle input (its partition of the shuffle read).
+    ShuffleRead {
+        stage_id: u64,
+        shuffle_id: u64,
+        operator: String,
+        task: usize,
+        bytes: u64,
+        records: u64,
+    },
+}
+
+/// Lock-cheap event sink owned by a [`crate::Context`].
+///
+/// Disabled collectors only pay an atomic load per [`EventCollector::emit`];
+/// enabled ones append to a mutex-guarded buffer (events are emitted from
+/// executor threads).
+pub struct EventCollector {
+    enabled: AtomicBool,
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Default for EventCollector {
+    fn default() -> Self {
+        EventCollector {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl EventCollector {
+    /// Is collection currently on? Emission sites check this before building
+    /// event payloads so the disabled path does no allocation.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn collection on or off. Already-buffered events are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Microseconds since the collector was created.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Append one event if collection is enabled.
+    pub fn emit(&self, event: Event) {
+        if self.is_enabled() {
+            self.events.lock().push(event);
+        }
+    }
+
+    /// Remove and return everything collected so far.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization (hand-rolled: the build environment has no serde).
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    fn new(kind: &str) -> Self {
+        let mut o = JsonObject {
+            buf: String::from("{"),
+            first: true,
+        };
+        o.str_field("type", kind);
+        o
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_json(key, &mut self.buf);
+        self.buf.push(':');
+    }
+
+    fn num_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        escape_json(value, &mut self.buf);
+        self
+    }
+
+    fn opt_num_field(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.num_field(key, v),
+            None => {
+                self.key(key);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    fn opt_str_field(&mut self, key: &str, value: Option<&str>) -> &mut Self {
+        match value {
+            Some(v) => self.str_field(key, v),
+            None => {
+                self.key(key);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Event {
+    /// One-line JSON object for this event.
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::JobStart {
+                job_id,
+                label,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("job_start");
+                o.num_field("job_id", *job_id)
+                    .str_field("label", label)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::JobEnd {
+                job_id,
+                wall_micros,
+            } => {
+                let mut o = JsonObject::new("job_end");
+                o.num_field("job_id", *job_id)
+                    .num_field("wall_micros", *wall_micros);
+                o.finish()
+            }
+            Event::StageStart {
+                stage_id,
+                job_id,
+                label,
+                tag,
+                lineage,
+                tasks,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("stage_start");
+                o.num_field("stage_id", *stage_id)
+                    .opt_num_field("job_id", *job_id)
+                    .str_field("label", label)
+                    .opt_str_field("tag", tag.as_deref())
+                    .opt_str_field("lineage", lineage.as_deref())
+                    .num_field("tasks", *tasks as u64)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::TaskEnd {
+                stage_id,
+                task,
+                attempt,
+                wall_micros,
+                ok,
+                injected,
+            } => {
+                let mut o = JsonObject::new("task_end");
+                o.num_field("stage_id", *stage_id)
+                    .num_field("task", *task as u64)
+                    .num_field("attempt", *attempt as u64)
+                    .num_field("wall_micros", *wall_micros)
+                    .bool_field("ok", *ok)
+                    .bool_field("injected", *injected);
+                o.finish()
+            }
+            Event::StageEnd {
+                stage_id,
+                wall_micros,
+            } => {
+                let mut o = JsonObject::new("stage_end");
+                o.num_field("stage_id", *stage_id)
+                    .num_field("wall_micros", *wall_micros);
+                o.finish()
+            }
+            Event::ShuffleWrite {
+                stage_id,
+                shuffle_id,
+                operator,
+                task,
+                bytes,
+                records,
+            } => {
+                let mut o = JsonObject::new("shuffle_write");
+                o.num_field("stage_id", *stage_id)
+                    .num_field("shuffle_id", *shuffle_id)
+                    .str_field("operator", operator)
+                    .num_field("task", *task as u64)
+                    .num_field("bytes", *bytes)
+                    .num_field("records", *records);
+                o.finish()
+            }
+            Event::ShuffleRead {
+                stage_id,
+                shuffle_id,
+                operator,
+                task,
+                bytes,
+                records,
+            } => {
+                let mut o = JsonObject::new("shuffle_read");
+                o.num_field("stage_id", *stage_id)
+                    .num_field("shuffle_id", *shuffle_id)
+                    .str_field("operator", operator)
+                    .num_field("task", *task as u64)
+                    .num_field("bytes", *bytes)
+                    .num_field("records", *records);
+                o.finish()
+            }
+        }
+    }
+}
+
+/// Serialize an event log as a JSON array, one event per line.
+pub fn to_json(events: &[Event]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&e.to_json());
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (minimal, for consuming recorded event logs in tests/tools).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("short \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+impl JsonValue {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            other => Err(format!("field `{key}`: expected number, got {other:?}")),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => Err(format!("field `{key}`: expected bool, got {other:?}")),
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field `{key}`: expected string, got {other:?}")),
+        }
+    }
+
+    fn opt_num(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Ok(Some(*n)),
+            Some(JsonValue::Null) | None => Ok(None),
+            other => Err(format!(
+                "field `{key}`: expected number|null, got {other:?}"
+            )),
+        }
+    }
+
+    fn opt_str(&self, key: &str) -> Result<Option<String>, String> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Ok(Some(s.clone())),
+            Some(JsonValue::Null) | None => Ok(None),
+            other => Err(format!(
+                "field `{key}`: expected string|null, got {other:?}"
+            )),
+        }
+    }
+}
+
+fn event_from_json(v: &JsonValue) -> Result<Event, String> {
+    let kind = v.str_of("type")?;
+    match kind.as_str() {
+        "job_start" => Ok(Event::JobStart {
+            job_id: v.num("job_id")?,
+            label: v.str_of("label")?,
+            at_micros: v.num("at_micros")?,
+        }),
+        "job_end" => Ok(Event::JobEnd {
+            job_id: v.num("job_id")?,
+            wall_micros: v.num("wall_micros")?,
+        }),
+        "stage_start" => Ok(Event::StageStart {
+            stage_id: v.num("stage_id")?,
+            job_id: v.opt_num("job_id")?,
+            label: v.str_of("label")?,
+            tag: v.opt_str("tag")?,
+            lineage: v.opt_str("lineage")?,
+            tasks: v.num("tasks")? as usize,
+            at_micros: v.num("at_micros")?,
+        }),
+        "task_end" => Ok(Event::TaskEnd {
+            stage_id: v.num("stage_id")?,
+            task: v.num("task")? as usize,
+            attempt: v.num("attempt")? as u32,
+            wall_micros: v.num("wall_micros")?,
+            ok: v.boolean("ok")?,
+            injected: v.boolean("injected")?,
+        }),
+        "stage_end" => Ok(Event::StageEnd {
+            stage_id: v.num("stage_id")?,
+            wall_micros: v.num("wall_micros")?,
+        }),
+        "shuffle_write" => Ok(Event::ShuffleWrite {
+            stage_id: v.num("stage_id")?,
+            shuffle_id: v.num("shuffle_id")?,
+            operator: v.str_of("operator")?,
+            task: v.num("task")? as usize,
+            bytes: v.num("bytes")?,
+            records: v.num("records")?,
+        }),
+        "shuffle_read" => Ok(Event::ShuffleRead {
+            stage_id: v.num("stage_id")?,
+            shuffle_id: v.num("shuffle_id")?,
+            operator: v.str_of("operator")?,
+            task: v.num("task")? as usize,
+            bytes: v.num("bytes")?,
+            records: v.num("records")?,
+        }),
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+/// Parse a JSON event log produced by [`to_json`].
+pub fn parse_events(json: &str) -> Result<Vec<Event>, String> {
+    let mut parser = Parser::new(json);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after event log"));
+    }
+    match value {
+        JsonValue::Array(items) => items.iter().map(event_from_json).collect(),
+        _ => Err("event log must be a JSON array".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::JobStart {
+                job_id: 0,
+                label: "collect".into(),
+                at_micros: 10,
+            },
+            Event::StageStart {
+                stage_id: 1,
+                job_id: Some(0),
+                label: "shuffle.map(reduceByKey)".into(),
+                tag: Some("contraction/reduceByKey".into()),
+                lineage: Some("reduceByKey <~ map \"quoted\"".into()),
+                tasks: 4,
+                at_micros: 12,
+            },
+            Event::TaskEnd {
+                stage_id: 1,
+                task: 2,
+                attempt: 1,
+                wall_micros: 55,
+                ok: false,
+                injected: true,
+            },
+            Event::ShuffleWrite {
+                stage_id: 1,
+                shuffle_id: 7,
+                operator: "reduceByKey".into(),
+                task: 2,
+                bytes: 4096,
+                records: 16,
+            },
+            Event::ShuffleRead {
+                stage_id: 2,
+                shuffle_id: 7,
+                operator: "reduceByKey".into(),
+                task: 0,
+                bytes: 1024,
+                records: 4,
+            },
+            Event::StageEnd {
+                stage_id: 1,
+                wall_micros: 90,
+            },
+            Event::JobEnd {
+                job_id: 0,
+                wall_micros: 120,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_event() {
+        let events = sample_events();
+        let json = to_json(&events);
+        let back = parse_events(&json).expect("parse back");
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn disabled_collector_drops_events() {
+        let c = EventCollector::default();
+        c.emit(Event::JobEnd {
+            job_id: 0,
+            wall_micros: 1,
+        });
+        assert!(c.drain().is_empty());
+        c.set_enabled(true);
+        c.emit(Event::JobEnd {
+            job_id: 1,
+            wall_micros: 2,
+        });
+        assert_eq!(c.drain().len(), 1);
+        assert!(c.drain().is_empty(), "drain must consume");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_logs() {
+        assert!(parse_events("{\"type\":\"job_end\"}").is_err());
+        assert!(parse_events("[{\"type\":\"mystery\"}]").is_err());
+        assert!(parse_events("[").is_err());
+        assert!(parse_events("[] trailing").is_err());
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        assert_eq!(parse_events(&to_json(&[])).unwrap(), Vec::<Event>::new());
+    }
+}

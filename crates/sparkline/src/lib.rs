@@ -36,18 +36,27 @@
 //!   to smuggle: closures only see plain values), matching Spark's "no nested
 //!   RDDs" rule that §4 of the paper designs around.
 
+// Generic dataflow signatures (`Dataset<(K, (Vec<V>, Vec<W>))>`, boxed
+// combiner closures) spell out the shuffle contract; aliases would hide it.
+#![allow(clippy::type_complexity)]
+
 pub mod context;
 pub mod dataset;
+pub mod events;
 pub mod metrics;
 pub mod ops;
 pub mod partitioner;
+pub mod profile;
 pub mod shuffle;
 pub mod size;
+mod sync;
 
 pub use context::{Context, ContextBuilder};
 pub use dataset::Dataset;
+pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
+pub use profile::{JobProfile, JobSummary, StageProfile};
 pub use size::SizeOf;
 
 /// Marker bound for element types stored in datasets.

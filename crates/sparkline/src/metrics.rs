@@ -4,7 +4,7 @@
 //! make every plan's shuffle volume observable so the benchmark harness and
 //! the plan-shape tests can assert it.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Detail record for one shuffle dependency that was materialized.

@@ -1,8 +1,8 @@
 //! Physical operator DAG nodes (the "RDD" objects behind a [`crate::Dataset`]).
 
 use crate::context::Context;
+use crate::sync::Mutex;
 use crate::Data;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A node in the operator DAG. `compute` materializes one partition; narrow

@@ -143,7 +143,10 @@ mod tests {
                 seen.insert(part);
             }
         }
-        assert!(seen.len() > 1, "grid should spread blocks across partitions");
+        assert!(
+            seen.len() > 1,
+            "grid should spread blocks across partitions"
+        );
     }
 
     #[test]

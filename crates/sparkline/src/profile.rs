@@ -1,0 +1,551 @@
+//! Query profiles: fold a structured event log into per-job / per-stage
+//! statistics.
+//!
+//! A [`JobProfile`] is built from the events collected between
+//! [`crate::Context::trace`] and [`crate::Context::take_profile`]. It answers
+//! the questions the paper's evaluation cares about — how many shuffle
+//! stages did a plan run, how many bytes moved, where did the time go, how
+//! skewed were the tasks — without diffing global counters (which breaks
+//! under concurrent jobs and parallel tests).
+
+use crate::events::Event;
+
+/// Statistics for one scheduler stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    pub stage_id: u64,
+    /// Job (action) this stage ran under, if tracing saw the job start.
+    pub job_id: Option<u64>,
+    /// Scheduler-level stage kind, e.g. `shuffle.map(reduceByKey)` or
+    /// `action(collect)`.
+    pub label: String,
+    /// Plan node that produced this stage, e.g. `contraction/groupByJoin`.
+    pub tag: Option<String>,
+    /// Operator lineage of the stage's input, innermost source last.
+    pub lineage: Option<String>,
+    /// Task count the stage was submitted with.
+    pub tasks: usize,
+    /// Driver wall-clock for the whole stage.
+    pub wall_micros: u64,
+    /// Wall-clock of each *successful* task attempt, in completion order
+    /// (the per-stage task-time histogram).
+    pub task_micros: Vec<u64>,
+    /// Failed task attempts (retries) observed in this stage.
+    pub failed_attempts: u32,
+    /// How many of those failures were injected by fault-tolerance testing.
+    pub injected_failures: u32,
+    /// Shuffle output of this stage's tasks (map side), summed over tasks.
+    pub shuffle_bytes_written: u64,
+    pub shuffle_records_written: u64,
+    /// Shuffle input of this stage's tasks (reduce side), summed over tasks.
+    pub shuffle_bytes_read: u64,
+    pub shuffle_records_read: u64,
+    /// Largest single-task shuffle write/read, for partition-size skew.
+    pub max_task_shuffle_bytes_written: u64,
+    pub max_task_shuffle_bytes_read: u64,
+    /// Shuffle operator, when this stage is a shuffle map or reduce stage.
+    pub operator: Option<String>,
+}
+
+impl StageProfile {
+    /// Slowest successful task.
+    pub fn max_task_micros(&self) -> u64 {
+        self.task_micros.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Median successful task time.
+    pub fn median_task_micros(&self) -> u64 {
+        if self.task_micros.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.task_micros.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    /// Task-time skew `max / median` (1.0 for perfectly balanced stages).
+    pub fn task_skew(&self) -> f64 {
+        let med = self.median_task_micros();
+        if med == 0 {
+            1.0
+        } else {
+            self.max_task_micros() as f64 / med as f64
+        }
+    }
+
+    /// Did this stage write shuffle output (i.e. is it a shuffle map stage)?
+    pub fn is_shuffle_write(&self) -> bool {
+        self.label.starts_with("shuffle.map")
+    }
+
+    /// One human-readable profile line, e.g.
+    /// `contraction/groupByJoin stage 3 shuffle.map(groupByJoin): 8 tasks in 1.2ms, 1.2 MB shuffle write`.
+    pub fn render(&self) -> String {
+        let mut line = String::new();
+        if let Some(tag) = &self.tag {
+            line.push_str(tag);
+            line.push(' ');
+        }
+        line.push_str(&format!(
+            "stage {} {}: {} tasks in {}",
+            self.stage_id,
+            self.label,
+            self.tasks,
+            fmt_micros(self.wall_micros)
+        ));
+        line.push_str(&format!(
+            ", max/med task {}/{}",
+            fmt_micros(self.max_task_micros()),
+            fmt_micros(self.median_task_micros())
+        ));
+        if self.shuffle_bytes_written > 0 || self.is_shuffle_write() {
+            line.push_str(&format!(
+                ", {} shuffle write ({} records)",
+                fmt_bytes(self.shuffle_bytes_written),
+                self.shuffle_records_written
+            ));
+        }
+        if self.shuffle_bytes_read > 0 {
+            line.push_str(&format!(
+                ", {} shuffle read ({} records)",
+                fmt_bytes(self.shuffle_bytes_read),
+                self.shuffle_records_read
+            ));
+        }
+        if self.failed_attempts > 0 {
+            line.push_str(&format!(
+                ", {} retried attempts ({} injected)",
+                self.failed_attempts, self.injected_failures
+            ));
+        }
+        line
+    }
+}
+
+/// Summary of one job (one action: `collect`, `count`, ...).
+#[derive(Debug, Clone, Default)]
+pub struct JobSummary {
+    pub job_id: u64,
+    /// Action name.
+    pub label: String,
+    pub wall_micros: u64,
+    /// Stages submitted while this job was the innermost running job.
+    pub stage_ids: Vec<u64>,
+}
+
+/// A queryable profile folded from an event log.
+#[derive(Debug, Clone, Default)]
+pub struct JobProfile {
+    /// Stages in submission order.
+    pub stages: Vec<StageProfile>,
+    /// Jobs in start order.
+    pub jobs: Vec<JobSummary>,
+}
+
+impl JobProfile {
+    /// Fold a raw event log into per-stage / per-job statistics. Tolerates
+    /// partial logs (e.g. tracing enabled mid-job): events for unknown
+    /// stages create placeholder entries.
+    pub fn from_events(events: &[Event]) -> JobProfile {
+        let mut profile = JobProfile::default();
+        for event in events {
+            match event {
+                Event::JobStart { job_id, label, .. } => profile.jobs.push(JobSummary {
+                    job_id: *job_id,
+                    label: label.clone(),
+                    ..JobSummary::default()
+                }),
+                Event::JobEnd {
+                    job_id,
+                    wall_micros,
+                } => {
+                    if let Some(job) = profile.jobs.iter_mut().find(|j| j.job_id == *job_id) {
+                        job.wall_micros = *wall_micros;
+                    }
+                }
+                Event::StageStart {
+                    stage_id,
+                    job_id,
+                    label,
+                    tag,
+                    lineage,
+                    tasks,
+                    ..
+                } => {
+                    let stage = profile.stage_mut(*stage_id);
+                    stage.job_id = *job_id;
+                    stage.label = label.clone();
+                    stage.tag = tag.clone();
+                    stage.lineage = lineage.clone();
+                    stage.tasks = *tasks;
+                    if let Some(job_id) = job_id {
+                        if let Some(job) = profile.jobs.iter_mut().find(|j| j.job_id == *job_id) {
+                            job.stage_ids.push(*stage_id);
+                        }
+                    }
+                }
+                Event::TaskEnd {
+                    stage_id,
+                    wall_micros,
+                    ok,
+                    injected,
+                    ..
+                } => {
+                    let stage = profile.stage_mut(*stage_id);
+                    if *ok {
+                        stage.task_micros.push(*wall_micros);
+                    } else {
+                        stage.failed_attempts += 1;
+                        if *injected {
+                            stage.injected_failures += 1;
+                        }
+                    }
+                }
+                Event::StageEnd {
+                    stage_id,
+                    wall_micros,
+                } => profile.stage_mut(*stage_id).wall_micros = *wall_micros,
+                Event::ShuffleWrite {
+                    stage_id,
+                    operator,
+                    bytes,
+                    records,
+                    ..
+                } => {
+                    let stage = profile.stage_mut(*stage_id);
+                    stage.shuffle_bytes_written += bytes;
+                    stage.shuffle_records_written += records;
+                    stage.max_task_shuffle_bytes_written =
+                        stage.max_task_shuffle_bytes_written.max(*bytes);
+                    stage.operator = Some(operator.clone());
+                }
+                Event::ShuffleRead {
+                    stage_id,
+                    operator,
+                    bytes,
+                    records,
+                    ..
+                } => {
+                    let stage = profile.stage_mut(*stage_id);
+                    stage.shuffle_bytes_read += bytes;
+                    stage.shuffle_records_read += records;
+                    stage.max_task_shuffle_bytes_read =
+                        stage.max_task_shuffle_bytes_read.max(*bytes);
+                    stage.operator = Some(operator.clone());
+                }
+            }
+        }
+        profile
+    }
+
+    fn stage_mut(&mut self, stage_id: u64) -> &mut StageProfile {
+        if let Some(i) = self.stages.iter().position(|s| s.stage_id == stage_id) {
+            return &mut self.stages[i];
+        }
+        self.stages.push(StageProfile {
+            stage_id,
+            label: "?".into(),
+            ..StageProfile::default()
+        });
+        self.stages.last_mut().unwrap()
+    }
+
+    /// Stage by id, if present.
+    pub fn stage(&self, stage_id: u64) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.stage_id == stage_id)
+    }
+
+    /// Stages that ran under the given job.
+    pub fn stages_of_job(&self, job_id: u64) -> Vec<&StageProfile> {
+        self.stages
+            .iter()
+            .filter(|s| s.job_id == Some(job_id))
+            .collect()
+    }
+
+    /// Number of shuffle *map* stages in the whole profile — the "how many
+    /// shuffles did this plan run" figure the paper argues about.
+    pub fn shuffle_stage_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_shuffle_write()).count()
+    }
+
+    /// Number of shuffle map stages attributed to one job.
+    pub fn shuffle_stages_of_job(&self, job_id: u64) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| s.job_id == Some(job_id) && s.is_shuffle_write())
+            .count()
+    }
+
+    /// Total shuffle bytes written across all stages.
+    pub fn total_shuffle_bytes_written(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes_written).sum()
+    }
+
+    /// Total shuffle bytes read across all stages.
+    pub fn total_shuffle_bytes_read(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes_read).sum()
+    }
+
+    /// Total failed task attempts (retries) across all stages.
+    pub fn total_failed_attempts(&self) -> u32 {
+        self.stages.iter().map(|s| s.failed_attempts).sum()
+    }
+
+    /// Shuffle write volume per operator name, in first-seen order.
+    pub fn shuffle_bytes_by_operator(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for stage in &self.stages {
+            let (Some(op), true) = (&stage.operator, stage.shuffle_bytes_written > 0) else {
+                continue;
+            };
+            match out.iter_mut().find(|(name, _)| name == op) {
+                Some((_, bytes)) => *bytes += stage.shuffle_bytes_written,
+                None => out.push((op.clone(), stage.shuffle_bytes_written)),
+            }
+        }
+        out
+    }
+
+    /// Multi-line human-readable rendering of the whole profile.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for job in &self.jobs {
+            out.push_str(&format!(
+                "job {} ({}): {} stages, {}\n",
+                job.job_id,
+                job.label,
+                job.stage_ids.len(),
+                fmt_micros(job.wall_micros)
+            ));
+            for stage_id in &job.stage_ids {
+                if let Some(stage) = self.stage(*stage_id) {
+                    out.push_str("  ");
+                    out.push_str(&stage.render());
+                    out.push('\n');
+                }
+            }
+        }
+        let orphans: Vec<&StageProfile> = self
+            .stages
+            .iter()
+            .filter(|s| s.job_id.is_none() || !self.jobs.iter().any(|j| Some(j.job_id) == s.job_id))
+            .collect();
+        if !orphans.is_empty() {
+            out.push_str("stages outside any traced job:\n");
+            for stage in orphans {
+                out.push_str("  ");
+                out.push_str(&stage.render());
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty profile — was tracing enabled?)\n");
+        }
+        out
+    }
+}
+
+/// `1234` -> `1.2 KB`, etc.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Microseconds -> human-readable duration.
+pub fn fmt_micros(micros: u64) -> String {
+    if micros >= 1_000_000 {
+        format!("{:.2}s", micros as f64 / 1e6)
+    } else if micros >= 1_000 {
+        format!("{:.1}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    fn log() -> Vec<Event> {
+        vec![
+            Event::JobStart {
+                job_id: 3,
+                label: "collect".into(),
+                at_micros: 0,
+            },
+            Event::StageStart {
+                stage_id: 10,
+                job_id: Some(3),
+                label: "shuffle.map(reduceByKey)".into(),
+                tag: Some("contraction/reduceByKey".into()),
+                lineage: Some("reduceByKey <~ source".into()),
+                tasks: 2,
+                at_micros: 1,
+            },
+            Event::TaskEnd {
+                stage_id: 10,
+                task: 0,
+                attempt: 0,
+                wall_micros: 100,
+                ok: true,
+                injected: false,
+            },
+            Event::TaskEnd {
+                stage_id: 10,
+                task: 1,
+                attempt: 0,
+                wall_micros: 10,
+                ok: false,
+                injected: true,
+            },
+            Event::TaskEnd {
+                stage_id: 10,
+                task: 1,
+                attempt: 1,
+                wall_micros: 20,
+                ok: true,
+                injected: false,
+            },
+            Event::ShuffleWrite {
+                stage_id: 10,
+                shuffle_id: 0,
+                operator: "reduceByKey".into(),
+                task: 0,
+                bytes: 3000,
+                records: 5,
+            },
+            Event::ShuffleWrite {
+                stage_id: 10,
+                shuffle_id: 0,
+                operator: "reduceByKey".into(),
+                task: 1,
+                bytes: 1000,
+                records: 3,
+            },
+            Event::StageEnd {
+                stage_id: 10,
+                wall_micros: 150,
+            },
+            Event::StageStart {
+                stage_id: 11,
+                job_id: Some(3),
+                label: "shuffle.reduce(reduceByKey)".into(),
+                tag: Some("contraction/reduceByKey".into()),
+                lineage: None,
+                tasks: 1,
+                at_micros: 160,
+            },
+            Event::ShuffleRead {
+                stage_id: 11,
+                shuffle_id: 0,
+                operator: "reduceByKey".into(),
+                task: 0,
+                bytes: 4000,
+                records: 8,
+            },
+            Event::TaskEnd {
+                stage_id: 11,
+                task: 0,
+                attempt: 0,
+                wall_micros: 40,
+                ok: true,
+                injected: false,
+            },
+            Event::StageEnd {
+                stage_id: 11,
+                wall_micros: 50,
+            },
+            Event::JobEnd {
+                job_id: 3,
+                wall_micros: 230,
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_stages_jobs_and_shuffle_io() {
+        let p = JobProfile::from_events(&log());
+        assert_eq!(p.jobs.len(), 1);
+        assert_eq!(p.jobs[0].label, "collect");
+        assert_eq!(p.jobs[0].stage_ids, vec![10, 11]);
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.shuffle_stage_count(), 1);
+        assert_eq!(p.shuffle_stages_of_job(3), 1);
+        assert_eq!(p.total_shuffle_bytes_written(), 4000);
+        assert_eq!(p.total_shuffle_bytes_read(), 4000);
+        let map = p.stage(10).unwrap();
+        assert_eq!(map.tasks, 2);
+        assert_eq!(map.task_micros, vec![100, 20]);
+        assert_eq!(map.failed_attempts, 1);
+        assert_eq!(map.injected_failures, 1);
+        assert_eq!(map.max_task_micros(), 100);
+        assert_eq!(map.median_task_micros(), 100);
+        assert_eq!(map.max_task_shuffle_bytes_written, 3000);
+        assert!(map.is_shuffle_write());
+        let red = p.stage(11).unwrap();
+        assert!(!red.is_shuffle_write());
+        assert_eq!(red.shuffle_bytes_read, 4000);
+        assert_eq!(
+            p.shuffle_bytes_by_operator(),
+            vec![("reduceByKey".to_string(), 4000)]
+        );
+    }
+
+    #[test]
+    fn render_mentions_tag_stage_and_volume() {
+        let p = JobProfile::from_events(&log());
+        let text = p.render();
+        assert!(text.contains("job 3 (collect)"), "{text}");
+        assert!(text.contains("contraction/reduceByKey stage 10"), "{text}");
+        assert!(text.contains("shuffle write"), "{text}");
+        assert!(text.contains("retried attempts (1 injected)"), "{text}");
+    }
+
+    #[test]
+    fn skew_is_max_over_median() {
+        let stage = StageProfile {
+            task_micros: vec![10, 10, 40],
+            ..StageProfile::default()
+        };
+        assert_eq!(stage.median_task_micros(), 10);
+        assert_eq!(stage.max_task_micros(), 40);
+        assert!((stage.task_skew() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_partial_logs() {
+        let p = JobProfile::from_events(&[Event::TaskEnd {
+            stage_id: 99,
+            task: 0,
+            attempt: 0,
+            wall_micros: 5,
+            ok: true,
+            injected: false,
+        }]);
+        assert_eq!(p.stages.len(), 1);
+        assert_eq!(p.stages[0].label, "?");
+        assert!(p.render().contains("stages outside any traced job"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KB");
+        assert_eq!(fmt_bytes(1024 * 1024 * 3 / 2), "1.5 MB");
+        assert_eq!(fmt_micros(900), "900us");
+        assert_eq!(fmt_micros(1500), "1.5ms");
+        assert_eq!(fmt_micros(2_500_000), "2.50s");
+    }
+}

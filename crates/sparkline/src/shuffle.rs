@@ -16,13 +16,14 @@
 //! Merging uses insertion-ordered maps so results are deterministic across
 //! runs and worker counts.
 
-use crate::context::Context;
+use crate::context::{Context, StageMeta};
+use crate::events::Event;
 use crate::metrics::ShuffleDetail;
 use crate::ops::Op;
 use crate::partitioner::KeyPartitioner;
 use crate::size::SizeOf;
+use crate::sync::Mutex;
 use crate::Data;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -93,12 +94,8 @@ impl<V: Data> Aggregator<V, V> {
     pub fn pass_through() -> Self {
         Aggregator {
             create: Arc::new(|v| v),
-            merge_value: Arc::new(|_c: &mut V, _v| {
-                unreachable!("pass_through never combines")
-            }),
-            merge_combiners: Arc::new(|_c: &mut V, _o| {
-                unreachable!("pass_through never combines")
-            }),
+            merge_value: Arc::new(|_c: &mut V, _v| unreachable!("pass_through never combines")),
+            merge_combiners: Arc::new(|_c: &mut V, _o| unreachable!("pass_through never combines")),
             map_side_combine: false,
             merge_on_reduce: false,
         }
@@ -170,6 +167,10 @@ pub struct ShuffleOp<K: Data, V: Data, C: Data> {
     agg: Aggregator<V, C>,
     operator: String,
     shuffle_id: u64,
+    /// Plan-node tag in effect when this node was *constructed* — the DAG is
+    /// built while the planner runs, so the tag is captured here and replayed
+    /// into the trace when the shuffle materializes later.
+    tag: Option<String>,
     state: Mutex<Option<Arc<Vec<Vec<(K, C)>>>>>,
 }
 
@@ -192,6 +193,7 @@ where
             agg,
             operator: operator.into(),
             shuffle_id: ctx.next_shuffle_id(),
+            tag: ctx.current_tag(),
             state: Mutex::new(None),
         }
     }
@@ -205,34 +207,55 @@ where
         }
         let n_map = self.parent.num_partitions();
         let n_red = self.partitioner.partitions();
+        let tracing = ctx.is_tracing();
 
         // Map stage: route (and maybe combine) records into reduce buckets.
-        let map_outputs: Vec<(Vec<Vec<(K, C)>>, u64, u64)> = ctx.run_tasks(n_map, |p| {
-            let input = self.parent.compute(p, ctx);
-            let records_in = input.len() as u64;
-            let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
-                let mut merges: Vec<OrderedMerge<K, C>> =
-                    (0..n_red).map(|_| OrderedMerge::new()).collect();
-                for (k, v) in input {
-                    let b = self.partitioner.partition(&k);
-                    merges[b].fold_value(k, v, &self.agg);
-                }
-                merges.into_iter().map(OrderedMerge::into_entries).collect()
-            } else {
-                let mut buckets: Vec<Vec<(K, C)>> = (0..n_red).map(|_| Vec::new()).collect();
-                for (k, v) in input {
-                    let b = self.partitioner.partition(&k);
-                    buckets[b].push((k, (self.agg.create)(v)));
-                }
-                buckets
-            };
-            let bytes: u64 = buckets
-                .iter()
-                .flat_map(|b| b.iter())
-                .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
-                .sum();
-            (buckets, bytes, records_in)
-        });
+        let (map_outputs, map_stage): (Vec<(Vec<Vec<(K, C)>>, u64, u64)>, u64) = ctx.run_stage(
+            n_map,
+            || StageMeta {
+                label: format!("shuffle.map({})", self.operator),
+                tag: self.tag.clone(),
+                lineage: Some(self.parent.name()),
+            },
+            |p| {
+                let input = self.parent.compute(p, ctx);
+                let records_in = input.len() as u64;
+                let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
+                    let mut merges: Vec<OrderedMerge<K, C>> =
+                        (0..n_red).map(|_| OrderedMerge::new()).collect();
+                    for (k, v) in input {
+                        let b = self.partitioner.partition(&k);
+                        merges[b].fold_value(k, v, &self.agg);
+                    }
+                    merges.into_iter().map(OrderedMerge::into_entries).collect()
+                } else {
+                    let mut buckets: Vec<Vec<(K, C)>> = (0..n_red).map(|_| Vec::new()).collect();
+                    for (k, v) in input {
+                        let b = self.partitioner.partition(&k);
+                        buckets[b].push((k, (self.agg.create)(v)));
+                    }
+                    buckets
+                };
+                let bytes: u64 = buckets
+                    .iter()
+                    .flat_map(|b| b.iter())
+                    .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                    .sum();
+                (buckets, bytes, records_in)
+            },
+        );
+        if tracing {
+            for (task, (buckets, bytes, _)) in map_outputs.iter().enumerate() {
+                ctx.events().emit(Event::ShuffleWrite {
+                    stage_id: map_stage,
+                    shuffle_id: self.shuffle_id,
+                    operator: self.operator.clone(),
+                    task,
+                    bytes: *bytes,
+                    records: buckets.iter().map(Vec::len).sum::<usize>() as u64,
+                });
+            }
+        }
 
         let bytes_written: u64 = map_outputs.iter().map(|(_, b, _)| *b).sum();
         let records_in: u64 = map_outputs.iter().map(|(_, _, r)| *r).sum();
@@ -260,8 +283,28 @@ where
                 per_reduce[r].push(bucket);
             }
         }
-        let slots: Vec<Mutex<Option<Vec<Vec<(K, C)>>>>> =
-            per_reduce.into_iter().map(|b| Mutex::new(Some(b))).collect();
+        // Shuffle-read sizes are only measured when tracing: sizing every
+        // record again would tax untraced runs.
+        let reads: Vec<(u64, u64)> = if tracing {
+            per_reduce
+                .iter()
+                .map(|buckets| {
+                    let bytes: u64 = buckets
+                        .iter()
+                        .flat_map(|b| b.iter())
+                        .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                        .sum();
+                    let records: u64 = buckets.iter().map(Vec::len).sum::<usize>() as u64;
+                    (bytes, records)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let slots: Vec<Mutex<Option<Vec<Vec<(K, C)>>>>> = per_reduce
+            .into_iter()
+            .map(|b| Mutex::new(Some(b)))
+            .collect();
 
         // Reduce stage: merge all buckets destined to each reduce partition.
         // Buckets are consumed at most once: a task retried *after* its
@@ -269,23 +312,43 @@ where
         // fails loudly rather than producing silently empty output.
         // Scheduler-injected failures fire before the closure runs, so
         // ordinary retries never hit this.
-        let reduced: Vec<Vec<(K, C)>> = ctx.run_tasks(n_red, |r| {
-            let buckets = slots[r]
-                .lock()
-                .take()
-                .expect("shuffle reduce input already consumed by a failed attempt");
-            if self.agg.merge_on_reduce {
-                let mut merge = OrderedMerge::new();
-                for bucket in buckets {
-                    for (k, c) in bucket {
-                        merge.fold_combiner(k, c, &self.agg);
+        let (reduced, reduce_stage): (Vec<Vec<(K, C)>>, u64) = ctx.run_stage(
+            n_red,
+            || StageMeta {
+                label: format!("shuffle.reduce({})", self.operator),
+                tag: self.tag.clone(),
+                lineage: Some(format!("{} <~ {}", self.operator, self.parent.name())),
+            },
+            |r| {
+                let buckets = slots[r]
+                    .lock()
+                    .take()
+                    .expect("shuffle reduce input already consumed by a failed attempt");
+                if self.agg.merge_on_reduce {
+                    let mut merge = OrderedMerge::new();
+                    for bucket in buckets {
+                        for (k, c) in bucket {
+                            merge.fold_combiner(k, c, &self.agg);
+                        }
                     }
+                    merge.into_entries()
+                } else {
+                    buckets.into_iter().flatten().collect()
                 }
-                merge.into_entries()
-            } else {
-                buckets.into_iter().flatten().collect()
+            },
+        );
+        if tracing {
+            for (task, (bytes, records)) in reads.into_iter().enumerate() {
+                ctx.events().emit(Event::ShuffleRead {
+                    stage_id: reduce_stage,
+                    shuffle_id: self.shuffle_id,
+                    operator: self.operator.clone(),
+                    task,
+                    bytes,
+                    records,
+                });
             }
-        });
+        }
 
         let out = Arc::new(reduced);
         *state = Some(out.clone());

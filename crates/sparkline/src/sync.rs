@@ -1,0 +1,33 @@
+//! Internal lock wrapper: `std::sync::Mutex` with `parking_lot`-style
+//! ergonomics (no poisoning).
+//!
+//! The runtime catches task panics and re-raises them from the driver, so a
+//! panic observed while a lock was held is already being reported through
+//! that path; propagating poison from an unrelated lock acquisition would
+//! only mask the original failure.
+
+pub(crate) struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub(crate) fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}

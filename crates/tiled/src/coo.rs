@@ -127,7 +127,11 @@ impl CooMatrix {
 
     /// Scalar multiplication: a narrow map.
     pub fn scale(&self, s: f64) -> CooMatrix {
-        CooMatrix::new(self.rows, self.cols, self.entries.map(move |(k, v)| (k, v * s)))
+        CooMatrix::new(
+            self.rows,
+            self.cols,
+            self.entries.map(move |(k, v)| (k, v * s)),
+        )
     }
 }
 

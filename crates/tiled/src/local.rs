@@ -44,12 +44,7 @@ impl LocalMatrix {
     /// Sparse random matrix: each entry is non-zero with probability
     /// `density`, drawing integer values in `0..=5` — the paper's rating
     /// matrix R for matrix factorization (§6).
-    pub fn sparse_random(
-        rows: usize,
-        cols: usize,
-        density: f64,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn sparse_random(rows: usize, cols: usize, density: f64, rng: &mut impl Rng) -> Self {
         LocalMatrix::from_fn(rows, cols, |_, _| {
             if rng.gen_bool(density) {
                 rng.gen_range(0..=5) as f64
@@ -95,7 +90,9 @@ impl LocalMatrix {
             (other.rows, other.cols),
             "add: dimension mismatch"
         );
-        LocalMatrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j) + other.get(i, j))
+        LocalMatrix::from_fn(self.rows, self.cols, |i, j| {
+            self.get(i, j) + other.get(i, j)
+        })
     }
 
     pub fn sub(&self, other: &LocalMatrix) -> LocalMatrix {
@@ -104,7 +101,9 @@ impl LocalMatrix {
             (other.rows, other.cols),
             "sub: dimension mismatch"
         );
-        LocalMatrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j) - other.get(i, j))
+        LocalMatrix::from_fn(self.rows, self.cols, |i, j| {
+            self.get(i, j) - other.get(i, j)
+        })
     }
 
     pub fn scale(&self, s: f64) -> LocalMatrix {
@@ -144,7 +143,9 @@ impl LocalMatrix {
                 }
             }
         }
-        LocalMatrix::from_fn(self.rows, self.cols, |i, j| sums.get(i, j) / counts.get(i, j))
+        LocalMatrix::from_fn(self.rows, self.cols, |i, j| {
+            sums.get(i, j) / counts.get(i, j)
+        })
     }
 
     /// Association-list (COO) view: `((i, j), value)` for every element,

@@ -250,15 +250,14 @@ impl DenseMatrix {
         let cols = self.cols;
         let k = a.cols;
         let (adata, bdata) = (&a.data, &b.data);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, chunk) in self.data.chunks_mut(band * cols).enumerate() {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let rows = chunk.len() / cols;
                     gemm_rows(chunk, &adata[t * band * k..], bdata, 0..rows, k, cols);
                 });
             }
-        })
-        .expect("tile kernel scope");
+        });
     }
 
     /// `a * b` as a new matrix.

@@ -80,8 +80,7 @@ impl TiledMatrix {
         let mut tiles: Vec<(TileCoord, DenseMatrix)> = Vec::with_capacity(brows * bcols);
         for bi in 0..brows {
             for bj in 0..bcols {
-                let tile =
-                    dense.slice_padded(bi * tile_size, bj * tile_size, tile_size, tile_size);
+                let tile = dense.slice_padded(bi * tile_size, bj * tile_size, tile_size, tile_size);
                 tiles.push(((bi as i64, bj as i64), tile));
             }
         }
@@ -125,6 +124,7 @@ impl TiledMatrix {
 
     /// Dense random matrix with entries in `[lo, hi)`, seeded per tile so the
     /// result is deterministic for a given `seed`.
+    #[allow(clippy::too_many_arguments)]
     pub fn random(
         ctx: &Context,
         rows: i64,

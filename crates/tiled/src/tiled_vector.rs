@@ -143,7 +143,10 @@ mod tests {
     fn from_fn_matches() {
         let c = ctx();
         let v = TiledVector::from_fn(&c, 10, 3, 2, |i| (i * i) as f64);
-        assert_eq!(v.to_local(), (0..10).map(|i| (i * i) as f64).collect::<Vec<_>>());
+        assert_eq!(
+            v.to_local(),
+            (0..10).map(|i| (i * i) as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

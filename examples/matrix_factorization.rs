@@ -47,8 +47,7 @@ fn main() {
 
     let mut last = initial;
     for it in 1..=iterations {
-        let (p2, q2) =
-            linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
+        let (p2, q2) = linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
         dp = p2.cache();
         dq = q2.cache();
         let err = linalg::factorization_error(&session, &dr, &dp, &dq).unwrap();
@@ -67,11 +66,9 @@ fn main() {
     // Every multiplication inside the loop ran through the comprehension
     // compiler; switching the strategy re-plans the same text.
     session.config_mut().matmul = MatMulStrategy::ReduceByKey;
-    let (p_rbk, _) =
-        linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
+    let (p_rbk, _) = linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
     session.config_mut().matmul = MatMulStrategy::GroupByJoin;
-    let (p_gbj, _) =
-        linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
+    let (p_gbj, _) = linalg::factorization_step(&session, &dr, &dp, &dq, gamma, lambda).unwrap();
     assert!(
         p_rbk.to_local().max_abs_diff(&p_gbj.to_local()) < 1e-9,
         "both contraction strategies must agree"

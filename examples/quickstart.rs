@@ -61,10 +61,7 @@ fn main() {
     println!("plan:          {}", session.explain(rows_src).unwrap());
     let v = session.vector(rows_src).unwrap().to_local();
     let oracle = a.row_sums();
-    assert!(v
-        .iter()
-        .zip(&oracle)
-        .all(|(x, y)| (x - y).abs() < 1e-9));
+    assert!(v.iter().zip(&oracle).all(|(x, y)| (x - y).abs() < 1e-9));
     println!("result:        OK (matches local oracle)\n");
 
     // --- Typed API over the same pipeline ---------------------------------

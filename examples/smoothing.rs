@@ -21,10 +21,8 @@ fn main() {
     let mut session = Session::builder().workers(4).partitions(8).build();
     let mut rng = StdRng::seed_from_u64(3);
     // A noisy "image": smooth gradient plus noise.
-    let img = LocalMatrix::from_fn(n, n, |i, j| {
-        (i as f64 + j as f64) / (2.0 * n as f64)
-    })
-    .add(&LocalMatrix::random(n, n, -0.2, 0.2, &mut rng));
+    let img = LocalMatrix::from_fn(n, n, |i, j| (i as f64 + j as f64) / (2.0 * n as f64))
+        .add(&LocalMatrix::random(n, n, -0.2, 0.2, &mut rng));
     session.register_local_matrix("M", &img, tile);
     session.set_int("n", n as i64);
     session.set_int("m", n as i64);
@@ -42,8 +40,8 @@ fn main() {
         let mut acc = 0.0;
         for i in 0..n - 1 {
             for j in 0..n - 1 {
-                acc += (m.get(i + 1, j) - m.get(i, j)).abs()
-                    + (m.get(i, j + 1) - m.get(i, j)).abs();
+                acc +=
+                    (m.get(i + 1, j) - m.get(i, j)).abs() + (m.get(i, j + 1) - m.get(i, j)).abs();
             }
         }
         acc

@@ -1,0 +1,430 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace replaces the real `proptest` with this shim via a path
+//! dependency. It keeps the surface the repo's property tests use — the
+//! `proptest!` macro, `Strategy` with `prop_map`/`prop_recursive`, `Just`,
+//! `prop_oneof!`, ranges, tuples, `collection::vec`, `option::of`,
+//! `bool::ANY`, and the `prop_assert*` macros — but drops shrinking and
+//! persistence: a failing case fails the test with the `assert!` message
+//! directly. Case generation is deterministic (fixed seed per case index) so
+//! failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    use super::*;
+    use std::rc::Rc;
+
+    /// Subset of `proptest::strategy::Strategy`: a generator of values.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value. (The real crate builds value *trees* for
+        /// shrinking; the shim draws plain values.)
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+
+        /// `prop_recursive(depth, _, _, f)` — expand `f` `depth` times over
+        /// the leaf strategy. The real crate decays the recursion
+        /// probabilistically; the shim builds a fixed-depth tower, which
+        /// bounds expression depth the same way.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = f(strat.clone()).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — backs `prop_oneof!`.
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+        (A, B, C, D, E, F, G, H, I);
+        (A, B, C, D, E, F, G, H, I, J);
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::ops::Range;
+
+    /// `proptest::collection::vec` over a `usize` length range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// `proptest::option::of` — `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::*;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; the shim trades a little
+            // coverage for test-suite latency.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Error type returned by test closures (the `prop_assert*` shims panic
+    /// instead, so this only exists to keep the closure signature faithful).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `test` against `config.cases` freshly generated inputs.
+        /// Deterministic: case `i` always sees the same input, so failures
+        /// reproduce without persistence files.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = StdRng::seed_from_u64(
+                    0xa11c_e5ee_d000_0000u64 ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let value = strategy.generate(&mut rng);
+                let debug = format!("{value:?}");
+                if let Err(TestCaseError(msg)) = test(value) {
+                    panic!("proptest case {case} failed: {msg}\ninput: {debug}");
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Just;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Panic-based stand-in for `proptest::prop_assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Panic-based stand-in for `proptest::prop_assert_eq!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// The `proptest!` block macro: expands each `fn name(args in strategies)`
+/// into a `#[test]`-attributed function driven by [`test_runner::TestRunner`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body;
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0i64..10, 5usize..9), f in 0.0f64..1.0) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option(xs in crate::collection::vec(-5i64..5, 0..12),
+                          o in crate::option::of(0i64..3),
+                          flag in crate::bool::ANY) {
+            prop_assert!(xs.len() < 12);
+            if let Some(v) = o {
+                prop_assert!((0..3).contains(&v));
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_map_and_recursion(n in recursive_depth_strategy()) {
+            prop_assert!(n <= 3);
+        }
+    }
+
+    fn recursive_depth_strategy() -> impl Strategy<Value = u32> {
+        let leaf = Just(0u32);
+        leaf.prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![inner.clone().prop_map(|d| d + 1), Just(0u32)]
+        })
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let collect = || {
+            let mut out = Vec::new();
+            let out_cell = std::cell::RefCell::new(&mut out);
+            TestRunner::new(ProptestConfig::with_cases(8)).run(&(0i64..100,), |(v,)| {
+                out_cell.borrow_mut().push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+        let _ = (0i64..3).prop_map(|x| x * 2).boxed();
+    }
+}

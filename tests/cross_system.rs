@@ -52,11 +52,13 @@ fn three_systems_agree_on_addition() {
     let oracle = a.add(&b);
     let ta = TiledMatrix::from_local(s.spark(), &a, 4, 4);
     let tb = TiledMatrix::from_local(s.spark(), &b, 4, 4);
-    assert!(sac_repro::sac::linalg::add(&s, &ta, &tb)
-        .unwrap()
-        .to_local()
-        .max_abs_diff(&oracle)
-        < 1e-12);
+    assert!(
+        sac_repro::sac::linalg::add(&s, &ta, &tb)
+            .unwrap()
+            .to_local()
+            .max_abs_diff(&oracle)
+            < 1e-12
+    );
     let ba = BlockMatrix::from_local(s.spark(), &a, 4, 4);
     let bb = BlockMatrix::from_local(s.spark(), &b, 4, 4);
     assert!(ba.add(&bb).to_local().max_abs_diff(&oracle) < 1e-12);
@@ -128,8 +130,7 @@ fn factorization_parity_between_sac_and_mllib() {
         p.get(i, j) + gamma * (2.0 * e.multiply(&q).get(i, j) - lambda * p.get(i, j))
     });
     let q2 = LocalMatrix::from_fn(16, 8, |i, j| {
-        q.get(i, j)
-            + gamma * (2.0 * e.transpose().multiply(&p).get(i, j) - lambda * q.get(i, j))
+        q.get(i, j) + gamma * (2.0 * e.transpose().multiply(&p).get(i, j) - lambda * q.get(i, j))
     });
     assert!(sp.to_local().max_abs_diff(&p2) < 1e-9);
     assert!(sq.to_local().max_abs_diff(&q2) < 1e-9);

@@ -106,8 +106,8 @@ fn column_sums_via_loop_order_independence() {
     s.set_int("m", 9);
     let src = "for i = 0, n-1 do for j = 0, m-1 do V[j] += M[i, j];";
     let got = run_loop_program(&s, src).into_vector().unwrap().to_local();
-    for j in 0..9 {
+    for (j, &gj) in got.iter().enumerate().take(9) {
         let want: f64 = (0..7).map(|i| m.get(i, j)).sum();
-        assert!((got[j] - want).abs() < 1e-9);
+        assert!((gj - want).abs() < 1e-9);
     }
 }

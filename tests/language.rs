@@ -161,8 +161,14 @@ fn min_monoid_and_product() {
 #[test]
 fn empty_reductions_yield_identities() {
     assert_eq!(run("+/[ x | x <- 0 until 0 ]", vec![]), Value::Int(0));
-    assert_eq!(run("&&/[ x > 0 | x <- 0 until 0 ]", vec![]), Value::Bool(true));
-    assert_eq!(run("||/[ x > 0 | x <- 0 until 0 ]", vec![]), Value::Bool(false));
+    assert_eq!(
+        run("&&/[ x > 0 | x <- 0 until 0 ]", vec![]),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        run("||/[ x > 0 | x <- 0 until 0 ]", vec![]),
+        Value::Bool(false)
+    );
 }
 
 #[test]

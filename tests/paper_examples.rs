@@ -133,9 +133,7 @@ fn section2_is_sorted() {
     s.register_local_matrix("V", &sorted, 4);
     // Express over the matrix's (0,j) row: consecutive columns ordered.
     let got = s
-        .value(
-            "&&/[ v <= w | ((i,j),v) <- V, ((ii,jj),w) <- V, ii == i, jj == j+1 ]",
-        )
+        .value("&&/[ v <= w | ((i,j),v) <- V, ((ii,jj),w) <- V, ii == i, jj == j+1 ]")
         .unwrap();
     assert_eq!(got, sac_repro::comp::Value::Bool(true));
 }
@@ -206,7 +204,10 @@ fn paper_queries_all_plan() {
             "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- M, group by i ]",
             "axisReduce",
         ),
-        ("tiled(n,m)[ (((i+1)%n, j), v) | ((i,j),v) <- M ]", "indexRemap"),
+        (
+            "tiled(n,m)[ (((i+1)%n, j), v) | ((i,j),v) <- M ]",
+            "indexRemap",
+        ),
         (
             "tiled(n,m)[ ((ii,jj), (+/a)/a.length) | ((i,j),a) <- M, \
              ii <- (i-1) to (i+1), jj <- (j-1) to (j+1), \

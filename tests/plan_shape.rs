@@ -1,0 +1,128 @@
+//! Plan-shape assertions via the structured event log.
+//!
+//! These tests pin down *how many shuffle rounds* each planner strategy runs
+//! by tracing one execution and counting `shuffle.map` stages per job in the
+//! resulting [`JobProfile`] — instead of diffing global metric counters,
+//! which breaks under concurrent jobs and parallel test binaries.
+
+use sac_repro::sac::{MatMulStrategy, Session};
+use sac_repro::sparkline::JobProfile;
+use sac_repro::tiled::LocalMatrix;
+
+/// Query (8) of the paper: element-wise matrix addition.
+const ADD_SRC: &str =
+    "tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]";
+
+/// Query (9) of the paper: matrix multiplication with group-by.
+const MUL_SRC: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+     let v = a*b, group by (i,j) ]";
+
+fn session(n: usize, tile: usize) -> Session {
+    let mut s = Session::builder().workers(4).partitions(4).build();
+    let a = LocalMatrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+    let b = LocalMatrix::from_fn(n, n, |i, j| i as f64 - j as f64);
+    s.register_local_matrix("A", &a, tile);
+    s.register_local_matrix("B", &b, tile);
+    s.set_int("n", n as i64);
+    s
+}
+
+/// Shuffle map stages summed over every job the traced run started.
+fn shuffle_stages(profile: &JobProfile) -> usize {
+    profile
+        .jobs
+        .iter()
+        .map(|j| profile.shuffle_stages_of_job(j.job_id))
+        .sum()
+}
+
+#[test]
+fn eltwise_add_needs_no_shuffle() {
+    // `register_local_matrix` grid-partitions and materializes both inputs,
+    // so the eltwise cogroup is narrow: zero shuffle stages at query time.
+    let s = session(8, 4);
+    let analysis = s.explain_analyze(ADD_SRC).unwrap();
+    assert!(analysis.plan.contains("eltwise"), "{}", analysis.plan);
+    assert!(!analysis.profile.jobs.is_empty(), "trace saw no jobs");
+    assert_eq!(
+        shuffle_stages(&analysis.profile),
+        0,
+        "co-partitioned add must not shuffle:\n{}",
+        analysis.profile.render()
+    );
+    assert_eq!(analysis.profile.shuffle_stage_count(), 0);
+}
+
+#[test]
+fn group_by_join_multiply_runs_one_cogroup_round() {
+    // §5.4 group-by-join: a single cogroup round — one shuffle.map stage per
+    // side (left + right), and nothing else.
+    let mut s = session(8, 4);
+    s.config_mut().matmul = MatMulStrategy::GroupByJoin;
+    let analysis = s.explain_analyze(MUL_SRC).unwrap();
+    assert!(analysis.plan.contains("groupByJoin"), "{}", analysis.plan);
+    let shuffles = shuffle_stages(&analysis.profile);
+    assert!(
+        shuffles <= 2,
+        "group-by-join must finish in one cogroup round, got {shuffles}:\n{}",
+        analysis.profile.render()
+    );
+    assert!(analysis
+        .profile
+        .stages
+        .iter()
+        .any(|st| st.tag.as_deref() == Some("contraction/groupByJoin")));
+}
+
+#[test]
+fn reduce_by_key_multiply_runs_three_shuffle_rounds() {
+    // §5.3 reduceByKey plan: the join's cogroup (two map stages) plus the
+    // partial-product reduceByKey — one more shuffle round than group-by-join.
+    let mut s = session(8, 4);
+    s.config_mut().matmul = MatMulStrategy::ReduceByKey;
+    let analysis = s.explain_analyze(MUL_SRC).unwrap();
+    assert!(analysis.plan.contains("reduceByKey"), "{}", analysis.plan);
+    assert_eq!(
+        shuffle_stages(&analysis.profile),
+        3,
+        "cogroup.left + cogroup.right + reduceByKey:\n{}",
+        analysis.profile.render()
+    );
+    assert!(analysis
+        .profile
+        .stages
+        .iter()
+        .any(|st| st.operator.as_deref() == Some("reduceByKey")));
+}
+
+#[test]
+fn join_group_by_multiply_shuffles_more_rounds_than_group_by_join() {
+    // The paper's central claim, measured: the naive §4 join + groupByKey
+    // plan runs strictly more shuffle rounds than the §5.4 group-by-join
+    // plan, and its extra round is an uncombined groupByKey.
+    let mut s = session(8, 4);
+
+    s.config_mut().matmul = MatMulStrategy::JoinGroupBy;
+    let naive = s.explain_analyze(MUL_SRC).unwrap();
+
+    s.config_mut().matmul = MatMulStrategy::GroupByJoin;
+    let gbj = s.explain_analyze(MUL_SRC).unwrap();
+
+    let naive_rounds = shuffle_stages(&naive.profile);
+    let gbj_rounds = shuffle_stages(&gbj.profile);
+    assert!(
+        naive_rounds > gbj_rounds,
+        "join+groupBy ({naive_rounds} rounds) must shuffle more than \
+         group-by-join ({gbj_rounds} rounds)"
+    );
+    assert!(naive
+        .profile
+        .stages
+        .iter()
+        .any(|st| st.operator.as_deref() == Some("groupByKey")));
+    assert!(!gbj
+        .profile
+        .stages
+        .iter()
+        .any(|st| st.operator.as_deref() == Some("groupByKey")));
+}

@@ -47,13 +47,21 @@ fn caching_prevents_shuffle_rerun_in_iterations() {
         .reduce_by_key(4, |a, b| a + b)
         .cache();
     base.count(); // materialize
-    let before = c.metrics().snapshot();
+    c.trace();
     for _ in 0..5 {
         // Iterative narrow work over the cached shuffle output.
         base.map_values(|v| v * 2).count();
     }
-    let delta = c.metrics().snapshot().since(&before);
-    assert_eq!(delta.shuffle_count, 0, "iterations must reuse the cache");
+    let profile = c.take_profile();
+    assert_eq!(profile.jobs.len(), 5);
+    for job in &profile.jobs {
+        assert_eq!(
+            profile.shuffle_stages_of_job(job.job_id),
+            0,
+            "iteration job {} must reuse the cache",
+            job.job_id
+        );
+    }
 }
 
 #[test]
@@ -64,11 +72,23 @@ fn uncached_shuffle_is_still_reused_via_materialization() {
     let d = c
         .parallelize((0..100i64).map(|i| (i % 10, i)).collect(), 4)
         .reduce_by_key(4, |a, b| a + b);
+    c.trace();
     d.count();
-    let before = c.metrics().snapshot();
     d.count();
-    let delta = c.metrics().snapshot().since(&before);
-    assert_eq!(delta.shuffle_count, 0, "same op instance reuses its shuffle");
+    let profile = c.take_profile();
+    assert_eq!(profile.jobs.len(), 2);
+    let first = profile.jobs[0].job_id;
+    let second = profile.jobs[1].job_id;
+    assert_eq!(
+        profile.shuffle_stages_of_job(first),
+        1,
+        "first count runs the shuffle"
+    );
+    assert_eq!(
+        profile.shuffle_stages_of_job(second),
+        0,
+        "same op instance reuses its shuffle"
+    );
 }
 
 #[test]
@@ -78,7 +98,10 @@ fn shuffle_details_expose_operator_names_and_volumes() {
     d.reduce_by_key(2, |a, b| a + b).count();
     d.group_by_key(2).count();
     let details = c.metrics().shuffle_details();
-    let rbk = details.iter().find(|d| d.operator == "reduceByKey").unwrap();
+    let rbk = details
+        .iter()
+        .find(|d| d.operator == "reduceByKey")
+        .unwrap();
     let gbk = details.iter().find(|d| d.operator == "groupByKey").unwrap();
     assert_eq!(rbk.records_in, 100);
     assert!(rbk.records_written <= 20, "combiner must shrink the stream");
@@ -123,9 +146,15 @@ fn grid_partitioner_distributes_a_large_grid() {
         }
     }
     let nonempty = histogram.iter().filter(|&&n| n > 0).count();
-    assert!(nonempty >= 12, "grid should use most partitions: {histogram:?}");
+    assert!(
+        nonempty >= 12,
+        "grid should use most partitions: {histogram:?}"
+    );
     let max = histogram.iter().max().unwrap();
-    assert!(*max <= 400, "no partition should hold more than 4x fair share");
+    assert!(
+        *max <= 400,
+        "no partition should hold more than 4x fair share"
+    );
 }
 
 #[test]
@@ -150,12 +179,15 @@ fn deeply_chained_narrow_ops_stay_single_stage() {
     for _ in 0..20 {
         d = d.map(|x| x + 1).filter(|x| *x > -1);
     }
-    let before = c.metrics().snapshot();
+    c.trace();
     assert_eq!(d.count(), 100);
-    let delta = c.metrics().snapshot().since(&before);
+    let profile = c.take_profile();
     // One result stage; pipelining means no intermediate stages or shuffles.
-    assert_eq!(delta.stages_run, 1);
-    assert_eq!(delta.shuffle_count, 0);
+    assert_eq!(profile.jobs.len(), 1);
+    let job = &profile.jobs[0];
+    assert_eq!(job.label, "count");
+    assert_eq!(profile.stages_of_job(job.job_id).len(), 1);
+    assert_eq!(profile.shuffle_stages_of_job(job.job_id), 0);
 }
 
 #[test]
