@@ -1,8 +1,8 @@
 //! End-to-end check of `figures -- b quick --trace`: the harness must write
 //! a JSON event log that parses back into structured events.
 
-use sparkline::events::parse_events;
-use sparkline::Event;
+use sparkline::events::{parse_events, to_json};
+use sparkline::{Context, Event};
 
 #[test]
 fn figures_trace_writes_valid_json() {
@@ -33,4 +33,26 @@ fn figures_trace_writes_valid_json() {
         .iter()
         .any(|e| matches!(e, Event::ShuffleRead { .. })));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cache events from a real persisted run survive the hand-rolled JSON
+/// writer/parser round trip, exactly.
+#[test]
+fn cache_events_round_trip_through_event_log_json() {
+    let c = Context::builder()
+        .workers(2)
+        .storage_memory(1 << 20)
+        .build();
+    c.trace();
+    let d = c
+        .parallelize((0..40i64).map(|i| (i % 4, i)).collect(), 4)
+        .reduce_by_key(4, |a, b| a + b)
+        .persist();
+    d.collect();
+    d.collect();
+    let events = c.take_events();
+    assert!(events.iter().any(|e| matches!(e, Event::CacheMiss { .. })));
+    assert!(events.iter().any(|e| matches!(e, Event::CacheHit { .. })));
+    let parsed = parse_events(&to_json(&events)).expect("cache events serialize as valid JSON");
+    assert_eq!(parsed, events, "round trip must be lossless");
 }

@@ -12,6 +12,8 @@ pub struct SessionBuilder {
     partitions: usize,
     tile_threads: usize,
     matmul: MatMulStrategy,
+    storage_memory: Option<usize>,
+    auto_persist: bool,
 }
 
 impl Default for SessionBuilder {
@@ -21,6 +23,8 @@ impl Default for SessionBuilder {
             partitions: 8,
             tile_threads: 1,
             matmul: MatMulStrategy::GroupByJoin,
+            storage_memory: None,
+            auto_persist: true,
         }
     }
 }
@@ -50,15 +54,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Storage-memory budget (bytes) of the runtime's block manager, the
+    /// pool `persist()`-ed blocks live in. Unset = the `SPARKLINE_STORAGE_BUDGET`
+    /// environment variable if present, otherwise unlimited.
+    pub fn storage_memory(mut self, bytes: usize) -> Self {
+        self.storage_memory = Some(bytes);
+        self
+    }
+
+    /// Enable or disable automatic persistence of plan inputs referenced
+    /// more than once (on by default).
+    pub fn auto_persist(mut self, on: bool) -> Self {
+        self.auto_persist = on;
+        self
+    }
+
     pub fn build(self) -> Session {
+        let mut ctx = Context::builder().workers(self.workers);
+        if let Some(bytes) = self.storage_memory {
+            ctx = ctx.storage_memory(bytes);
+        }
         Session {
-            ctx: Context::builder().workers(self.workers).build(),
+            ctx: ctx.build(),
             env: PlanEnv::new(),
             config: PlanConfig {
                 partitions: self.partitions,
                 matmul: self.matmul,
                 tile_threads: self.tile_threads,
                 allow_local_fallback: true,
+                auto_persist: self.auto_persist,
             },
         }
     }
@@ -164,6 +188,26 @@ impl Session {
     /// Fetch a registered matrix.
     pub fn matrix_named(&self, name: &str) -> Option<TiledMatrix> {
         self.env.array(name)?.as_matrix().cloned()
+    }
+
+    /// Explicitly persist the registered array `name` through the runtime's
+    /// block manager (Spark's `cache()`): every later plan referencing the
+    /// name reads cached blocks, recomputing from lineage only after an
+    /// eviction. Returns false when the name is unbound or not persistable.
+    pub fn persist(&mut self, name: &str) -> bool {
+        self.env.persist_array(name)
+    }
+
+    /// Drop `name`'s persisted blocks (explicit and auto-persist); returns
+    /// the number of blocks removed from the block manager.
+    pub fn unpersist(&mut self, name: &str) -> usize {
+        self.env.unpersist_array(name)
+    }
+
+    /// Block-manager occupancy and activity counters (budget, bytes in
+    /// memory, blocks in memory/on disk, evictions, spills).
+    pub fn storage_status(&self) -> sparkline::StorageStatus {
+        self.ctx.storage_status()
     }
 
     /// Type-check a comprehension against the registered bindings,
@@ -358,6 +402,53 @@ mod tests {
         s.config_mut().matmul = MatMulStrategy::GroupByJoin;
         assert!(s.explain(src).unwrap().contains("groupByJoin"));
         assert!(s.matrix(src).unwrap().to_local().max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn auto_persist_caches_shared_matmul_input() {
+        let (mut s, ms) = session_with(&[("A", 8, 8, 10)]);
+        s.set_int("n", 8);
+        let src = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- A, kk == k, \
+                    let v = a*b, group by (i,j) ]";
+        let expected = ms[0].multiply(&ms[0]);
+        assert!(s.matrix(src).unwrap().to_local().max_abs_diff(&expected) < 1e-9);
+        // A is referenced twice -> its tiles were auto-persisted.
+        assert!(s.storage_status().blocks_in_memory > 0);
+        // Same result with auto-persist off and the cache cleared.
+        assert!(s.unpersist("A") > 0);
+        assert_eq!(s.storage_status().blocks_in_memory, 0);
+        s.config_mut().auto_persist = false;
+        assert!(s.matrix(src).unwrap().to_local().max_abs_diff(&expected) < 1e-9);
+        assert_eq!(s.storage_status().blocks_in_memory, 0);
+    }
+
+    #[test]
+    fn explicit_persist_and_unpersist() {
+        let (mut s, ms) = session_with(&[("A", 6, 6, 11)]);
+        s.set_int("n", 6);
+        assert!(s.persist("A"));
+        assert!(!s.persist("missing"));
+        let src = "tiled(n,n)[ ((i,j), a*2.0) | ((i,j),a) <- A ]";
+        let expected = ms[0].scale(2.0);
+        assert!(s
+            .matrix(src)
+            .unwrap()
+            .to_local()
+            .approx_eq(&expected, 1e-12));
+        assert!(s.storage_status().blocks_in_memory > 0);
+        assert!(s.unpersist("A") > 0);
+        assert_eq!(s.unpersist("missing"), 0);
+        assert!(s
+            .matrix(src)
+            .unwrap()
+            .to_local()
+            .approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn storage_budget_flows_to_runtime() {
+        let s = Session::builder().workers(2).storage_memory(4096).build();
+        assert_eq!(s.storage_status().budget, Some(4096));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The MLlib `BlockMatrix` baseline.
 
-use sparkline::{Context, KeyPartitioner};
+use sparkline::{Context, KeyPartitioner, StorageLevel};
 use tiled::{DenseMatrix, LocalMatrix, TileCoord, TileSet, TiledMatrix};
 
 /// Block GEMM `c += a * b` as MLlib executes it without native BLAS: a
@@ -132,12 +132,32 @@ impl BlockMatrix {
         )
     }
 
-    /// Cache the blocks in executor memory.
+    /// Cache the blocks for reuse. Delegates to the memory-budgeted block
+    /// manager ([`BlockMatrix::persist`]), matching MLlib's
+    /// `BlockMatrix.cache()`.
     pub fn cache(&self) -> BlockMatrix {
+        self.persist()
+    }
+
+    /// Persist the blocks through the context's block manager: cached blocks
+    /// are served without recomputation, evicted ones are transparently
+    /// recomputed from lineage.
+    pub fn persist(&self) -> BlockMatrix {
+        self.persist_with(StorageLevel::Memory)
+    }
+
+    /// [`BlockMatrix::persist`] with an explicit [`StorageLevel`].
+    pub fn persist_with(&self, level: StorageLevel) -> BlockMatrix {
         BlockMatrix {
-            blocks: self.blocks.cache(),
+            blocks: self.blocks.persist_with(level),
             ..self.clone()
         }
+    }
+
+    /// Drop this matrix's blocks from the block manager; returns the number
+    /// of blocks removed.
+    pub fn unpersist(&self) -> usize {
+        self.blocks.unpersist()
     }
 
     /// Element-wise addition — MLlib's plan: cogroup both block sets on the
@@ -392,6 +412,20 @@ mod tests {
         let a = BlockMatrix::from_local(&c, &random(4, 4, 1), 2, 2);
         let b = BlockMatrix::from_local(&c, &random(6, 4, 2), 2, 2);
         let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn cache_persists_product_blocks() {
+        let c = ctx();
+        let a = random(8, 8, 12);
+        let product = BlockMatrix::from_local(&c, &a, 4, 2)
+            .multiply(&BlockMatrix::from_local(&c, &a, 4, 2))
+            .cache();
+        let first = product.to_local();
+        assert!(first.approx_eq(&a.multiply(&a), 1e-9));
+        assert!(c.storage_status().blocks_in_memory > 0);
+        assert!(product.to_local().approx_eq(&first, 1e-15));
+        assert!(product.unpersist() > 0);
     }
 
     #[test]

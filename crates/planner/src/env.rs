@@ -3,6 +3,7 @@
 
 use comp::Value;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use tiled::{CooMatrix, TiledMatrix, TiledVector};
 
 /// A distributed array a comprehension can range over or produce.
@@ -39,6 +40,37 @@ impl DistArray {
             _ => None,
         }
     }
+
+    /// Identity of the underlying dataset lineage (thin pointer of the root
+    /// operator's `Arc`). Two arrays share an identity iff they wrap the
+    /// same operator DAG node, so a persisted overlay built for one is valid
+    /// for the other.
+    fn lineage_identity(&self) -> Option<usize> {
+        match self {
+            DistArray::Matrix(m) => Some(Arc::as_ptr(m.tiles().op()) as *const () as usize),
+            DistArray::Vector(v) => Some(Arc::as_ptr(v.blocks().op()) as *const () as usize),
+            DistArray::Coo(_) => None,
+        }
+    }
+
+    /// A persisted (block-manager backed) variant of this array, or a plain
+    /// clone for kinds that do not support persistence.
+    fn persisted(&self) -> DistArray {
+        match self {
+            DistArray::Matrix(m) => DistArray::Matrix(m.persist()),
+            DistArray::Vector(v) => DistArray::Vector(v.persist()),
+            DistArray::Coo(c) => DistArray::Coo(c.clone()),
+        }
+    }
+
+    /// Is the root operator already a persist node?
+    fn is_persisted(&self) -> bool {
+        match self {
+            DistArray::Matrix(m) => m.tiles().op().cache_id().is_some(),
+            DistArray::Vector(v) => v.blocks().op().cache_id().is_some(),
+            DistArray::Coo(_) => false,
+        }
+    }
 }
 
 /// Free-variable bindings available while planning a comprehension.
@@ -46,6 +78,10 @@ impl DistArray {
 pub struct PlanEnv {
     arrays: HashMap<String, DistArray>,
     scalars: HashMap<String, Value>,
+    /// Auto-persist overlays: name -> (lineage identity of the source
+    /// array, its persisted wrapper). Shared across clones so repeated
+    /// executions (iterative algorithms) reuse the same cached blocks.
+    persist_cache: Arc<Mutex<HashMap<String, (usize, DistArray)>>>,
 }
 
 impl PlanEnv {
@@ -53,9 +89,100 @@ impl PlanEnv {
         PlanEnv::default()
     }
 
-    /// Register a distributed array under a name.
+    /// Register a distributed array under a name. Rebinding a name to a
+    /// different lineage drops the superseded auto-persist overlay's blocks
+    /// from the block manager.
     pub fn set_array(&mut self, name: impl Into<String>, array: DistArray) {
-        self.arrays.insert(name.into(), array);
+        let name = name.into();
+        let mut cache = self.lock_persist_cache();
+        if let Some((id, old)) = cache.get(&name) {
+            if array.lineage_identity() != Some(*id) {
+                unpersist_array(old);
+                cache.remove(&name);
+            }
+        }
+        drop(cache);
+        self.arrays.insert(name, array);
+    }
+
+    /// Bind `name` directly, without touching the auto-persist cache. Used
+    /// by the executor to substitute a persisted overlay for its source in a
+    /// transient clone of the environment ([`PlanEnv::set_array`] would
+    /// treat the overlay as a rebind and drop its own cache entry).
+    pub(crate) fn overlay_array(&mut self, name: &str, array: DistArray) {
+        self.arrays.insert(name.to_string(), array);
+    }
+
+    /// A block-manager-persisted overlay of the array bound to `name`,
+    /// built on first use and cached for subsequent executions. Returns
+    /// `None` when the name is unbound or its kind cannot be persisted.
+    pub fn persisted_array(&self, name: &str) -> Option<DistArray> {
+        let array = self.arrays.get(name)?;
+        if array.is_persisted() {
+            // Already bound to a persist node (e.g. via `persist_array`);
+            // wrapping again would stack caches for no benefit.
+            return Some(array.clone());
+        }
+        let identity = array.lineage_identity()?;
+        let mut cache = self.lock_persist_cache();
+        match cache.get(name) {
+            Some((id, overlay)) if *id == identity => Some(overlay.clone()),
+            _ => {
+                let overlay = array.persisted();
+                if let Some((_, old)) = cache.insert(name.to_string(), (identity, overlay.clone()))
+                {
+                    unpersist_array(&old);
+                }
+                Some(overlay)
+            }
+        }
+    }
+
+    /// Persist the array bound to `name` in place: the binding is replaced
+    /// by a block-manager-backed overlay, so *every* later plan referencing
+    /// the name (not just those that reference it twice) reads cached
+    /// blocks. Returns false when the name is unbound or not persistable.
+    pub fn persist_array(&mut self, name: &str) -> bool {
+        match self.persisted_array(name) {
+            Some(overlay) => {
+                self.overlay_array(name, overlay);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop the persisted blocks associated with `name` (both the
+    /// auto-persist overlay and an explicitly persisted binding); returns
+    /// the number of blocks removed from the block manager.
+    pub fn unpersist_array(&mut self, name: &str) -> usize {
+        let mut dropped = 0;
+        let mut cache = self.lock_persist_cache();
+        if let Some((_, old)) = cache.remove(name) {
+            dropped += unpersist_array(&old);
+        }
+        drop(cache);
+        if let Some(a) = self.arrays.get(name) {
+            dropped += unpersist_array(a);
+        }
+        dropped
+    }
+
+    /// Drop every auto-persist overlay's blocks; returns the number of
+    /// blocks removed from the block manager.
+    pub fn unpersist_all(&self) -> usize {
+        let mut cache = self.lock_persist_cache();
+        let dropped = cache.values().map(|(_, a)| unpersist_array(a)).sum();
+        cache.clear();
+        dropped
+    }
+
+    fn lock_persist_cache(&self) -> std::sync::MutexGuard<'_, HashMap<String, (usize, DistArray)>> {
+        // A poisoned lock only means another thread panicked mid-update of
+        // this advisory cache; the map itself is still usable.
+        self.persist_cache
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     /// Register a driver-side scalar (dimension, learning rate, ...).
@@ -101,6 +228,15 @@ impl PlanEnv {
     }
 }
 
+/// Drop a persisted overlay's blocks from its context's block manager.
+fn unpersist_array(a: &DistArray) -> usize {
+    match a {
+        DistArray::Matrix(m) => m.unpersist(),
+        DistArray::Vector(v) => v.unpersist(),
+        DistArray::Coo(_) => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +253,57 @@ mod tests {
         assert_eq!(env.float_scalar("gamma"), Some(0.5));
         assert_eq!(env.int_scalar("gamma"), None);
         assert_eq!(env.int_scalar("missing"), None);
+    }
+
+    #[test]
+    fn persisted_overlay_is_cached_and_dropped_on_rebind() {
+        let ctx = Context::builder().workers(2).build();
+        let m = LocalMatrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let mut env = PlanEnv::new();
+        env.set_array(
+            "M",
+            DistArray::Matrix(TiledMatrix::from_local(&ctx, &m, 2, 2)),
+        );
+        let p1 = env.persisted_array("M").unwrap();
+        let p2 = env.persisted_array("M").unwrap();
+        // Same overlay both times: same persist node, so same cache id.
+        let id = |a: &DistArray| a.as_matrix().unwrap().tiles().op().cache_id();
+        assert!(id(&p1).is_some());
+        assert_eq!(id(&p1), id(&p2));
+        // Clones share the cache.
+        assert_eq!(id(&env.clone().persisted_array("M").unwrap()), id(&p1));
+        // Materialize, then rebind the name to a new lineage: the old
+        // overlay's blocks must be dropped.
+        p1.as_matrix().unwrap().to_local();
+        assert!(ctx.storage_status().blocks_in_memory > 0);
+        env.set_array(
+            "M",
+            DistArray::Matrix(TiledMatrix::from_local(&ctx, &m, 2, 2)),
+        );
+        assert_eq!(ctx.storage_status().blocks_in_memory, 0);
+        let p3 = env.persisted_array("M").unwrap();
+        assert_ne!(id(&p3), id(&p1), "rebinding must build a fresh overlay");
+        assert!(env.persisted_array("missing").is_none());
+    }
+
+    #[test]
+    fn unpersist_all_clears_every_overlay() {
+        let ctx = Context::builder().workers(2).build();
+        let m = LocalMatrix::from_fn(4, 4, |i, j| (i * j) as f64);
+        let mut env = PlanEnv::new();
+        env.set_array(
+            "A",
+            DistArray::Matrix(TiledMatrix::from_local(&ctx, &m, 2, 2)),
+        );
+        env.persisted_array("A")
+            .unwrap()
+            .as_matrix()
+            .unwrap()
+            .to_local();
+        assert!(ctx.storage_status().blocks_in_memory > 0);
+        assert!(env.unpersist_all() > 0);
+        assert_eq!(ctx.storage_status().blocks_in_memory, 0);
+        assert_eq!(env.unpersist_all(), 0);
     }
 
     #[test]

@@ -90,8 +90,42 @@ pub fn execute(
     config: &PlanConfig,
 ) -> Result<ExecResult, CompError> {
     ctx.scoped_tag(planned.plan.strategy_name(), || {
+        if config.auto_persist {
+            if let Some(overlay) = persist_shared_inputs(&planned.plan, env) {
+                return execute_untagged(planned, &overlay, ctx, config);
+            }
+        }
         execute_untagged(planned, env, ctx, config)
     })
+}
+
+/// When a plan references the same input name more than once (e.g. both
+/// sides of `A*A`), each reference would evaluate that input's lineage
+/// independently. Overlay such names with block-manager-persisted wrappers
+/// so the lineage is computed once and later references hit the cache (or
+/// transparently recompute if the budget evicted a block). Returns `None`
+/// when no input is shared.
+fn persist_shared_inputs(plan: &Plan, env: &PlanEnv) -> Option<PlanEnv> {
+    let names = plan.input_names();
+    let mut shared: Vec<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| names.iter().filter(|m| *m == n).count() >= 2)
+        .collect();
+    shared.sort_unstable();
+    shared.dedup();
+    let overlays: Vec<(&str, DistArray)> = shared
+        .into_iter()
+        .filter_map(|name| env.persisted_array(name).map(|p| (name, p)))
+        .collect();
+    if overlays.is_empty() {
+        return None;
+    }
+    let mut overlay_env = env.clone();
+    for (name, persisted) in overlays {
+        overlay_env.overlay_array(name, persisted);
+    }
+    Some(overlay_env)
 }
 
 fn execute_untagged(

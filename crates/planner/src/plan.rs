@@ -63,6 +63,10 @@ pub struct PlanConfig {
     pub tile_threads: usize,
     /// Permit falling back to the driver-side reference interpreter.
     pub allow_local_fallback: bool,
+    /// Automatically persist inputs a plan references more than once (e.g.
+    /// both sides of `A*A`) through the block manager, so their lineage is
+    /// computed once per execution instead of once per reference.
+    pub auto_persist: bool,
 }
 
 impl Default for PlanConfig {
@@ -72,6 +76,7 @@ impl Default for PlanConfig {
             matmul: MatMulStrategy::GroupByJoin,
             tile_threads: 1,
             allow_local_fallback: true,
+            auto_persist: true,
         }
     }
 }
@@ -189,6 +194,23 @@ pub struct Planned {
 }
 
 impl Plan {
+    /// Names of the distributed arrays this plan reads, one entry per
+    /// reference (a name appearing twice means the plan evaluates that
+    /// input's lineage twice — the signal the auto-persist pass looks for).
+    pub fn input_names(&self) -> Vec<&str> {
+        match self {
+            Plan::Eltwise { inputs, .. } | Plan::VectorEltwise { inputs, .. } => {
+                inputs.iter().map(String::as_str).collect()
+            }
+            Plan::Contraction { left, right, .. } => vec![left, right],
+            Plan::AxisReduce { input, .. }
+            | Plan::IndexRemap { input, .. }
+            | Plan::GroupByAggregate { input, .. } => vec![input],
+            Plan::MatVec { matrix, vector, .. } => vec![matrix, vector],
+            Plan::LocalFallback { .. } => vec![],
+        }
+    }
+
     /// Human-readable strategy name (used by plan-shape tests and explain).
     pub fn strategy_name(&self) -> &'static str {
         match self {

@@ -4,8 +4,10 @@
 use crate::events::{Event, EventCollector};
 use crate::metrics::Metrics;
 use crate::profile::JobProfile;
+use crate::storage::{BlockManager, StorageStatus};
 use crate::sync::Mutex;
 use crate::Data;
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -15,11 +17,32 @@ use std::time::Instant;
 /// tracer recognizes an injected failure when the panic is caught.
 const INJECTED_FAILURE_MSG: &str = "sparkline: injected task failure";
 
+/// Environment variable overriding the default storage budget (bytes); lets
+/// CI run the whole suite under a deliberately tiny budget so eviction paths
+/// are exercised on every push. An explicit
+/// [`ContextBuilder::storage_memory`] wins over the variable.
+pub const STORAGE_BUDGET_ENV: &str = "SPARKLINE_STORAGE_BUDGET";
+
+thread_local! {
+    /// Stage whose task is running on this executor thread. Stages nest
+    /// (materializing a shuffle dependency runs a child stage from inside a
+    /// parent task), but every stage spawns fresh worker threads, so the
+    /// thread-local on each worker is exactly the innermost stage.
+    static CURRENT_STAGE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Innermost stage running on this thread, if any — how cache events are
+/// attributed to stages without threading ids through every operator.
+pub(crate) fn current_stage() -> Option<u64> {
+    CURRENT_STAGE.with(Cell::get)
+}
+
 /// Builder for [`Context`].
 pub struct ContextBuilder {
     workers: usize,
     default_parallelism: usize,
     max_task_attempts: u32,
+    storage_memory: Option<usize>,
 }
 
 impl Default for ContextBuilder {
@@ -28,6 +51,7 @@ impl Default for ContextBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             default_parallelism: 8,
             max_task_attempts: 4,
+            storage_memory: None,
         }
     }
 }
@@ -53,7 +77,23 @@ impl ContextBuilder {
         self
     }
 
+    /// Memory budget (bytes) for persisted dataset partitions (Spark's
+    /// storage memory). Defaults to the `SPARKLINE_STORAGE_BUDGET`
+    /// environment variable if set, else unlimited.
+    pub fn storage_memory(mut self, bytes: usize) -> Self {
+        self.storage_memory = Some(bytes);
+        self
+    }
+
     pub fn build(self) -> Context {
+        let budget = self
+            .storage_memory
+            .or_else(|| {
+                std::env::var(STORAGE_BUDGET_ENV)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+            })
+            .unwrap_or(usize::MAX);
         Context {
             inner: Arc::new(CtxInner {
                 workers: self.workers,
@@ -61,10 +101,12 @@ impl ContextBuilder {
                 max_task_attempts: self.max_task_attempts,
                 metrics: Metrics::default(),
                 events: EventCollector::default(),
+                storage: BlockManager::new(budget),
                 injected_failures: AtomicI64::new(0),
                 shuffle_ids: AtomicU64::new(0),
                 stage_ids: AtomicU64::new(0),
                 job_ids: AtomicU64::new(0),
+                dataset_ids: AtomicU64::new(0),
                 active_jobs: Mutex::new(Vec::new()),
                 plan_tags: Mutex::new(Vec::new()),
                 broadcasts: Mutex::new(Vec::new()),
@@ -79,10 +121,14 @@ pub(crate) struct CtxInner {
     pub(crate) max_task_attempts: u32,
     pub(crate) metrics: Metrics,
     pub(crate) events: EventCollector,
+    /// Memory-budgeted store for persisted dataset partitions.
+    storage: BlockManager,
     injected_failures: AtomicI64,
     shuffle_ids: AtomicU64,
     stage_ids: AtomicU64,
     job_ids: AtomicU64,
+    /// Ids handed to persisted datasets; key blocks in [`BlockManager`].
+    dataset_ids: AtomicU64,
     /// Stack of jobs (actions) currently running on the driver; the top one
     /// is charged for stages submitted while it runs.
     active_jobs: Mutex<Vec<u64>>,
@@ -253,10 +299,51 @@ impl Context {
     /// Make the next `n` task attempts fail with an injected panic. Used by
     /// fault-tolerance tests: the scheduler must retry and jobs must still
     /// produce correct results.
+    ///
+    /// The counter is shared by every job on this context. Tests that run
+    /// concurrent jobs (or might leave failures unconsumed) should prefer
+    /// [`Context::inject_task_failures_scoped`], whose guard returns unspent
+    /// failures on drop instead of leaking them into later jobs.
     pub fn inject_task_failures(&self, n: u32) {
         self.inner
             .injected_failures
             .fetch_add(n as i64, Ordering::SeqCst);
+    }
+
+    /// [`Context::inject_task_failures`] bounded to a scope: the returned
+    /// guard removes up to `n` still-pending failures when dropped, so a
+    /// test that didn't run enough tasks to consume its injections can't
+    /// starve or fail an unrelated job later on the same context.
+    ///
+    /// Attribution is approximate under concurrency — the counter can't tell
+    /// *whose* injection a task consumed — but the invariant tests need
+    /// holds: after the guard drops, at most as many failures remain pending
+    /// as other scopes injected.
+    pub fn inject_task_failures_scoped(&self, n: u32) -> InjectedFailuresGuard {
+        self.inject_task_failures(n);
+        InjectedFailuresGuard {
+            ctx: self.clone(),
+            injected: n as i64,
+        }
+    }
+
+    /// Injected failures not yet consumed by a task.
+    pub fn pending_injected_failures(&self) -> u32 {
+        self.inner.injected_failures.load(Ordering::SeqCst).max(0) as u32
+    }
+
+    /// The block manager holding persisted dataset partitions.
+    pub fn storage(&self) -> &BlockManager {
+        &self.inner.storage
+    }
+
+    /// Current storage accounting (budget, resident bytes, evictions...).
+    pub fn storage_status(&self) -> StorageStatus {
+        self.inner.storage.status()
+    }
+
+    pub(crate) fn next_dataset_id(&self) -> u64 {
+        self.inner.dataset_ids.fetch_add(1, Ordering::Relaxed)
     }
 
     pub(crate) fn next_shuffle_id(&self) -> u64 {
@@ -334,55 +421,60 @@ impl Context {
         let workers = self.inner.workers.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if failure.lock().is_some() {
-                        return;
-                    }
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        return;
-                    }
-                    let mut attempt = 0;
+                scope.spawn(|| {
+                    // Fresh thread per stage, so this is the innermost stage
+                    // even when stages nest (see [`current_stage`]).
+                    CURRENT_STAGE.with(|c| c.set(Some(stage_id)));
                     loop {
-                        self.inner.metrics.task_launched();
-                        let task_started = tracing.then(Instant::now);
-                        let out = catch_unwind(AssertUnwindSafe(|| {
-                            self.maybe_injected_failure();
-                            f(i)
-                        }));
-                        let task_micros =
-                            task_started.map_or(0, |t| t.elapsed().as_micros() as u64);
-                        match out {
-                            Ok(v) => {
-                                if tracing {
-                                    self.inner.events.emit(Event::TaskEnd {
-                                        stage_id,
-                                        task: i,
-                                        attempt,
-                                        wall_micros: task_micros,
-                                        ok: true,
-                                        injected: false,
-                                    });
+                        if failure.lock().is_some() {
+                            return;
+                        }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            return;
+                        }
+                        let mut attempt = 0;
+                        loop {
+                            self.inner.metrics.task_launched();
+                            let task_started = tracing.then(Instant::now);
+                            let out = catch_unwind(AssertUnwindSafe(|| {
+                                self.maybe_injected_failure();
+                                f(i)
+                            }));
+                            let task_micros =
+                                task_started.map_or(0, |t| t.elapsed().as_micros() as u64);
+                            match out {
+                                Ok(v) => {
+                                    if tracing {
+                                        self.inner.events.emit(Event::TaskEnd {
+                                            stage_id,
+                                            task: i,
+                                            attempt,
+                                            wall_micros: task_micros,
+                                            ok: true,
+                                            injected: false,
+                                        });
+                                    }
+                                    *results[i].lock() = Some(v);
+                                    break;
                                 }
-                                *results[i].lock() = Some(v);
-                                break;
-                            }
-                            Err(cause) => {
-                                self.inner.metrics.task_failed();
-                                if tracing {
-                                    self.inner.events.emit(Event::TaskEnd {
-                                        stage_id,
-                                        task: i,
-                                        attempt,
-                                        wall_micros: task_micros,
-                                        ok: false,
-                                        injected: panic_is_injected(&cause),
-                                    });
-                                }
-                                attempt += 1;
-                                if attempt >= self.inner.max_task_attempts {
-                                    *failure.lock() = Some(cause);
-                                    return;
+                                Err(cause) => {
+                                    self.inner.metrics.task_failed();
+                                    if tracing {
+                                        self.inner.events.emit(Event::TaskEnd {
+                                            stage_id,
+                                            task: i,
+                                            attempt,
+                                            wall_micros: task_micros,
+                                            ok: false,
+                                            injected: panic_is_injected(&cause),
+                                        });
+                                    }
+                                    attempt += 1;
+                                    if attempt >= self.inner.max_task_attempts {
+                                        *failure.lock() = Some(cause);
+                                        return;
+                                    }
                                 }
                             }
                         }
@@ -415,6 +507,27 @@ fn panic_is_injected(cause: &Box<dyn std::any::Any + Send>) -> bool {
         || cause
             .downcast_ref::<String>()
             .is_some_and(|s| s == INJECTED_FAILURE_MSG)
+}
+
+/// Guard returned by [`Context::inject_task_failures_scoped`]. Dropping it
+/// removes up to the scope's injection count from the pending counter
+/// (clamped at zero), so unconsumed failures don't leak out of the scope.
+pub struct InjectedFailuresGuard {
+    ctx: Context,
+    injected: i64,
+}
+
+impl Drop for InjectedFailuresGuard {
+    fn drop(&mut self) {
+        let n = self.injected;
+        // Clamped CAS: never remove more than is pending (another scope's
+        // injections must survive), never go negative.
+        let _ = self.ctx.inner.injected_failures.fetch_update(
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            |pending| Some(pending - n.min(pending).max(0)),
+        );
+    }
 }
 
 struct PopTag<'a>(&'a Context);
@@ -496,6 +609,65 @@ mod tests {
         // More injected failures than total allowed attempts for one task.
         ctx.inject_task_failures(10);
         let _ = ctx.run_tasks(1, |i| i);
+    }
+
+    #[test]
+    fn scoped_injection_guard_returns_unspent_failures() {
+        let ctx = Context::builder().workers(1).build();
+        {
+            let _g = ctx.inject_task_failures_scoped(10);
+            assert_eq!(ctx.pending_injected_failures(), 10);
+        }
+        assert_eq!(ctx.pending_injected_failures(), 0);
+        let before = ctx.metrics().snapshot().tasks_failed;
+        ctx.run_tasks(4, |i| i);
+        assert_eq!(ctx.metrics().snapshot().tasks_failed, before);
+    }
+
+    #[test]
+    fn scoped_injection_guard_preserves_other_scopes() {
+        let ctx = Context::new();
+        ctx.inject_task_failures(3);
+        {
+            let _g = ctx.inject_task_failures_scoped(5);
+            assert_eq!(ctx.pending_injected_failures(), 8);
+        }
+        // Only this scope's 5 are returned; the unscoped 3 survive.
+        assert_eq!(ctx.pending_injected_failures(), 3);
+    }
+
+    #[test]
+    fn scoped_injection_failures_are_consumed_inside_scope() {
+        let ctx = Context::builder().workers(2).build();
+        {
+            let _g = ctx.inject_task_failures_scoped(2);
+            let out = ctx.run_tasks(8, |i| i + 1);
+            assert_eq!(out, (1..=8).collect::<Vec<_>>());
+            assert!(ctx.metrics().snapshot().tasks_failed >= 2);
+        }
+        assert_eq!(ctx.pending_injected_failures(), 0);
+    }
+
+    #[test]
+    fn storage_budget_knob_is_visible_in_status() {
+        let ctx = Context::builder().storage_memory(4096).build();
+        assert_eq!(ctx.storage_status().budget, Some(4096));
+        assert_eq!(ctx.storage_status().memory_used, 0);
+    }
+
+    #[test]
+    fn current_stage_tracks_innermost_stage() {
+        let ctx = Context::builder().workers(2).build();
+        assert_eq!(current_stage(), None, "driver thread runs outside stages");
+        let stages = ctx.run_tasks(2, |_| {
+            let outer = current_stage().expect("task must see its stage");
+            let inner = ctx.run_tasks(1, |_| current_stage().expect("nested stage"));
+            assert_ne!(inner[0], outer, "nested stage must shadow the outer");
+            assert_eq!(current_stage(), Some(outer), "outer survives nesting");
+            outer
+        });
+        assert_eq!(stages.len(), 2);
+        assert_eq!(current_stage(), None);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::ops::{CachedOp, MapPartitionsOp, Op, SourceOp, UnionOp};
 use crate::partitioner::KeyPartitioner;
 use crate::shuffle::{Aggregator, CoGroupOp, ShuffleOp};
 use crate::size::SizeOf;
+use crate::storage::{PersistOp, SpillCodec, StorageLevel};
 use crate::Data;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -137,10 +138,48 @@ impl<T: Data> Dataset<T> {
     }
 
     /// Cache partitions in memory on first computation.
+    ///
+    /// Unlike [`Dataset::persist`], cached partitions are pinned: they are
+    /// never evicted and don't count against the context's storage budget.
+    /// Use `persist` for anything sized with the data.
     pub fn cache(&self) -> Dataset<T> {
         Dataset {
             ctx: self.ctx.clone(),
             op: Arc::new(CachedOp::new(self.op.clone())),
+        }
+    }
+
+    /// Persist partitions in the context's memory-budgeted block manager
+    /// (Spark's `persist(MEMORY_ONLY)`). Partitions are stored on first
+    /// computation and served from storage afterwards; evicted partitions
+    /// are transparently recomputed from lineage.
+    pub fn persist(&self) -> Dataset<T>
+    where
+        T: SizeOf + SpillCodec,
+    {
+        self.persist_with(StorageLevel::Memory)
+    }
+
+    /// [`Dataset::persist`] with an explicit [`StorageLevel`];
+    /// [`StorageLevel::MemoryAndDisk`] spills evicted partitions to a temp
+    /// file instead of dropping them.
+    pub fn persist_with(&self, level: StorageLevel) -> Dataset<T>
+    where
+        T: SizeOf + SpillCodec,
+    {
+        Dataset {
+            ctx: self.ctx.clone(),
+            op: Arc::new(PersistOp::new(&self.ctx, self.op.clone(), level)),
+        }
+    }
+
+    /// Drop this dataset's persisted blocks from the block manager (memory
+    /// and spill files). Returns the number of blocks removed; 0 when the
+    /// dataset is not the direct result of [`Dataset::persist`].
+    pub fn unpersist(&self) -> usize {
+        match self.op.cache_id() {
+            Some(id) => self.ctx.storage().remove_dataset(id),
+            None => 0,
         }
     }
 
@@ -537,6 +576,99 @@ mod tests {
         d.collect();
         d.collect();
         assert_eq!(calls.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn persist_computes_lineage_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = ctx();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let d = c
+            .parallelize((0..10i64).collect(), 2)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x * 3
+            })
+            .persist();
+        let expected: Vec<i64> = (0..10).map(|x| x * 3).collect();
+        assert_eq!(d.collect(), expected);
+        assert_eq!(d.collect(), expected);
+        assert_eq!(calls.load(Ordering::SeqCst), 10, "second pass must hit");
+        assert_eq!(c.storage_status().blocks_in_memory, 2);
+    }
+
+    #[test]
+    fn persist_under_tiny_budget_still_correct() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Each block is 84 bytes (Vec header + 10 i64), so a 100-byte budget
+        // holds exactly one of the four partitions, forcing eviction and
+        // lineage recomputation on every pass.
+        let c = Context::builder().workers(4).storage_memory(100).build();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let d = c
+            .parallelize((0..40i64).collect(), 4)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x + 1
+            })
+            .persist();
+        let expected: Vec<i64> = (1..=40).collect();
+        assert_eq!(d.collect(), expected);
+        assert_eq!(d.collect(), expected);
+        assert!(
+            calls.load(Ordering::SeqCst) > 40,
+            "thrashing budget must force recomputation"
+        );
+        assert!(c.storage_status().evictions > 0);
+    }
+
+    #[test]
+    fn persist_with_disk_level_serves_spilled_blocks() {
+        let c = Context::builder().workers(2).storage_memory(64).build();
+        let d = c
+            .parallelize((0..40i64).collect(), 4)
+            .map(|x| x * 2)
+            .persist_with(crate::storage::StorageLevel::MemoryAndDisk);
+        let expected: Vec<i64> = (0..40).map(|x| x * 2).collect();
+        assert_eq!(d.collect(), expected);
+        assert_eq!(d.collect(), expected);
+        let status = c.storage_status();
+        assert!(status.spills > 0, "tiny budget must spill: {status:?}");
+        assert!(status.blocks_on_disk > 0);
+    }
+
+    #[test]
+    fn unpersist_drops_blocks_and_recomputes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = ctx();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let d = c
+            .parallelize((0..6i64).collect(), 2)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+            .persist();
+        d.collect();
+        assert_eq!(d.unpersist(), 2);
+        assert_eq!(c.storage_status().blocks_in_memory, 0);
+        d.collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 12, "unpersist forces rerun");
+        // Non-persisted datasets have nothing to unpersist.
+        assert_eq!(c.parallelize(vec![1], 1).unpersist(), 0);
+    }
+
+    #[test]
+    fn persist_preserves_partitioning() {
+        let c = ctx();
+        let d = c
+            .parallelize(vec![(1i64, 1i64), (2, 2)], 2)
+            .partition_by(KeyPartitioner::hash(2))
+            .persist();
+        assert_eq!(d.partitioner_descriptor(), Some(("hash(2)".into(), 2)));
     }
 
     #[test]

@@ -76,6 +76,48 @@ pub enum Event {
         bytes: u64,
         records: u64,
     },
+    /// A persisted partition was served from the block manager.
+    CacheHit {
+        /// Persisted dataset id ([`crate::storage::BlockManager`] key).
+        dataset: u64,
+        partition: usize,
+        /// Estimated in-memory size of the block.
+        bytes: u64,
+        /// True if the block was decoded from a spill file.
+        from_disk: bool,
+        /// Innermost stage whose task performed the read, if any (cache
+        /// reads on the driver carry no stage).
+        stage_id: Option<u64>,
+    },
+    /// A persisted partition was requested before it was ever stored.
+    CacheMiss {
+        dataset: u64,
+        partition: usize,
+        stage_id: Option<u64>,
+    },
+    /// A block was evicted to fit the storage budget; `spilled` says whether
+    /// it moved to disk (else it was dropped and must be recomputed).
+    CacheEvict {
+        dataset: u64,
+        partition: usize,
+        bytes: u64,
+        spilled: bool,
+        stage_id: Option<u64>,
+    },
+    /// A block was written to a spill file (eviction of a disk-level block,
+    /// or a direct spill of a block larger than the whole budget).
+    CacheSpill {
+        dataset: u64,
+        partition: usize,
+        bytes: u64,
+        stage_id: Option<u64>,
+    },
+    /// A previously evicted partition was recomputed from lineage.
+    CacheRecompute {
+        dataset: u64,
+        partition: usize,
+        stage_id: Option<u64>,
+    },
 }
 
 /// Lock-cheap event sink owned by a [`crate::Context`].
@@ -320,6 +362,71 @@ impl Event {
                     .num_field("task", *task as u64)
                     .num_field("bytes", *bytes)
                     .num_field("records", *records);
+                o.finish()
+            }
+            Event::CacheHit {
+                dataset,
+                partition,
+                bytes,
+                from_disk,
+                stage_id,
+            } => {
+                let mut o = JsonObject::new("cache_hit");
+                o.num_field("dataset", *dataset)
+                    .num_field("partition", *partition as u64)
+                    .num_field("bytes", *bytes)
+                    .bool_field("from_disk", *from_disk)
+                    .opt_num_field("stage_id", *stage_id);
+                o.finish()
+            }
+            Event::CacheMiss {
+                dataset,
+                partition,
+                stage_id,
+            } => {
+                let mut o = JsonObject::new("cache_miss");
+                o.num_field("dataset", *dataset)
+                    .num_field("partition", *partition as u64)
+                    .opt_num_field("stage_id", *stage_id);
+                o.finish()
+            }
+            Event::CacheEvict {
+                dataset,
+                partition,
+                bytes,
+                spilled,
+                stage_id,
+            } => {
+                let mut o = JsonObject::new("cache_evict");
+                o.num_field("dataset", *dataset)
+                    .num_field("partition", *partition as u64)
+                    .num_field("bytes", *bytes)
+                    .bool_field("spilled", *spilled)
+                    .opt_num_field("stage_id", *stage_id);
+                o.finish()
+            }
+            Event::CacheSpill {
+                dataset,
+                partition,
+                bytes,
+                stage_id,
+            } => {
+                let mut o = JsonObject::new("cache_spill");
+                o.num_field("dataset", *dataset)
+                    .num_field("partition", *partition as u64)
+                    .num_field("bytes", *bytes)
+                    .opt_num_field("stage_id", *stage_id);
+                o.finish()
+            }
+            Event::CacheRecompute {
+                dataset,
+                partition,
+                stage_id,
+            } => {
+                let mut o = JsonObject::new("cache_recompute");
+                o.num_field("dataset", *dataset)
+                    .num_field("partition", *partition as u64)
+                    .opt_num_field("stage_id", *stage_id);
                 o.finish()
             }
         }
@@ -621,6 +728,36 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             bytes: v.num("bytes")?,
             records: v.num("records")?,
         }),
+        "cache_hit" => Ok(Event::CacheHit {
+            dataset: v.num("dataset")?,
+            partition: v.num("partition")? as usize,
+            bytes: v.num("bytes")?,
+            from_disk: v.boolean("from_disk")?,
+            stage_id: v.opt_num("stage_id")?,
+        }),
+        "cache_miss" => Ok(Event::CacheMiss {
+            dataset: v.num("dataset")?,
+            partition: v.num("partition")? as usize,
+            stage_id: v.opt_num("stage_id")?,
+        }),
+        "cache_evict" => Ok(Event::CacheEvict {
+            dataset: v.num("dataset")?,
+            partition: v.num("partition")? as usize,
+            bytes: v.num("bytes")?,
+            spilled: v.boolean("spilled")?,
+            stage_id: v.opt_num("stage_id")?,
+        }),
+        "cache_spill" => Ok(Event::CacheSpill {
+            dataset: v.num("dataset")?,
+            partition: v.num("partition")? as usize,
+            bytes: v.num("bytes")?,
+            stage_id: v.opt_num("stage_id")?,
+        }),
+        "cache_recompute" => Ok(Event::CacheRecompute {
+            dataset: v.num("dataset")?,
+            partition: v.num("partition")? as usize,
+            stage_id: v.opt_num("stage_id")?,
+        }),
         other => Err(format!("unknown event type `{other}`")),
     }
 }
@@ -682,6 +819,36 @@ mod tests {
                 task: 0,
                 bytes: 1024,
                 records: 4,
+            },
+            Event::CacheMiss {
+                dataset: 5,
+                partition: 0,
+                stage_id: Some(2),
+            },
+            Event::CacheEvict {
+                dataset: 5,
+                partition: 1,
+                bytes: 64,
+                spilled: true,
+                stage_id: Some(2),
+            },
+            Event::CacheSpill {
+                dataset: 5,
+                partition: 1,
+                bytes: 64,
+                stage_id: Some(2),
+            },
+            Event::CacheRecompute {
+                dataset: 5,
+                partition: 1,
+                stage_id: None,
+            },
+            Event::CacheHit {
+                dataset: 5,
+                partition: 0,
+                bytes: 128,
+                from_disk: false,
+                stage_id: None,
             },
             Event::StageEnd {
                 stage_id: 1,

@@ -49,15 +49,17 @@ pub mod partitioner;
 pub mod profile;
 pub mod shuffle;
 pub mod size;
+pub mod storage;
 mod sync;
 
-pub use context::{Context, ContextBuilder};
+pub use context::{Context, ContextBuilder, InjectedFailuresGuard, STORAGE_BUDGET_ENV};
 pub use dataset::Dataset;
 pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
-pub use profile::{JobProfile, JobSummary, StageProfile};
+pub use profile::{CacheStats, JobProfile, JobSummary, StageProfile};
 pub use size::SizeOf;
+pub use storage::{BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus};
 
 /// Marker bound for element types stored in datasets.
 ///

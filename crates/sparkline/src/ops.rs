@@ -22,6 +22,12 @@ pub trait Op<T: Data>: Send + Sync + 'static {
         None
     }
 
+    /// Block-manager dataset id, `Some` only for persist nodes — how
+    /// [`crate::Dataset::unpersist`] finds the blocks to drop.
+    fn cache_id(&self) -> Option<u64> {
+        None
+    }
+
     /// Operator name for debugging / plan explanation.
     fn name(&self) -> String;
 }

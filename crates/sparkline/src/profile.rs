@@ -10,6 +10,59 @@
 
 use crate::events::Event;
 
+/// Block-manager cache activity, aggregated per stage, per dataset, or for
+/// the whole profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Partitions served from cache (memory or disk).
+    pub hits: u64,
+    /// Subset of `hits` that were decoded from a spill file.
+    pub hits_from_disk: u64,
+    /// First-time computations of a persisted partition.
+    pub misses: u64,
+    /// Blocks evicted to honor the storage budget.
+    pub evictions: u64,
+    /// Blocks written to a spill file (at eviction or directly).
+    pub spills: u64,
+    /// Recomputations of a partition that had been cached before (the
+    /// lineage-recovery path after an eviction or unpersist).
+    pub recomputes: u64,
+}
+
+impl CacheStats {
+    /// Any cache activity at all?
+    pub fn is_empty(&self) -> bool {
+        *self == CacheStats::default()
+    }
+
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.hits_from_disk += other.hits_from_disk;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.spills += other.spills;
+        self.recomputes += other.recomputes;
+    }
+
+    fn render(&self) -> String {
+        let mut parts = vec![format!("{} hits", self.hits)];
+        if self.hits_from_disk > 0 {
+            parts.push(format!("{} from disk", self.hits_from_disk));
+        }
+        parts.push(format!("{} misses", self.misses));
+        if self.recomputes > 0 {
+            parts.push(format!("{} recomputed", self.recomputes));
+        }
+        if self.evictions > 0 {
+            parts.push(format!("{} evicted", self.evictions));
+        }
+        if self.spills > 0 {
+            parts.push(format!("{} spilled", self.spills));
+        }
+        parts.join(", ")
+    }
+}
+
 /// Statistics for one scheduler stage.
 #[derive(Debug, Clone, Default)]
 pub struct StageProfile {
@@ -45,6 +98,8 @@ pub struct StageProfile {
     pub max_task_shuffle_bytes_read: u64,
     /// Shuffle operator, when this stage is a shuffle map or reduce stage.
     pub operator: Option<String>,
+    /// Block-manager cache activity attributed to this stage's tasks.
+    pub cache: CacheStats,
 }
 
 impl StageProfile {
@@ -118,6 +173,9 @@ impl StageProfile {
                 self.failed_attempts, self.injected_failures
             ));
         }
+        if !self.cache.is_empty() {
+            line.push_str(&format!(", cache [{}]", self.cache.render()));
+        }
         line
     }
 }
@@ -140,6 +198,10 @@ pub struct JobProfile {
     pub stages: Vec<StageProfile>,
     /// Jobs in start order.
     pub jobs: Vec<JobSummary>,
+    /// Cache activity per persisted dataset id, in first-seen order. Unlike
+    /// the per-stage `cache` fields this also counts events that carried no
+    /// stage attribution (e.g. emitted from the driver thread).
+    pub cache_by_dataset: Vec<(u64, CacheStats)>,
 }
 
 impl JobProfile {
@@ -233,9 +295,52 @@ impl JobProfile {
                         stage.max_task_shuffle_bytes_read.max(*bytes);
                     stage.operator = Some(operator.clone());
                 }
+                Event::CacheHit {
+                    dataset,
+                    from_disk,
+                    stage_id,
+                    ..
+                } => profile.record_cache(*dataset, *stage_id, |c| {
+                    c.hits += 1;
+                    if *from_disk {
+                        c.hits_from_disk += 1;
+                    }
+                }),
+                Event::CacheMiss {
+                    dataset, stage_id, ..
+                } => profile.record_cache(*dataset, *stage_id, |c| c.misses += 1),
+                Event::CacheEvict {
+                    dataset, stage_id, ..
+                } => profile.record_cache(*dataset, *stage_id, |c| c.evictions += 1),
+                Event::CacheSpill {
+                    dataset, stage_id, ..
+                } => profile.record_cache(*dataset, *stage_id, |c| c.spills += 1),
+                Event::CacheRecompute {
+                    dataset, stage_id, ..
+                } => profile.record_cache(*dataset, *stage_id, |c| c.recomputes += 1),
             }
         }
         profile
+    }
+
+    /// Apply one cache-event increment to the owning dataset's stats and, when
+    /// the event was attributed to a stage, to that stage's stats too.
+    fn record_cache(&mut self, dataset: u64, stage_id: Option<u64>, f: impl Fn(&mut CacheStats)) {
+        let per_dataset = match self
+            .cache_by_dataset
+            .iter_mut()
+            .find(|(d, _)| *d == dataset)
+        {
+            Some((_, stats)) => stats,
+            None => {
+                self.cache_by_dataset.push((dataset, CacheStats::default()));
+                &mut self.cache_by_dataset.last_mut().unwrap().1
+            }
+        };
+        f(per_dataset);
+        if let Some(stage_id) = stage_id {
+            f(&mut self.stage_mut(stage_id).cache);
+        }
     }
 
     fn stage_mut(&mut self, stage_id: u64) -> &mut StageProfile {
@@ -292,6 +397,24 @@ impl JobProfile {
         self.stages.iter().map(|s| s.failed_attempts).sum()
     }
 
+    /// Cache activity summed over every persisted dataset.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for (_, stats) in &self.cache_by_dataset {
+            total.add(stats);
+        }
+        total
+    }
+
+    /// Cache activity for one persisted dataset id.
+    pub fn cache_of_dataset(&self, dataset: u64) -> CacheStats {
+        self.cache_by_dataset
+            .iter()
+            .find(|(d, _)| *d == dataset)
+            .map(|(_, stats)| *stats)
+            .unwrap_or_default()
+    }
+
     /// Shuffle write volume per operator name, in first-seen order.
     pub fn shuffle_bytes_by_operator(&self) -> Vec<(String, u64)> {
         let mut out: Vec<(String, u64)> = Vec::new();
@@ -338,6 +461,9 @@ impl JobProfile {
                 out.push_str(&stage.render());
                 out.push('\n');
             }
+        }
+        for (dataset, stats) in &self.cache_by_dataset {
+            out.push_str(&format!("cache dataset {}: {}\n", dataset, stats.render()));
         }
         if out.is_empty() {
             out.push_str("(empty profile — was tracing enabled?)\n");
@@ -537,6 +663,99 @@ mod tests {
         assert_eq!(p.stages.len(), 1);
         assert_eq!(p.stages[0].label, "?");
         assert!(p.render().contains("stages outside any traced job"));
+    }
+
+    #[test]
+    fn folds_cache_events_per_stage_and_per_dataset() {
+        let events = vec![
+            Event::StageStart {
+                stage_id: 7,
+                job_id: None,
+                label: "action(collect)".into(),
+                tag: None,
+                lineage: None,
+                tasks: 2,
+                at_micros: 0,
+            },
+            Event::CacheMiss {
+                dataset: 1,
+                partition: 0,
+                stage_id: Some(7),
+            },
+            Event::CacheHit {
+                dataset: 1,
+                partition: 0,
+                bytes: 64,
+                from_disk: false,
+                stage_id: Some(7),
+            },
+            Event::CacheHit {
+                dataset: 1,
+                partition: 1,
+                bytes: 64,
+                from_disk: true,
+                stage_id: Some(7),
+            },
+            Event::CacheEvict {
+                dataset: 1,
+                partition: 0,
+                bytes: 64,
+                spilled: true,
+                stage_id: Some(7),
+            },
+            Event::CacheSpill {
+                dataset: 1,
+                partition: 0,
+                bytes: 64,
+                stage_id: Some(7),
+            },
+            Event::CacheRecompute {
+                dataset: 1,
+                partition: 0,
+                stage_id: Some(7),
+            },
+            // Dataset 2's activity carries no stage attribution: it must
+            // count in the per-dataset view and totals but not in stage 7.
+            Event::CacheMiss {
+                dataset: 2,
+                partition: 0,
+                stage_id: None,
+            },
+        ];
+        let p = JobProfile::from_events(&events);
+        let stage = p.stage(7).unwrap();
+        assert_eq!(
+            stage.cache,
+            CacheStats {
+                hits: 2,
+                hits_from_disk: 1,
+                misses: 1,
+                evictions: 1,
+                spills: 1,
+                recomputes: 1,
+            }
+        );
+        assert_eq!(
+            p.cache_of_dataset(1),
+            CacheStats {
+                hits: 2,
+                hits_from_disk: 1,
+                misses: 1,
+                evictions: 1,
+                spills: 1,
+                recomputes: 1,
+            }
+        );
+        assert_eq!(p.cache_of_dataset(2).misses, 1);
+        assert_eq!(p.cache_totals().misses, 2);
+        assert_eq!(p.cache_of_dataset(99), CacheStats::default());
+        let text = p.render();
+        assert!(
+            text.contains("cache [2 hits, 1 from disk, 1 misses"),
+            "{text}"
+        );
+        assert!(text.contains("cache dataset 1:"), "{text}");
+        assert!(text.contains("cache dataset 2:"), "{text}");
     }
 
     #[test]

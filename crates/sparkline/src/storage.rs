@@ -1,0 +1,810 @@
+//! Memory-budgeted block storage — sparkline's analog of Spark's
+//! `BlockManager`.
+//!
+//! Persisted datasets ([`crate::Dataset::persist`]) store their computed
+//! partitions here as *blocks* keyed by `(dataset id, partition)`. The
+//! manager enforces a byte budget over all in-memory blocks (sizes estimated
+//! with [`SizeOf`], the same accounting the shuffle layer uses): inserting a
+//! block past the budget evicts the least-recently-used blocks, and evicted
+//! blocks of [`StorageLevel::MemoryAndDisk`] datasets spill to a temp file
+//! instead of being dropped. Reads of spilled blocks decode from disk; reads
+//! of dropped blocks miss, and the persist operator transparently recomputes
+//! them from lineage — Spark's `MEMORY_ONLY` / `MEMORY_AND_DISK` semantics.
+//!
+//! Every cache interaction emits a structured event on the listener bus
+//! (hit/miss/evict/spill/recompute, see [`crate::events::Event`]) so the
+//! fault-injection harness and [`crate::profile::JobProfile`] can prove
+//! blocks are computed exactly as often as the budget implies.
+
+use crate::context::Context;
+use crate::events::Event;
+use crate::ops::Op;
+use crate::size::SizeOf;
+use crate::sync::Mutex;
+use crate::Data;
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where persisted partitions may live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageLevel {
+    /// In memory only; evicted partitions are recomputed from lineage
+    /// (Spark's `MEMORY_ONLY`).
+    Memory,
+    /// In memory, spilling evicted partitions to a temp file on disk
+    /// (Spark's `MEMORY_AND_DISK`).
+    MemoryAndDisk,
+}
+
+// ---------------------------------------------------------------------------
+// Spill codec
+// ---------------------------------------------------------------------------
+
+/// Binary encode/decode for spill-to-disk (the build has no serde; this is a
+/// fixed little-endian codec analogous to the [`SizeOf`] estimate).
+///
+/// `decode` advances `pos` past the consumed bytes and returns `None` on a
+/// truncated or malformed buffer (the manager treats that as a cache miss).
+pub trait SpillCodec: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self>;
+}
+
+macro_rules! codec_fixed {
+    ($($t:ty),* $(,)?) => {
+        $(impl SpillCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                let bytes: [u8; N] = buf.get(*pos..*pos + N)?.try_into().ok()?;
+                *pos += N;
+                Some(<$t>::from_le_bytes(bytes))
+            }
+        })*
+    };
+}
+
+codec_fixed!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl SpillCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u64::decode(buf, pos).map(|v| v as usize)
+    }
+}
+
+impl SpillCodec for isize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as i64).encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        i64::decode(buf, pos).map(|v| v as isize)
+    }
+}
+
+impl SpillCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        u8::decode(buf, pos).map(|b| b != 0)
+    }
+}
+
+impl SpillCodec for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u32).encode(out);
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        char::from_u32(u32::decode(buf, pos)?)
+    }
+}
+
+impl SpillCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &[u8], _pos: &mut usize) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl SpillCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = u64::decode(buf, pos)? as usize;
+        let bytes = buf.get(*pos..*pos + len)?;
+        *pos += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        match u8::decode(buf, pos)? {
+            0 => Some(None),
+            1 => T::decode(buf, pos).map(Some),
+            _ => None,
+        }
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = u64::decode(buf, pos)? as usize;
+        // Guard the pre-allocation against corrupt lengths: each element
+        // takes at least one byte in every codec except `()`.
+        let mut out = Vec::with_capacity(len.min(buf.len().saturating_sub(*pos) + 1));
+        for _ in 0..len {
+            out.push(T::decode(buf, pos)?);
+        }
+        Some(out)
+    }
+}
+
+macro_rules! codec_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: SpillCodec),+> SpillCodec for ($($name,)+) {
+            #[allow(non_snake_case)]
+            fn encode(&self, out: &mut Vec<u8>) {
+                let ($($name,)+) = self;
+                $($name.encode(out);)+
+            }
+            #[allow(non_snake_case)]
+            fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+                $(let $name = $name::decode(buf, pos)?;)+
+                Some(($($name,)+))
+            }
+        }
+    };
+}
+
+codec_tuple!(A);
+codec_tuple!(A, B);
+codec_tuple!(A, B, C);
+codec_tuple!(A, B, C, D);
+codec_tuple!(A, B, C, D, E);
+codec_tuple!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Block manager
+// ---------------------------------------------------------------------------
+
+type ErasedPart = Arc<dyn Any + Send + Sync>;
+
+enum Tier {
+    Memory(ErasedPart),
+    Disk(PathBuf),
+}
+
+struct BlockEntry {
+    /// Estimated in-memory size ([`SizeOf`]) of the partition.
+    bytes: usize,
+    /// LRU clock value of the last touch.
+    tick: u64,
+    level: StorageLevel,
+    tier: Tier,
+    /// Type-erased spill encoder, captured when the block was stored — the
+    /// only point where the concrete element type is known, which is what
+    /// lets eviction spill blocks without knowing their type.
+    encode: Arc<dyn Fn(&ErasedPart) -> Vec<u8> + Send + Sync>,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<(u64, usize), BlockEntry>,
+    /// Total bytes of memory-tier blocks (disk blocks don't count against
+    /// the budget).
+    memory_used: usize,
+    evictions: u64,
+    spills: u64,
+}
+
+/// One block evicted to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    pub dataset: u64,
+    pub partition: usize,
+    pub bytes: u64,
+    /// True if the block was spilled to disk rather than dropped.
+    pub spilled: bool,
+}
+
+/// What [`BlockManager::put`] did with the offered block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The block is now resident in memory.
+    pub stored: bool,
+    /// The block was too large for the budget and went straight to disk
+    /// (only with [`StorageLevel::MemoryAndDisk`]).
+    pub spilled_directly: bool,
+    /// Blocks evicted to make room, in eviction order.
+    pub evicted: Vec<Evicted>,
+}
+
+/// A successful cache read.
+pub struct CacheRead<T> {
+    pub data: Arc<Vec<T>>,
+    /// The block's estimated in-memory size.
+    pub bytes: u64,
+    /// True if the block was decoded from a spill file.
+    pub from_disk: bool,
+}
+
+/// Point-in-time storage accounting, [`Context::storage_status`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageStatus {
+    /// Memory budget in bytes; `None` means unlimited.
+    pub budget: Option<u64>,
+    pub memory_used: u64,
+    pub blocks_in_memory: usize,
+    pub blocks_on_disk: usize,
+    /// Lifetime eviction count (dropped or spilled).
+    pub evictions: u64,
+    /// Lifetime spill count (evictions to disk plus direct spills).
+    pub spills: u64,
+}
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Memory-budgeted store for persisted dataset partitions.
+///
+/// Owned by a [`Context`]; all persisted datasets of that context share one
+/// budget, like executors sharing `spark.memory.storageFraction`.
+pub struct BlockManager {
+    /// Budget in bytes over memory-tier blocks; `usize::MAX` = unlimited.
+    budget: usize,
+    state: Mutex<State>,
+    tick: AtomicU64,
+    file_seq: AtomicU64,
+    /// Spill directory, created lazily on first spill, removed on drop.
+    spill_dir: Mutex<Option<PathBuf>>,
+}
+
+impl BlockManager {
+    pub fn new(budget: usize) -> Self {
+        BlockManager {
+            budget,
+            state: Mutex::new(State::default()),
+            tick: AtomicU64::new(0),
+            file_seq: AtomicU64::new(0),
+            spill_dir: Mutex::new(None),
+        }
+    }
+
+    /// The memory budget, `None` if unlimited.
+    pub fn budget(&self) -> Option<u64> {
+        (self.budget != usize::MAX).then_some(self.budget as u64)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The spill directory, creating it on first use. `None` if the
+    /// filesystem refuses (spills then degrade to drops).
+    fn spill_dir(&self) -> Option<PathBuf> {
+        let mut dir = self.spill_dir.lock();
+        if let Some(d) = dir.as_ref() {
+            return Some(d.clone());
+        }
+        let path = std::env::temp_dir().join(format!(
+            "sparkline-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).ok()?;
+        *dir = Some(path.clone());
+        Some(path)
+    }
+
+    /// Write `bytes` to a fresh spill file. `None` if the write failed.
+    fn write_spill(&self, bytes: &[u8]) -> Option<PathBuf> {
+        let dir = self.spill_dir()?;
+        let path = dir.join(format!(
+            "{}.blk",
+            self.file_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, bytes).ok()?;
+        Some(path)
+    }
+
+    /// Look up a block. Memory hits clone the shared `Arc`; disk hits decode
+    /// the spill file (and stay on disk — the partition is served from the
+    /// file until its dataset is unpersisted).
+    pub fn get<T: Data + SpillCodec>(
+        &self,
+        dataset: u64,
+        partition: usize,
+    ) -> Option<CacheRead<T>> {
+        let tick = self.next_tick();
+        let mut state = self.state.lock();
+        let entry = state.entries.get_mut(&(dataset, partition))?;
+        entry.tick = tick;
+        let bytes = entry.bytes as u64;
+        match &entry.tier {
+            Tier::Memory(any) => {
+                let data = any.clone().downcast::<Vec<T>>().ok()?;
+                Some(CacheRead {
+                    data,
+                    bytes,
+                    from_disk: false,
+                })
+            }
+            Tier::Disk(path) => {
+                let decoded = std::fs::read(path).ok().and_then(|buf| {
+                    let mut pos = 0;
+                    let v = Vec::<T>::decode(&buf, &mut pos)?;
+                    (pos == buf.len()).then_some(v)
+                });
+                match decoded {
+                    Some(v) => Some(CacheRead {
+                        data: Arc::new(v),
+                        bytes,
+                        from_disk: true,
+                    }),
+                    None => {
+                        // Corrupt or unreadable spill: forget the block so
+                        // the caller recomputes from lineage.
+                        let path = path.clone();
+                        state.entries.remove(&(dataset, partition));
+                        let _ = std::fs::remove_file(path);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Store a computed partition, evicting LRU blocks to fit the budget.
+    pub fn put<T: Data + SizeOf + SpillCodec>(
+        &self,
+        dataset: u64,
+        partition: usize,
+        data: Arc<Vec<T>>,
+        level: StorageLevel,
+    ) -> PutOutcome {
+        let bytes = data.as_ref().size_of();
+        let encode: Arc<dyn Fn(&ErasedPart) -> Vec<u8> + Send + Sync> = Arc::new(|any| {
+            let v = any
+                .downcast_ref::<Vec<T>>()
+                .expect("spill encoder saw a foreign block type");
+            let mut out = Vec::new();
+            v.encode(&mut out);
+            out
+        });
+        let tick = self.next_tick();
+        let mut outcome = PutOutcome {
+            stored: false,
+            spilled_directly: false,
+            evicted: Vec::new(),
+        };
+
+        // Oversized block: never evict the whole cache for one block that
+        // cannot fit anyway. With a disk level it goes straight to a spill
+        // file; memory-only oversized blocks are simply not stored.
+        if bytes > self.budget {
+            if level == StorageLevel::MemoryAndDisk {
+                let mut encoded = Vec::new();
+                data.encode(&mut encoded);
+                if let Some(path) = self.write_spill(&encoded) {
+                    let mut state = self.state.lock();
+                    state.spills += 1;
+                    state.entries.insert(
+                        (dataset, partition),
+                        BlockEntry {
+                            bytes,
+                            tick,
+                            level,
+                            tier: Tier::Disk(path),
+                            encode,
+                        },
+                    );
+                    outcome.spilled_directly = true;
+                }
+            }
+            return outcome;
+        }
+
+        let mut state = self.state.lock();
+        if state.entries.contains_key(&(dataset, partition)) {
+            // A concurrent computation of the same partition won the race;
+            // keep the resident copy.
+            outcome.stored = true;
+            return outcome;
+        }
+
+        // Evict least-recently-used memory blocks until the new one fits.
+        while state.memory_used + bytes > self.budget {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.tier, Tier::Memory(_)))
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            let entry = state.entries.get(&key).expect("victim vanished");
+            let spill_to = (entry.level == StorageLevel::MemoryAndDisk)
+                .then(|| {
+                    let Tier::Memory(any) = &entry.tier else {
+                        unreachable!()
+                    };
+                    let encoded = (entry.encode)(any);
+                    self.write_spill(&encoded)
+                })
+                .flatten();
+            let entry = state.entries.get_mut(&key).expect("victim vanished");
+            let victim_bytes = entry.bytes;
+            let spilled = match spill_to {
+                Some(path) => {
+                    entry.tier = Tier::Disk(path);
+                    true
+                }
+                None => {
+                    state.entries.remove(&key);
+                    false
+                }
+            };
+            state.memory_used -= victim_bytes;
+            state.evictions += 1;
+            if spilled {
+                state.spills += 1;
+            }
+            outcome.evicted.push(Evicted {
+                dataset: key.0,
+                partition: key.1,
+                bytes: victim_bytes as u64,
+                spilled,
+            });
+        }
+
+        state.memory_used += bytes;
+        state.entries.insert(
+            (dataset, partition),
+            BlockEntry {
+                bytes,
+                tick,
+                level,
+                tier: Tier::Memory(data as ErasedPart),
+                encode,
+            },
+        );
+        outcome.stored = true;
+        outcome
+    }
+
+    /// Drop every block of a dataset (memory and spill files). Returns the
+    /// number of blocks removed.
+    pub fn remove_dataset(&self, dataset: u64) -> usize {
+        let mut state = self.state.lock();
+        let keys: Vec<(u64, usize)> = state
+            .entries
+            .keys()
+            .filter(|(d, _)| *d == dataset)
+            .copied()
+            .collect();
+        for key in &keys {
+            if let Some(entry) = state.entries.remove(key) {
+                match entry.tier {
+                    Tier::Memory(_) => state.memory_used -= entry.bytes,
+                    Tier::Disk(path) => {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+        }
+        keys.len()
+    }
+
+    /// Current storage accounting.
+    pub fn status(&self) -> StorageStatus {
+        let state = self.state.lock();
+        let blocks_on_disk = state
+            .entries
+            .values()
+            .filter(|e| matches!(e.tier, Tier::Disk(_)))
+            .count();
+        StorageStatus {
+            budget: self.budget(),
+            memory_used: state.memory_used as u64,
+            blocks_in_memory: state.entries.len() - blocks_on_disk,
+            blocks_on_disk,
+            evictions: state.evictions,
+            spills: state.spills,
+        }
+    }
+}
+
+impl Drop for BlockManager {
+    fn drop(&mut self) {
+        if let Some(dir) = self.spill_dir.lock().take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persist operator
+// ---------------------------------------------------------------------------
+
+/// Dataset node backed by the context's [`BlockManager`]: partitions are
+/// served from storage when resident and recomputed from the parent lineage
+/// when missed or evicted (Spark's `persist`).
+pub(crate) struct PersistOp<T: Data> {
+    parent: Arc<dyn Op<T>>,
+    id: u64,
+    level: StorageLevel,
+    /// Per-partition guard held across lookup + compute + store, so two
+    /// tasks needing the same missing partition compute it once (the same
+    /// discipline [`crate::ops::CachedOp`] uses).
+    guards: Vec<Mutex<()>>,
+    /// Whether the partition has ever been stored — distinguishes first
+    /// computation ([`Event::CacheMiss`]) from eviction-forced recomputation
+    /// ([`Event::CacheRecompute`]).
+    computed: Vec<AtomicBool>,
+}
+
+impl<T: Data> PersistOp<T> {
+    pub(crate) fn new(ctx: &Context, parent: Arc<dyn Op<T>>, level: StorageLevel) -> Self {
+        let n = parent.num_partitions();
+        PersistOp {
+            parent,
+            id: ctx.next_dataset_id(),
+            level,
+            guards: (0..n).map(|_| Mutex::new(())).collect(),
+            computed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+/// Emit a cache event with the innermost running stage attached, skipping
+/// payload construction when tracing is off.
+fn emit_cache_event(ctx: &Context, build: impl FnOnce(Option<u64>) -> Event) {
+    if ctx.events().is_enabled() {
+        ctx.events().emit(build(crate::context::current_stage()));
+    }
+}
+
+impl<T: Data + SizeOf + SpillCodec> Op<T> for PersistOp<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+
+    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+        let _guard = self.guards[part].lock();
+        let storage = ctx.storage();
+        if let Some(read) = storage.get::<T>(self.id, part) {
+            emit_cache_event(ctx, |stage_id| Event::CacheHit {
+                dataset: self.id,
+                partition: part,
+                bytes: read.bytes,
+                from_disk: read.from_disk,
+                stage_id,
+            });
+            return read.data.as_ref().clone();
+        }
+        let recompute = self.computed[part].load(Ordering::Relaxed);
+        emit_cache_event(ctx, |stage_id| {
+            if recompute {
+                Event::CacheRecompute {
+                    dataset: self.id,
+                    partition: part,
+                    stage_id,
+                }
+            } else {
+                Event::CacheMiss {
+                    dataset: self.id,
+                    partition: part,
+                    stage_id,
+                }
+            }
+        });
+        let data = Arc::new(self.parent.compute(part, ctx));
+        let outcome = storage.put(self.id, part, data.clone(), self.level);
+        for victim in &outcome.evicted {
+            emit_cache_event(ctx, |stage_id| Event::CacheEvict {
+                dataset: victim.dataset,
+                partition: victim.partition,
+                bytes: victim.bytes,
+                spilled: victim.spilled,
+                stage_id,
+            });
+            if victim.spilled {
+                emit_cache_event(ctx, |stage_id| Event::CacheSpill {
+                    dataset: victim.dataset,
+                    partition: victim.partition,
+                    bytes: victim.bytes,
+                    stage_id,
+                });
+            }
+        }
+        if outcome.spilled_directly {
+            emit_cache_event(ctx, |stage_id| Event::CacheSpill {
+                dataset: self.id,
+                partition: part,
+                bytes: data.as_ref().size_of() as u64,
+                stage_id,
+            });
+        }
+        self.computed[part].store(true, Ordering::Relaxed);
+        data.as_ref().clone()
+    }
+
+    fn partitioner_descriptor(&self) -> Option<(String, usize)> {
+        self.parent.partitioner_descriptor()
+    }
+
+    fn cache_id(&self) -> Option<u64> {
+        Some(self.id)
+    }
+
+    fn name(&self) -> String {
+        let level = match self.level {
+            StorageLevel::Memory => "memory",
+            StorageLevel::MemoryAndDisk => "memory+disk",
+        };
+        format!("persist#{}[{level}] <- {}", self.id, self.parent.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(values: &[i64]) -> Arc<Vec<i64>> {
+        Arc::new(values.to_vec())
+    }
+
+    #[test]
+    fn codec_round_trips_compound_values() {
+        let v: Vec<(i64, Option<String>, Vec<f64>)> = vec![
+            (1, Some("alpha".into()), vec![1.5, -2.0]),
+            (-7, None, vec![]),
+        ];
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut pos = 0;
+        let back = Vec::<(i64, Option<String>, Vec<f64>)>::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3].encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(Vec::<u64>::decode(&buf, &mut pos).is_none());
+    }
+
+    #[test]
+    fn put_get_and_accounting() {
+        let m = BlockManager::new(10_000);
+        let out = m.put(1, 0, part(&[1, 2, 3]), StorageLevel::Memory);
+        assert!(out.stored && out.evicted.is_empty());
+        let read = m.get::<i64>(1, 0).expect("hit");
+        assert_eq!(*read.data, vec![1, 2, 3]);
+        assert!(!read.from_disk);
+        // 4-byte Vec header + 3 * 8.
+        assert_eq!(read.bytes, 28);
+        let status = m.status();
+        assert_eq!(status.memory_used, 28);
+        assert_eq!(status.blocks_in_memory, 1);
+        assert_eq!(status.budget, Some(10_000));
+    }
+
+    #[test]
+    fn lru_eviction_drops_coldest_block() {
+        // Each 3-element i64 block is 28 bytes; budget fits two.
+        let m = BlockManager::new(60);
+        m.put(1, 0, part(&[1, 1, 1]), StorageLevel::Memory);
+        m.put(1, 1, part(&[2, 2, 2]), StorageLevel::Memory);
+        // Touch block 0 so block 1 is the LRU victim.
+        m.get::<i64>(1, 0).unwrap();
+        let out = m.put(1, 2, part(&[3, 3, 3]), StorageLevel::Memory);
+        assert_eq!(
+            out.evicted,
+            vec![Evicted {
+                dataset: 1,
+                partition: 1,
+                bytes: 28,
+                spilled: false
+            }]
+        );
+        assert!(m.get::<i64>(1, 1).is_none(), "evicted block must miss");
+        assert!(m.get::<i64>(1, 0).is_some());
+        assert!(m.get::<i64>(1, 2).is_some());
+        assert_eq!(m.status().evictions, 1);
+        assert_eq!(m.status().spills, 0);
+    }
+
+    #[test]
+    fn eviction_spills_disk_level_blocks_and_reads_them_back() {
+        let m = BlockManager::new(60);
+        m.put(7, 0, part(&[10, 20, 30]), StorageLevel::MemoryAndDisk);
+        m.put(7, 1, part(&[40, 50, 60]), StorageLevel::MemoryAndDisk);
+        let out = m.put(7, 2, part(&[70, 80, 90]), StorageLevel::MemoryAndDisk);
+        assert_eq!(out.evicted.len(), 1);
+        assert!(out.evicted[0].spilled);
+        let read = m.get::<i64>(7, 0).expect("spilled block must still hit");
+        assert!(read.from_disk);
+        assert_eq!(*read.data, vec![10, 20, 30]);
+        let status = m.status();
+        assert_eq!(status.blocks_on_disk, 1);
+        assert_eq!(status.spills, 1);
+    }
+
+    #[test]
+    fn zero_budget_memory_level_stores_nothing() {
+        let m = BlockManager::new(0);
+        let out = m.put(1, 0, part(&[1]), StorageLevel::Memory);
+        assert!(!out.stored && !out.spilled_directly);
+        assert!(m.get::<i64>(1, 0).is_none());
+        assert_eq!(m.status().memory_used, 0);
+    }
+
+    #[test]
+    fn zero_budget_disk_level_spills_directly() {
+        let m = BlockManager::new(0);
+        let out = m.put(1, 0, part(&[5, 6]), StorageLevel::MemoryAndDisk);
+        assert!(out.spilled_directly && !out.stored);
+        let read = m.get::<i64>(1, 0).expect("direct spill must hit");
+        assert!(read.from_disk);
+        assert_eq!(*read.data, vec![5, 6]);
+    }
+
+    #[test]
+    fn remove_dataset_forgets_all_its_blocks() {
+        let m = BlockManager::new(usize::MAX);
+        m.put(3, 0, part(&[1]), StorageLevel::Memory);
+        m.put(3, 1, part(&[2]), StorageLevel::Memory);
+        m.put(4, 0, part(&[3]), StorageLevel::Memory);
+        assert_eq!(m.remove_dataset(3), 2);
+        assert!(m.get::<i64>(3, 0).is_none());
+        assert!(m.get::<i64>(3, 1).is_none());
+        assert!(m.get::<i64>(4, 0).is_some());
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let m = BlockManager::new(usize::MAX);
+        for p in 0..64 {
+            let out = m.put(9, p, part(&[p as i64; 100]), StorageLevel::Memory);
+            assert!(out.stored && out.evicted.is_empty());
+        }
+        assert_eq!(m.status().evictions, 0);
+        assert_eq!(m.budget(), None);
+    }
+
+    #[test]
+    fn wrong_type_read_is_a_miss() {
+        let m = BlockManager::new(usize::MAX);
+        m.put(1, 0, part(&[1, 2]), StorageLevel::Memory);
+        assert!(m.get::<f64>(1, 0).is_none());
+        assert!(m.get::<i64>(1, 0).is_some());
+    }
+}

@@ -7,7 +7,7 @@
 //! sparsifier/builder design is storage-agnostic.
 
 use crate::tile::DenseMatrix;
-use sparkline::SizeOf;
+use sparkline::{SizeOf, SpillCodec};
 
 /// A sparse matrix tile in compressed-sparse-column format.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,6 +23,37 @@ pub struct CscTile {
 impl SizeOf for CscTile {
     fn size_of(&self) -> usize {
         16 + 8 * self.col_ptr.len() + 8 * self.row_idx.len() + 8 * self.values.len()
+    }
+}
+
+impl SpillCodec for CscTile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.cols.encode(out);
+        self.col_ptr.encode(out);
+        self.row_idx.encode(out);
+        self.values.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let rows = usize::decode(buf, pos)?;
+        let cols = usize::decode(buf, pos)?;
+        let col_ptr = Vec::<usize>::decode(buf, pos)?;
+        let row_idx = Vec::<usize>::decode(buf, pos)?;
+        let values = Vec::<f64>::decode(buf, pos)?;
+        if col_ptr.len() != cols + 1
+            || row_idx.len() != values.len()
+            || col_ptr.last() != Some(&values.len())
+        {
+            return None;
+        }
+        Some(CscTile {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 }
 
@@ -183,5 +214,17 @@ mod tests {
         let csc = CscTile::from_dense(&z);
         assert_eq!(csc.nnz(), 0);
         assert_eq!(csc.to_dense(), z);
+    }
+
+    #[test]
+    fn spill_codec_roundtrip() {
+        let csc = CscTile::from_dense(&sparse_dense(9, 7, 6));
+        let mut buf = Vec::new();
+        csc.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(CscTile::decode(&buf, &mut pos), Some(csc));
+        assert_eq!(pos, buf.len());
+        let mut pos = 0;
+        assert_eq!(CscTile::decode(&buf[..buf.len() - 2], &mut pos), None);
     }
 }

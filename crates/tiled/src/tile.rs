@@ -7,7 +7,7 @@
 //! element-wise maps/zips. `gemm_acc_parallel` reproduces the intra-node
 //! multicore parallelism with scoped threads over row bands.
 
-use sparkline::SizeOf;
+use sparkline::{SizeOf, SpillCodec};
 
 /// A dense `rows x cols` matrix of `f64` stored row-major in one flat vector.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,6 +20,24 @@ pub struct DenseMatrix {
 impl SizeOf for DenseMatrix {
     fn size_of(&self) -> usize {
         16 + 8 * self.data.len()
+    }
+}
+
+impl SpillCodec for DenseMatrix {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.cols.encode(out);
+        self.data.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let rows = usize::decode(buf, pos)?;
+        let cols = usize::decode(buf, pos)?;
+        let data = Vec::<f64>::decode(buf, pos)?;
+        if data.len() != rows.checked_mul(cols)? {
+            return None;
+        }
+        Some(DenseMatrix { rows, cols, data })
     }
 }
 
@@ -454,5 +472,25 @@ mod tests {
         let m = DenseMatrix::zeros(10, 10);
         use sparkline::SizeOf;
         assert_eq!(m.size_of(), 16 + 800);
+    }
+
+    #[test]
+    fn spill_codec_roundtrip() {
+        let m = seq(3, 5);
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(DenseMatrix::decode(&buf, &mut pos), Some(m));
+        assert_eq!(pos, buf.len());
+        // A truncated buffer must fail cleanly, not panic.
+        let mut pos = 0;
+        assert_eq!(DenseMatrix::decode(&buf[..buf.len() - 1], &mut pos), None);
+        // Inconsistent dimensions must be rejected.
+        let mut bad = Vec::new();
+        4usize.encode(&mut bad);
+        4usize.encode(&mut bad);
+        vec![1.0f64; 3].encode(&mut bad);
+        let mut pos = 0;
+        assert_eq!(DenseMatrix::decode(&bad, &mut pos), None);
     }
 }

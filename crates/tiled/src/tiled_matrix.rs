@@ -10,7 +10,7 @@ use crate::local::LocalMatrix;
 use crate::tile::DenseMatrix;
 use crate::{TileCoord, TileSet};
 use rand::Rng;
-use sparkline::{Context, KeyPartitioner};
+use sparkline::{Context, KeyPartitioner, StorageLevel};
 
 /// A distributed matrix stored as a grid of dense tiles.
 #[derive(Clone)]
@@ -183,14 +183,36 @@ impl TiledMatrix {
         TiledMatrix::new(self.cols, self.rows, self.tile_size, tiles)
     }
 
-    /// Cache the tiles in executor memory (for iterative algorithms).
+    /// Cache the tiles for iterative algorithms. Delegates to the
+    /// budget-aware block manager ([`TiledMatrix::persist`]); use
+    /// [`sparkline::Dataset::cache`] on the tile dataset directly for the
+    /// pinned, never-evicted variant.
     pub fn cache(&self) -> TiledMatrix {
+        self.persist()
+    }
+
+    /// Persist the tiles through the context's memory-budgeted block
+    /// manager: cached tiles are served without recomputation, evicted ones
+    /// are transparently recomputed from lineage.
+    pub fn persist(&self) -> TiledMatrix {
+        self.persist_with(StorageLevel::Memory)
+    }
+
+    /// [`TiledMatrix::persist`] with an explicit [`StorageLevel`] (e.g.
+    /// `MemoryAndDisk` to spill evicted tiles instead of dropping them).
+    pub fn persist_with(&self, level: StorageLevel) -> TiledMatrix {
         TiledMatrix {
             rows: self.rows,
             cols: self.cols,
             tile_size: self.tile_size,
-            tiles: self.tiles.cache(),
+            tiles: self.tiles.persist_with(level),
         }
+    }
+
+    /// Drop this matrix's tiles from the block manager; returns the number
+    /// of blocks removed (0 if the matrix was never persisted).
+    pub fn unpersist(&self) -> usize {
+        self.tiles.unpersist()
     }
 
     /// Re-partition tiles by MLlib's grid partitioner, enabling narrow
@@ -337,5 +359,32 @@ mod tests {
     fn rejects_empty_matrix() {
         let c = ctx();
         let _ = TiledMatrix::new(0, 4, 2, c.parallelize(vec![], 1));
+    }
+
+    #[test]
+    fn persist_roundtrip_and_unpersist() {
+        let c = ctx();
+        let t = TiledMatrix::from_fn(&c, 8, 8, 4, 4, |i, j| (i * 8 + j) as f64).persist();
+        let first = t.to_local();
+        assert_eq!(t.to_local(), first, "cached read must match");
+        assert!(c.storage_status().blocks_in_memory > 0);
+        assert!(t.unpersist() > 0);
+        assert_eq!(c.storage_status().blocks_in_memory, 0);
+        assert_eq!(t.to_local(), first, "recomputed read must match");
+    }
+
+    #[test]
+    fn persist_under_eviction_pressure_matches_unpersisted() {
+        // Budget far below the matrix size: every pass thrashes, results
+        // must still be identical to the uncached evaluation.
+        let c = Context::builder()
+            .workers(4)
+            .default_parallelism(4)
+            .storage_memory(200)
+            .build();
+        let plain = TiledMatrix::from_fn(&c, 10, 10, 4, 4, |i, j| (i * 31 + j * 7) as f64);
+        let persisted = plain.persist_with(StorageLevel::MemoryAndDisk);
+        assert_eq!(persisted.to_local(), plain.to_local());
+        assert_eq!(persisted.to_local(), plain.to_local());
     }
 }

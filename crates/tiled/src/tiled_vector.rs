@@ -3,7 +3,7 @@
 
 use crate::local::LocalMatrix;
 use crate::tiled_matrix::div_ceil;
-use sparkline::{Context, Dataset};
+use sparkline::{Context, Dataset, StorageLevel};
 
 /// A distributed vector stored as fixed-size dense blocks.
 #[derive(Clone)]
@@ -111,6 +111,27 @@ impl TiledVector {
         let v = self.to_local();
         LocalMatrix::from_fn(v.len(), 1, |i, _| v[i])
     }
+
+    /// Persist the blocks through the memory-budgeted block manager (see
+    /// [`sparkline::Dataset::persist`]).
+    pub fn persist(&self) -> TiledVector {
+        self.persist_with(StorageLevel::Memory)
+    }
+
+    /// [`TiledVector::persist`] with an explicit [`StorageLevel`].
+    pub fn persist_with(&self, level: StorageLevel) -> TiledVector {
+        TiledVector {
+            len: self.len,
+            block_size: self.block_size,
+            blocks: self.blocks.persist_with(level),
+        }
+    }
+
+    /// Drop this vector's blocks from the block manager; returns the number
+    /// of blocks removed.
+    pub fn unpersist(&self) -> usize {
+        self.blocks.unpersist()
+    }
 }
 
 /// Pairwise block addition — the `addVectors` monoid of Fig. 1.
@@ -161,6 +182,18 @@ mod tests {
     #[should_panic(expected = "block length mismatch")]
     fn add_vectors_rejects_mismatch() {
         add_vectors(vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn persist_roundtrip_and_unpersist() {
+        let c = ctx();
+        let data: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let v = TiledVector::from_local(&c, &data, 4, 2).persist();
+        assert_eq!(v.to_local(), data);
+        assert_eq!(v.to_local(), data);
+        assert!(c.storage_status().blocks_in_memory > 0);
+        assert!(v.unpersist() > 0);
+        assert_eq!(v.to_local(), data);
     }
 
     #[test]

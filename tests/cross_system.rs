@@ -74,7 +74,7 @@ fn sac_survives_injected_task_failures() {
     let b = rand_mat(12, 12, 6);
     let ta = TiledMatrix::from_local(s.spark(), &a, 4, 4);
     let tb = TiledMatrix::from_local(s.spark(), &b, 4, 4);
-    s.spark().inject_task_failures(4);
+    let _guard = s.spark().inject_task_failures_scoped(4);
     let got = sac_repro::sac::linalg::multiply(&s, &ta, &tb)
         .unwrap()
         .to_local();

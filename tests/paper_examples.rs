@@ -181,6 +181,91 @@ fn section5_sparsifier_builder_roundtrip() {
     assert_eq!(back.to_local(), m);
 }
 
+/// Iterative query (9) workload: repeated matrix squaring `A := A * A`,
+/// where both generators range over the same input. The planner auto-persists
+/// the shared matrix, and the event log must show each block computed exactly
+/// once per iteration — and, under an eviction-forcing budget, that
+/// lineage recomputation converges to the same result.
+#[test]
+fn iterative_squaring_computes_each_shared_block_once_per_iteration() {
+    use sac_repro::sparkline::Event;
+    use std::collections::HashMap;
+
+    let src = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- A, kk == k, \
+               let v = a*b, group by (i,j) ]";
+    let iterations = 3;
+
+    let run = |storage: Option<usize>| {
+        let mut builder = Session::builder().workers(4).partitions(4);
+        if let Some(bytes) = storage {
+            builder = builder.storage_memory(bytes);
+        }
+        let mut s = builder.build();
+        s.register_local_matrix("A", &rand_mat(8, 8, 13), 4);
+        s.set_int("n", 8);
+        s.spark().trace();
+        let mut per_iteration = Vec::new();
+        let mut result = None;
+        for _ in 0..iterations {
+            let squared = s.matrix(src).unwrap();
+            // Materialize before rebinding: `register_matrix` drops the
+            // superseded overlay's blocks.
+            let local = squared.to_local();
+            per_iteration.push(s.spark().take_events());
+            s.register_matrix("A", squared);
+            result = Some(local);
+        }
+        (result.unwrap(), per_iteration)
+    };
+
+    // Unlimited budget: every persisted block is computed exactly once per
+    // iteration (one miss), and the second generator's reads all hit.
+    let (unlimited, rounds) = run(None);
+    for (iter, events) in rounds.iter().enumerate() {
+        let mut computed: HashMap<(u64, usize), usize> = HashMap::new();
+        let mut hits = 0;
+        for e in events {
+            match e {
+                Event::CacheMiss {
+                    dataset, partition, ..
+                } => *computed.entry((*dataset, *partition)).or_insert(0) += 1,
+                Event::CacheHit { .. } => hits += 1,
+                Event::CacheRecompute { .. } => {
+                    panic!("iteration {iter}: nothing should recompute without a budget")
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            !computed.is_empty(),
+            "iteration {iter} must auto-persist the shared input"
+        );
+        assert!(
+            computed.values().all(|&n| n == 1),
+            "iteration {iter}: a shared block was computed more than once: {computed:?}"
+        );
+        assert!(hits > 0, "iteration {iter}: second reference must hit");
+    }
+
+    // Thrashing budget: blocks are evicted and recomputed from lineage, but
+    // the fixpoint is bit-for-bit the same.
+    let (tiny, rounds) = run(Some(600));
+    let all: Vec<Event> = rounds.into_iter().flatten().collect();
+    assert!(
+        all.iter().any(|e| matches!(e, Event::CacheEvict { .. })),
+        "a 600-byte budget must evict"
+    );
+    assert!(
+        all.iter()
+            .any(|e| matches!(e, Event::CacheRecompute { .. })),
+        "evicted blocks must be recomputed from lineage"
+    );
+    assert_eq!(
+        tiny, unlimited,
+        "eviction-forced recomputation diverged from the cached run"
+    );
+}
+
 /// The normalization pipeline must leave plans executable for every paper
 /// query (idempotence + plan-ability).
 #[test]

@@ -126,3 +126,44 @@ fn join_group_by_multiply_shuffles_more_rounds_than_group_by_join() {
         .iter()
         .any(|st| st.operator.as_deref() == Some("groupByKey")));
 }
+
+/// Query (9) with both sides ranging over `A`: the planner auto-persists the
+/// shared input, and the traced profile must fold the resulting cache events
+/// per stage and per dataset.
+const SELF_MUL_SRC: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- A, \
+     kk == k, let v = a*b, group by (i,j) ]";
+
+#[test]
+fn auto_persist_cache_stats_aggregate_per_stage_and_dataset() {
+    let mut s = session(8, 4);
+    s.config_mut().matmul = MatMulStrategy::GroupByJoin;
+
+    // First run: the shared input is stored block by block (misses), then the
+    // second generator's reads are served from memory (hits).
+    let first = s.explain_analyze(SELF_MUL_SRC).unwrap();
+    let totals = first.profile.cache_totals();
+    assert!(totals.misses > 0, "first run must store the shared input");
+    assert!(totals.hits > 0, "second reference must hit the cache");
+    assert_eq!(totals.evictions, 0, "unlimited budget must not evict");
+    assert_eq!(
+        first.profile.cache_by_dataset.len(),
+        1,
+        "exactly one persisted dataset:\n{}",
+        first.profile.render()
+    );
+    // The reads happen inside executor tasks, so at least one stage profile
+    // carries them (driver-side reads would have no stage attribution).
+    assert!(
+        first.profile.stages.iter().any(|st| !st.cache.is_empty()),
+        "cache activity must be attributed to stages:\n{}",
+        first.profile.render()
+    );
+
+    // Second run of the same query: the overlay is retained by the session
+    // env, so every read is a hit and nothing is recomputed.
+    let second = s.explain_analyze(SELF_MUL_SRC).unwrap();
+    let totals = second.profile.cache_totals();
+    assert_eq!(totals.misses, 0, "overlay must be reused across runs");
+    assert!(totals.hits > 0);
+    assert_eq!(totals.recomputes, 0);
+}

@@ -199,7 +199,10 @@ fn failure_injection_mid_iteration_recovers() {
         .cache();
     let expected = base.collect_map();
     for round in 0..3 {
-        c.inject_task_failures(round + 1);
+        // Scoped injection: any failure not consumed by this round's job is
+        // withdrawn when the guard drops, so rounds can't leak into each
+        // other (or into other tests sharing the context).
+        let _guard = c.inject_task_failures_scoped(round + 1);
         let got = base.map_values(|v| v).collect_map();
         assert_eq!(got, expected, "round {round} corrupted results");
     }
