@@ -3,28 +3,40 @@
 use comp::errors::CompError;
 use comp::types::{infer, Type, TypeEnv};
 use planner::{DistArray, ExecResult, MatMulStrategy, PlanConfig, PlanEnv, Planned};
-use sparkline::Context;
+use sparkline::{ChaosPlan, Context};
 use tiled::{CooMatrix, LocalMatrix, TiledMatrix, TiledVector};
 
 /// Builder for [`Session`].
 pub struct SessionBuilder {
     workers: usize,
+    executors: Option<usize>,
     partitions: usize,
     tile_threads: usize,
     matmul: MatMulStrategy,
     storage_memory: Option<usize>,
     auto_persist: bool,
+    max_task_attempts: Option<u32>,
+    max_stage_attempts: Option<u32>,
+    speculation: Option<f64>,
+    chaos: Option<ChaosPlan>,
+    chaos_off: bool,
 }
 
 impl Default for SessionBuilder {
     fn default() -> Self {
         SessionBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            executors: None,
             partitions: 8,
             tile_threads: 1,
             matmul: MatMulStrategy::GroupByJoin,
             storage_memory: None,
             auto_persist: true,
+            max_task_attempts: None,
+            max_stage_attempts: None,
+            speculation: None,
+            chaos: None,
+            chaos_off: false,
         }
     }
 }
@@ -69,10 +81,70 @@ impl SessionBuilder {
         self
     }
 
+    /// Logical executors (fault domains) of the runtime; defaults to one per
+    /// worker thread. See [`sparkline::ContextBuilder::executors`].
+    pub fn executors(mut self, n: usize) -> Self {
+        self.executors = Some(n);
+        self
+    }
+
+    /// Attempts per task before the job fails.
+    pub fn max_task_attempts(mut self, n: u32) -> Self {
+        self.max_task_attempts = Some(n);
+        self
+    }
+
+    /// Attempts per shuffle map stage (first run + resubmissions after
+    /// executor loss) before the job fails.
+    pub fn max_stage_attempts(mut self, n: u32) -> Self {
+        self.max_stage_attempts = Some(n);
+        self
+    }
+
+    /// Enable speculative re-execution of stragglers at `multiplier` × the
+    /// median completed-task time.
+    pub fn speculation(mut self, multiplier: f64) -> Self {
+        self.speculation = Some(multiplier);
+        self
+    }
+
+    /// Run the session under an explicit chaos schedule (beats the
+    /// `SPARKLINE_CHAOS` environment variable).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self.chaos_off = false;
+        self
+    }
+
+    /// Disable fault injection even when `SPARKLINE_CHAOS` is set — for
+    /// tests pinning exact fault-free counts.
+    pub fn chaos_off(mut self) -> Self {
+        self.chaos = None;
+        self.chaos_off = true;
+        self
+    }
+
     pub fn build(self) -> Session {
         let mut ctx = Context::builder().workers(self.workers);
         if let Some(bytes) = self.storage_memory {
             ctx = ctx.storage_memory(bytes);
+        }
+        if let Some(n) = self.executors {
+            ctx = ctx.executors(n);
+        }
+        if let Some(n) = self.max_task_attempts {
+            ctx = ctx.max_task_attempts(n);
+        }
+        if let Some(n) = self.max_stage_attempts {
+            ctx = ctx.max_stage_attempts(n);
+        }
+        if let Some(m) = self.speculation {
+            ctx = ctx.speculation(m);
+        }
+        if let Some(plan) = self.chaos {
+            ctx = ctx.chaos(plan);
+        } else if self.chaos_off {
+            ctx = ctx.chaos_off();
         }
         Session {
             ctx: ctx.build(),
@@ -326,7 +398,29 @@ mod tests {
     use rand::SeedableRng;
 
     fn session_with(names: &[(&str, usize, usize, u64)]) -> (Session, Vec<LocalMatrix>) {
-        let mut s = Session::builder().workers(4).partitions(4).build();
+        register(Session::builder().workers(4).partitions(4).build(), names)
+    }
+
+    /// For tests pinning exact cache/block counts, which any injected
+    /// executor kill or deliberately tiny env storage budget would
+    /// legitimately change: chaos off, ample pinned budget (builder beats
+    /// the SPARKLINE_CHAOS / SPARKLINE_STORAGE_BUDGET env knobs).
+    fn chaos_off_session_with(names: &[(&str, usize, usize, u64)]) -> (Session, Vec<LocalMatrix>) {
+        register(
+            Session::builder()
+                .workers(4)
+                .partitions(4)
+                .storage_memory(64 << 20)
+                .chaos_off()
+                .build(),
+            names,
+        )
+    }
+
+    fn register(
+        mut s: Session,
+        names: &[(&str, usize, usize, u64)],
+    ) -> (Session, Vec<LocalMatrix>) {
         let mut locals = Vec::new();
         for (name, r, c, seed) in names {
             let mut rng = StdRng::seed_from_u64(*seed);
@@ -406,7 +500,7 @@ mod tests {
 
     #[test]
     fn auto_persist_caches_shared_matmul_input() {
-        let (mut s, ms) = session_with(&[("A", 8, 8, 10)]);
+        let (mut s, ms) = chaos_off_session_with(&[("A", 8, 8, 10)]);
         s.set_int("n", 8);
         let src = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- A, kk == k, \
                     let v = a*b, group by (i,j) ]";
@@ -424,7 +518,7 @@ mod tests {
 
     #[test]
     fn explicit_persist_and_unpersist() {
-        let (mut s, ms) = session_with(&[("A", 6, 6, 11)]);
+        let (mut s, ms) = chaos_off_session_with(&[("A", 6, 6, 11)]);
         s.set_int("n", 6);
         assert!(s.persist("A"));
         assert!(!s.persist("missing"));

@@ -416,7 +416,14 @@ mod tests {
 
     #[test]
     fn cache_persists_product_blocks() {
-        let c = ctx();
+        // Pin an ample budget (builder beats the SPARKLINE_STORAGE_BUDGET
+        // env): this test asserts blocks actually stay resident, which a
+        // deliberately tiny CI budget would legitimately void.
+        let c = Context::builder()
+            .workers(4)
+            .default_parallelism(4)
+            .storage_memory(64 << 20)
+            .build();
         let a = random(8, 8, 12);
         let product = BlockMatrix::from_local(&c, &a, 4, 2)
             .multiply(&BlockMatrix::from_local(&c, &a, 4, 2))

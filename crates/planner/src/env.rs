@@ -257,7 +257,12 @@ mod tests {
 
     #[test]
     fn persisted_overlay_is_cached_and_dropped_on_rebind() {
-        let ctx = Context::builder().workers(2).build();
+        // Ample pinned budget (builder beats SPARKLINE_STORAGE_BUDGET): the
+        // test asserts overlay blocks stay resident until rebind drops them.
+        let ctx = Context::builder()
+            .workers(2)
+            .storage_memory(64 << 20)
+            .build();
         let m = LocalMatrix::from_fn(4, 4, |i, j| (i + j) as f64);
         let mut env = PlanEnv::new();
         env.set_array(
@@ -288,7 +293,11 @@ mod tests {
 
     #[test]
     fn unpersist_all_clears_every_overlay() {
-        let ctx = Context::builder().workers(2).build();
+        // Ample pinned budget, as above: unpersist must have blocks to drop.
+        let ctx = Context::builder()
+            .workers(2)
+            .storage_memory(64 << 20)
+            .build();
         let m = LocalMatrix::from_fn(4, 4, |i, j| (i * j) as f64);
         let mut env = PlanEnv::new();
         env.set_array(

@@ -1252,3 +1252,86 @@ fn value_to_triplets(v: &Value) -> Result<Vec<((i64, i64), f64)>, CompError> {
         })
         .collect()
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparkline::ChaosPlan;
+
+    /// Recovery stages launched from inside a plan's shuffles inherit the
+    /// plan-node tag [`execute`] scopes around the dispatch: when an executor
+    /// dies between map and reduce, the `shuffle.resubmit` stage is
+    /// attributed to the plan node that lost its outputs, and the recovered
+    /// result is bit-identical to the fault-free run.
+    #[test]
+    fn resubmitted_stages_inherit_the_plan_node_tag() {
+        let src = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, \
+                    kk == k, let v = a*b, group by (i,j) ]";
+        let config = PlanConfig {
+            partitions: 4,
+            ..Default::default()
+        };
+        let run = |chaos: Option<ChaosPlan>| {
+            let mut builder = Context::builder()
+                .workers(4)
+                .executors(4)
+                .max_task_attempts(8)
+                .max_stage_attempts(12);
+            builder = match chaos {
+                Some(p) => builder.chaos(p),
+                None => builder.chaos_off(),
+            };
+            let ctx = builder.build();
+            let mut rng = StdRng::seed_from_u64(21);
+            let a = LocalMatrix::random(8, 8, -1.0, 1.0, &mut rng);
+            let b = LocalMatrix::random(8, 8, -1.0, 1.0, &mut rng);
+            let mut env = PlanEnv::new();
+            env.set_array(
+                "A",
+                DistArray::Matrix(TiledMatrix::from_local(&ctx, &a, 4, 4)),
+            );
+            env.set_array(
+                "B",
+                DistArray::Matrix(TiledMatrix::from_local(&ctx, &b, 4, 4)),
+            );
+            env.set_int("n", 8);
+            // Registration's shuffle count is deterministic: it is the
+            // barrier index of the query's own first map→reduce barrier.
+            let barriers = ctx.metrics().snapshot().shuffle_count;
+            ctx.trace();
+            let got = crate::run_text(src, &env, &ctx, &config)
+                .unwrap()
+                .into_matrix()
+                .unwrap()
+                .to_local();
+            (got, ctx.take_profile(), barriers)
+        };
+
+        let (want, clean, barriers) = run(None);
+        assert_eq!(clean.recovery.stages_resubmitted, 0);
+
+        let plan = ChaosPlan::new().with_kill_owner_at_barrier(barriers, 1);
+        let (got, profile, _) = run(Some(plan));
+        assert_eq!(got, want, "recovered plan result must be bit-identical");
+        assert!(
+            profile.recovery.stages_resubmitted >= 1,
+            "the barrier kill must force a resubmission:\n{}",
+            profile.render()
+        );
+        let resubmit = profile
+            .stages
+            .iter()
+            .find(|st| st.label.starts_with("shuffle.resubmit"))
+            .expect("a shuffle.resubmit stage must appear in the trace");
+        assert!(
+            resubmit
+                .tag
+                .as_deref()
+                .is_some_and(|t| t.starts_with("contraction")),
+            "recovery stage must carry the plan-node tag, got {:?}",
+            resubmit.tag
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic chaos harness: seeded fault schedules for the executor pool.
+//!
+//! A [`ChaosPlan`] is a list of fault events — kill an executor when the
+//! context-wide task-launch counter reaches K, delay every Nth task launch,
+//! fail every Nth shuffle fetch — that the runtime replays while a job runs.
+//! Schedules are deterministic functions of the plan and the workload's task
+//! order, so a failing chaos run reproduces from its seed alone.
+//!
+//! Plans come from three places, in priority order: an explicit
+//! [`ContextBuilder::chaos`](crate::ContextBuilder::chaos) call, the
+//! [`CHAOS_ENV`] environment variable (a numeric seed expanded by
+//! [`ChaosPlan::seeded`], or `off`), or nothing (no chaos). The controller
+//! itself only *decides* faults; the [`Context`](crate::Context) applies them
+//! (kills executors, sleeps, fails fetches), keeping this module free of
+//! scheduler dependencies.
+
+use crate::sync::Mutex;
+use std::time::Duration;
+
+/// Environment variable holding a chaos seed for the whole process (or `off`
+/// to disable). Lets CI rerun the entire test suite under a fixed fault
+/// schedule without touching any test. An explicit
+/// [`ContextBuilder::chaos`](crate::ContextBuilder::chaos) /
+/// [`ContextBuilder::chaos_off`](crate::ContextBuilder::chaos_off) wins over
+/// the variable, mirroring [`STORAGE_BUDGET_ENV`](crate::STORAGE_BUDGET_ENV).
+pub const CHAOS_ENV: &str = "SPARKLINE_CHAOS";
+
+/// Task-launch count a seeded plan's first kill waits for. Kills before this
+/// point would hit the many tiny fixed-count unit stages that pin exact task
+/// and retry counts; real recovery coverage comes from the larger pipelines.
+const SEEDED_FIRST_KILL_AT: u64 = 64;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Kill `executor` when the context has launched `at_task` tasks.
+    /// One-shot.
+    KillExecutorAtTask { at_task: u64, executor: usize },
+    /// At the `nth_barrier`-th map→reduce barrier crossed on this context,
+    /// kill whichever executor currently owns `map_partition`'s output of the
+    /// shuffle at that barrier. One-shot; lets tests lose a *specific* map
+    /// output deterministically, independent of thread scheduling.
+    KillOwnerAtBarrier {
+        nth_barrier: u64,
+        map_partition: usize,
+    },
+    /// Sleep `micros` before every `every`-th task launch: jitters thread
+    /// interleavings and manufactures stragglers for speculation.
+    DelayTask { every: u64, micros: u64 },
+    /// Fail every `every`-th shuffle fetch (a reduce task's read of the map
+    /// outputs), at most `limit` times. Each failure drops one live map
+    /// output, so recovery has real recomputation to do.
+    FailFetch { every: u64, limit: u32 },
+}
+
+/// A deterministic fault schedule. Build one explicitly with the
+/// `with_*` methods or expand a seed with [`ChaosPlan::seeded`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule `executor` to die at the `at_task`-th task launch.
+    pub fn with_kill_at_task(mut self, at_task: u64, executor: usize) -> ChaosPlan {
+        self.events
+            .push(ChaosEvent::KillExecutorAtTask { at_task, executor });
+        self
+    }
+
+    /// Schedule the owner of `map_partition` to die at the `nth_barrier`-th
+    /// map→reduce barrier.
+    pub fn with_kill_owner_at_barrier(
+        mut self,
+        nth_barrier: u64,
+        map_partition: usize,
+    ) -> ChaosPlan {
+        self.events.push(ChaosEvent::KillOwnerAtBarrier {
+            nth_barrier,
+            map_partition,
+        });
+        self
+    }
+
+    /// Delay every `every`-th task launch by `micros`.
+    pub fn with_task_delay(mut self, every: u64, micros: u64) -> ChaosPlan {
+        self.events.push(ChaosEvent::DelayTask { every, micros });
+        self
+    }
+
+    /// Fail every `every`-th shuffle fetch, at most `limit` times.
+    pub fn with_fetch_failures(mut self, every: u64, limit: u32) -> ChaosPlan {
+        self.events.push(ChaosEvent::FailFetch { every, limit });
+        self
+    }
+
+    /// Expand a seed into a full schedule for a pool of `executors`: up to
+    /// `executors - 1` kills (so at least one executor always survives, per
+    /// the recovery contract), spaced far enough apart for recovery to make
+    /// progress, plus a task delay and a bounded burst of fetch failures.
+    pub fn seeded(seed: u64, executors: usize) -> ChaosPlan {
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || splitmix64(&mut state);
+        let mut plan = ChaosPlan::new();
+        let kills = if executors > 1 {
+            (1 + next() % 3).min(executors as u64 - 1)
+        } else {
+            0
+        };
+        let mut at = SEEDED_FIRST_KILL_AT + next() % 64;
+        for _ in 0..kills {
+            let executor = (next() % executors as u64) as usize;
+            plan = plan.with_kill_at_task(at, executor);
+            at += SEEDED_FIRST_KILL_AT + next() % 96;
+        }
+        plan = plan.with_task_delay(5 + next() % 8, 20 + next() % 180);
+        plan.with_fetch_failures(6 + next() % 10, 2)
+    }
+
+    /// Parse the [`CHAOS_ENV`] value: `off`/empty disables, a decimal seed
+    /// expands via [`ChaosPlan::seeded`]. Anything else is ignored (no chaos)
+    /// rather than failing the process.
+    pub fn from_env(value: &str, executors: usize) -> Option<ChaosPlan> {
+        let v = value.trim();
+        if v.is_empty() || v.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        v.parse::<u64>()
+            .ok()
+            .map(|seed| ChaosPlan::seeded(seed, executors))
+    }
+}
+
+/// Sebastiano Vigna's splitmix64: the tiny seed-expansion PRNG (public
+/// domain algorithm), avoiding any dependency for deterministic schedules.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What the controller wants done at one task launch.
+#[derive(Debug, Default)]
+pub(crate) struct TaskFaults {
+    /// Executors to kill, in schedule order.
+    pub(crate) kill: Vec<usize>,
+    /// How long to delay the launch.
+    pub(crate) delay: Duration,
+}
+
+/// Replays a [`ChaosPlan`] against the live counters of one context. Pure
+/// decision logic: the context owns the side effects.
+pub(crate) struct ChaosController {
+    plan: ChaosPlan,
+    state: Mutex<ChaosState>,
+}
+
+#[derive(Default)]
+struct ChaosState {
+    tasks: u64,
+    barriers: u64,
+    fetches: u64,
+    /// Per-event one-shot latch (kill events) / remaining budget (fetch
+    /// failures), indexed like `plan.events`.
+    fired: Vec<u64>,
+}
+
+impl ChaosController {
+    pub(crate) fn new(plan: ChaosPlan) -> ChaosController {
+        let fired = vec![0; plan.events.len()];
+        ChaosController {
+            plan,
+            state: Mutex::new(ChaosState {
+                fired,
+                ..ChaosState::default()
+            }),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Advance the task-launch counter and collect the faults due now.
+    pub(crate) fn on_task_start(&self) -> TaskFaults {
+        let mut state = self.state.lock();
+        state.tasks += 1;
+        let now = state.tasks;
+        let mut faults = TaskFaults::default();
+        for (idx, event) in self.plan.events.iter().enumerate() {
+            match event {
+                ChaosEvent::KillExecutorAtTask { at_task, executor }
+                    if state.fired[idx] == 0 && now >= *at_task =>
+                {
+                    state.fired[idx] = 1;
+                    faults.kill.push(*executor);
+                }
+                ChaosEvent::DelayTask { every, micros }
+                    if *every > 0 && now.is_multiple_of(*every) =>
+                {
+                    faults.delay += Duration::from_micros(*micros);
+                }
+                _ => {}
+            }
+        }
+        faults
+    }
+
+    /// Advance the barrier counter; returns the map partitions whose owners
+    /// die at this barrier.
+    pub(crate) fn on_barrier(&self) -> Vec<usize> {
+        let mut state = self.state.lock();
+        let crossed = state.barriers;
+        state.barriers += 1;
+        let mut doomed = Vec::new();
+        for (idx, event) in self.plan.events.iter().enumerate() {
+            if let ChaosEvent::KillOwnerAtBarrier {
+                nth_barrier,
+                map_partition,
+            } = event
+            {
+                if state.fired[idx] == 0 && crossed >= *nth_barrier {
+                    state.fired[idx] = 1;
+                    doomed.push(*map_partition);
+                }
+            }
+        }
+        doomed
+    }
+
+    /// Advance the fetch counter; true if this fetch should fail.
+    pub(crate) fn on_fetch(&self) -> bool {
+        let mut state = self.state.lock();
+        state.fetches += 1;
+        let now = state.fetches;
+        for (idx, event) in self.plan.events.iter().enumerate() {
+            if let ChaosEvent::FailFetch { every, limit } = event {
+                if *every > 0 && now.is_multiple_of(*every) && state.fired[idx] < u64::from(*limit)
+                {
+                    state.fired[idx] += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            for executors in [1usize, 2, 4, 8] {
+                let a = ChaosPlan::seeded(seed, executors);
+                let b = ChaosPlan::seeded(seed, executors);
+                assert_eq!(a, b, "seed {seed} not deterministic");
+                let kills: Vec<_> = a
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        ChaosEvent::KillExecutorAtTask { executor, .. } => Some(*executor),
+                        _ => None,
+                    })
+                    .collect();
+                assert!(
+                    kills.len() < executors.max(1) || kills.is_empty(),
+                    "seed {seed}: {} kills for {executors} executors",
+                    kills.len()
+                );
+                assert!(kills.iter().all(|&e| e < executors));
+                if executors == 1 {
+                    assert!(kills.is_empty(), "a lone executor must never be killed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_parsing_accepts_seeds_and_off() {
+        assert!(ChaosPlan::from_env("off", 4).is_none());
+        assert!(ChaosPlan::from_env("OFF", 4).is_none());
+        assert!(ChaosPlan::from_env("", 4).is_none());
+        assert!(ChaosPlan::from_env("not a seed", 4).is_none());
+        let plan = ChaosPlan::from_env(" 42 ", 4).expect("seed must parse");
+        assert_eq!(plan, ChaosPlan::seeded(42, 4));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn kill_events_fire_once_at_threshold() {
+        let ctl = ChaosController::new(ChaosPlan::new().with_kill_at_task(3, 1));
+        assert!(ctl.on_task_start().kill.is_empty());
+        assert!(ctl.on_task_start().kill.is_empty());
+        assert_eq!(ctl.on_task_start().kill, vec![1]);
+        assert!(ctl.on_task_start().kill.is_empty(), "one-shot");
+    }
+
+    #[test]
+    fn fetch_failures_respect_the_limit() {
+        let ctl = ChaosController::new(ChaosPlan::new().with_fetch_failures(2, 2));
+        let outcomes: Vec<bool> = (0..10).map(|_| ctl.on_fetch()).collect();
+        assert_eq!(outcomes.iter().filter(|&&b| b).count(), 2);
+        assert!(outcomes[1] && outcomes[3]);
+    }
+
+    #[test]
+    fn barrier_kills_fire_at_their_barrier() {
+        let ctl = ChaosController::new(ChaosPlan::new().with_kill_owner_at_barrier(1, 0));
+        assert!(ctl.on_barrier().is_empty(), "barrier 0 passes clean");
+        assert_eq!(ctl.on_barrier(), vec![0], "barrier 1 kills");
+        assert!(ctl.on_barrier().is_empty(), "one-shot");
+    }
+
+    #[test]
+    fn delays_accumulate_on_matching_tasks() {
+        let ctl = ChaosController::new(ChaosPlan::new().with_task_delay(2, 50));
+        assert_eq!(ctl.on_task_start().delay, Duration::ZERO);
+        assert_eq!(ctl.on_task_start().delay, Duration::from_micros(50));
+    }
+}

@@ -1,17 +1,19 @@
 //! Execution context: configuration, the executor pool, task retry, failure
 //! injection, and the structured-event trace.
 
+use crate::chaos::{ChaosController, ChaosPlan, CHAOS_ENV};
 use crate::events::{Event, EventCollector};
 use crate::metrics::Metrics;
 use crate::profile::JobProfile;
+use crate::shuffle::MapOutputTracker;
 use crate::storage::{BlockManager, StorageStatus};
 use crate::sync::Mutex;
 use crate::Data;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Panic message used for scheduler-injected task failures; also how the
 /// tracer recognizes an injected failure when the panic is caught.
@@ -23,12 +25,24 @@ const INJECTED_FAILURE_MSG: &str = "sparkline: injected task failure";
 /// [`ContextBuilder::storage_memory`] wins over the variable.
 pub const STORAGE_BUDGET_ENV: &str = "SPARKLINE_STORAGE_BUDGET";
 
+/// Strikes (kills/restarts) after which an executor is blacklisted — no
+/// longer assigned worker threads — unless it is the last healthy one.
+const BLACKLIST_STRIKES: u32 = 3;
+
+/// Floor for the speculation threshold: stages whose median task is faster
+/// than this never speculate (duplicating micro-tasks only burns work).
+const SPECULATION_FLOOR_MICROS: u64 = 1_000;
+
 thread_local! {
     /// Stage whose task is running on this executor thread. Stages nest
     /// (materializing a shuffle dependency runs a child stage from inside a
     /// parent task), but every stage spawns fresh worker threads, so the
     /// thread-local on each worker is exactly the innermost stage.
     static CURRENT_STAGE: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Logical executor this worker thread belongs to. Shuffle map outputs
+    /// and cached blocks produced on the thread are owned by this executor's
+    /// fault domain and are lost when it is killed.
+    static CURRENT_EXECUTOR: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// Innermost stage running on this thread, if any — how cache events are
@@ -37,21 +51,47 @@ pub(crate) fn current_stage() -> Option<u64> {
     CURRENT_STAGE.with(Cell::get)
 }
 
+/// Logical executor owning this thread, if it is a stage worker. Driver
+/// threads return `None`: state they produce belongs to no fault domain and
+/// survives every kill.
+pub(crate) fn current_executor() -> Option<usize> {
+    CURRENT_EXECUTOR.with(Cell::get)
+}
+
+/// Where a context's chaos schedule comes from.
+enum ChaosChoice {
+    /// Nothing set explicitly: honor [`CHAOS_ENV`] at build time.
+    Inherit,
+    /// Chaos disabled even if [`CHAOS_ENV`] is set — for tests that pin
+    /// exact fault-free counts.
+    Off,
+    /// An explicit schedule; beats the environment.
+    Plan(ChaosPlan),
+}
+
 /// Builder for [`Context`].
 pub struct ContextBuilder {
     workers: usize,
+    executors: Option<usize>,
     default_parallelism: usize,
     max_task_attempts: u32,
+    max_stage_attempts: u32,
     storage_memory: Option<usize>,
+    speculation: Option<f64>,
+    chaos: ChaosChoice,
 }
 
 impl Default for ContextBuilder {
     fn default() -> Self {
         ContextBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            executors: None,
             default_parallelism: 8,
             max_task_attempts: 4,
+            max_stage_attempts: 6,
             storage_memory: None,
+            speculation: None,
+            chaos: ChaosChoice::Inherit,
         }
     }
 }
@@ -63,6 +103,15 @@ impl ContextBuilder {
         self
     }
 
+    /// Number of logical executors (fault domains) the worker threads are
+    /// partitioned into. Each executor owns the shuffle map outputs and
+    /// cached blocks produced on its threads; killing it loses that state.
+    /// Defaults to one executor per worker thread.
+    pub fn executors(mut self, n: usize) -> Self {
+        self.executors = Some(n.max(1));
+        self
+    }
+
     /// Default number of partitions for sources and shuffles when the caller
     /// does not specify one.
     pub fn default_parallelism(mut self, n: usize) -> Self {
@@ -71,9 +120,23 @@ impl ContextBuilder {
     }
 
     /// Maximum attempts per task before the job fails (Spark's
-    /// `spark.task.maxFailures`).
+    /// `spark.task.maxFailures`). Must be at least 1; [`build`] panics on 0
+    /// rather than configuring a scheduler that can never run a task.
+    ///
+    /// [`build`]: ContextBuilder::build
     pub fn max_task_attempts(mut self, n: u32) -> Self {
-        self.max_task_attempts = n.max(1);
+        self.max_task_attempts = n;
+        self
+    }
+
+    /// Maximum times a shuffle map stage may be attempted — the first run
+    /// plus resubmissions after executor loss or fetch failures (Spark's
+    /// `spark.stage.maxConsecutiveAttempts`). Must be at least 1; [`build`]
+    /// panics on 0.
+    ///
+    /// [`build`]: ContextBuilder::build
+    pub fn max_stage_attempts(mut self, n: u32) -> Self {
+        self.max_stage_attempts = n;
         self
     }
 
@@ -85,7 +148,39 @@ impl ContextBuilder {
         self
     }
 
+    /// Enable speculative execution: once half a stage's tasks have finished,
+    /// a task still running after `multiplier` × the median completed-task
+    /// time gets a duplicate attempt on a *different* executor; the first
+    /// result wins (Spark's `spark.speculation[.multiplier]`). Off by
+    /// default.
+    pub fn speculation(mut self, multiplier: f64) -> Self {
+        self.speculation = Some(multiplier.max(1.0));
+        self
+    }
+
+    /// Run this context under an explicit chaos schedule. Beats [`CHAOS_ENV`].
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = ChaosChoice::Plan(plan);
+        self
+    }
+
+    /// Disable chaos for this context even when [`CHAOS_ENV`] is set. For
+    /// tests that pin exact fault-free counts (task totals, cache misses)
+    /// that any injected fault would legitimately change.
+    pub fn chaos_off(mut self) -> Self {
+        self.chaos = ChaosChoice::Off;
+        self
+    }
+
     pub fn build(self) -> Context {
+        assert!(
+            self.max_task_attempts >= 1,
+            "sparkline: max_task_attempts must be >= 1 (a task needs at least one attempt)"
+        );
+        assert!(
+            self.max_stage_attempts >= 1,
+            "sparkline: max_stage_attempts must be >= 1 (a stage needs at least one attempt)"
+        );
         let budget = self
             .storage_memory
             .or_else(|| {
@@ -94,11 +189,27 @@ impl ContextBuilder {
                     .and_then(|s| s.trim().parse().ok())
             })
             .unwrap_or(usize::MAX);
+        let executors = self.executors.unwrap_or(self.workers).max(1);
+        let chaos = match self.chaos {
+            ChaosChoice::Off => None,
+            ChaosChoice::Plan(plan) => Some(plan),
+            ChaosChoice::Inherit => std::env::var(CHAOS_ENV)
+                .ok()
+                .and_then(|s| ChaosPlan::from_env(&s, executors)),
+        }
+        .filter(|plan| !plan.is_empty())
+        .map(ChaosController::new);
         Context {
             inner: Arc::new(CtxInner {
                 workers: self.workers,
                 default_parallelism: self.default_parallelism,
                 max_task_attempts: self.max_task_attempts,
+                max_stage_attempts: self.max_stage_attempts,
+                speculation: self.speculation,
+                executors: (0..executors).map(|_| ExecutorSlot::default()).collect(),
+                blacklist_decision: Mutex::new(()),
+                chaos,
+                map_outputs: MapOutputTracker::default(),
                 metrics: Metrics::default(),
                 events: EventCollector::default(),
                 storage: BlockManager::new(budget),
@@ -115,10 +226,47 @@ impl ContextBuilder {
     }
 }
 
+/// One logical executor: a restartable fault domain. Killing it bumps the
+/// epoch (in-flight results from older epochs are discarded) and sweeps the
+/// state it owned; the slot then keeps running as its own replacement, the
+/// way a supervisor would restart a crashed worker process.
+#[derive(Default)]
+pub(crate) struct ExecutorSlot {
+    /// Incremented on every kill. A task result is only accepted if the
+    /// executor's epoch is unchanged since the task launched.
+    epoch: AtomicU64,
+    /// Lifetime kill count; drives blacklisting.
+    strikes: AtomicU32,
+    /// Blacklisted executors get no worker threads in new stages.
+    blacklisted: AtomicBool,
+}
+
+/// Point-in-time health of one executor, from [`Context::executor_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorStatus {
+    pub executor: usize,
+    /// Times this executor has been killed and restarted.
+    pub restarts: u64,
+    pub blacklisted: bool,
+}
+
 pub(crate) struct CtxInner {
     pub(crate) workers: usize,
     pub(crate) default_parallelism: usize,
     pub(crate) max_task_attempts: u32,
+    pub(crate) max_stage_attempts: u32,
+    /// Speculation multiplier over the median completed-task time; `None`
+    /// disables speculative execution.
+    speculation: Option<f64>,
+    /// The logical executor pool tasks are scheduled onto.
+    executors: Vec<ExecutorSlot>,
+    /// Serializes blacklist decisions so concurrent kills can't blacklist
+    /// every executor at once (at least one must stay schedulable).
+    blacklist_decision: Mutex<()>,
+    /// Deterministic fault injector; `None` when chaos is off.
+    chaos: Option<ChaosController>,
+    /// Which executor owns each shuffle map output, and at which epoch.
+    pub(crate) map_outputs: MapOutputTracker,
     pub(crate) metrics: Metrics,
     pub(crate) events: EventCollector,
     /// Memory-budgeted store for persisted dataset partitions.
@@ -189,6 +337,141 @@ impl Context {
     /// Number of executor threads.
     pub fn workers(&self) -> usize {
         self.inner.workers
+    }
+
+    /// Number of logical executors (fault domains).
+    pub fn executors(&self) -> usize {
+        self.inner.executors.len()
+    }
+
+    /// Health of every executor: restart counts and blacklist state.
+    pub fn executor_status(&self) -> Vec<ExecutorStatus> {
+        self.inner
+            .executors
+            .iter()
+            .enumerate()
+            .map(|(executor, slot)| ExecutorStatus {
+                executor,
+                restarts: slot.epoch.load(Ordering::SeqCst),
+                blacklisted: slot.blacklisted.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+
+    /// Kill one logical executor, as a chaos schedule (or a test) would:
+    /// its shuffle map outputs and cached blocks are lost, results of tasks
+    /// currently running on it are discarded when they complete, and the
+    /// executor immediately restarts empty. Returns false for an unknown
+    /// executor id.
+    ///
+    /// Repeated kills accrue strikes; after [`BLACKLIST_STRIKES`] the
+    /// executor is blacklisted (no longer assigned worker threads) unless it
+    /// is the last healthy one.
+    pub fn kill_executor(&self, executor: usize) -> bool {
+        let Some(slot) = self.inner.executors.get(executor) else {
+            return false;
+        };
+        // Epoch first: anything the dead executor still manages to finish is
+        // now stale and will be discarded at the result gate.
+        let dead_epoch = slot.epoch.fetch_add(1, Ordering::SeqCst);
+        let lost_blocks = self.inner.storage.remove_executor(executor);
+        let lost_map_outputs = self.inner.map_outputs.remove_executor(executor, dead_epoch);
+        let strikes = slot.strikes.fetch_add(1, Ordering::SeqCst) + 1;
+        if strikes >= BLACKLIST_STRIKES {
+            let _serialized = self.inner.blacklist_decision.lock();
+            let healthy = self
+                .inner
+                .executors
+                .iter()
+                .filter(|s| !s.blacklisted.load(Ordering::SeqCst))
+                .count();
+            // Never blacklist the last healthy executor: a pool that cannot
+            // schedule anything would hang every later stage.
+            if healthy > 1 && !slot.blacklisted.load(Ordering::SeqCst) {
+                slot.blacklisted.store(true, Ordering::SeqCst);
+            }
+        }
+        if self.inner.events.is_enabled() {
+            self.inner.events.emit(Event::ExecutorLost {
+                executor,
+                lost_map_outputs: lost_map_outputs as u64,
+                lost_blocks: lost_blocks as u64,
+                at_micros: self.inner.events.now_micros(),
+            });
+        }
+        true
+    }
+
+    /// Current epoch of one executor; results computed under an older epoch
+    /// are stale.
+    pub(crate) fn executor_epoch(&self, executor: usize) -> u64 {
+        self.inner.executors[executor].epoch.load(Ordering::SeqCst)
+    }
+
+    /// Executors eligible for worker threads. Never empty: blacklisting
+    /// always spares the last healthy executor.
+    fn healthy_executors(&self) -> Vec<usize> {
+        let healthy: Vec<usize> = self
+            .inner
+            .executors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.blacklisted.load(Ordering::SeqCst))
+            .map(|(i, _)| i)
+            .collect();
+        if healthy.is_empty() {
+            vec![0]
+        } else {
+            healthy
+        }
+    }
+
+    pub(crate) fn max_stage_attempts(&self) -> u32 {
+        self.inner.max_stage_attempts
+    }
+
+    /// Chaos hook at every task launch: applies any kills scheduled for this
+    /// point in the schedule, then any delay. Runs on the launching worker
+    /// thread, before the task body.
+    fn chaos_task_start(&self) {
+        let Some(chaos) = &self.inner.chaos else {
+            return;
+        };
+        let faults = chaos.on_task_start();
+        for executor in faults.kill {
+            self.kill_executor(executor);
+        }
+        if !faults.delay.is_zero() {
+            std::thread::sleep(faults.delay);
+        }
+    }
+
+    /// Chaos hook at a shuffle's map→reduce barrier: kill the owners of the
+    /// scheduled map partitions of *this* shuffle, deterministically losing
+    /// specific map outputs regardless of thread scheduling.
+    pub(crate) fn chaos_barrier(&self, shuffle_id: u64) {
+        let Some(chaos) = &self.inner.chaos else {
+            return;
+        };
+        for map_partition in chaos.on_barrier() {
+            if let Some(owner) = self.inner.map_outputs.owner(shuffle_id, map_partition) {
+                self.kill_executor(owner);
+            }
+        }
+    }
+
+    /// Chaos hook at a reduce task's fetch of the map outputs: true if this
+    /// fetch should fail.
+    pub(crate) fn chaos_fetch_should_fail(&self) -> bool {
+        self.inner
+            .chaos
+            .as_ref()
+            .is_some_and(ChaosController::on_fetch)
+    }
+
+    /// The chaos schedule this context runs under, if any.
+    pub fn chaos_plan(&self) -> Option<&ChaosPlan> {
+        self.inner.chaos.as_ref().map(ChaosController::plan)
     }
 
     /// Default partition count for sources and shuffles.
@@ -415,71 +698,30 @@ impl Context {
             });
         }
         let stage_started = Instant::now();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let failure: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let shared = StageShared {
+            ctx: self,
+            f: &f,
+            n,
+            stage_id,
+            tracing,
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            requeued: Mutex::new(Vec::new()),
+            done: AtomicUsize::new(0),
+            failure: Mutex::new(None),
+            completed_micros: Mutex::new(Vec::new()),
+            running: (0..n).map(|_| Mutex::new(None)).collect(),
+        };
+        // Map worker threads round-robin onto the healthy executors, fixed
+        // for the stage's lifetime (a kill restarts the executor in place,
+        // it does not remove capacity).
+        let healthy = self.healthy_executors();
         let workers = self.inner.workers.min(n);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Fresh thread per stage, so this is the innermost stage
-                    // even when stages nest (see [`current_stage`]).
-                    CURRENT_STAGE.with(|c| c.set(Some(stage_id)));
-                    loop {
-                        if failure.lock().is_some() {
-                            return;
-                        }
-                        let i = next.fetch_add(1, Ordering::SeqCst);
-                        if i >= n {
-                            return;
-                        }
-                        let mut attempt = 0;
-                        loop {
-                            self.inner.metrics.task_launched();
-                            let task_started = tracing.then(Instant::now);
-                            let out = catch_unwind(AssertUnwindSafe(|| {
-                                self.maybe_injected_failure();
-                                f(i)
-                            }));
-                            let task_micros =
-                                task_started.map_or(0, |t| t.elapsed().as_micros() as u64);
-                            match out {
-                                Ok(v) => {
-                                    if tracing {
-                                        self.inner.events.emit(Event::TaskEnd {
-                                            stage_id,
-                                            task: i,
-                                            attempt,
-                                            wall_micros: task_micros,
-                                            ok: true,
-                                            injected: false,
-                                        });
-                                    }
-                                    *results[i].lock() = Some(v);
-                                    break;
-                                }
-                                Err(cause) => {
-                                    self.inner.metrics.task_failed();
-                                    if tracing {
-                                        self.inner.events.emit(Event::TaskEnd {
-                                            stage_id,
-                                            task: i,
-                                            attempt,
-                                            wall_micros: task_micros,
-                                            ok: false,
-                                            injected: panic_is_injected(&cause),
-                                        });
-                                    }
-                                    attempt += 1;
-                                    if attempt >= self.inner.max_task_attempts {
-                                        *failure.lock() = Some(cause);
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                });
+            let shared = &shared;
+            for t in 0..workers {
+                let executor = healthy[t % healthy.len()];
+                scope.spawn(move || shared.worker(executor));
             }
         });
         if tracing {
@@ -488,14 +730,210 @@ impl Context {
                 wall_micros: stage_started.elapsed().as_micros() as u64,
             });
         }
-        if let Some(cause) = failure.into_inner() {
+        if let Some(cause) = shared.failure.into_inner() {
             resume_unwind(cause);
         }
-        let out = results
+        let out = shared
+            .results
             .into_iter()
             .map(|m| m.into_inner().expect("task result missing"))
             .collect();
         (out, stage_id)
+    }
+}
+
+/// A task attempt currently executing, for the speculation scanner.
+struct RunningTask {
+    started: Instant,
+    executor: usize,
+    /// A duplicate attempt has already been launched; never speculate twice.
+    speculated: bool,
+}
+
+/// Per-stage scheduler state shared by the stage's worker threads.
+struct StageShared<'a, R, F> {
+    ctx: &'a Context,
+    f: &'a F,
+    n: usize,
+    stage_id: u64,
+    tracing: bool,
+    results: Vec<Mutex<Option<R>>>,
+    /// Next fresh task index.
+    next: AtomicUsize,
+    /// Tasks whose results were discarded because their executor died
+    /// mid-flight; they go back to the front of the queue.
+    requeued: Mutex<Vec<usize>>,
+    /// Count of tasks with an accepted result.
+    done: AtomicUsize,
+    failure: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Durations of accepted results — the speculation baseline.
+    completed_micros: Mutex<Vec<u64>>,
+    running: Vec<Mutex<Option<RunningTask>>>,
+}
+
+impl<R: Send, F: Fn(usize) -> R + Send + Sync> StageShared<'_, R, F> {
+    fn worker(&self, executor: usize) {
+        // Fresh thread per stage, so these are the innermost stage/executor
+        // even when stages nest (see [`current_stage`]).
+        CURRENT_STAGE.with(|c| c.set(Some(self.stage_id)));
+        CURRENT_EXECUTOR.with(|c| c.set(Some(executor)));
+        loop {
+            // Fail fast: once any task has permanently failed the stage's
+            // outcome is fixed, so launching still-queued tasks is pure
+            // wasted work (and noise in the trace).
+            if self.failure.lock().is_some() {
+                return;
+            }
+            let task = self.requeued.lock().pop().or_else(|| {
+                let i = self.next.fetch_add(1, Ordering::SeqCst);
+                (i < self.n).then_some(i)
+            });
+            match task {
+                Some(i) => self.run_task(i, executor, false),
+                None => {
+                    if self.done.load(Ordering::SeqCst) >= self.n {
+                        return;
+                    }
+                    match self.speculation_target(executor) {
+                        Some(i) => self.run_task(i, executor, true),
+                        // Speculation on: idle-wait for a straggler to cross
+                        // the threshold (or for the stage to finish).
+                        None if self.ctx.inner.speculation.is_some() => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        // Speculation off: whoever still runs a task will
+                        // also drain any requeue it causes, so idle workers
+                        // can leave.
+                        None => return,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one task to acceptance, retrying panics up to the attempt limit.
+    fn run_task(&self, i: usize, executor: usize, speculative: bool) {
+        let inner = &self.ctx.inner;
+        let mut attempt = 0;
+        loop {
+            if self.failure.lock().is_some() {
+                return;
+            }
+            // Chaos fires at launch boundaries on the launching thread, so a
+            // schedule replays identically for a given task order.
+            self.ctx.chaos_task_start();
+            let epoch = inner.executors[executor].epoch.load(Ordering::SeqCst);
+            if !speculative {
+                *self.running[i].lock() = Some(RunningTask {
+                    started: Instant::now(),
+                    executor,
+                    speculated: false,
+                });
+            }
+            inner.metrics.task_launched();
+            let task_started = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                self.ctx.maybe_injected_failure();
+                (self.f)(i)
+            }));
+            let task_micros = task_started.elapsed().as_micros() as u64;
+            match out {
+                Ok(v) => {
+                    if inner.executors[executor].epoch.load(Ordering::SeqCst) != epoch {
+                        // The executor died (and restarted) while this task
+                        // ran: its result is part of the lost state. Put the
+                        // partition back in the queue; this is loss, not a
+                        // task failure, so no failure count and no TaskEnd.
+                        if !speculative {
+                            self.requeued.lock().push(i);
+                        }
+                        return;
+                    }
+                    let mut slot = self.results[i].lock();
+                    if slot.is_none() {
+                        *slot = Some(v);
+                        drop(slot);
+                        self.done.fetch_add(1, Ordering::SeqCst);
+                        self.completed_micros.lock().push(task_micros);
+                        *self.running[i].lock() = None;
+                        if self.tracing {
+                            inner.events.emit(Event::TaskEnd {
+                                stage_id: self.stage_id,
+                                task: i,
+                                attempt,
+                                wall_micros: task_micros,
+                                ok: true,
+                                injected: false,
+                            });
+                        }
+                    }
+                    // else: a duplicate attempt already delivered this
+                    // partition; first result won, drop ours.
+                    return;
+                }
+                Err(cause) => {
+                    inner.metrics.task_failed();
+                    if self.tracing {
+                        inner.events.emit(Event::TaskEnd {
+                            stage_id: self.stage_id,
+                            task: i,
+                            attempt,
+                            wall_micros: task_micros,
+                            ok: false,
+                            injected: panic_is_injected(&cause),
+                        });
+                    }
+                    attempt += 1;
+                    if attempt >= inner.max_task_attempts {
+                        *self.failure.lock() = Some(cause);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Find a straggler worth duplicating on `executor`: speculation is on,
+    /// at least half the stage has finished, the candidate has been running
+    /// longer than multiplier × median on a *different* executor, and nobody
+    /// speculated it yet.
+    fn speculation_target(&self, executor: usize) -> Option<usize> {
+        let multiplier = self.ctx.inner.speculation?;
+        let threshold = {
+            let completed = self.completed_micros.lock();
+            if completed.len() * 2 < self.n {
+                return None;
+            }
+            let mut sorted = completed.clone();
+            drop(completed);
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            ((median as f64 * multiplier) as u64).max(SPECULATION_FLOOR_MICROS)
+        };
+        for i in 0..self.n {
+            if self.results[i].lock().is_some() {
+                continue;
+            }
+            let mut running = self.running[i].lock();
+            if let Some(task) = running.as_mut() {
+                if !task.speculated
+                    && task.executor != executor
+                    && task.started.elapsed().as_micros() as u64 >= threshold
+                {
+                    task.speculated = true;
+                    drop(running);
+                    if self.tracing {
+                        self.ctx.inner.events.emit(Event::TaskSpeculated {
+                            stage_id: self.stage_id,
+                            task: i,
+                            executor,
+                        });
+                    }
+                    return Some(i);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -757,5 +1195,165 @@ mod tests {
         assert_eq!(profile.jobs.len(), 1);
         assert_eq!(profile.jobs[0].label, "collect");
         assert_eq!(profile.jobs[0].stage_ids.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_task_attempts must be >= 1")]
+    fn builder_rejects_zero_task_attempts() {
+        let _ = Context::builder().max_task_attempts(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_stage_attempts must be >= 1")]
+    fn builder_rejects_zero_stage_attempts() {
+        let _ = Context::builder().max_stage_attempts(0).build();
+    }
+
+    #[test]
+    fn executor_pool_defaults_to_one_per_worker() {
+        let ctx = Context::builder().workers(3).chaos_off().build();
+        assert_eq!(ctx.executors(), 3);
+        let ctx = Context::builder()
+            .workers(4)
+            .executors(2)
+            .chaos_off()
+            .build();
+        assert_eq!(ctx.executors(), 2);
+        assert_eq!(ctx.executor_status().len(), 2);
+        assert!(ctx
+            .executor_status()
+            .iter()
+            .all(|s| s.restarts == 0 && !s.blacklisted));
+    }
+
+    #[test]
+    fn kill_executor_restarts_and_eventually_blacklists() {
+        let ctx = Context::builder()
+            .workers(2)
+            .executors(2)
+            .chaos_off()
+            .build();
+        assert!(!ctx.kill_executor(99), "unknown executor id");
+        for _ in 0..BLACKLIST_STRIKES {
+            assert!(ctx.kill_executor(0));
+        }
+        let status = ctx.executor_status();
+        assert_eq!(status[0].restarts, u64::from(BLACKLIST_STRIKES));
+        assert!(status[0].blacklisted);
+        // The last healthy executor survives any number of strikes.
+        for _ in 0..BLACKLIST_STRIKES + 2 {
+            assert!(ctx.kill_executor(1));
+        }
+        assert!(!ctx.executor_status()[1].blacklisted);
+        // And stages still run on the surviving executor.
+        assert_eq!(ctx.run_tasks(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kill_mid_stage_discards_and_reruns_the_victim_task() {
+        let ctx = Context::builder()
+            .workers(2)
+            .executors(2)
+            .chaos_off()
+            .build();
+        ctx.trace();
+        let killed = AtomicBool::new(false);
+        let runs = AtomicUsize::new(0);
+        let out = ctx.run_tasks(8, |i| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            if i == 3 && !killed.swap(true, Ordering::SeqCst) {
+                // Kill our own executor mid-task: the completed result must
+                // be discarded and the task rerun on the restarted slot.
+                ctx.kill_executor(current_executor().expect("worker thread"));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(runs.load(Ordering::SeqCst), 9, "task 3 runs twice");
+        let events = ctx.take_events();
+        let lost = events
+            .iter()
+            .filter(|e| matches!(e, Event::ExecutorLost { .. }))
+            .count();
+        let ok_ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskEnd { ok: true, .. }))
+            .count();
+        assert_eq!(lost, 1);
+        // The discarded attempt emits no TaskEnd; kills are loss, not failure.
+        assert_eq!(ok_ends, 8);
+        assert_eq!(ctx.metrics().snapshot().tasks_failed, 0);
+    }
+
+    #[test]
+    fn permanent_failure_stops_launching_queued_tasks() {
+        let ctx = Context::builder()
+            .workers(1)
+            .max_task_attempts(1)
+            .chaos_off()
+            .build();
+        ctx.inject_task_failures(1);
+        let launched = Arc::new(AtomicUsize::new(0));
+        let launched2 = launched.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ctx.run_tasks(64, move |i| {
+                launched2.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        assert!(result.is_err(), "exhausted attempts must fail the job");
+        // Fail-fast: the single worker stops at the failed task instead of
+        // burning through the remaining 63.
+        assert!(
+            launched.load(Ordering::SeqCst) < 8,
+            "ran {} tasks after a permanent failure",
+            launched.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers_and_first_result_wins() {
+        let ctx = Context::builder()
+            .workers(2)
+            .executors(2)
+            .speculation(1.5)
+            .chaos_off()
+            .build();
+        ctx.trace();
+        let straggles = AtomicBool::new(true);
+        let out = ctx.run_tasks(6, |i| {
+            // Task 0's first attempt stalls; its speculative copy (and every
+            // other task) returns immediately.
+            if i == 0 && straggles.swap(false, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            i + 100
+        });
+        assert_eq!(out, (100..106).collect::<Vec<_>>());
+        let events = ctx.take_events();
+        let speculated = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskSpeculated { task: 0, .. }))
+            .count();
+        assert_eq!(speculated, 1, "straggler gets exactly one duplicate");
+        // Only the winning attempt reports a TaskEnd per task.
+        let ok_ends = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskEnd { ok: true, .. }))
+            .count();
+        assert_eq!(ok_ends, 6);
+    }
+
+    #[test]
+    fn chaos_plan_is_visible_on_the_context() {
+        let plan = ChaosPlan::new().with_kill_at_task(10, 0);
+        let ctx = Context::builder()
+            .workers(2)
+            .executors(2)
+            .chaos(plan)
+            .build();
+        assert!(ctx.chaos_plan().is_some());
+        let ctx = Context::builder().chaos_off().build();
+        assert!(ctx.chaos_plan().is_none());
     }
 }

@@ -407,6 +407,16 @@ mod tests {
         Context::builder().workers(4).default_parallelism(4).build()
     }
 
+    /// For tests asserting blocks stay resident: ample pinned budget
+    /// (builder beats the SPARKLINE_STORAGE_BUDGET env knob).
+    fn cache_ctx() -> Context {
+        Context::builder()
+            .workers(4)
+            .default_parallelism(4)
+            .storage_memory(64 << 20)
+            .build()
+    }
+
     #[test]
     fn map_filter_collect() {
         let c = ctx();
@@ -581,7 +591,7 @@ mod tests {
     #[test]
     fn persist_computes_lineage_once() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let c = ctx();
+        let c = cache_ctx();
         let calls = Arc::new(AtomicUsize::new(0));
         let calls2 = calls.clone();
         let d = c
@@ -642,7 +652,7 @@ mod tests {
     #[test]
     fn unpersist_drops_blocks_and_recomputes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let c = ctx();
+        let c = cache_ctx();
         let calls = Arc::new(AtomicUsize::new(0));
         let calls2 = calls.clone();
         let d = c
@@ -659,6 +669,47 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 12, "unpersist forces rerun");
         // Non-persisted datasets have nothing to unpersist.
         assert_eq!(c.parallelize(vec![1], 1).unpersist(), 0);
+    }
+
+    #[test]
+    fn persisted_blocks_die_with_their_executor_and_recompute() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // One executor owns every block: killing it must drop them from the
+        // block manager (storage is executor-scoped, and a dead executor's
+        // spill files are gone too), and the next read must transparently
+        // recompute from lineage and re-store.
+        let c = Context::builder()
+            .workers(1)
+            .executors(1)
+            .storage_memory(64 << 20)
+            .chaos_off()
+            .build();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let d = c
+            .parallelize((0..8i64).collect(), 2)
+            .map(move |x| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                x * 7
+            })
+            .persist();
+        let expected: Vec<i64> = (0..8).map(|x| x * 7).collect();
+        assert_eq!(d.collect(), expected);
+        assert_eq!(c.storage_status().blocks_in_memory, 2);
+
+        assert!(c.kill_executor(0));
+        assert_eq!(
+            c.storage_status().blocks_in_memory,
+            0,
+            "blocks die with their executor"
+        );
+        assert_eq!(d.collect(), expected, "lost blocks recompute from lineage");
+        assert_eq!(calls.load(Ordering::SeqCst), 16);
+        assert_eq!(
+            c.storage_status().blocks_in_memory,
+            2,
+            "recomputed blocks are re-stored by the restarted incarnation"
+        );
     }
 
     #[test]

@@ -118,6 +118,45 @@ pub enum Event {
         partition: usize,
         stage_id: Option<u64>,
     },
+    /// A logical executor died (chaos kill or
+    /// [`crate::Context::kill_executor`]): the shuffle map outputs and
+    /// cached blocks it owned are lost and will be recomputed on demand.
+    ExecutorLost {
+        executor: usize,
+        /// Live shuffle map outputs swept with the executor.
+        lost_map_outputs: u64,
+        /// Cached blocks swept with the executor.
+        lost_blocks: u64,
+        at_micros: u64,
+    },
+    /// A reduce task found map outputs missing (executor loss or an injected
+    /// fetch failure) and handed the stage back for resubmission instead of
+    /// panicking.
+    FetchFailed {
+        shuffle_id: u64,
+        /// The reduce stage whose task observed the failure.
+        stage_id: u64,
+        reduce_task: usize,
+        /// How many map outputs that task found missing.
+        lost_map_outputs: u64,
+    },
+    /// The scheduler resubmitted a shuffle's map stage covering only its
+    /// missing partitions. `attempt` counts resubmissions of this shuffle
+    /// (the initial stage is attempt 0).
+    StageResubmitted {
+        shuffle_id: u64,
+        attempt: u32,
+        /// Map partitions recomputed by this resubmission.
+        missing_tasks: u64,
+    },
+    /// A straggling task got a duplicate attempt on another executor
+    /// (speculative execution); the first result wins.
+    TaskSpeculated {
+        stage_id: u64,
+        task: usize,
+        /// Executor running the duplicate attempt.
+        executor: usize,
+    },
 }
 
 /// Lock-cheap event sink owned by a [`crate::Context`].
@@ -427,6 +466,54 @@ impl Event {
                 o.num_field("dataset", *dataset)
                     .num_field("partition", *partition as u64)
                     .opt_num_field("stage_id", *stage_id);
+                o.finish()
+            }
+            Event::ExecutorLost {
+                executor,
+                lost_map_outputs,
+                lost_blocks,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("executor_lost");
+                o.num_field("executor", *executor as u64)
+                    .num_field("lost_map_outputs", *lost_map_outputs)
+                    .num_field("lost_blocks", *lost_blocks)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::FetchFailed {
+                shuffle_id,
+                stage_id,
+                reduce_task,
+                lost_map_outputs,
+            } => {
+                let mut o = JsonObject::new("fetch_failed");
+                o.num_field("shuffle_id", *shuffle_id)
+                    .num_field("stage_id", *stage_id)
+                    .num_field("reduce_task", *reduce_task as u64)
+                    .num_field("lost_map_outputs", *lost_map_outputs);
+                o.finish()
+            }
+            Event::StageResubmitted {
+                shuffle_id,
+                attempt,
+                missing_tasks,
+            } => {
+                let mut o = JsonObject::new("stage_resubmitted");
+                o.num_field("shuffle_id", *shuffle_id)
+                    .num_field("attempt", u64::from(*attempt))
+                    .num_field("missing_tasks", *missing_tasks);
+                o.finish()
+            }
+            Event::TaskSpeculated {
+                stage_id,
+                task,
+                executor,
+            } => {
+                let mut o = JsonObject::new("task_speculated");
+                o.num_field("stage_id", *stage_id)
+                    .num_field("task", *task as u64)
+                    .num_field("executor", *executor as u64);
                 o.finish()
             }
         }
@@ -758,6 +845,28 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             partition: v.num("partition")? as usize,
             stage_id: v.opt_num("stage_id")?,
         }),
+        "executor_lost" => Ok(Event::ExecutorLost {
+            executor: v.num("executor")? as usize,
+            lost_map_outputs: v.num("lost_map_outputs")?,
+            lost_blocks: v.num("lost_blocks")?,
+            at_micros: v.num("at_micros")?,
+        }),
+        "fetch_failed" => Ok(Event::FetchFailed {
+            shuffle_id: v.num("shuffle_id")?,
+            stage_id: v.num("stage_id")?,
+            reduce_task: v.num("reduce_task")? as usize,
+            lost_map_outputs: v.num("lost_map_outputs")?,
+        }),
+        "stage_resubmitted" => Ok(Event::StageResubmitted {
+            shuffle_id: v.num("shuffle_id")?,
+            attempt: v.num("attempt")? as u32,
+            missing_tasks: v.num("missing_tasks")?,
+        }),
+        "task_speculated" => Ok(Event::TaskSpeculated {
+            stage_id: v.num("stage_id")?,
+            task: v.num("task")? as usize,
+            executor: v.num("executor")? as usize,
+        }),
         other => Err(format!("unknown event type `{other}`")),
     }
 }
@@ -849,6 +958,28 @@ mod tests {
                 bytes: 128,
                 from_disk: false,
                 stage_id: None,
+            },
+            Event::ExecutorLost {
+                executor: 1,
+                lost_map_outputs: 3,
+                lost_blocks: 2,
+                at_micros: 70,
+            },
+            Event::FetchFailed {
+                shuffle_id: 7,
+                stage_id: 2,
+                reduce_task: 1,
+                lost_map_outputs: 3,
+            },
+            Event::StageResubmitted {
+                shuffle_id: 7,
+                attempt: 1,
+                missing_tasks: 3,
+            },
+            Event::TaskSpeculated {
+                stage_id: 2,
+                task: 3,
+                executor: 0,
             },
             Event::StageEnd {
                 stage_id: 1,

@@ -17,10 +17,14 @@
 //!   bytes and record counts are accounted in [`Metrics`] so the cost claims
 //!   of the paper (e.g. `reduceByKey` shuffles less than `groupByKey` thanks
 //!   to map-side combining) are observable, not just asserted.
-//! * **Executors** are worker threads; every stage's tasks are scheduled onto
-//!   them, and failed tasks are retried from lineage (narrow chains recompute,
-//!   shuffle outputs are reused), which is exercised by the failure-injection
-//!   tests.
+//! * **Executors** are logical fault domains over the worker threads; every
+//!   stage's tasks are scheduled onto them, and failed tasks are retried from
+//!   lineage (narrow chains recompute, shuffle outputs are reused). Losing an
+//!   executor ([`Context::kill_executor`], or a seeded [`ChaosPlan`]) loses
+//!   the shuffle map outputs and cached blocks it owned; the scheduler
+//!   resubmits only the missing map tasks and recomputes lost blocks from
+//!   lineage, and stragglers can be speculatively re-executed on healthy
+//!   executors — all of which is exercised by the chaos tests.
 //!
 //! The runtime is intentionally faithful to Spark semantics where the paper
 //! relies on them:
@@ -40,6 +44,7 @@
 // combiner closures) spell out the shuffle contract; aliases would hide it.
 #![allow(clippy::type_complexity)]
 
+pub mod chaos;
 pub mod context;
 pub mod dataset;
 pub mod events;
@@ -52,12 +57,15 @@ pub mod size;
 pub mod storage;
 mod sync;
 
-pub use context::{Context, ContextBuilder, InjectedFailuresGuard, STORAGE_BUDGET_ENV};
+pub use chaos::{ChaosEvent, ChaosPlan, CHAOS_ENV};
+pub use context::{
+    Context, ContextBuilder, ExecutorStatus, InjectedFailuresGuard, STORAGE_BUDGET_ENV,
+};
 pub use dataset::Dataset;
 pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
-pub use profile::{CacheStats, JobProfile, JobSummary, StageProfile};
+pub use profile::{CacheStats, JobProfile, JobSummary, RecoveryStats, StageProfile};
 pub use size::SizeOf;
 pub use storage::{BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus};
 

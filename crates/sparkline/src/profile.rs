@@ -63,6 +63,58 @@ impl CacheStats {
     }
 }
 
+/// Fault-recovery activity folded from the executor-loss event family
+/// (`ExecutorLost` / `FetchFailed` / `StageResubmitted` / `TaskSpeculated`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Executor kills observed (chaos or explicit).
+    pub executors_lost: u64,
+    /// Shuffle map outputs swept with lost executors.
+    pub lost_map_outputs: u64,
+    /// Cached blocks swept with lost executors.
+    pub lost_blocks: u64,
+    /// Reduce tasks that surfaced missing map outputs.
+    pub fetch_failures: u64,
+    /// Map-stage resubmissions covering missing partitions.
+    pub stages_resubmitted: u64,
+    /// Map partitions recomputed by those resubmissions.
+    pub resubmitted_tasks: u64,
+    /// Duplicate attempts launched by speculative execution.
+    pub speculated_tasks: u64,
+    /// Wall-clock spent in resubmitted map stages — the recovery overhead a
+    /// fault-free run would not pay.
+    pub recovery_wall_micros: u64,
+}
+
+impl RecoveryStats {
+    /// Any recovery activity at all?
+    pub fn is_empty(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+
+    fn render(&self) -> String {
+        let mut parts = vec![format!(
+            "{} executors lost ({} map outputs, {} blocks)",
+            self.executors_lost, self.lost_map_outputs, self.lost_blocks
+        )];
+        if self.fetch_failures > 0 {
+            parts.push(format!("{} fetch failures", self.fetch_failures));
+        }
+        parts.push(format!(
+            "{} stages resubmitted ({} tasks)",
+            self.stages_resubmitted, self.resubmitted_tasks
+        ));
+        if self.speculated_tasks > 0 {
+            parts.push(format!("{} speculated tasks", self.speculated_tasks));
+        }
+        parts.push(format!(
+            "{} recovering",
+            fmt_micros(self.recovery_wall_micros)
+        ));
+        parts.join(", ")
+    }
+}
+
 /// Statistics for one scheduler stage.
 #[derive(Debug, Clone, Default)]
 pub struct StageProfile {
@@ -202,6 +254,8 @@ pub struct JobProfile {
     /// the per-stage `cache` fields this also counts events that carried no
     /// stage attribution (e.g. emitted from the driver thread).
     pub cache_by_dataset: Vec<(u64, CacheStats)>,
+    /// Executor-loss / recovery activity across the whole profile.
+    pub recovery: RecoveryStats,
 }
 
 impl JobProfile {
@@ -318,8 +372,31 @@ impl JobProfile {
                 Event::CacheRecompute {
                     dataset, stage_id, ..
                 } => profile.record_cache(*dataset, *stage_id, |c| c.recomputes += 1),
+                Event::ExecutorLost {
+                    lost_map_outputs,
+                    lost_blocks,
+                    ..
+                } => {
+                    profile.recovery.executors_lost += 1;
+                    profile.recovery.lost_map_outputs += lost_map_outputs;
+                    profile.recovery.lost_blocks += lost_blocks;
+                }
+                Event::FetchFailed { .. } => profile.recovery.fetch_failures += 1,
+                Event::StageResubmitted { missing_tasks, .. } => {
+                    profile.recovery.stages_resubmitted += 1;
+                    profile.recovery.resubmitted_tasks += missing_tasks;
+                }
+                Event::TaskSpeculated { .. } => profile.recovery.speculated_tasks += 1,
             }
         }
+        // Recovery wall-clock: time spent in resubmitted map stages (labels
+        // `shuffle.resubmit(op)`), which only exist because of a fault.
+        profile.recovery.recovery_wall_micros = profile
+            .stages
+            .iter()
+            .filter(|s| s.label.starts_with("shuffle.resubmit"))
+            .map(|s| s.wall_micros)
+            .sum();
         profile
     }
 
@@ -464,6 +541,9 @@ impl JobProfile {
         }
         for (dataset, stats) in &self.cache_by_dataset {
             out.push_str(&format!("cache dataset {}: {}\n", dataset, stats.render()));
+        }
+        if !self.recovery.is_empty() {
+            out.push_str(&format!("recovery: {}\n", self.recovery.render()));
         }
         if out.is_empty() {
             out.push_str("(empty profile — was tracing enabled?)\n");
@@ -756,6 +836,73 @@ mod tests {
         );
         assert!(text.contains("cache dataset 1:"), "{text}");
         assert!(text.contains("cache dataset 2:"), "{text}");
+    }
+
+    #[test]
+    fn folds_recovery_events_and_resubmit_wall_clock() {
+        let events = vec![
+            Event::ExecutorLost {
+                executor: 1,
+                lost_map_outputs: 3,
+                lost_blocks: 2,
+                at_micros: 40,
+            },
+            Event::FetchFailed {
+                shuffle_id: 5,
+                stage_id: 21,
+                reduce_task: 0,
+                lost_map_outputs: 3,
+            },
+            Event::StageResubmitted {
+                shuffle_id: 5,
+                attempt: 1,
+                missing_tasks: 3,
+            },
+            Event::StageStart {
+                stage_id: 22,
+                job_id: None,
+                label: "shuffle.resubmit(reduceByKey)".into(),
+                tag: None,
+                lineage: None,
+                tasks: 3,
+                at_micros: 50,
+            },
+            Event::StageEnd {
+                stage_id: 22,
+                wall_micros: 75,
+            },
+            Event::TaskSpeculated {
+                stage_id: 22,
+                task: 2,
+                executor: 0,
+            },
+        ];
+        let p = JobProfile::from_events(&events);
+        assert_eq!(
+            p.recovery,
+            RecoveryStats {
+                executors_lost: 1,
+                lost_map_outputs: 3,
+                lost_blocks: 2,
+                fetch_failures: 1,
+                stages_resubmitted: 1,
+                resubmitted_tasks: 3,
+                speculated_tasks: 1,
+                recovery_wall_micros: 75,
+            }
+        );
+        // Resubmitted map stages must not count as fresh shuffle stages.
+        assert_eq!(p.shuffle_stage_count(), 0);
+        let text = p.render();
+        assert!(text.contains("recovery: 1 executors lost"), "{text}");
+        assert!(text.contains("1 stages resubmitted (3 tasks)"), "{text}");
+    }
+
+    #[test]
+    fn empty_recovery_stats_render_nothing() {
+        let p = JobProfile::from_events(&log());
+        assert!(p.recovery.is_empty());
+        assert!(!p.render().contains("recovery:"));
     }
 
     #[test]

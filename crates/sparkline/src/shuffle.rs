@@ -15,8 +15,17 @@
 //!
 //! Merging uses insertion-ordered maps so results are deterministic across
 //! runs and worker counts.
+//!
+//! **Fault tolerance.** Each map output is owned by the logical executor that
+//! produced it, recorded in the [`MapOutputTracker`]. When an executor dies
+//! its outputs are marked lost; reduce tasks then surface a fetch failure
+//! (instead of panicking), and the materialization loop resubmits a map
+//! stage covering *only the missing partitions* — bounded by
+//! `max_stage_attempts`, with exponential backoff — before retrying the
+//! outstanding reduce partitions. Results are bit-identical to a fault-free
+//! run because every stage recomputes deterministically from lineage.
 
-use crate::context::{Context, StageMeta};
+use crate::context::{current_executor, Context, StageMeta};
 use crate::events::Event;
 use crate::metrics::ShuffleDetail;
 use crate::ops::Op;
@@ -27,6 +36,135 @@ use crate::Data;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Backoff before the first stage resubmission; doubles per attempt.
+const RESUBMIT_BACKOFF_BASE_MICROS: u64 = 200;
+/// Cap on the resubmission backoff, keeping recovery fast in tests.
+const RESUBMIT_BACKOFF_CAP_MICROS: u64 = 10_000;
+
+/// Who produced (and therefore owns) one shuffle map output.
+#[derive(Clone, Copy, Debug)]
+enum OutputOwner {
+    /// Owned by a logical executor at a specific epoch; dies with it.
+    Executor { executor: usize, epoch: u64 },
+    /// Produced on a driver thread (no executor): survives every kill.
+    Driver,
+}
+
+/// Driver-side registry of which executor owns each shuffle map output —
+/// sparkline's `MapOutputTracker`. Pure bookkeeping over `(shuffle,
+/// map_partition)`: epoch validity is judged by callers, who know the live
+/// epochs; [`Context::kill_executor`](crate::Context::kill_executor) sweeps
+/// an executor's outputs when it dies.
+#[derive(Default)]
+pub struct MapOutputTracker {
+    state: Mutex<HashMap<u64, Vec<Option<OutputOwner>>>>,
+}
+
+impl MapOutputTracker {
+    /// Ensure `shuffle` is tracked with `n_map` (initially missing) outputs.
+    pub(crate) fn register_shuffle(&self, shuffle: u64, n_map: usize) {
+        self.state
+            .lock()
+            .entry(shuffle)
+            .or_insert_with(|| vec![None; n_map]);
+    }
+
+    /// Record who produced map output `part`. `owner` is `(executor, epoch)`
+    /// as observed when the task launched, or `None` for a driver thread.
+    pub(crate) fn register(&self, shuffle: u64, part: usize, owner: Option<(usize, u64)>) {
+        if let Some(parts) = self.state.lock().get_mut(&shuffle) {
+            parts[part] = Some(match owner {
+                Some((executor, epoch)) => OutputOwner::Executor { executor, epoch },
+                None => OutputOwner::Driver,
+            });
+        }
+    }
+
+    /// Mark one output lost (fetch failure / half-consumed merge input).
+    pub(crate) fn unregister(&self, shuffle: u64, part: usize) {
+        if let Some(parts) = self.state.lock().get_mut(&shuffle) {
+            parts[part] = None;
+        }
+    }
+
+    /// Map partitions of `shuffle` with no live output, in partition order.
+    pub(crate) fn missing(&self, shuffle: u64) -> Vec<usize> {
+        self.state
+            .lock()
+            .get(&shuffle)
+            .map_or_else(Vec::new, |parts| {
+                parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_none())
+                    .map(|(p, _)| p)
+                    .collect()
+            })
+    }
+
+    /// Some live output of `shuffle`, if any — the victim for an injected
+    /// fetch failure.
+    pub(crate) fn any_live(&self, shuffle: u64) -> Option<usize> {
+        self.state
+            .lock()
+            .get(&shuffle)
+            .and_then(|parts| parts.iter().position(Option::is_some))
+    }
+
+    /// Executor currently owning map output `part`, if executor-owned.
+    pub fn owner(&self, shuffle: u64, part: usize) -> Option<usize> {
+        match self.state.lock().get(&shuffle)?.get(part)? {
+            Some(OutputOwner::Executor { executor, .. }) => Some(*executor),
+            _ => None,
+        }
+    }
+
+    /// Live outputs registered for `shuffle` (diagnostics).
+    pub fn live_outputs(&self, shuffle: u64) -> usize {
+        self.state
+            .lock()
+            .get(&shuffle)
+            .map_or(0, |parts| parts.iter().filter(|o| o.is_some()).count())
+    }
+
+    /// Sweep every output owned by `executor` up to and including
+    /// `dead_epoch` (older incarnations are just as dead; outputs registered
+    /// by the restarted incarnation survive). Returns how many outputs were
+    /// lost.
+    pub(crate) fn remove_executor(&self, executor: usize, dead_epoch: u64) -> usize {
+        let mut lost = 0;
+        for parts in self.state.lock().values_mut() {
+            for slot in parts.iter_mut() {
+                if matches!(
+                    slot,
+                    Some(OutputOwner::Executor { executor: e, epoch }) if *e == executor && *epoch <= dead_epoch
+                ) {
+                    *slot = None;
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Forget `shuffle` entirely — called once its reduce output is
+    /// materialized and cached on the driver, after which map outputs can no
+    /// longer be lost.
+    pub(crate) fn drop_shuffle(&self, shuffle: u64) {
+        self.state.lock().remove(&shuffle);
+    }
+}
+
+/// What one reduce task reports back to the materialization loop.
+struct FetchOutcome {
+    /// Shuffle-read volume `(bytes, records)`, when tracing and this attempt
+    /// did the merge.
+    read: Option<(u64, u64)>,
+    /// Map partitions this task found lost; non-empty means fetch failure.
+    lost: Vec<usize>,
+}
 
 /// How map-side values become reduce-side combiners.
 pub struct Aggregator<V, C> {
@@ -200,6 +338,13 @@ where
 
     /// Run the map and reduce stages once; later calls reuse the output
     /// (Spark keeps shuffle files, so retried downstream tasks re-read them).
+    ///
+    /// The body is a recovery loop: fill in missing map outputs (the first
+    /// pass computes all of them; later passes are resubmissions covering
+    /// only what an executor took down with it), then reduce the partitions
+    /// still outstanding. Reduce tasks that find an output lost report a
+    /// fetch failure instead of panicking; the loop then unwinds back to the
+    /// map side. Bounded by `max_stage_attempts` with exponential backoff.
     fn ensure_materialized(&self, ctx: &Context) -> Arc<Vec<Vec<(K, C)>>> {
         let mut state = self.state.lock();
         if let Some(out) = state.as_ref() {
@@ -208,148 +353,289 @@ where
         let n_map = self.parent.num_partitions();
         let n_red = self.partitioner.partitions();
         let tracing = ctx.is_tracing();
+        let tracker = &ctx.inner.map_outputs;
+        tracker.register_shuffle(self.shuffle_id, n_map);
 
-        // Map stage: route (and maybe combine) records into reduce buckets.
-        let (map_outputs, map_stage): (Vec<(Vec<Vec<(K, C)>>, u64, u64)>, u64) = ctx.run_stage(
-            n_map,
-            || StageMeta {
-                label: format!("shuffle.map({})", self.operator),
-                tag: self.tag.clone(),
-                lineage: Some(self.parent.name()),
-            },
-            |p| {
-                let input = self.parent.compute(p, ctx);
-                let records_in = input.len() as u64;
-                let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
-                    let mut merges: Vec<OrderedMerge<K, C>> =
-                        (0..n_red).map(|_| OrderedMerge::new()).collect();
-                    for (k, v) in input {
-                        let b = self.partitioner.partition(&k);
-                        merges[b].fold_value(k, v, &self.agg);
-                    }
-                    merges.into_iter().map(OrderedMerge::into_entries).collect()
-                } else {
-                    let mut buckets: Vec<Vec<(K, C)>> = (0..n_red).map(|_| Vec::new()).collect();
-                    for (k, v) in input {
-                        let b = self.partitioner.partition(&k);
-                        buckets[b].push((k, (self.agg.create)(v)));
-                    }
-                    buckets
-                };
-                let bytes: u64 = buckets
-                    .iter()
-                    .flat_map(|b| b.iter())
-                    .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
-                    .sum();
-                (buckets, bytes, records_in)
-            },
-        );
-        if tracing {
-            for (task, (buckets, bytes, _)) in map_outputs.iter().enumerate() {
-                ctx.events().emit(Event::ShuffleWrite {
-                    stage_id: map_stage,
-                    shuffle_id: self.shuffle_id,
-                    operator: self.operator.clone(),
-                    task,
-                    bytes: *bytes,
-                    records: buckets.iter().map(Vec::len).sum::<usize>() as u64,
-                });
-            }
-        }
-
-        let bytes_written: u64 = map_outputs.iter().map(|(_, b, _)| *b).sum();
-        let records_in: u64 = map_outputs.iter().map(|(_, _, r)| *r).sum();
-        let records_written: u64 = map_outputs
-            .iter()
-            .map(|(bs, _, _)| bs.iter().map(Vec::len).sum::<usize>() as u64)
-            .sum();
-        ctx.metrics().record_shuffle(ShuffleDetail {
-            shuffle_id: self.shuffle_id,
-            operator: self.operator.clone(),
-            bytes_written,
-            records_written,
-            records_in,
-            map_partitions: n_map,
-            reduce_partitions: n_red,
-        });
-
-        // Hand each reduce partition ownership of its buckets so merging
-        // moves records instead of cloning them (the "fetch" of a shuffle
-        // read).
-        let mut per_reduce: Vec<Vec<Vec<(K, C)>>> =
-            (0..n_red).map(|_| Vec::with_capacity(n_map)).collect();
-        for (buckets, _, _) in map_outputs {
-            for (r, bucket) in buckets.into_iter().enumerate() {
-                per_reduce[r].push(bucket);
-            }
-        }
-        // Shuffle-read sizes are only measured when tracing: sizing every
-        // record again would tax untraced runs.
-        let reads: Vec<(u64, u64)> = if tracing {
-            per_reduce
-                .iter()
-                .map(|buckets| {
-                    let bytes: u64 = buckets
-                        .iter()
-                        .flat_map(|b| b.iter())
-                        .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
-                        .sum();
-                    let records: u64 = buckets.iter().map(Vec::len).sum::<usize>() as u64;
-                    (bytes, records)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let slots: Vec<Mutex<Option<Vec<Vec<(K, C)>>>>> = per_reduce
-            .into_iter()
-            .map(|b| Mutex::new(Some(b)))
+        // grid[p][r]: the bucket map partition p wrote for reduce partition
+        // r. Resubmitted map tasks overwrite their row; reduce tasks consume
+        // their column.
+        let grid: Vec<Vec<Mutex<Option<Vec<(K, C)>>>>> = (0..n_map)
+            .map(|_| (0..n_red).map(|_| Mutex::new(None)).collect())
             .collect();
+        // Serializes fetch+merge per reduce partition so a speculative
+        // duplicate can never consume half a column.
+        let fetch_locks: Vec<Mutex<()>> = (0..n_red).map(|_| Mutex::new(())).collect();
+        let reduced_slots: Vec<Mutex<Option<Vec<(K, C)>>>> =
+            (0..n_red).map(|_| Mutex::new(None)).collect();
+        let mut resubmits = 0u32;
+        let mut first_map_stage = true;
 
-        // Reduce stage: merge all buckets destined to each reduce partition.
-        // Buckets are consumed at most once: a task retried *after* its
-        // merge already started (a user combine function panicked mid-way)
-        // fails loudly rather than producing silently empty output.
-        // Scheduler-injected failures fire before the closure runs, so
-        // ordinary retries never hit this.
-        let (reduced, reduce_stage): (Vec<Vec<(K, C)>>, u64) = ctx.run_stage(
-            n_red,
-            || StageMeta {
-                label: format!("shuffle.reduce({})", self.operator),
-                tag: self.tag.clone(),
-                lineage: Some(format!("{} <~ {}", self.operator, self.parent.name())),
-            },
-            |r| {
-                let buckets = slots[r]
-                    .lock()
-                    .take()
-                    .expect("shuffle reduce input already consumed by a failed attempt");
-                if self.agg.merge_on_reduce {
-                    let mut merge = OrderedMerge::new();
-                    for bucket in buckets {
-                        for (k, c) in bucket {
-                            merge.fold_combiner(k, c, &self.agg);
+        loop {
+            let missing = tracker.missing(self.shuffle_id);
+            if !missing.is_empty() {
+                if !first_map_stage {
+                    resubmits += 1;
+                    if resubmits >= ctx.max_stage_attempts() {
+                        panic!(
+                            "sparkline: shuffle {} ({}) still missing {} map outputs after \
+                             {} stage attempts",
+                            self.shuffle_id,
+                            self.operator,
+                            missing.len(),
+                            resubmits,
+                        );
+                    }
+                    // Exponential backoff: repeated faults on the same
+                    // shuffle back off before burning another attempt.
+                    let backoff = (RESUBMIT_BACKOFF_BASE_MICROS << (resubmits - 1).min(8))
+                        .min(RESUBMIT_BACKOFF_CAP_MICROS);
+                    std::thread::sleep(Duration::from_micros(backoff));
+                    if tracing {
+                        ctx.events().emit(Event::StageResubmitted {
+                            shuffle_id: self.shuffle_id,
+                            attempt: resubmits,
+                            missing_tasks: missing.len() as u64,
+                        });
+                    }
+                }
+                // Map stage over exactly the missing partitions. Each task
+                // reports the executor (and its epoch) that produced the
+                // output, so ownership lands in the tracker.
+                type MapOut<K, C> = (Vec<Vec<(K, C)>>, u64, u64, Option<(usize, u64)>);
+                let (map_outputs, map_stage): (Vec<MapOut<K, C>>, u64) = ctx.run_stage(
+                    missing.len(),
+                    || StageMeta {
+                        label: if first_map_stage {
+                            format!("shuffle.map({})", self.operator)
+                        } else {
+                            format!("shuffle.resubmit({})", self.operator)
+                        },
+                        tag: self.tag.clone(),
+                        lineage: Some(self.parent.name()),
+                    },
+                    |idx| {
+                        let p = missing[idx];
+                        let owner = current_executor().map(|e| (e, ctx.executor_epoch(e)));
+                        let input = self.parent.compute(p, ctx);
+                        let records_in = input.len() as u64;
+                        let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
+                            let mut merges: Vec<OrderedMerge<K, C>> =
+                                (0..n_red).map(|_| OrderedMerge::new()).collect();
+                            for (k, v) in input {
+                                let b = self.partitioner.partition(&k);
+                                merges[b].fold_value(k, v, &self.agg);
+                            }
+                            merges.into_iter().map(OrderedMerge::into_entries).collect()
+                        } else {
+                            let mut buckets: Vec<Vec<(K, C)>> =
+                                (0..n_red).map(|_| Vec::new()).collect();
+                            for (k, v) in input {
+                                let b = self.partitioner.partition(&k);
+                                buckets[b].push((k, (self.agg.create)(v)));
+                            }
+                            buckets
+                        };
+                        let bytes: u64 = buckets
+                            .iter()
+                            .flat_map(|b| b.iter())
+                            .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                            .sum();
+                        (buckets, bytes, records_in, owner)
+                    },
+                );
+
+                // Shuffle volumes describe the computation that ran, whether
+                // or not every output survived — but only the *first* map
+                // stage records them, so recovery never inflates the
+                // operator-level metrics.
+                if first_map_stage {
+                    let bytes_written: u64 = map_outputs.iter().map(|(_, b, _, _)| *b).sum();
+                    let records_in: u64 = map_outputs.iter().map(|(_, _, r, _)| *r).sum();
+                    let records_written: u64 = map_outputs
+                        .iter()
+                        .map(|(bs, _, _, _)| bs.iter().map(Vec::len).sum::<usize>() as u64)
+                        .sum();
+                    ctx.metrics().record_shuffle(ShuffleDetail {
+                        shuffle_id: self.shuffle_id,
+                        operator: self.operator.clone(),
+                        bytes_written,
+                        records_written,
+                        records_in,
+                        map_partitions: n_map,
+                        reduce_partitions: n_red,
+                    });
+                }
+                first_map_stage = false;
+
+                for (idx, (buckets, bytes, _, owner)) in map_outputs.into_iter().enumerate() {
+                    let p = missing[idx];
+                    // Register, then re-check the epoch: a kill racing this
+                    // registration may have swept before we registered.
+                    tracker.register(self.shuffle_id, p, owner);
+                    if let Some((executor, epoch)) = owner {
+                        if ctx.executor_epoch(executor) != epoch {
+                            tracker.unregister(self.shuffle_id, p);
+                            continue;
                         }
                     }
-                    merge.into_entries()
-                } else {
-                    buckets.into_iter().flatten().collect()
+                    if tracing {
+                        ctx.events().emit(Event::ShuffleWrite {
+                            stage_id: map_stage,
+                            shuffle_id: self.shuffle_id,
+                            operator: self.operator.clone(),
+                            task: p,
+                            bytes,
+                            records: buckets.iter().map(Vec::len).sum::<usize>() as u64,
+                        });
+                    }
+                    for (r, bucket) in buckets.into_iter().enumerate() {
+                        *grid[p][r].lock() = Some(bucket);
+                    }
                 }
-            },
-        );
-        if tracing {
-            for (task, (bytes, records)) in reads.into_iter().enumerate() {
-                ctx.events().emit(Event::ShuffleRead {
-                    stage_id: reduce_stage,
-                    shuffle_id: self.shuffle_id,
-                    operator: self.operator.clone(),
-                    task,
-                    bytes,
-                    records,
-                });
+                // Anything lost between launch and registration is still
+                // missing; go around and resubmit.
+                if !tracker.missing(self.shuffle_id).is_empty() {
+                    continue;
+                }
+            }
+
+            let pending: Vec<usize> = (0..n_red)
+                .filter(|&r| reduced_slots[r].lock().is_none())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+
+            // The map→reduce barrier: the deterministic point where chaos
+            // schedules can kill the owner of a specific map output. Crossed
+            // once per materialization in a fault-free run, once more per
+            // recovery round.
+            ctx.chaos_barrier(self.shuffle_id);
+            if !tracker.missing(self.shuffle_id).is_empty() {
+                continue;
+            }
+
+            // Reduce stage over the outstanding partitions: fetch (check
+            // availability, consume the column) and merge. Lost inputs are
+            // *reported*, not panicked on — the loop resubmits and retries.
+            let (outcomes, reduce_stage): (Vec<FetchOutcome>, u64) = ctx.run_stage(
+                pending.len(),
+                || StageMeta {
+                    label: format!("shuffle.reduce({})", self.operator),
+                    tag: self.tag.clone(),
+                    lineage: Some(format!("{} <~ {}", self.operator, self.parent.name())),
+                },
+                |idx| {
+                    let r = pending[idx];
+                    let _fetch = fetch_locks[r].lock();
+                    if reduced_slots[r].lock().is_some() {
+                        // A duplicate (speculative) attempt already merged
+                        // this partition; first result won.
+                        return FetchOutcome {
+                            read: None,
+                            lost: Vec::new(),
+                        };
+                    }
+                    // Chaos: a failed fetch drops one live map output, so
+                    // recovery has real recomputation to do.
+                    if ctx.chaos_fetch_should_fail() {
+                        if let Some(p) = tracker.any_live(self.shuffle_id) {
+                            tracker.unregister(self.shuffle_id, p);
+                            return FetchOutcome {
+                                read: None,
+                                lost: vec![p],
+                            };
+                        }
+                    }
+                    // Availability check: outputs an executor took down are
+                    // unreadable even if stale bytes linger in the grid.
+                    let lost = tracker.missing(self.shuffle_id);
+                    if !lost.is_empty() {
+                        return FetchOutcome { read: None, lost };
+                    }
+                    // Columns half-consumed by an attempt that crashed
+                    // mid-merge count as lost too: recompute from lineage
+                    // instead of panicking on the gap.
+                    let gone: Vec<usize> = (0..n_map)
+                        .filter(|&p| grid[p][r].lock().is_none())
+                        .collect();
+                    if !gone.is_empty() {
+                        for &p in &gone {
+                            tracker.unregister(self.shuffle_id, p);
+                        }
+                        return FetchOutcome {
+                            read: None,
+                            lost: gone,
+                        };
+                    }
+                    let buckets: Vec<Vec<(K, C)>> = (0..n_map)
+                        .map(|p| {
+                            grid[p][r]
+                                .lock()
+                                .take()
+                                .expect("bucket checked present under the fetch lock")
+                        })
+                        .collect();
+                    // Shuffle-read sizes are only measured when tracing:
+                    // sizing every record again would tax untraced runs.
+                    let read = tracing.then(|| {
+                        let bytes: u64 = buckets
+                            .iter()
+                            .flat_map(|b| b.iter())
+                            .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                            .sum();
+                        let records: u64 = buckets.iter().map(Vec::len).sum::<usize>() as u64;
+                        (bytes, records)
+                    });
+                    let merged = if self.agg.merge_on_reduce {
+                        let mut merge = OrderedMerge::new();
+                        for bucket in buckets {
+                            for (k, c) in bucket {
+                                merge.fold_combiner(k, c, &self.agg);
+                            }
+                        }
+                        merge.into_entries()
+                    } else {
+                        buckets.into_iter().flatten().collect()
+                    };
+                    *reduced_slots[r].lock() = Some(merged);
+                    FetchOutcome {
+                        read,
+                        lost: Vec::new(),
+                    }
+                },
+            );
+            if tracing {
+                for (idx, outcome) in outcomes.iter().enumerate() {
+                    let r = pending[idx];
+                    if !outcome.lost.is_empty() {
+                        ctx.events().emit(Event::FetchFailed {
+                            shuffle_id: self.shuffle_id,
+                            stage_id: reduce_stage,
+                            reduce_task: r,
+                            lost_map_outputs: outcome.lost.len() as u64,
+                        });
+                    } else if let Some((bytes, records)) = outcome.read {
+                        ctx.events().emit(Event::ShuffleRead {
+                            stage_id: reduce_stage,
+                            shuffle_id: self.shuffle_id,
+                            operator: self.operator.clone(),
+                            task: r,
+                            bytes,
+                            records,
+                        });
+                    }
+                }
             }
         }
 
+        // Materialized: the reduced output now lives on the driver, beyond
+        // the reach of executor loss.
+        tracker.drop_shuffle(self.shuffle_id);
+        let reduced: Vec<Vec<(K, C)>> = reduced_slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("reduce partition materialized"))
+            .collect();
         let out = Arc::new(reduced);
         *state = Some(out.clone());
         out

@@ -207,6 +207,10 @@ struct BlockEntry {
     tick: u64,
     level: StorageLevel,
     tier: Tier,
+    /// Executor that computed the block (`None` for driver-side puts).
+    /// Blocks die with their executor: [`BlockManager::remove_executor`]
+    /// sweeps them so lineage recomputes on healthy executors.
+    executor: Option<usize>,
     /// Type-erased spill encoder, captured when the block was stored — the
     /// only point where the concrete element type is known, which is what
     /// lets eviction spill blocks without knowing their type.
@@ -397,6 +401,7 @@ impl BlockManager {
             out
         });
         let tick = self.next_tick();
+        let executor = crate::context::current_executor();
         let mut outcome = PutOutcome {
             stored: false,
             spilled_directly: false,
@@ -420,6 +425,7 @@ impl BlockManager {
                             tick,
                             level,
                             tier: Tier::Disk(path),
+                            executor,
                             encode,
                         },
                     );
@@ -489,6 +495,7 @@ impl BlockManager {
                 tick,
                 level,
                 tier: Tier::Memory(data as ErasedPart),
+                executor,
                 encode,
             },
         );
@@ -505,6 +512,30 @@ impl BlockManager {
             .keys()
             .filter(|(d, _)| *d == dataset)
             .copied()
+            .collect();
+        for key in &keys {
+            if let Some(entry) = state.entries.remove(key) {
+                match entry.tier {
+                    Tier::Memory(_) => state.memory_used -= entry.bytes,
+                    Tier::Disk(path) => {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+        }
+        keys.len()
+    }
+
+    /// Drop every block computed by `executor` (memory and spill files — a
+    /// dead executor's local disk is gone too). Driver-computed blocks
+    /// survive. Returns the number of blocks removed.
+    pub(crate) fn remove_executor(&self, executor: usize) -> usize {
+        let mut state = self.state.lock();
+        let keys: Vec<(u64, usize)> = state
+            .entries
+            .iter()
+            .filter(|(_, e)| e.executor == Some(executor))
+            .map(|(k, _)| *k)
             .collect();
         for key in &keys {
             if let Some(entry) = state.entries.remove(key) {

@@ -363,7 +363,13 @@ mod tests {
 
     #[test]
     fn persist_roundtrip_and_unpersist() {
-        let c = ctx();
+        // Ample pinned budget (builder beats SPARKLINE_STORAGE_BUDGET): the
+        // test asserts persisted blocks stay resident.
+        let c = Context::builder()
+            .workers(4)
+            .default_parallelism(4)
+            .storage_memory(64 << 20)
+            .build();
         let t = TiledMatrix::from_fn(&c, 8, 8, 4, 4, |i, j| (i * 8 + j) as f64).persist();
         let first = t.to_local();
         assert_eq!(t.to_local(), first, "cached read must match");

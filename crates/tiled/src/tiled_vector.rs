@@ -186,7 +186,12 @@ mod tests {
 
     #[test]
     fn persist_roundtrip_and_unpersist() {
-        let c = ctx();
+        // Ample pinned budget (builder beats SPARKLINE_STORAGE_BUDGET): the
+        // test asserts persisted blocks stay resident.
+        let c = Context::builder()
+            .workers(2)
+            .storage_memory(64 << 20)
+            .build();
         let data: Vec<f64> = (0..13).map(|i| i as f64).collect();
         let v = TiledVector::from_local(&c, &data, 4, 2).persist();
         assert_eq!(v.to_local(), data);

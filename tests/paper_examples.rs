@@ -196,10 +196,12 @@ fn iterative_squaring_computes_each_shared_block_once_per_iteration() {
     let iterations = 3;
 
     let run = |storage: Option<usize>| {
-        let mut builder = Session::builder().workers(4).partitions(4);
-        if let Some(bytes) = storage {
-            builder = builder.storage_memory(bytes);
-        }
+        // chaos_off: the exactly-once-per-iteration assertion below is void
+        // under injected executor kills (lost blocks legitimately recompute).
+        // `None` pins an ample budget rather than inheriting the env knob —
+        // a deliberately tiny SPARKLINE_STORAGE_BUDGET would evict here too.
+        let mut builder = Session::builder().workers(4).partitions(4).chaos_off();
+        builder = builder.storage_memory(storage.unwrap_or(64 << 20));
         let mut s = builder.build();
         s.register_local_matrix("A", &rand_mat(8, 8, 13), 4);
         s.set_int("n", 8);

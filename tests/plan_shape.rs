@@ -135,7 +135,18 @@ const SELF_MUL_SRC: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b
 
 #[test]
 fn auto_persist_cache_stats_aggregate_per_stage_and_dataset() {
-    let mut s = session(8, 4);
+    // chaos_off + ample pinned budget: this test pins exact fault-free cache
+    // counts (second run misses == 0), which an injected executor kill or a
+    // deliberately tiny env storage budget would legitimately break.
+    let mut s = Session::builder()
+        .workers(4)
+        .partitions(4)
+        .storage_memory(64 << 20)
+        .chaos_off()
+        .build();
+    let a = LocalMatrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+    s.register_local_matrix("A", &a, 4);
+    s.set_int("n", 8);
     s.config_mut().matmul = MatMulStrategy::GroupByJoin;
 
     // First run: the shared input is stored block by block (misses), then the
@@ -166,4 +177,83 @@ fn auto_persist_cache_stats_aggregate_per_stage_and_dataset() {
     assert_eq!(totals.misses, 0, "overlay must be reused across runs");
     assert!(totals.hits > 0);
     assert_eq!(totals.recomputes, 0);
+}
+
+#[test]
+fn kill_between_map_and_reduce_resubmits_exactly_the_lost_partitions() {
+    use sac_repro::sparkline::{ChaosPlan, Context};
+
+    // Kill the executor owning map output 1 at the first shuffle barrier —
+    // i.e. after every map task finished, before any reduce task fetched.
+    let run = |plan: Option<ChaosPlan>| {
+        let mut b = Context::builder().workers(4).executors(4);
+        b = match plan {
+            Some(p) => b.chaos(p),
+            None => b.chaos_off(),
+        };
+        let ctx = b.build();
+        ctx.trace();
+        let sums = ctx
+            .parallelize((0..40i64).map(|i| (i % 8, i)).collect(), 4)
+            // Slow the (pipelined) map tasks so all four workers claim one
+            // partition each and the kill loses some outputs, not all.
+            .map(|kv| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                kv
+            })
+            .reduce_by_key(4, |a, b| a + b)
+            .collect();
+        (sums, ctx.take_profile(), ctx)
+    };
+
+    let (oracle, clean_profile, _) = run(None);
+    assert_eq!(
+        clean_profile.recovery.stages_resubmitted, 0,
+        "fault-free run must not resubmit"
+    );
+
+    let plan = ChaosPlan::new().with_kill_owner_at_barrier(0, 1);
+    let (sums, profile, ctx) = run(Some(plan));
+    assert_eq!(sums, oracle, "recovered run must be bit-identical");
+
+    // Exactly one executor died and exactly one resubmission repaired it.
+    assert_eq!(profile.recovery.executors_lost, 1, "{}", profile.render());
+    assert_eq!(
+        profile.recovery.stages_resubmitted,
+        1,
+        "one kill between map and reduce -> one resubmission:\n{}",
+        profile.render()
+    );
+    // The resubmission recomputes exactly the partitions the dead executor
+    // owned — no more (event-count, not just final values).
+    assert_eq!(
+        profile.recovery.resubmitted_tasks,
+        profile.recovery.lost_map_outputs,
+        "{}",
+        profile.render()
+    );
+    assert!(profile.recovery.lost_map_outputs >= 1);
+    assert!(
+        profile.recovery.lost_map_outputs < 4,
+        "one executor of four cannot own every map output"
+    );
+    let resubmit_stages: Vec<_> = profile
+        .stages
+        .iter()
+        .filter(|st| st.label.starts_with("shuffle.resubmit"))
+        .collect();
+    assert_eq!(resubmit_stages.len(), 1);
+    assert_eq!(
+        resubmit_stages[0].tasks as u64,
+        profile.recovery.lost_map_outputs
+    );
+    // Fresh shuffle-stage accounting is not inflated by the resubmission.
+    assert_eq!(profile.shuffle_stage_count(), 1, "{}", profile.render());
+    assert_eq!(
+        ctx.executor_status()
+            .iter()
+            .map(|s| s.restarts)
+            .sum::<u64>(),
+        1
+    );
 }
