@@ -1,0 +1,106 @@
+//! Smoke benchmark of the adaptive planner: run a small size sweep with no
+//! pinned strategy and record which strategy the cost model picked, how long
+//! the query took, and how many bytes it shuffled.
+//!
+//! ```text
+//! cargo run --release -p bench --bin adaptive            # writes BENCH_adaptive.json
+//! cargo run --release -p bench --bin adaptive -- out.json
+//! ```
+//!
+//! The emitted JSON is a flat result list consumed by the CI bench-smoke job:
+//!
+//! ```json
+//! {"bench":"adaptive","results":[
+//!   {"name":"matmul_96","strategy":"contraction/broadcast",
+//!    "wall_ms":1.9,"shuffle_bytes":0}, ...]}
+//! ```
+
+use bench::{dense_local, TILE};
+use sac::Session;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    strategy: String,
+    wall_ms: f64,
+    shuffle_bytes: u64,
+}
+
+fn adaptive_session() -> Session {
+    // Everything on automatic: strategy, partition count, broadcast budget.
+    Session::builder()
+        .workers(std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .build()
+}
+
+/// Run one traced query and record the planner's choice plus the measured
+/// wall time and shuffle volume of that execution.
+fn run(name: &str, s: &Session, src: &str) -> Row {
+    let strategy = s
+        .compile(src)
+        .expect("query must plan")
+        .plan
+        .strategy_name()
+        .to_string();
+    let before = s.spark().metrics().snapshot();
+    let start = Instant::now();
+    s.run(src).expect("query must run").force();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let shuffle_bytes = s.spark().metrics().snapshot().since(&before).shuffle_bytes;
+    println!("{name:>12}: {strategy:<24} {wall_ms:>9.2} ms {shuffle_bytes:>12} shuffled bytes");
+    Row {
+        name: name.to_string(),
+        strategy,
+        wall_ms,
+        shuffle_bytes,
+    }
+}
+
+const MUL_SRC: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+     let v = a*b, group by (i,j) ]";
+const MAT_VEC_SRC: &str = "tiled_vector(n)[ (i, +/v) | ((i,k),a) <- A, (kk,x) <- V, kk == k, \
+     let v = a*x, group by i ]";
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_adaptive.json".to_string());
+    let mut rows = Vec::new();
+
+    // Size sweep across the broadcast budget: small operands are broadcast,
+    // large ones fall back to the cheapest shuffling strategy.
+    for n in [96usize, 384] {
+        let mut s = adaptive_session();
+        s.register_local_matrix("A", &dense_local(n, 300 + n as u64), TILE);
+        s.register_local_matrix("B", &dense_local(n, 400 + n as u64), TILE);
+        s.set_int("n", n as i64);
+        rows.push(run(&format!("matmul_{n}"), &s, MUL_SRC));
+    }
+
+    // Mat-vec: the vector side always fits the budget, so the adaptive
+    // planner runs it shuffle-free via broadcast.
+    {
+        let n = 384usize;
+        let mut s = adaptive_session();
+        s.register_local_matrix("A", &dense_local(n, 700), TILE);
+        let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+        let v = tiled::TiledVector::from_local(s.spark(), &x, TILE, bench::ingest_partitions(&s));
+        s.register_vector("V", v);
+        s.set_int("n", n as i64);
+        rows.push(run(&format!("matvec_{n}"), &s, MAT_VEC_SRC));
+    }
+
+    let mut json = String::from("{\"bench\":\"adaptive\",\"results\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"strategy\":\"{}\",\"wall_ms\":{:.3},\"shuffle_bytes\":{}}}",
+            r.name, r.strategy, r.wall_ms, r.shuffle_bytes
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -39,14 +39,23 @@ pub fn sparse_local(n: usize, seed: u64) -> LocalMatrix {
     LocalMatrix::sparse_random(n, n, 0.10, &mut rng)
 }
 
+/// Resolved ingest partition count: the session's configured count, or one
+/// per worker when the config leaves it on automatic (0).
+pub fn ingest_partitions(s: &Session) -> usize {
+    match s.config().partitions {
+        0 => s.spark().workers().max(1),
+        p => p,
+    }
+}
+
 /// Distribute a local matrix for SAC.
 pub fn tiled_of(s: &Session, m: &LocalMatrix) -> TiledMatrix {
-    TiledMatrix::from_local(s.spark(), m, TILE, s.config().partitions)
+    TiledMatrix::from_local(s.spark(), m, TILE, ingest_partitions(s))
 }
 
 /// Distribute a local matrix for the MLlib baseline.
 pub fn block_of(s: &Session, m: &LocalMatrix) -> BlockMatrix {
-    BlockMatrix::from_local(s.spark(), m, TILE, s.config().partitions)
+    BlockMatrix::from_local(s.spark(), m, TILE, ingest_partitions(s))
 }
 
 /// One MLlib-style factorization iteration, composed from `BlockMatrix`

@@ -13,6 +13,7 @@ pub struct SessionBuilder {
     partitions: usize,
     tile_threads: usize,
     matmul: MatMulStrategy,
+    broadcast_budget: u64,
     storage_memory: Option<usize>,
     auto_persist: bool,
     max_task_attempts: Option<u32>,
@@ -27,9 +28,12 @@ impl Default for SessionBuilder {
         SessionBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             executors: None,
-            partitions: 8,
+            // 0 = derive shuffle parallelism from the worker count and the
+            // estimated output size at execution time.
+            partitions: 0,
             tile_threads: 1,
-            matmul: MatMulStrategy::GroupByJoin,
+            matmul: MatMulStrategy::Auto,
+            broadcast_budget: PlanConfig::default().broadcast_budget,
             storage_memory: None,
             auto_persist: true,
             max_task_attempts: None,
@@ -60,9 +64,18 @@ impl SessionBuilder {
         self
     }
 
-    /// Contraction strategy (§5.3 reduceByKey vs §5.4 group-by-join).
+    /// Contraction strategy (§5.3 reduceByKey vs §5.4 group-by-join). The
+    /// default, [`MatMulStrategy::Auto`], picks the cheapest strategy per
+    /// query from registered statistics.
     pub fn matmul(mut self, s: MatMulStrategy) -> Self {
         self.matmul = s;
+        self
+    }
+
+    /// Largest estimated operand size (bytes) the adaptive planner will ship
+    /// as a broadcast table instead of shuffling.
+    pub fn broadcast_budget(mut self, bytes: u64) -> Self {
+        self.broadcast_budget = bytes;
         self
     }
 
@@ -152,6 +165,7 @@ impl SessionBuilder {
             config: PlanConfig {
                 partitions: self.partitions,
                 matmul: self.matmul,
+                broadcast_budget: self.broadcast_budget,
                 tile_threads: self.tile_threads,
                 allow_local_fallback: true,
                 auto_persist: self.auto_persist,
@@ -230,11 +244,30 @@ impl Session {
         m: &LocalMatrix,
         tile_size: usize,
     ) {
-        let tiled = TiledMatrix::from_local(&self.ctx, m, tile_size, self.config.partitions)
-            .partition_by_grid(self.config.partitions);
+        let name = name.into();
+        let partitions = self.ingest_partitions();
+        let tiled = TiledMatrix::from_local(&self.ctx, m, tile_size, partitions)
+            .partition_by_grid(partitions);
         // Run the ingest shuffle now, outside any traced query window.
         tiled.tiles().count();
-        self.register_matrix(name, tiled);
+        let nnz = m.nnz() as u64;
+        self.register_matrix(name.clone(), tiled);
+        // The local data is in hand here, so refine the derived statistics
+        // with an exact non-zero count for the cost model's sparsity term.
+        if let Some(stats) = self.env.stats(&name).cloned() {
+            self.env.set_stats(name, stats.with_nnz(nnz));
+        }
+    }
+
+    /// Partition count used when materializing registered arrays:
+    /// the configured count, or one partition per worker when the config
+    /// leaves it on automatic (0).
+    fn ingest_partitions(&self) -> usize {
+        if self.config.partitions == 0 {
+            self.ctx.workers().max(1)
+        } else {
+            self.config.partitions
+        }
     }
 
     /// Register a tiled vector.

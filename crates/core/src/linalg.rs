@@ -273,7 +273,11 @@ pub fn multiply_sparse_left(
         return Err(CompError::plan("inner dimension mismatch"));
     }
     let n = a.tile_size();
-    let partitions = s.config().partitions;
+    // 0 = automatic: fall back to one shuffle partition per worker.
+    let partitions = match s.config().partitions {
+        0 => s.spark().workers().max(1),
+        p => p,
+    };
     let bcols_b = b.block_cols();
     let brows_a = a.block_rows();
 
@@ -324,6 +328,7 @@ pub fn factorization_error(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use planner::MatMulStrategy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tiled::LocalMatrix;
@@ -459,7 +464,10 @@ mod tests {
 
     #[test]
     fn sparse_left_multiply_matches_dense_and_shuffles_less() {
-        let s = session();
+        // Pin a shuffling strategy: this test compares shuffled bytes, and
+        // the adaptive planner would broadcast these small operands instead.
+        let mut s = session();
+        s.config_mut().matmul = MatMulStrategy::GroupByJoin;
         let mut rng = StdRng::seed_from_u64(30);
         // A is 5% dense; sparse tiles should ship far fewer bytes.
         let a = LocalMatrix::sparse_random(24, 24, 0.05, &mut rng);

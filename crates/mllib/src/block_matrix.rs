@@ -365,6 +365,41 @@ mod tests {
     }
 
     #[test]
+    fn multiply_balances_non_square_partition_counts() {
+        // simulateMultiply routes each replicated block to the partitions
+        // owning its result blocks; with a non-square partition count (6)
+        // the grid mapping must cover 0..partitions without aliasing
+        // distant sub-rectangles — the wrap bug this exercises used to fold
+        // them together, skewing reduce load. Correctness plus balance.
+        let c = ctx();
+        let a = random(16, 16, 13);
+        let b = random(16, 16, 14);
+        let ba = BlockMatrix::from_local(&c, &a, 4, 6);
+        let bb = BlockMatrix::from_local(&c, &b, 4, 6);
+        let got = ba.multiply(&bb).to_local();
+        assert!(got.max_abs_diff(&a.multiply(&b)) < 1e-9);
+
+        let partitioner = ba.grid_partitioner();
+        let mut occupancy = vec![0usize; 6];
+        for bi in 0..ba.block_rows() {
+            for bj in 0..ba.block_cols() {
+                let p = partitioner.partition(&(bi, bj));
+                assert!(p < 6, "grid partition {p} out of range");
+                occupancy[p] += 1;
+            }
+        }
+        let (max, min) = (
+            *occupancy.iter().max().unwrap(),
+            *occupancy.iter().min().unwrap(),
+        );
+        assert!(min > 0, "every partition must own blocks: {occupancy:?}");
+        assert!(
+            max <= 2 * min,
+            "block occupancy skew too high: {occupancy:?}"
+        );
+    }
+
+    #[test]
     fn transpose_and_scale_and_subtract() {
         let c = ctx();
         let a = random(6, 9, 7);

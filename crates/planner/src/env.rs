@@ -73,10 +73,136 @@ impl DistArray {
     }
 }
 
+/// Per-array statistics for the planner's cost model: logical dimensions,
+/// tile grid, estimated resident bytes, and (when known at registration)
+/// the non-zero count.
+///
+/// Stats are metadata-derived — collecting them never runs a job. The nnz
+/// field is only filled when the driver had the data in hand anyway (e.g.
+/// registering a local matrix); `None` means "assume dense".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayStats {
+    pub rows: i64,
+    pub cols: i64,
+    /// Tile side length (matrices) or block size (vectors); 1 for COO.
+    pub tile_size: usize,
+    pub block_rows: i64,
+    pub block_cols: i64,
+    /// Non-zero count, when known. `None` = assume dense.
+    pub nnz: Option<u64>,
+    /// Estimated resident bytes of the distributed representation.
+    pub estimated_bytes: u64,
+}
+
+impl ArrayStats {
+    /// Bytes of one shuffled tile record: `(i64, i64)` coordinate plus the
+    /// [`tiled::DenseMatrix`] payload (its `SizeOf` is `16 + 8 * n^2`).
+    pub fn dense_tile_bytes(tile_size: usize) -> u64 {
+        16 + 16 + 8 * (tile_size as u64) * (tile_size as u64)
+    }
+
+    /// Stats for a tiled matrix, from metadata alone.
+    pub fn matrix(rows: i64, cols: i64, tile_size: usize) -> ArrayStats {
+        let block_rows = div_ceil_i64(rows, tile_size as i64);
+        let block_cols = div_ceil_i64(cols, tile_size as i64);
+        ArrayStats {
+            rows,
+            cols,
+            tile_size,
+            block_rows,
+            block_cols,
+            nnz: None,
+            estimated_bytes: (block_rows * block_cols) as u64
+                * ArrayStats::dense_tile_bytes(tile_size),
+        }
+    }
+
+    /// Stats for a tiled (block) vector: a single-column grid of blocks.
+    pub fn vector(len: i64, block_size: usize) -> ArrayStats {
+        let blocks = div_ceil_i64(len, block_size as i64);
+        ArrayStats {
+            rows: len,
+            cols: 1,
+            tile_size: block_size,
+            block_rows: blocks,
+            block_cols: 1,
+            nnz: None,
+            // One block record: i64 key + Vec<f64> payload (4 + 8 * n).
+            estimated_bytes: blocks as u64 * (8 + 4 + 8 * block_size as u64),
+        }
+    }
+
+    /// Stats for a COO matrix. Without an action the entry count is unknown,
+    /// so bytes assume fully dense (~24 bytes per `((i64,i64),f64)` record).
+    pub fn coo(rows: i64, cols: i64) -> ArrayStats {
+        ArrayStats {
+            rows,
+            cols,
+            tile_size: 1,
+            block_rows: rows,
+            block_cols: cols,
+            nnz: None,
+            estimated_bytes: (rows as u64) * (cols as u64) * 24,
+        }
+    }
+
+    /// Same stats with a known non-zero count.
+    pub fn with_nnz(mut self, nnz: u64) -> ArrayStats {
+        self.nnz = Some(nnz);
+        self
+    }
+
+    /// Fraction of non-zero elements, when the nnz is known.
+    pub fn density(&self) -> Option<f64> {
+        let total = (self.rows as f64) * (self.cols as f64);
+        self.nnz.map(|n| {
+            if total > 0.0 {
+                (n as f64 / total).min(1.0)
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Number of tiles in the grid.
+    pub fn num_tiles(&self) -> u64 {
+        (self.block_rows * self.block_cols) as u64
+    }
+
+    /// Estimated wire bytes of one tile record if shuffled: dense payload
+    /// scaled by density when the nnz is known (a sparse tile ships ~12
+    /// bytes per stored element in CSC form, so density discounts apply),
+    /// floored at the record framing overhead.
+    pub fn tile_wire_bytes(&self) -> u64 {
+        let dense = ArrayStats::dense_tile_bytes(self.tile_size);
+        match self.density() {
+            Some(d) => {
+                let csc = 32.0 + d * 12.0 * (self.tile_size as f64) * (self.tile_size as f64);
+                (csc.min(dense as f64)) as u64
+            }
+            None => dense,
+        }
+    }
+}
+
+fn div_ceil_i64(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Metadata-derived statistics for an array (no jobs run).
+fn derived_stats(array: &DistArray) -> ArrayStats {
+    match array {
+        DistArray::Matrix(m) => ArrayStats::matrix(m.rows(), m.cols(), m.tile_size()),
+        DistArray::Vector(v) => ArrayStats::vector(v.len(), v.block_size()),
+        DistArray::Coo(c) => ArrayStats::coo(c.rows(), c.cols()),
+    }
+}
+
 /// Free-variable bindings available while planning a comprehension.
 #[derive(Clone, Default)]
 pub struct PlanEnv {
     arrays: HashMap<String, DistArray>,
+    stats: HashMap<String, ArrayStats>,
     scalars: HashMap<String, Value>,
     /// Auto-persist overlays: name -> (lineage identity of the source
     /// array, its persisted wrapper). Shared across clones so repeated
@@ -102,7 +228,19 @@ impl PlanEnv {
             }
         }
         drop(cache);
+        self.stats.insert(name.clone(), derived_stats(&array));
         self.arrays.insert(name, array);
+    }
+
+    /// Statistics for the array bound to `name`, if any.
+    pub fn stats(&self, name: &str) -> Option<&ArrayStats> {
+        self.stats.get(name)
+    }
+
+    /// Refine the statistics of an already-registered array (e.g. fill the
+    /// nnz count when the registering caller had the local data in hand).
+    pub fn set_stats(&mut self, name: impl Into<String>, stats: ArrayStats) {
+        self.stats.insert(name.into(), stats);
     }
 
     /// Bind `name` directly, without touching the auto-persist cache. Used
@@ -313,6 +451,31 @@ mod tests {
         assert!(env.unpersist_all() > 0);
         assert_eq!(ctx.storage_status().blocks_in_memory, 0);
         assert_eq!(env.unpersist_all(), 0);
+    }
+
+    #[test]
+    fn registration_derives_stats_and_nnz_refines_wire_bytes() {
+        let ctx = Context::builder().workers(2).build();
+        let m = LocalMatrix::from_fn(6, 6, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mut env = PlanEnv::new();
+        env.set_array(
+            "M",
+            DistArray::Matrix(TiledMatrix::from_local(&ctx, &m, 4, 2)),
+        );
+        let s = *env.stats("M").unwrap();
+        assert_eq!((s.rows, s.cols, s.tile_size), (6, 6, 4));
+        assert_eq!((s.block_rows, s.block_cols), (2, 2));
+        assert_eq!(s.nnz, None);
+        assert_eq!(s.num_tiles(), 4);
+        assert_eq!(s.estimated_bytes, 4 * ArrayStats::dense_tile_bytes(4));
+        // Unknown nnz: wire bytes assume dense.
+        assert_eq!(s.tile_wire_bytes(), ArrayStats::dense_tile_bytes(4));
+        // Known sparse nnz: wire bytes shrink below the dense payload.
+        env.set_stats("M", s.with_nnz(6));
+        let refined = env.stats("M").unwrap();
+        assert!((refined.density().unwrap() - 6.0 / 36.0).abs() < 1e-12);
+        assert!(refined.tile_wire_bytes() < ArrayStats::dense_tile_bytes(4));
+        assert!(env.stats("missing").is_none());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use comp::ast::{Expr, Monoid, Pattern, Qualifier};
 use comp::errors::CompError;
 use comp::eval::eval_comprehension;
 use comp::{Comprehension, Value};
-use sparkline::{Context, Dataset};
+use sparkline::{Context, Dataset, Event};
 use std::collections::HashMap;
 use tiled::{DenseMatrix, LocalMatrix, TileCoord, TiledMatrix, TiledVector};
 
@@ -89,6 +89,28 @@ pub fn execute(
     ctx: &Context,
     config: &PlanConfig,
 ) -> Result<ExecResult, CompError> {
+    // Resolve partition autotuning (`partitions == 0`) against this
+    // context's worker pool and the plan's estimated output size, then put
+    // the planner's cost-based decision on the event bus as `plan.chosen`.
+    let mut tuned = config.clone();
+    if tuned.partitions == 0 {
+        tuned.partitions = autotune_partitions(&planned.output, ctx);
+    }
+    let config = &tuned;
+    if let Some(decision) = planned.plan.decision() {
+        ctx.emit_event(|at_micros| Event::PlanChosen {
+            chosen: decision.chosen.to_string(),
+            auto: decision.auto,
+            partitions: config.partitions as u64,
+            est_shuffle_bytes: decision.est_shuffle_bytes,
+            candidates: decision
+                .candidates
+                .iter()
+                .map(|&(tag, cost)| (tag.to_string(), cost))
+                .collect(),
+            at_micros,
+        });
+    }
     ctx.scoped_tag(planned.plan.strategy_name(), || {
         if config.auto_persist {
             if let Some(overlay) = persist_shared_inputs(&planned.plan, env) {
@@ -97,6 +119,23 @@ pub fn execute(
         }
         execute_untagged(planned, env, ctx, config)
     })
+}
+
+/// Target bytes per shuffle partition when autotuning.
+const PARTITION_TARGET_BYTES: u64 = 1 << 20;
+
+/// Derive the shuffle partition count from the (dense-estimated) output
+/// size: one partition per ~1 MiB, clamped to `[workers, 4 * workers]` so
+/// small jobs still engage every worker and large ones don't drown the
+/// scheduler in tiny tasks.
+fn autotune_partitions(output: &OutputKind, ctx: &Context) -> usize {
+    let est_bytes = match output {
+        OutputKind::Matrix { rows, cols } => (*rows).max(0) as u64 * (*cols).max(0) as u64 * 8,
+        OutputKind::Vector { len } => (*len).max(0) as u64 * 8,
+        OutputKind::Local => 0,
+    };
+    let workers = ctx.workers().max(1);
+    ((est_bytes / PARTITION_TARGET_BYTES) as usize).clamp(workers, 4 * workers)
 }
 
 /// When a plan references the same input name more than once (e.g. both
@@ -139,7 +178,7 @@ fn execute_untagged(
             exec_eltwise(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
         }
         (Plan::Contraction { .. }, OutputKind::Matrix { rows, cols }) => {
-            exec_contraction(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
+            exec_contraction(&planned.plan, env, ctx, config, *rows, *cols).map(ExecResult::Matrix)
         }
         (Plan::IndexRemap { .. }, OutputKind::Matrix { rows, cols }) => {
             exec_index_remap(&planned.plan, env, ctx, config, *rows, *cols).map(ExecResult::Matrix)
@@ -152,7 +191,7 @@ fn execute_untagged(
             exec_axis_reduce(&planned.plan, env, config, *len).map(ExecResult::Vector)
         }
         (Plan::MatVec { .. }, OutputKind::Vector { len }) => {
-            exec_mat_vec(&planned.plan, env, config, *len).map(ExecResult::Vector)
+            exec_mat_vec(&planned.plan, env, ctx, config, *len).map(ExecResult::Vector)
         }
         (Plan::VectorEltwise { .. }, OutputKind::Vector { len }) => {
             exec_vector_eltwise(&planned.plan, env, config, *len).map(ExecResult::Vector)
@@ -320,10 +359,12 @@ fn general_tile_contract(
     }
 }
 
-/// §5.3 (join + reduceByKey) and §5.4 (group-by-join / SUMMA).
+/// §5.3 (join + reduceByKey), §5.4 (group-by-join / SUMMA), and the
+/// MLlib-style broadcast join.
 fn exec_contraction(
     plan: &Plan,
     env: &PlanEnv,
+    ctx: &Context,
     config: &PlanConfig,
     rows: i64,
     cols: i64,
@@ -336,6 +377,7 @@ fn exec_contraction(
         swap_output,
         value,
         strategy,
+        ..
     } = plan
     else {
         unreachable!()
@@ -465,6 +507,65 @@ fn exec_contraction(
                     (coord, out)
                 })
         }
+        MatMulStrategy::Broadcast => {
+            // MLlib-style broadcast join: collect the smaller operand's
+            // tiles on the driver, ship them to every task via
+            // [`Context::broadcast`], and compute locally-merged partial
+            // output tiles map-side. A single reduceByKey round combines
+            // partials whose contraction spans several partitions of the
+            // big side — no join shuffle at all.
+            let partitions = config.partitions;
+            if b.rows() * b.cols() <= a.rows() * a.cols() {
+                // Broadcast B, keyed by the contracted block index.
+                let mut table: HashMap<i64, Vec<(i64, DenseMatrix)>> = HashMap::new();
+                for ((k, j), t) in b.tiles().collect() {
+                    table.entry(k).or_default().push((j, t));
+                }
+                let table = ctx.broadcast(table);
+                a.tiles()
+                    .map_partitions(move |_, tiles| {
+                        let mut acc: HashMap<TileCoord, DenseMatrix> = HashMap::new();
+                        for ((i, k), av) in tiles {
+                            let Some(row) = table.get(&k) else { continue };
+                            for (j, bv) in row {
+                                let out = acc
+                                    .entry((i, *j))
+                                    .or_insert_with(|| DenseMatrix::zeros(n, n));
+                                multiply(&av, bv, k, out);
+                            }
+                        }
+                        acc.into_iter().collect::<Vec<_>>()
+                    })
+                    .reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
+            } else {
+                // Broadcast A, keyed by the contracted block index.
+                let mut table: HashMap<i64, Vec<(i64, DenseMatrix)>> = HashMap::new();
+                for ((i, k), t) in a.tiles().collect() {
+                    table.entry(k).or_default().push((i, t));
+                }
+                let table = ctx.broadcast(table);
+                b.tiles()
+                    .map_partitions(move |_, tiles| {
+                        let mut acc: HashMap<TileCoord, DenseMatrix> = HashMap::new();
+                        for ((k, j), bv) in tiles {
+                            let Some(col) = table.get(&k) else { continue };
+                            for (i, av) in col {
+                                let out = acc
+                                    .entry((*i, j))
+                                    .or_insert_with(|| DenseMatrix::zeros(n, n));
+                                multiply(av, &bv, k, out);
+                            }
+                        }
+                        acc.into_iter().collect::<Vec<_>>()
+                    })
+                    .reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
+            }
+        }
+        MatMulStrategy::Auto => {
+            return Err(CompError::plan(
+                "Auto contraction strategy must be resolved at plan time",
+            ))
+        }
     };
     let result = TiledMatrix::new(std_dims.0, std_dims.1, n, std);
     Ok(if *swap_output {
@@ -543,11 +644,43 @@ fn vector_input<'a>(env: &'a PlanEnv, name: &str) -> Result<&'a TiledVector, Com
         .ok_or_else(|| CompError::plan(format!("`{name}` is not a registered tiled vector")))
 }
 
-/// Matrix–vector contraction: join tiles with vector blocks on the
-/// contracted block coordinate, partial block products, block `reduceByKey`.
+/// One tile × block partial product, shared by the shuffle and broadcast
+/// mat-vec paths; `bk` is the contracted block coordinate, used to mask the
+/// zero-padded contraction tail under general (non-product) combines.
+fn tile_block_product(
+    tile: &DenseMatrix,
+    block: &[f64],
+    bk: i64,
+    n: usize,
+    inner: i64,
+    fast: bool,
+    value: &ScalarFn,
+) -> Vec<f64> {
+    if fast {
+        tile.matvec(block)
+    } else {
+        let valid = ((inner - bk * n as i64).clamp(0, n as i64)) as usize;
+        let mut y = vec![0.0; n];
+        let mut slots = [0.0f64; 2];
+        for (r, out) in y.iter_mut().enumerate() {
+            for (c, &bv) in block.iter().enumerate().take(valid) {
+                slots[0] = tile.get(r, c);
+                slots[1] = bv;
+                *out += value.eval(&slots);
+            }
+        }
+        y
+    }
+}
+
+/// Matrix–vector contraction. The shuffle path joins tiles with vector
+/// blocks on the contracted block coordinate and `reduceByKey`s the partial
+/// block products; the broadcast path ships the whole vector to every task
+/// and merges partials on the driver — zero shuffle stages.
 fn exec_mat_vec(
     plan: &Plan,
     env: &PlanEnv,
+    ctx: &Context,
     config: &PlanConfig,
     len: i64,
 ) -> Result<TiledVector, CompError> {
@@ -556,6 +689,8 @@ fn exec_mat_vec(
         vector,
         contract_row,
         value,
+        broadcast,
+        ..
     } = plan
     else {
         unreachable!()
@@ -590,27 +725,60 @@ fn exec_mat_vec(
     let inner = m.cols();
     let fast = value.is_product_of(0, 1);
     let value = value.clone();
+
+    if *broadcast {
+        // Zero-shuffle path: collect the vector's blocks, broadcast them,
+        // compute per-partition pre-merged partial output blocks map-side,
+        // collect those partials, and finish the merge on the driver. Every
+        // stage here is an action (collect) or a source — no shuffle.
+        let table = ctx.broadcast(v.blocks().collect_map());
+        let partials = m
+            .tiles()
+            .map_partitions(move |_, tiles| {
+                let mut acc: HashMap<i64, Vec<f64>> = HashMap::new();
+                for ((i, k), tile) in tiles {
+                    let Some(block) = table.get(&k) else { continue };
+                    let y = tile_block_product(&tile, block, k, n, inner, fast, &value);
+                    match acc.entry(i) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (x, yv) in e.get_mut().iter_mut().zip(y) {
+                                *x += yv;
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(y);
+                        }
+                    }
+                }
+                acc.into_iter().collect::<Vec<_>>()
+            })
+            .collect();
+        let block_count = ((len + n as i64 - 1) / n as i64).max(0) as usize;
+        let mut merged: Vec<Vec<f64>> = vec![vec![0.0; n]; block_count];
+        for (i, y) in partials {
+            if let Some(dst) = merged.get_mut(i as usize) {
+                for (x, yv) in dst.iter_mut().zip(y) {
+                    *x += yv;
+                }
+            }
+        }
+        let blocks: Vec<(i64, Vec<f64>)> = merged
+            .into_iter()
+            .enumerate()
+            .map(|(i, y)| (i as i64, y))
+            .collect();
+        let blocks = ctx.parallelize(blocks, config.partitions);
+        return Ok(TiledVector::new(len, n, blocks));
+    }
+
     let lhs = m.tiles().map(|((i, k), t)| (k, (i, t)));
     let partial = lhs
         .join(v.blocks(), config.partitions)
         .map(move |(k, ((i, tile), block))| {
-            let y = if fast {
-                tile.matvec(&block)
-            } else {
-                // General combine: mask the padded contraction tail.
-                let valid = ((inner - k * n as i64).clamp(0, n as i64)) as usize;
-                let mut y = vec![0.0; n];
-                let mut slots = [0.0f64; 2];
-                for (r, out) in y.iter_mut().enumerate() {
-                    for (c, &bv) in block.iter().enumerate().take(valid) {
-                        slots[0] = tile.get(r, c);
-                        slots[1] = bv;
-                        *out += value.eval(&slots);
-                    }
-                }
-                y
-            };
-            (i, y)
+            (
+                i,
+                tile_block_product(&tile, &block, k, n, inner, fast, &value),
+            )
         });
     let blocks = partial.reduce_by_key(config.partitions, |mut a, b| {
         for (x, y) in a.iter_mut().zip(b) {
@@ -1271,6 +1439,10 @@ mod tests {
                     kk == k, let v = a*b, group by (i,j) ]";
         let config = PlanConfig {
             partitions: 4,
+            // Pin a shuffling strategy: the chaos kill targets a specific
+            // shuffle barrier index, and the adaptive planner would pick the
+            // zero-shuffle broadcast path for these tiny inputs.
+            matmul: MatMulStrategy::GroupByJoin,
             ..Default::default()
         };
         let run = |chaos: Option<ChaosPlan>| {

@@ -30,7 +30,7 @@
 use crate::analysis::{
     decompose, extract_aggregates, inline_lets, Aggregate, Decomposed, GenKind, VarClasses,
 };
-use crate::env::{DistArray, PlanEnv};
+use crate::env::{ArrayStats, DistArray, PlanEnv};
 use crate::scalar::{IdxFn, ScalarFn};
 use comp::ast::{Expr, Monoid, Pattern, Qualifier};
 use comp::errors::CompError;
@@ -50,15 +50,44 @@ pub enum MatMulStrategy {
     /// §5.4: group-by-join (SUMMA) — replicate tiles to result coordinates,
     /// cogroup once, reduce locally.
     GroupByJoin,
+    /// MLlib-style broadcast join: collect the smaller operand on the
+    /// driver, [`sparkline::Context::broadcast`] it, and compute partial
+    /// output tiles map-side — a single combine round, no join shuffle.
+    /// Only sensible when one side fits the broadcast budget.
+    Broadcast,
+    /// Pick the cheapest of the above from registered array statistics
+    /// (estimated shuffle bytes per candidate). This is the default.
+    Auto,
+}
+
+/// The planner's record of one cost-based physical choice, carried on the
+/// plan node so execution can emit it as a `plan.chosen` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDecision {
+    /// Chosen strategy tag, e.g. `contraction/broadcast`.
+    pub chosen: &'static str,
+    /// False when the strategy was pinned by configuration.
+    pub auto: bool,
+    /// Estimated shuffle bytes of the chosen strategy.
+    pub est_shuffle_bytes: u64,
+    /// Every candidate considered, with its estimated shuffle bytes
+    /// (ineligible candidates — e.g. broadcast over budget — are absent).
+    pub candidates: Vec<(&'static str, u64)>,
 }
 
 /// Planner configuration.
 #[derive(Debug, Clone)]
 pub struct PlanConfig {
-    /// Shuffle partition count.
+    /// Shuffle partition count; `0` (the default) derives the count from
+    /// the context's worker pool and the estimated output size at execution
+    /// time. Any non-zero value pins it.
     pub partitions: usize,
-    /// Strategy for contraction plans.
+    /// Strategy for contraction plans ([`MatMulStrategy::Auto`] picks from
+    /// statistics).
     pub matmul: MatMulStrategy,
+    /// Largest operand (estimated bytes) the broadcast contraction path may
+    /// ship to every executor.
+    pub broadcast_budget: u64,
     /// Threads for intra-tile kernels (the paper's `.par`); 1 = sequential.
     pub tile_threads: usize,
     /// Permit falling back to the driver-side reference interpreter.
@@ -72,8 +101,9 @@ pub struct PlanConfig {
 impl Default for PlanConfig {
     fn default() -> Self {
         PlanConfig {
-            partitions: 8,
-            matmul: MatMulStrategy::GroupByJoin,
+            partitions: 0,
+            matmul: MatMulStrategy::Auto,
+            broadcast_budget: 1 << 20,
             tile_threads: 1,
             allow_local_fallback: true,
             auto_persist: true,
@@ -125,7 +155,10 @@ pub enum Plan {
         swap_output: bool,
         /// Element combine over slots `[a, b]` (must reduce with `+`).
         value: ScalarFn,
+        /// Resolved physical strategy (never [`MatMulStrategy::Auto`]).
         strategy: MatMulStrategy,
+        /// How the strategy was chosen (candidate cost estimates).
+        decision: PlanDecision,
     },
     /// Fig. 1 row/column reduction to a tiled vector.
     AxisReduce {
@@ -172,6 +205,11 @@ pub enum Plan {
         contract_row: bool,
         /// Element combine over slots `[a, x]` (reduced with `+`).
         value: ScalarFn,
+        /// Ship the vector to every task via [`sparkline::Context::broadcast`]
+        /// instead of joining — zero shuffle stages.
+        broadcast: bool,
+        /// How the physical path was chosen.
+        decision: PlanDecision,
     },
     /// Element-wise over co-indexed tiled vectors (rule 17, 1-D).
     VectorEltwise {
@@ -215,25 +253,39 @@ impl Plan {
     pub fn strategy_name(&self) -> &'static str {
         match self {
             Plan::Eltwise { .. } => "eltwise",
-            Plan::Contraction {
-                strategy: MatMulStrategy::JoinGroupBy,
-                ..
-            } => "contraction/joinGroupBy",
-            Plan::Contraction {
-                strategy: MatMulStrategy::ReduceByKey,
-                ..
-            } => "contraction/reduceByKey",
-            Plan::Contraction {
-                strategy: MatMulStrategy::GroupByJoin,
-                ..
-            } => "contraction/groupByJoin",
+            Plan::Contraction { strategy, .. } => contraction_tag(*strategy),
             Plan::AxisReduce { .. } => "axisReduce",
+            Plan::MatVec {
+                broadcast: true, ..
+            } => "matVec/broadcast",
             Plan::MatVec { .. } => "matVec",
             Plan::VectorEltwise { .. } => "vectorEltwise",
             Plan::IndexRemap { .. } => "indexRemap",
             Plan::GroupByAggregate { .. } => "groupByAggregate",
             Plan::LocalFallback { .. } => "localFallback",
         }
+    }
+
+    /// The cost-based decision record, for plans that make one.
+    pub fn decision(&self) -> Option<&PlanDecision> {
+        match self {
+            Plan::Contraction { decision, .. } | Plan::MatVec { decision, .. } => Some(decision),
+            _ => None,
+        }
+    }
+}
+
+/// Strategy tag of a resolved contraction strategy.
+///
+/// # Panics
+/// On [`MatMulStrategy::Auto`], which plan selection always resolves away.
+fn contraction_tag(strategy: MatMulStrategy) -> &'static str {
+    match strategy {
+        MatMulStrategy::JoinGroupBy => "contraction/joinGroupBy",
+        MatMulStrategy::ReduceByKey => "contraction/reduceByKey",
+        MatMulStrategy::GroupByJoin => "contraction/groupByJoin",
+        MatMulStrategy::Broadcast => "contraction/broadcast",
+        MatMulStrategy::Auto => unreachable!("Auto must be resolved at plan time"),
     }
 }
 
@@ -366,7 +418,7 @@ fn plan_matrix_body(body: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<P
     plan_group_by_aggregate(&d, env, GroupShape::Matrix)
 }
 
-fn plan_vector_body(body: &Expr, env: &PlanEnv, _config: &PlanConfig) -> Result<Plan, CompError> {
+fn plan_vector_body(body: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<Plan, CompError> {
     let c = body_comprehension(body)?;
     let d = decompose(&c.head, &c.qualifiers, &gen_kind(env))?;
     if d.post_group_quals > 0 {
@@ -377,7 +429,7 @@ fn plan_vector_body(body: &Expr, env: &PlanEnv, _config: &PlanConfig) -> Result<
     if let Ok(p) = plan_axis_reduce(&d, env) {
         return Ok(p);
     }
-    if let Ok(p) = plan_mat_vec(&d, env) {
+    if let Ok(p) = plan_mat_vec(&d, env, config) {
         return Ok(p);
     }
     if let Ok(p) = plan_vector_eltwise(&d, env) {
@@ -558,6 +610,14 @@ fn plan_contraction(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Resul
     };
     let slots = vec![a.val.clone(), b.val.clone()];
     let value = ScalarFn::compile(inner, &slots, &|v| env.float_scalar(v))?;
+    let (strategy, decision) = choose_contraction_strategy(
+        env,
+        config,
+        &a.name,
+        &b.name,
+        left_contract_row,
+        right_contract_col,
+    );
     Ok(Plan::Contraction {
         left: a.name.clone(),
         right: b.name.clone(),
@@ -565,8 +625,141 @@ fn plan_contraction(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Resul
         right_contract_col,
         swap_output,
         value,
-        strategy: config.matmul,
+        strategy,
+        decision,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based strategy selection.
+// ---------------------------------------------------------------------------
+
+/// Fixed per-shuffle-round cost, in byte equivalents. A pure byte model
+/// never prefers the fewer-round group-by-join on small grids (its
+/// replicated join input weighs at least as much as reduceByKey's combined
+/// output there), so each shuffle barrier also pays this latency proxy.
+const ROUND_COST: u64 = 16 << 10;
+
+/// Nominal partition count for cost estimation when autotuning defers the
+/// real choice to execution time.
+fn nominal_partitions(config: &PlanConfig) -> u64 {
+    if config.partitions > 0 {
+        config.partitions as u64
+    } else {
+        8
+    }
+}
+
+/// Estimated costs (shuffle bytes + round latency) of every eligible
+/// contraction strategy, in tie-break preference order.
+fn contraction_candidates(
+    env: &PlanEnv,
+    config: &PlanConfig,
+    left: &str,
+    right: &str,
+    left_contract_row: bool,
+    right_contract_col: bool,
+) -> Vec<(MatMulStrategy, u64)> {
+    let (Some(sa), Some(sb)) = (env.stats(left), env.stats(right)) else {
+        return Vec::new();
+    };
+    // Block-grid shape after orienting the contraction: `bra` free blocks on
+    // the left, `bcb` on the right, `k` contracted blocks.
+    let (bra, k) = if left_contract_row {
+        (sa.block_cols as u64, sa.block_rows as u64)
+    } else {
+        (sa.block_rows as u64, sa.block_cols as u64)
+    };
+    let bcb = if right_contract_col {
+        sb.block_rows as u64
+    } else {
+        sb.block_cols as u64
+    };
+    let out_tiles = bra * bcb;
+    let tile = ArrayStats::dense_tile_bytes(sa.tile_size.max(sb.tile_size));
+    let (tiles_a, wa) = (sa.num_tiles(), sa.tile_wire_bytes());
+    let (tiles_b, wb) = (sb.num_tiles(), sb.tile_wire_bytes());
+    let p = nominal_partitions(config);
+
+    let mut out = Vec::new();
+    // Broadcast: ship the small side everywhere, partial tiles map-side,
+    // one combine round. Eligible only under the byte budget.
+    let small = sa.estimated_bytes.min(sb.estimated_bytes);
+    if small <= config.broadcast_budget {
+        out.push((
+            MatMulStrategy::Broadcast,
+            small + out_tiles * tile + ROUND_COST,
+        ));
+    }
+    // Group-by-join (§5.4): each side replicated across the other's free
+    // blocks, one cogroup round.
+    out.push((
+        MatMulStrategy::GroupByJoin,
+        tiles_a * wa * bcb + tiles_b * wb * bra + 2 * ROUND_COST,
+    ));
+    // Join + reduceByKey (§5.3): both sides shuffled once for the join,
+    // partial products map-side combined down to at most min(p, k) partial
+    // tiles per output coordinate.
+    out.push((
+        MatMulStrategy::ReduceByKey,
+        tiles_a * wa + tiles_b * wb + out_tiles * p.min(k) * tile + 3 * ROUND_COST,
+    ));
+    // Join + groupByKey (§4): every elementary tile product crosses the wire
+    // uncombined.
+    out.push((
+        MatMulStrategy::JoinGroupBy,
+        tiles_a * wa + tiles_b * wb + bra * k * bcb * tile + 3 * ROUND_COST,
+    ));
+    out
+}
+
+/// Resolve the configured contraction strategy: pinned configs are honored
+/// verbatim; [`MatMulStrategy::Auto`] picks the cheapest candidate.
+fn choose_contraction_strategy(
+    env: &PlanEnv,
+    config: &PlanConfig,
+    left: &str,
+    right: &str,
+    left_contract_row: bool,
+    right_contract_col: bool,
+) -> (MatMulStrategy, PlanDecision) {
+    let candidates = contraction_candidates(
+        env,
+        config,
+        left,
+        right,
+        left_contract_row,
+        right_contract_col,
+    );
+    let (strategy, auto) = match config.matmul {
+        MatMulStrategy::Auto => {
+            // First strictly-cheapest candidate wins; the preference order of
+            // `contraction_candidates` breaks ties toward fewer rounds.
+            let best = candidates
+                .iter()
+                .copied()
+                .min_by_key(|&(_, cost)| cost)
+                .map(|(s, _)| s)
+                .unwrap_or(MatMulStrategy::GroupByJoin);
+            (best, true)
+        }
+        pinned => (pinned, false),
+    };
+    let est = candidates
+        .iter()
+        .find(|(s, _)| *s == strategy)
+        .map(|&(_, c)| c)
+        .unwrap_or(0);
+    let decision = PlanDecision {
+        chosen: contraction_tag(strategy),
+        auto,
+        est_shuffle_bytes: est,
+        candidates: candidates
+            .into_iter()
+            .map(|(s, c)| (contraction_tag(s), c))
+            .collect(),
+    };
+    (strategy, decision)
 }
 
 /// Fig. 1 axis reduction.
@@ -643,7 +836,7 @@ fn plan_index_remap(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
 
 /// Matrix–vector contraction: one matrix generator, one vector generator,
 /// joined on one matrix index, grouped by the other.
-fn plan_mat_vec(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+fn plan_mat_vec(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Result<Plan, CompError> {
     if d.matrix_gens.len() != 1
         || d.vector_gens.len() != 1
         || !d.range_gens.is_empty()
@@ -681,12 +874,80 @@ fn plan_mat_vec(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
     };
     let slots = vec![m.val.clone(), v.val.clone()];
     let value = ScalarFn::compile(inner, &slots, &|x| env.float_scalar(x))?;
+    let (broadcast, decision) = choose_mat_vec_path(env, config, &m.name, &v.name, contract_row);
     Ok(Plan::MatVec {
         matrix: m.name.clone(),
         vector: v.name.clone(),
         contract_row,
         value,
+        broadcast,
+        decision,
     })
+}
+
+/// Physical path for a matrix–vector contraction: broadcast the vector when
+/// it fits the budget (no shuffle at all), else join + reduceByKey. A pinned
+/// `matmul` strategy pins the analogous mat-vec path.
+fn choose_mat_vec_path(
+    env: &PlanEnv,
+    config: &PlanConfig,
+    matrix: &str,
+    vector: &str,
+    contract_row: bool,
+) -> (bool, PlanDecision) {
+    let mut candidates: Vec<(&'static str, u64)> = Vec::new();
+    if let (Some(sm), Some(sv)) = (env.stats(matrix), env.stats(vector)) {
+        let out_blocks = if contract_row {
+            sm.block_cols as u64
+        } else {
+            sm.block_rows as u64
+        };
+        let k = if contract_row {
+            sm.block_rows as u64
+        } else {
+            sm.block_cols as u64
+        };
+        let block = 8 + 4 + 8 * sm.tile_size as u64;
+        if sv.estimated_bytes <= config.broadcast_budget {
+            // Collect + broadcast the vector, merge partials on the driver:
+            // zero shuffle rounds.
+            candidates.push(("matVec/broadcast", sv.estimated_bytes + out_blocks * block));
+        }
+        candidates.push((
+            "matVec",
+            sm.num_tiles() * sm.tile_wire_bytes()
+                + sv.estimated_bytes
+                + out_blocks * nominal_partitions(config).min(k) * block
+                + 3 * ROUND_COST,
+        ));
+    }
+    let (broadcast, auto) = match config.matmul {
+        MatMulStrategy::Auto => {
+            let best = candidates.iter().copied().min_by_key(|&(_, c)| c);
+            (matches!(best, Some(("matVec/broadcast", _))), true)
+        }
+        MatMulStrategy::Broadcast => (true, false),
+        _ => (false, false),
+    };
+    let chosen = if broadcast {
+        "matVec/broadcast"
+    } else {
+        "matVec"
+    };
+    let est = candidates
+        .iter()
+        .find(|(tag, _)| *tag == chosen)
+        .map(|&(_, c)| c)
+        .unwrap_or(0);
+    (
+        broadcast,
+        PlanDecision {
+            chosen,
+            auto,
+            est_shuffle_bytes: est,
+            candidates,
+        },
+    )
 }
 
 /// Element-wise over vectors joined on their index.

@@ -554,6 +554,18 @@ impl Context {
         &self.inner.events
     }
 
+    /// Emit a custom event into the trace; a no-op when tracing is off. The
+    /// closure receives the collector's monotonic timestamp (micros since
+    /// context creation) and is only called when tracing is on, so callers
+    /// pay nothing to build payloads otherwise. Used by higher layers (the
+    /// planner's `plan.chosen` record) to put their own events on the bus.
+    pub fn emit_event(&self, make: impl FnOnce(u64) -> Event) {
+        if self.inner.events.is_enabled() {
+            let at = self.inner.events.now_micros();
+            self.inner.events.emit(make(at));
+        }
+    }
+
     fn current_job(&self) -> Option<u64> {
         self.inner.active_jobs.lock().last().copied()
     }

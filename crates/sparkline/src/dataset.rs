@@ -383,6 +383,24 @@ where
             })
     }
 
+    /// Map-side (broadcast) inner join against a driver-resident small
+    /// table: no shuffle stage at all. The table is typically built with
+    /// [`crate::Context::broadcast`] over a collected dataset, e.g.
+    /// `ctx.broadcast(small.collect_map())`; keys absent from the table are
+    /// dropped, matching [`Dataset::join`]'s inner semantics. Partitioning is
+    /// preserved (keys are unchanged), so downstream co-partitioned joins
+    /// stay narrow.
+    pub fn join_broadcast<W: Data>(
+        &self,
+        table: Arc<std::collections::HashMap<K, W>>,
+    ) -> Dataset<(K, (V, W))> {
+        self.narrow("broadcastJoin", true, move |_, recs| {
+            recs.into_iter()
+                .filter_map(|(k, v)| table.get(&k).cloned().map(|w| (k, (v, w))))
+                .collect()
+        })
+    }
+
     /// Action: collect into a `HashMap` (later values win for duplicates).
     pub fn collect_map(&self) -> std::collections::HashMap<K, V> {
         self.collect().into_iter().collect()
@@ -462,6 +480,25 @@ mod tests {
         v1.sort();
         assert_eq!((k1, v1), (1, vec![1, 2, 3]));
         assert_eq!(out[1], (2, vec![9]));
+    }
+
+    #[test]
+    fn join_broadcast_matches_shuffle_join_with_zero_shuffles() {
+        let c = ctx();
+        let big = c.parallelize(vec![(1, -1), (2, -2), (3, -3), (4, -4)], 3);
+        let small = c.parallelize(vec![(1, 10), (3, 30), (9, 90)], 2);
+        let mut want = big.join(&small, 4).collect();
+        want.sort();
+        let table = c.broadcast(small.collect_map());
+        let before = c.metrics().snapshot().shuffle_count;
+        let mut got = big.join_broadcast(table).collect();
+        got.sort();
+        assert_eq!(got, want);
+        assert_eq!(
+            c.metrics().snapshot().shuffle_count,
+            before,
+            "broadcast join must not shuffle"
+        );
     }
 
     #[test]

@@ -157,6 +157,23 @@ pub enum Event {
         /// Executor running the duplicate attempt.
         executor: usize,
     },
+    /// The planner resolved a cost-based physical choice (`plan.chosen`).
+    /// Stage tags of the plan's shuffles equal `chosen`, which is how
+    /// profiles pair the estimate with the actual shuffle bytes.
+    PlanChosen {
+        /// Chosen strategy tag, e.g. `contraction/broadcast`.
+        chosen: String,
+        /// False when the strategy was pinned by configuration.
+        auto: bool,
+        /// Resolved shuffle partition count the plan runs with.
+        partitions: u64,
+        /// Estimated shuffle bytes of the chosen strategy.
+        est_shuffle_bytes: u64,
+        /// `(strategy tag, estimated shuffle bytes)` for every candidate the
+        /// cost model considered eligible.
+        candidates: Vec<(String, u64)>,
+        at_micros: u64,
+    },
 }
 
 /// Lock-cheap event sink owned by a [`crate::Context`].
@@ -292,6 +309,24 @@ impl JsonObject {
                 self
             }
         }
+    }
+
+    /// Array of `{"strategy": ..., "est_bytes": ...}` objects.
+    fn candidates_field(&mut self, key: &str, items: &[(String, u64)]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, (tag, bytes)) in items.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str("{\"strategy\":");
+            escape_json(tag, &mut self.buf);
+            self.buf.push_str(",\"est_bytes\":");
+            self.buf.push_str(&bytes.to_string());
+            self.buf.push('}');
+        }
+        self.buf.push(']');
+        self
     }
 
     fn finish(mut self) -> String {
@@ -514,6 +549,23 @@ impl Event {
                 o.num_field("stage_id", *stage_id)
                     .num_field("task", *task as u64)
                     .num_field("executor", *executor as u64);
+                o.finish()
+            }
+            Event::PlanChosen {
+                chosen,
+                auto,
+                partitions,
+                est_shuffle_bytes,
+                candidates,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("plan_chosen");
+                o.str_field("chosen", chosen)
+                    .bool_field("auto", *auto)
+                    .num_field("partitions", *partitions)
+                    .num_field("est_shuffle_bytes", *est_shuffle_bytes)
+                    .candidates_field("candidates", candidates)
+                    .num_field("at_micros", *at_micros);
                 o.finish()
             }
         }
@@ -764,6 +816,18 @@ impl JsonValue {
             )),
         }
     }
+
+    /// Array of `{"strategy", "est_bytes"}` objects (see
+    /// [`JsonObject::candidates_field`]).
+    fn candidates(&self, key: &str) -> Result<Vec<(String, u64)>, String> {
+        match self.get(key) {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|it| Ok((it.str_of("strategy")?, it.num("est_bytes")?)))
+                .collect(),
+            other => Err(format!("field `{key}`: expected array, got {other:?}")),
+        }
+    }
 }
 
 fn event_from_json(v: &JsonValue) -> Result<Event, String> {
@@ -866,6 +930,14 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             stage_id: v.num("stage_id")?,
             task: v.num("task")? as usize,
             executor: v.num("executor")? as usize,
+        }),
+        "plan_chosen" => Ok(Event::PlanChosen {
+            chosen: v.str_of("chosen")?,
+            auto: v.boolean("auto")?,
+            partitions: v.num("partitions")?,
+            est_shuffle_bytes: v.num("est_shuffle_bytes")?,
+            candidates: v.candidates("candidates")?,
+            at_micros: v.num("at_micros")?,
         }),
         other => Err(format!("unknown event type `{other}`")),
     }
@@ -981,6 +1053,17 @@ mod tests {
                 task: 3,
                 executor: 0,
             },
+            Event::PlanChosen {
+                chosen: "contraction/broadcast".into(),
+                auto: true,
+                partitions: 16,
+                est_shuffle_bytes: 4096,
+                candidates: vec![
+                    ("contraction/broadcast".into(), 4096),
+                    ("contraction/groupByJoin".into(), 65536),
+                ],
+                at_micros: 80,
+            },
             Event::StageEnd {
                 stage_id: 1,
                 wall_micros: 90,
@@ -1015,6 +1098,53 @@ mod tests {
         });
         assert_eq!(c.drain().len(), 1);
         assert!(c.drain().is_empty(), "drain must consume");
+    }
+
+    /// Escaping audit: every string-carrying field must survive adversarial
+    /// content — quotes, backslashes, control characters, multi-byte UTF-8,
+    /// and text that *looks* like JSON or like an escape sequence. (The
+    /// writer escapes `"`/`\\`/`\n`/`\t`/`\r` symbolically and every other
+    /// control byte as `\\uXXXX`; the parser is the inverse.)
+    #[test]
+    fn adversarial_strings_round_trip() {
+        let nasty = [
+            "quote\" backslash\\ newline\n tab\t cr\r",
+            "\u{0}\u{1}\u{1f} low control bytes",
+            "del \u{7f} snowman ☃ clef 𝄞 replacement \u{fffd}",
+            "looks-like-escape \\u0041 \\n \\\" \\\\",
+            "{\"type\":\"job_start\",\"label\":\"fake\"}",
+            "[1,2,3],{},null,true",
+            "",
+        ];
+        for s in nasty {
+            let events = vec![
+                Event::JobStart {
+                    job_id: 0,
+                    label: s.into(),
+                    at_micros: 0,
+                },
+                Event::PlanChosen {
+                    chosen: s.into(),
+                    auto: false,
+                    partitions: 1,
+                    est_shuffle_bytes: 0,
+                    candidates: vec![(s.into(), u64::MAX)],
+                    at_micros: 1,
+                },
+                Event::StageStart {
+                    stage_id: 0,
+                    job_id: None,
+                    label: s.into(),
+                    tag: Some(s.into()),
+                    lineage: Some(s.into()),
+                    tasks: 1,
+                    at_micros: 2,
+                },
+            ];
+            let back = parse_events(&to_json(&events))
+                .unwrap_or_else(|e| panic!("string {s:?} broke the round trip: {e}"));
+            assert_eq!(events, back, "string {s:?} did not round-trip");
+        }
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use dataset::Dataset;
 pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
-pub use profile::{CacheStats, JobProfile, JobSummary, RecoveryStats, StageProfile};
+pub use profile::{CacheStats, JobProfile, JobSummary, PlanChoice, RecoveryStats, StageProfile};
 pub use size::SizeOf;
 pub use storage::{BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus};
 

@@ -95,18 +95,40 @@ impl KeyPartitioner<(i64, i64)> {
         let partitions = partitions.max(1);
         let block_rows = block_rows.max(1);
         let block_cols = block_cols.max(1);
-        // Mirror MLlib: choose a sub-grid of partitions of size
-        // ceil(sqrt(partitions)) per side.
-        let side = (partitions as f64).sqrt().ceil() as usize;
-        let rows_per = block_rows.div_ceil(side);
-        let cols_per = block_cols.div_ceil(side);
+        // Mirror MLlib: split the partition count itself into a `pr x pc`
+        // sub-grid so the index mapping covers exactly `0..partitions`. Using
+        // ceil(sqrt(partitions)) per side instead (as a naive port would)
+        // produces indices up to side^2 - 1, which the modulo in
+        // [`KeyPartitioner::partition`] folds back onto low partitions and
+        // skews load for non-square counts.
+        let pr = largest_divisor_at_most_sqrt(partitions);
+        let pc = partitions / pr;
         let desc = format!("grid({block_rows}x{block_cols},{partitions})");
         KeyPartitioner::new(partitions, desc, move |&(i, j): &(i64, i64)| {
-            let bi = (i.max(0) as usize).min(block_rows - 1) / rows_per;
-            let bj = (j.max(0) as usize).min(block_cols - 1) / cols_per;
-            bi + bj * side
+            // Proportional split: row group `bi` covers rows
+            // [bi*block_rows/pr, (bi+1)*block_rows/pr) — contiguous
+            // rectangles, every group non-empty whenever the grid has at
+            // least `pr`/`pc` blocks per side, and near-even occupancy even
+            // when the grid does not divide the partition count.
+            let bi = (i.max(0) as usize).min(block_rows - 1) * pr / block_rows;
+            let bj = (j.max(0) as usize).min(block_cols - 1) * pc / block_cols;
+            bi + bj * pr
         })
     }
+}
+
+/// Largest divisor of `n` that is at most `floor(sqrt(n))` (always ≥ 1), so
+/// `n = pr * pc` factors into the most square grid possible.
+fn largest_divisor_at_most_sqrt(n: usize) -> usize {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    best
 }
 
 #[cfg(test)]
@@ -154,6 +176,39 @@ mod tests {
         let p = KeyPartitioner::grid(8, 8, 4);
         // Blocks in the same sub-rectangle share a partition.
         assert_eq!(p.partition(&(0, 0)), p.partition(&(1, 1)));
+    }
+
+    #[test]
+    fn grid_partitioner_balances_non_square_counts() {
+        // Regression: the old `ceil(sqrt(partitions))`-per-side mapping
+        // produced indices in 0..9 for 6 partitions, and the fold-back modulo
+        // tripled the load on partitions 0..2 (24 blocks vs 8). The divisor
+        // factorization must keep max/min occupancy within 2x.
+        for &(rows, cols, parts) in &[
+            (10usize, 10usize, 6usize),
+            (12, 12, 6),
+            (9, 9, 5),
+            (16, 4, 6),
+            (10, 10, 7),
+        ] {
+            let p = KeyPartitioner::grid(rows, cols, parts);
+            let mut counts = vec![0usize; parts];
+            for i in 0..rows as i64 {
+                for j in 0..cols as i64 {
+                    counts[p.partition(&(i, j))] += 1;
+                }
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            assert!(
+                min > 0,
+                "grid({rows}x{cols},{parts}): empty partition in {counts:?}"
+            );
+            assert!(
+                max <= 2 * min,
+                "grid({rows}x{cols},{parts}): occupancy skew {counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -232,6 +232,24 @@ impl StageProfile {
     }
 }
 
+/// One cost-based physical choice the planner made (`plan.chosen` event),
+/// paired at query time with the actual shuffle volume of the stages that
+/// carry the chosen tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChoice {
+    /// Chosen strategy tag, e.g. `contraction/broadcast` — equal to the
+    /// `tag` of the stages the plan ran.
+    pub chosen: String,
+    /// False when the strategy was pinned by configuration.
+    pub auto: bool,
+    /// Shuffle partition count the plan resolved to.
+    pub partitions: u64,
+    /// The cost model's estimated shuffle bytes for the chosen strategy.
+    pub est_shuffle_bytes: u64,
+    /// Every eligible candidate with its estimated shuffle bytes.
+    pub candidates: Vec<(String, u64)>,
+}
+
 /// Summary of one job (one action: `collect`, `count`, ...).
 #[derive(Debug, Clone, Default)]
 pub struct JobSummary {
@@ -256,6 +274,8 @@ pub struct JobProfile {
     pub cache_by_dataset: Vec<(u64, CacheStats)>,
     /// Executor-loss / recovery activity across the whole profile.
     pub recovery: RecoveryStats,
+    /// Cost-based plan decisions (`plan.chosen` events), in emission order.
+    pub plan_choices: Vec<PlanChoice>,
 }
 
 impl JobProfile {
@@ -387,6 +407,20 @@ impl JobProfile {
                     profile.recovery.resubmitted_tasks += missing_tasks;
                 }
                 Event::TaskSpeculated { .. } => profile.recovery.speculated_tasks += 1,
+                Event::PlanChosen {
+                    chosen,
+                    auto,
+                    partitions,
+                    est_shuffle_bytes,
+                    candidates,
+                    ..
+                } => profile.plan_choices.push(PlanChoice {
+                    chosen: chosen.clone(),
+                    auto: *auto,
+                    partitions: *partitions,
+                    est_shuffle_bytes: *est_shuffle_bytes,
+                    candidates: candidates.clone(),
+                }),
             }
         }
         // Recovery wall-clock: time spent in resubmitted map stages (labels
@@ -492,6 +526,17 @@ impl JobProfile {
             .unwrap_or_default()
     }
 
+    /// Actual shuffle bytes written by the stages a plan choice produced:
+    /// the sum over stages whose `tag` equals the chosen strategy tag. The
+    /// est-vs-actual comparison `explain_analyze` prints.
+    pub fn actual_shuffle_bytes_of_tag(&self, tag: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.tag.as_deref() == Some(tag))
+            .map(|s| s.shuffle_bytes_written)
+            .sum()
+    }
+
     /// Shuffle write volume per operator name, in first-seen order.
     pub fn shuffle_bytes_by_operator(&self) -> Vec<(String, u64)> {
         let mut out: Vec<(String, u64)> = Vec::new();
@@ -537,6 +582,19 @@ impl JobProfile {
                 out.push_str("  ");
                 out.push_str(&stage.render());
                 out.push('\n');
+            }
+        }
+        for choice in &self.plan_choices {
+            let mode = if choice.auto { "auto" } else { "pinned" };
+            out.push_str(&format!(
+                "plan.chosen {} ({mode}, {} partitions): est {} shuffle, actual {}\n",
+                choice.chosen,
+                choice.partitions,
+                fmt_bytes(choice.est_shuffle_bytes),
+                fmt_bytes(self.actual_shuffle_bytes_of_tag(&choice.chosen)),
+            ));
+            for (tag, est) in &choice.candidates {
+                out.push_str(&format!("  candidate {tag}: est {}\n", fmt_bytes(*est)));
             }
         }
         for (dataset, stats) in &self.cache_by_dataset {
@@ -896,6 +954,37 @@ mod tests {
         let text = p.render();
         assert!(text.contains("recovery: 1 executors lost"), "{text}");
         assert!(text.contains("1 stages resubmitted (3 tasks)"), "{text}");
+    }
+
+    #[test]
+    fn folds_plan_choices_and_pairs_estimate_with_actual_bytes() {
+        let mut events = log();
+        events.push(Event::PlanChosen {
+            chosen: "contraction/reduceByKey".into(),
+            auto: true,
+            partitions: 4,
+            est_shuffle_bytes: 5000,
+            candidates: vec![
+                ("contraction/reduceByKey".into(), 5000),
+                ("contraction/groupByJoin".into(), 9000),
+            ],
+            at_micros: 240,
+        });
+        let p = JobProfile::from_events(&events);
+        assert_eq!(p.plan_choices.len(), 1);
+        let choice = &p.plan_choices[0];
+        assert!(choice.auto);
+        assert_eq!(choice.est_shuffle_bytes, 5000);
+        // Stage 10 (tagged contraction/reduceByKey) wrote 4000 bytes.
+        assert_eq!(p.actual_shuffle_bytes_of_tag(&choice.chosen), 4000);
+        assert_eq!(p.actual_shuffle_bytes_of_tag("contraction/broadcast"), 0);
+        let text = p.render();
+        assert!(
+            text.contains("plan.chosen contraction/reduceByKey (auto, 4 partitions)"),
+            "{text}"
+        );
+        assert!(text.contains("est 4.9 KB shuffle, actual 3.9 KB"), "{text}");
+        assert!(text.contains("candidate contraction/groupByJoin"), "{text}");
     }
 
     #[test]

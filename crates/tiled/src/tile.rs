@@ -213,6 +213,12 @@ impl DenseMatrix {
         out
     }
 
+    /// Count of non-zero entries — the statistic the planner's cost model
+    /// uses to estimate wire bytes of sparse-ish tiles.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
         self.data.iter().sum()

@@ -59,7 +59,8 @@ fn query8_matrix_addition_both_forms() {
     assert!(indexed.to_local().approx_eq(&expected, 1e-12));
 }
 
-/// Query (9): matrix multiplication under all three strategies.
+/// Query (9): matrix multiplication under every explicit strategy, including
+/// the broadcast contraction the adaptive planner adds.
 #[test]
 fn query9_matrix_multiplication_all_strategies() {
     let mut s = session();
@@ -76,6 +77,7 @@ fn query9_matrix_multiplication_all_strategies() {
         MatMulStrategy::JoinGroupBy,
         MatMulStrategy::ReduceByKey,
         MatMulStrategy::GroupByJoin,
+        MatMulStrategy::Broadcast,
     ] {
         s.config_mut().matmul = strategy;
         let got = s.matrix(src).unwrap().to_local();
@@ -283,9 +285,11 @@ fn paper_queries_all_plan() {
             "eltwise",
         ),
         (
+            // Tiny operands under the default broadcast budget: the adaptive
+            // planner resolves the contraction to the broadcast strategy.
             "tiled(n,m)[ ((i,j), +/v) | ((i,k),a) <- M, ((kk,j),b) <- N, kk == k, \
              let v = a*b, group by (i,j) ]",
-            "contraction/groupByJoin",
+            "contraction/broadcast",
         ),
         (
             "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- M, group by i ]",

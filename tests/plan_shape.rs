@@ -127,6 +127,95 @@ fn join_group_by_multiply_shuffles_more_rounds_than_group_by_join() {
         .any(|st| st.operator.as_deref() == Some("groupByKey")));
 }
 
+/// Mat-vec product, query (1)-style: `y_i = Σ_k A_ik x_k`.
+const MAT_VEC_SRC: &str = "tiled_vector(n)[ (i, +/v) | ((i,k),a) <- A, (kk,x) <- V, kk == k, \
+     let v = a*x, group by i ]";
+
+#[test]
+fn auto_mat_vec_broadcasts_with_zero_shuffle_stages() {
+    // With no pinned strategy, a vector under the broadcast budget is shipped
+    // to every partition as a broadcast table: the whole mat-vec runs as
+    // narrow stages plus actions — zero shuffle stages, confirmed from the
+    // event trace, not inferred from the plan string.
+    let mut s = session(8, 4);
+    let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+    let v = sac_repro::tiled::TiledVector::from_local(s.spark(), &x, 4, 4);
+    s.register_vector("V", v);
+    let analysis = s.explain_analyze(MAT_VEC_SRC).unwrap();
+    assert!(
+        analysis.plan.contains("matVec/broadcast"),
+        "{}",
+        analysis.plan
+    );
+    assert!(!analysis.profile.jobs.is_empty(), "trace saw no jobs");
+    assert_eq!(
+        shuffle_stages(&analysis.profile),
+        0,
+        "broadcast mat-vec must not shuffle:\n{}",
+        analysis.profile.render()
+    );
+    assert_eq!(analysis.profile.shuffle_stage_count(), 0);
+    // The decision itself is on the event bus and folded into the profile.
+    let choice = &analysis.profile.plan_choices[0];
+    assert_eq!(choice.chosen, "matVec/broadcast");
+    assert!(choice.auto, "default config must resolve adaptively");
+    assert!(
+        choice.candidates.iter().any(|(tag, _)| tag == "matVec"),
+        "the shuffling alternative must have been costed: {:?}",
+        choice.candidates
+    );
+}
+
+#[test]
+fn size_sweep_selects_multiple_contraction_strategies() {
+    // Sweep operand size across the broadcast budget: small operands resolve
+    // to the broadcast contraction, large ones to a shuffling strategy — and
+    // each explain_analyze pairs the estimated bytes with the measured ones.
+    let mut chosen = Vec::new();
+    for n in [8usize, 32] {
+        let mut s = Session::builder()
+            .workers(4)
+            .partitions(4)
+            .broadcast_budget(2048)
+            .build();
+        let a = LocalMatrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+        let b = LocalMatrix::from_fn(n, n, |i, j| i as f64 - j as f64);
+        s.register_local_matrix("A", &a, 4);
+        s.register_local_matrix("B", &b, 4);
+        s.set_int("n", n as i64);
+        let analysis = s.explain_analyze(MUL_SRC).unwrap();
+        let rendered = format!("{analysis}");
+        assert!(
+            rendered.contains("plan.chosen") && rendered.contains("actual"),
+            "explain_analyze must pair estimate with actual:\n{rendered}"
+        );
+        let choice = analysis.profile.plan_choices[0].clone();
+        assert!(choice.auto);
+        assert!(
+            choice.candidates.len() >= 3,
+            "all viable strategies must be costed: {:?}",
+            choice.candidates
+        );
+        if choice.chosen != "contraction/broadcast" {
+            // A shuffling strategy: the estimate and the measured bytes of
+            // the chosen plan node must both be non-zero.
+            assert!(choice.est_shuffle_bytes > 0);
+            assert!(
+                analysis.profile.actual_shuffle_bytes_of_tag(&choice.chosen) > 0,
+                "{}",
+                analysis.profile.render()
+            );
+        }
+        chosen.push(choice.chosen);
+    }
+    chosen.sort();
+    chosen.dedup();
+    assert!(
+        chosen.len() >= 2,
+        "the sweep must exercise at least two strategies, got {chosen:?}"
+    );
+}
+
 /// Query (9) with both sides ranging over `A`: the planner auto-persists the
 /// shared input, and the traced profile must fold the resulting cache events
 /// per stage and per dataset.

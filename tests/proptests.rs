@@ -22,6 +22,20 @@ fn session(strategy: MatMulStrategy) -> Session {
         .build()
 }
 
+/// An integer-valued matrix (optionally ~70% zeros): f64 summation over
+/// small integers is exact, so every reduction order yields bit-identical
+/// results.
+fn int_mat(r: usize, c: usize, seed: u64, sparse: bool) -> LocalMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::from_fn(r, c, |_, _| {
+        if sparse && rng.gen_range(0..10) < 7 {
+            0.0
+        } else {
+            rng.gen_range(-3i64..4) as f64
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -75,6 +89,43 @@ proptest! {
         let tb = TiledMatrix::from_local(s.spark(), &b, tile, 2);
         let got = sac_repro::sac::linalg::multiply(&s, &ta, &tb).unwrap().to_local();
         prop_assert!(got.max_abs_diff(&a.multiply(&b)) < 1e-8);
+    }
+
+    /// Every contraction strategy — the three shuffling plans, the broadcast
+    /// plan, and the adaptive default — must produce **bit-identical**
+    /// results to each other and to the driver-side oracle, even while a
+    /// seeded chaos schedule kills executors and a tiny storage budget
+    /// forces evictions. Integer-valued inputs make the f64 sums exact in
+    /// every reduction order, so exact equality is the right assertion.
+    #[test]
+    fn all_matmul_strategies_bit_identical(n in 1usize..8, k in 1usize..8, m in 1usize..8,
+                                           tile in 1usize..5, seed in 0u64..400,
+                                           sparse in proptest::bool::ANY) {
+        let a = int_mat(n, k, seed, sparse);
+        let b = int_mat(k, m, seed + 13000, sparse);
+        let want = a.multiply(&b);
+        for strategy in [
+            MatMulStrategy::JoinGroupBy,
+            MatMulStrategy::ReduceByKey,
+            MatMulStrategy::GroupByJoin,
+            MatMulStrategy::Broadcast,
+            MatMulStrategy::Auto,
+        ] {
+            let s = Session::builder()
+                .workers(2)
+                .executors(2)
+                .partitions(3)
+                .matmul(strategy)
+                .storage_memory(256)
+                .max_task_attempts(8)
+                .max_stage_attempts(12)
+                .chaos(sac_repro::sparkline::ChaosPlan::seeded(seed + 17, 2))
+                .build();
+            let ta = TiledMatrix::from_local(s.spark(), &a, tile, 2);
+            let tb = TiledMatrix::from_local(s.spark(), &b, tile, 2);
+            let got = sac_repro::sac::linalg::multiply(&s, &ta, &tb).unwrap().to_local();
+            prop_assert_eq!(&got, &want, "strategy {:?} diverged", strategy);
+        }
     }
 
     /// MLlib baseline multiplication equals the oracle too.
