@@ -7,7 +7,7 @@ use comp::ast::{Expr, Monoid, Pattern, Qualifier};
 use comp::errors::CompError;
 use comp::eval::eval_comprehension;
 use comp::{Comprehension, Value};
-use sparkline::{Context, Dataset, Event};
+use sparkline::{Context, Dataset, Event, PartitionStream};
 use std::collections::HashMap;
 use tiled::{DenseMatrix, LocalMatrix, TileCoord, TiledMatrix, TiledVector};
 
@@ -523,18 +523,21 @@ fn exec_contraction(
                 }
                 let table = ctx.broadcast(table);
                 a.tiles()
-                    .map_partitions(move |_, tiles| {
+                    .map_partitions_stream(move |_, tiles| {
+                        // Input tiles are only read: consume the stream by
+                        // reference so shared source partitions are never
+                        // cloned into the task.
                         let mut acc: HashMap<TileCoord, DenseMatrix> = HashMap::new();
-                        for ((i, k), av) in tiles {
-                            let Some(row) = table.get(&k) else { continue };
+                        tiles.for_each_ref(|((i, k), av)| {
+                            let Some(row) = table.get(k) else { return };
                             for (j, bv) in row {
                                 let out = acc
-                                    .entry((i, *j))
+                                    .entry((*i, *j))
                                     .or_insert_with(|| DenseMatrix::zeros(n, n));
-                                multiply(&av, bv, k, out);
+                                multiply(av, bv, *k, out);
                             }
-                        }
-                        acc.into_iter().collect::<Vec<_>>()
+                        });
+                        PartitionStream::from_vec(acc.into_iter().collect())
                     })
                     .reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
             } else {
@@ -545,18 +548,18 @@ fn exec_contraction(
                 }
                 let table = ctx.broadcast(table);
                 b.tiles()
-                    .map_partitions(move |_, tiles| {
+                    .map_partitions_stream(move |_, tiles| {
                         let mut acc: HashMap<TileCoord, DenseMatrix> = HashMap::new();
-                        for ((k, j), bv) in tiles {
-                            let Some(col) = table.get(&k) else { continue };
+                        tiles.for_each_ref(|((k, j), bv)| {
+                            let Some(col) = table.get(k) else { return };
                             for (i, av) in col {
                                 let out = acc
-                                    .entry((*i, j))
+                                    .entry((*i, *j))
                                     .or_insert_with(|| DenseMatrix::zeros(n, n));
-                                multiply(av, &bv, k, out);
+                                multiply(av, bv, *k, out);
                             }
-                        }
-                        acc.into_iter().collect::<Vec<_>>()
+                        });
+                        PartitionStream::from_vec(acc.into_iter().collect())
                     })
                     .reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
             }
@@ -734,12 +737,12 @@ fn exec_mat_vec(
         let table = ctx.broadcast(v.blocks().collect_map());
         let partials = m
             .tiles()
-            .map_partitions(move |_, tiles| {
+            .map_partitions_stream(move |_, tiles| {
                 let mut acc: HashMap<i64, Vec<f64>> = HashMap::new();
-                for ((i, k), tile) in tiles {
-                    let Some(block) = table.get(&k) else { continue };
-                    let y = tile_block_product(&tile, block, k, n, inner, fast, &value);
-                    match acc.entry(i) {
+                tiles.for_each_ref(|((i, k), tile)| {
+                    let Some(block) = table.get(k) else { return };
+                    let y = tile_block_product(tile, block, *k, n, inner, fast, &value);
+                    match acc.entry(*i) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
                             for (x, yv) in e.get_mut().iter_mut().zip(y) {
                                 *x += yv;
@@ -749,8 +752,8 @@ fn exec_mat_vec(
                             e.insert(y);
                         }
                     }
-                }
-                acc.into_iter().collect::<Vec<_>>()
+                });
+                PartitionStream::from_vec(acc.into_iter().collect())
             })
             .collect();
         let block_count = ((len + n as i64 - 1) / n as i64).max(0) as usize;

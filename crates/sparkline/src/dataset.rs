@@ -6,6 +6,7 @@ use crate::partitioner::KeyPartitioner;
 use crate::shuffle::{Aggregator, CoGroupOp, ShuffleOp};
 use crate::size::SizeOf;
 use crate::storage::{PersistOp, SpillCodec, StorageLevel};
+use crate::stream::PartitionStream;
 use crate::Data;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -72,7 +73,7 @@ impl<T: Data> Dataset<T> {
         &self,
         label: &str,
         preserves: bool,
-        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+        f: impl Fn(usize, PartitionStream<T>) -> PartitionStream<U> + Send + Sync + 'static,
     ) -> Dataset<U> {
         Dataset {
             ctx: self.ctx.clone(),
@@ -85,9 +86,15 @@ impl<T: Data> Dataset<T> {
         }
     }
 
-    /// Element-wise transformation.
+    /// Element-wise transformation. Lazy in two senses: nothing runs until an
+    /// action, and at run time the transform fuses onto the parent's stream
+    /// (no intermediate collection within a task).
     pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Dataset<U> {
-        self.narrow("map", false, move |_, v| v.into_iter().map(&f).collect())
+        let f = Arc::new(f);
+        self.narrow("map", false, move |_, s| {
+            let f = f.clone();
+            s.map(move |t| f(t))
+        })
     }
 
     /// Element-to-many transformation.
@@ -95,22 +102,44 @@ impl<T: Data> Dataset<T> {
         &self,
         f: impl Fn(T) -> I + Send + Sync + 'static,
     ) -> Dataset<U> {
-        self.narrow("flatMap", false, move |_, v| {
-            v.into_iter().flat_map(&f).collect()
+        let f = Arc::new(f);
+        self.narrow("flatMap", false, move |_, s| {
+            let f = f.clone();
+            s.flat_map(move |t| f(t))
         })
     }
 
     /// Keep elements satisfying the predicate.
     pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
-        self.narrow("filter", true, move |_, v| {
-            v.into_iter().filter(|t| f(t)).collect()
+        let f = Arc::new(f);
+        self.narrow("filter", true, move |_, s| {
+            let f = f.clone();
+            s.filter(move |t| f(t))
         })
     }
 
     /// Partition-at-a-time transformation; `f` receives the partition index.
+    ///
+    /// Vec-compat shim: the partition is materialized on entry (an
+    /// exclusively-held stream gives its allocation back for free) and the
+    /// result re-wrapped. Use [`Dataset::map_partitions_stream`] when `f` can
+    /// work on the stream directly.
     pub fn map_partitions<U: Data>(
         &self,
         f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        self.narrow("mapPartitions", false, move |p, s| {
+            PartitionStream::from_vec(f(p, s.into_vec()))
+        })
+    }
+
+    /// Partition-at-a-time transformation over the raw
+    /// [`PartitionStream`] — the zero-copy sibling of
+    /// [`Dataset::map_partitions`]. `f` must return a stream re-creatable
+    /// from its input (it is re-invoked on task retry or speculation).
+    pub fn map_partitions_stream<U: Data>(
+        &self,
+        f: impl Fn(usize, PartitionStream<T>) -> PartitionStream<U> + Send + Sync + 'static,
     ) -> Dataset<U> {
         self.narrow("mapPartitions", false, f)
     }
@@ -198,13 +227,15 @@ impl<T: Data> Dataset<T> {
 
     /// Action: materialize every partition and concatenate.
     pub fn collect(&self) -> Vec<T> {
-        let parts = self.action_stage("collect", |p| self.op.compute(p, &self.ctx));
+        let parts = self.action_stage("collect", |p| self.op.compute(p, &self.ctx).into_vec());
         parts.into_iter().flatten().collect()
     }
 
-    /// Action: number of elements.
+    /// Action: number of elements. Shared partitions (sources, cached
+    /// blocks, shuffle outputs) answer from their length without touching a
+    /// single element; lazy chains drain without collecting.
     pub fn count(&self) -> usize {
-        self.action_stage("count", |p| self.op.compute(p, &self.ctx).len())
+        self.action_stage("count", |p| self.op.compute(p, &self.ctx).count())
             .into_iter()
             .sum()
     }
@@ -246,8 +277,10 @@ where
         &self,
         f: impl Fn(V) -> U + Send + Sync + 'static,
     ) -> Dataset<(K, U)> {
-        self.narrow("mapValues", true, move |_, v| {
-            v.into_iter().map(|(k, val)| (k, f(val))).collect()
+        let f = Arc::new(f);
+        self.narrow("mapValues", true, move |_, s| {
+            let f = f.clone();
+            s.map(move |(k, val)| (k, f(val)))
         })
     }
 
@@ -373,11 +406,18 @@ where
     ) -> Dataset<(K, (V, W))> {
         self.cogroup_with(other, partitioner)
             .flat_map(|(k, (vs, ws))| {
+                if ws.is_empty() {
+                    return Vec::new();
+                }
                 let mut out = Vec::with_capacity(vs.len() * ws.len());
-                for v in &vs {
-                    for w in &ws {
+                for v in vs {
+                    // Pair v with all but its last match by clone, then move
+                    // v into the final pair — the build side (often a large
+                    // tile) is cloned len(ws)-1 times, not len(ws).
+                    for w in &ws[..ws.len() - 1] {
                         out.push((k.clone(), (v.clone(), w.clone())));
                     }
+                    out.push((k.clone(), (v, ws[ws.len() - 1].clone())));
                 }
                 out
             })
@@ -394,10 +434,12 @@ where
         &self,
         table: Arc<std::collections::HashMap<K, W>>,
     ) -> Dataset<(K, (V, W))> {
-        self.narrow("broadcastJoin", true, move |_, recs| {
-            recs.into_iter()
-                .filter_map(|(k, v)| table.get(&k).cloned().map(|w| (k, (v, w))))
-                .collect()
+        self.narrow("broadcastJoin", true, move |_, s| {
+            let table = table.clone();
+            PartitionStream::from_iter(
+                s.into_iter()
+                    .filter_map(move |(k, v)| table.get(&k).cloned().map(|w| (k, (v, w)))),
+            )
         })
     }
 

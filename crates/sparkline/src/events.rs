@@ -76,6 +76,20 @@ pub enum Event {
         bytes: u64,
         records: u64,
     },
+    /// One operator's output cardinality for one task attempt: how many rows
+    /// flowed out of the operator's stream and a shallow byte estimate
+    /// (`rows × size_of::<T>()`). Emitted once per operator per task attempt
+    /// when tracing is on; retried or speculated attempts emit again, so
+    /// consumers aggregating exact counts should run with chaos off.
+    OperatorOutput {
+        /// Innermost stage whose task drained the stream, if any (driver-side
+        /// drains carry no stage).
+        stage_id: Option<u64>,
+        task: usize,
+        operator: String,
+        rows: u64,
+        bytes: u64,
+    },
     /// A persisted partition was served from the block manager.
     CacheHit {
         /// Persisted dataset id ([`crate::storage::BlockManager`] key).
@@ -436,6 +450,21 @@ impl Event {
                     .num_field("task", *task as u64)
                     .num_field("bytes", *bytes)
                     .num_field("records", *records);
+                o.finish()
+            }
+            Event::OperatorOutput {
+                stage_id,
+                task,
+                operator,
+                rows,
+                bytes,
+            } => {
+                let mut o = JsonObject::new("operator_output");
+                o.opt_num_field("stage_id", *stage_id)
+                    .num_field("task", *task as u64)
+                    .str_field("operator", operator)
+                    .num_field("rows", *rows)
+                    .num_field("bytes", *bytes);
                 o.finish()
             }
             Event::CacheHit {
@@ -879,6 +908,13 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             bytes: v.num("bytes")?,
             records: v.num("records")?,
         }),
+        "operator_output" => Ok(Event::OperatorOutput {
+            stage_id: v.opt_num("stage_id")?,
+            task: v.num("task")? as usize,
+            operator: v.str_of("operator")?,
+            rows: v.num("rows")?,
+            bytes: v.num("bytes")?,
+        }),
         "cache_hit" => Ok(Event::CacheHit {
             dataset: v.num("dataset")?,
             partition: v.num("partition")? as usize,
@@ -1000,6 +1036,13 @@ mod tests {
                 task: 0,
                 bytes: 1024,
                 records: 4,
+            },
+            Event::OperatorOutput {
+                stage_id: Some(1),
+                task: 2,
+                operator: "filter \"odd\"".into(),
+                rows: 9,
+                bytes: 72,
             },
             Event::CacheMiss {
                 dataset: 5,

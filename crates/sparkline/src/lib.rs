@@ -10,7 +10,10 @@
 //!   trigger execution.
 //! * **Narrow transformations** (`map`, `flat_map`, `filter`,
 //!   `map_partitions`, `map_values`) run pipelined inside one task per
-//!   partition.
+//!   partition: operators exchange pull-based [`PartitionStream`]s, so a
+//!   narrow chain fuses into one iterator per task with no intermediate
+//!   collection, and sources/cached blocks are handed out as zero-copy
+//!   shared views.
 //! * **Wide transformations** (`reduce_by_key`, `group_by_key`, `join`,
 //!   `cogroup`, `partition_by`) introduce a shuffle: map tasks bucket their
 //!   output by a [`KeyPartitioner`], reduce tasks merge the buckets. Shuffled
@@ -55,6 +58,7 @@ pub mod profile;
 pub mod shuffle;
 pub mod size;
 pub mod storage;
+pub mod stream;
 mod sync;
 
 pub use chaos::{ChaosEvent, ChaosPlan, CHAOS_ENV};
@@ -65,9 +69,12 @@ pub use dataset::Dataset;
 pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
-pub use profile::{CacheStats, JobProfile, JobSummary, PlanChoice, RecoveryStats, StageProfile};
+pub use profile::{
+    CacheStats, JobProfile, JobSummary, OperatorStats, PlanChoice, RecoveryStats, StageProfile,
+};
 pub use size::SizeOf;
 pub use storage::{BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus};
+pub use stream::PartitionStream;
 
 /// Marker bound for element types stored in datasets.
 ///

@@ -1,19 +1,25 @@
 //! Physical operator DAG nodes (the "RDD" objects behind a [`crate::Dataset`]).
 
 use crate::context::Context;
+use crate::stream::{instrument, PartitionStream};
 use crate::sync::Mutex;
 use crate::Data;
 use std::sync::Arc;
 
-/// A node in the operator DAG. `compute` materializes one partition; narrow
-/// operators call their parent's `compute` recursively (pipelining within the
-/// same task), wide operators materialize a shuffle first.
+/// A node in the operator DAG. `compute` produces one partition as a
+/// pull-based [`PartitionStream`]; narrow operators call their parent's
+/// `compute` recursively and stack lazy adapters onto the stream (pipelining
+/// within the same task, no intermediate collections), wide operators
+/// materialize a shuffle first and hand out zero-copy shared views of it.
+///
+/// Streams are re-creatable: every `compute` call rebuilds from lineage, so
+/// task retries, speculation, and cache recomputation see identical data.
 pub trait Op<T: Data>: Send + Sync + 'static {
     /// Number of partitions this operator produces.
     fn num_partitions(&self) -> usize;
 
-    /// Materialize partition `part`.
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<T>;
+    /// Produce partition `part` as a stream.
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<T>;
 
     /// Descriptor of the key partitioner this output is partitioned by, if
     /// any — `Some` only for key-value datasets that went through a
@@ -57,8 +63,15 @@ impl<T: Data> Op<T> for SourceOp<T> {
         self.parts.len()
     }
 
-    fn compute(&self, part: usize, _ctx: &Context) -> Vec<T> {
-        self.parts[part].as_ref().clone()
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<T> {
+        // Zero-copy: every task (including retries and speculative
+        // duplicates) reads the same shared block; no per-task clone.
+        instrument(
+            PartitionStream::shared(self.parts[part].clone()),
+            "source",
+            part,
+            ctx,
+        )
     }
 
     fn name(&self) -> String {
@@ -66,11 +79,13 @@ impl<T: Data> Op<T> for SourceOp<T> {
     }
 }
 
-/// Narrow transformation: partition-at-a-time function over the parent.
-/// Implements `map`, `flat_map`, `filter`, `map_partitions`, `map_values`.
+/// Narrow transformation: partition-at-a-time function over the parent's
+/// stream. Implements `map`, `flat_map`, `filter`, `map_partitions`,
+/// `map_values` — all as lazy stream adapters, so chained narrow ops fuse
+/// into one pipeline per task.
 pub struct MapPartitionsOp<T: Data, U: Data> {
     pub(crate) parent: Arc<dyn Op<T>>,
-    pub(crate) f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+    pub(crate) f: Arc<dyn Fn(usize, PartitionStream<T>) -> PartitionStream<U> + Send + Sync>,
     /// If true, the output keeps the parent's partitioner descriptor (legal
     /// only when keys are not changed, e.g. `map_values`).
     pub(crate) preserves_partitioning: bool,
@@ -82,9 +97,9 @@ impl<T: Data, U: Data> Op<U> for MapPartitionsOp<T, U> {
         self.parent.num_partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<U> {
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<U> {
         let input = self.parent.compute(part, ctx);
-        (self.f)(part, input)
+        instrument((self.f)(part, input), &self.label, part, ctx)
     }
 
     fn partitioner_descriptor(&self) -> Option<(String, usize)> {
@@ -111,7 +126,7 @@ impl<T: Data> Op<T> for UnionOp<T> {
         self.left.num_partitions() + self.right.num_partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<T> {
         let nl = self.left.num_partitions();
         if part < nl {
             self.left.compute(part, ctx)
@@ -146,14 +161,15 @@ impl<T: Data> Op<T> for CachedOp<T> {
         self.parent.num_partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<T> {
         let mut slot = self.slots[part].lock();
         if let Some(cached) = slot.as_ref() {
-            return cached.as_ref().clone();
+            // Cache hit: a refcount bump, not a copy.
+            return PartitionStream::shared(cached.clone());
         }
-        let data = Arc::new(self.parent.compute(part, ctx));
+        let data = Arc::new(self.parent.compute(part, ctx).into_vec());
         *slot = Some(data.clone());
-        data.as_ref().clone()
+        PartitionStream::shared(data)
     }
 
     fn partitioner_descriptor(&self) -> Option<(String, usize)> {
@@ -174,7 +190,9 @@ mod tests {
         let op = SourceOp::new((0..10).collect::<Vec<i32>>(), 3);
         assert_eq!(op.num_partitions(), 3);
         let ctx = Context::new();
-        let all: Vec<i32> = (0..3).flat_map(|p| op.compute(p, &ctx)).collect();
+        let all: Vec<i32> = (0..3)
+            .flat_map(|p| op.compute(p, &ctx).into_vec())
+            .collect();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
     }
 
@@ -183,8 +201,22 @@ mod tests {
         let op = SourceOp::new(vec![1, 2], 5);
         assert_eq!(op.num_partitions(), 5);
         let ctx = Context::new();
-        let total: usize = (0..5).map(|p| op.compute(p, &ctx).len()).sum();
+        let total: usize = (0..5).map(|p| op.compute(p, &ctx).count()).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn source_serves_shared_views_not_copies() {
+        let op = SourceOp::new((0..100).collect::<Vec<i64>>(), 1);
+        let ctx = Context::new();
+        let a = op.compute(0, &ctx);
+        let b = op.compute(0, &ctx);
+        let (block_a, _) = a.as_shared().expect("source must stream shared");
+        let (block_b, _) = b.as_shared().expect("source must stream shared");
+        assert!(
+            Arc::ptr_eq(block_a, block_b),
+            "two tasks must observe the same backing allocation"
+        );
     }
 
     #[test]
@@ -195,17 +227,36 @@ mod tests {
         let src: Arc<dyn Op<i32>> = Arc::new(SourceOp::new(vec![1, 2, 3], 1));
         let counted = Arc::new(MapPartitionsOp {
             parent: src,
-            f: Arc::new(move |_, v: Vec<i32>| {
+            f: Arc::new(move |_, s: PartitionStream<i32>| {
                 calls2.fetch_add(1, Ordering::SeqCst);
-                v
+                s
             }),
             preserves_partitioning: false,
             label: "count".into(),
         });
         let cached = CachedOp::new(counted as Arc<dyn Op<i32>>);
         let ctx = Context::new();
-        assert_eq!(cached.compute(0, &ctx), vec![1, 2, 3]);
-        assert_eq!(cached.compute(0, &ctx), vec![1, 2, 3]);
+        assert_eq!(cached.compute(0, &ctx).into_vec(), vec![1, 2, 3]);
+        assert_eq!(cached.compute(0, &ctx).into_vec(), vec![1, 2, 3]);
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cache_hits_share_one_allocation() {
+        let src: Arc<dyn Op<i64>> = Arc::new(SourceOp::new((0..50).collect(), 1));
+        // A non-shared parent stream, so the cache materializes its own block.
+        let mapped = Arc::new(MapPartitionsOp {
+            parent: src,
+            f: Arc::new(|_, s: PartitionStream<i64>| s.map(|x| x + 1)),
+            preserves_partitioning: false,
+            label: "map".into(),
+        });
+        let cached = CachedOp::new(mapped as Arc<dyn Op<i64>>);
+        let ctx = Context::new();
+        let a = cached.compute(0, &ctx);
+        let b = cached.compute(0, &ctx);
+        let (block_a, _) = a.as_shared().expect("hit must be shared");
+        let (block_b, _) = b.as_shared().expect("hit must be shared");
+        assert!(Arc::ptr_eq(block_a, block_b));
     }
 }

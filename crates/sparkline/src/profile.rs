@@ -150,8 +150,23 @@ pub struct StageProfile {
     pub max_task_shuffle_bytes_read: u64,
     /// Shuffle operator, when this stage is a shuffle map or reduce stage.
     pub operator: Option<String>,
+    /// Per-operator output cardinalities observed inside this stage's tasks
+    /// (`operator_output` events), in first-seen order. A fused narrow chain
+    /// reports one entry per operator even though the stage ran a single
+    /// pipelined iterator per task.
+    pub operators: Vec<OperatorStats>,
     /// Block-manager cache activity attributed to this stage's tasks.
     pub cache: CacheStats,
+}
+
+/// Output cardinality of one operator within one stage, summed over tasks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    pub operator: String,
+    /// Rows that flowed out of the operator's stream, over all task attempts.
+    pub rows: u64,
+    /// Shallow byte estimate (`rows × size_of::<T>()`).
+    pub bytes: u64,
 }
 
 impl StageProfile {
@@ -225,10 +240,23 @@ impl StageProfile {
                 self.failed_attempts, self.injected_failures
             ));
         }
+        if !self.operators.is_empty() {
+            let ops: Vec<String> = self
+                .operators
+                .iter()
+                .map(|o| format!("{} {} rows/{}", o.operator, o.rows, fmt_bytes(o.bytes)))
+                .collect();
+            line.push_str(&format!(", operators [{}]", ops.join(", ")));
+        }
         if !self.cache.is_empty() {
             line.push_str(&format!(", cache [{}]", self.cache.render()));
         }
         line
+    }
+
+    /// Output stats of one operator inside this stage, if observed.
+    pub fn operator_stats(&self, operator: &str) -> Option<&OperatorStats> {
+        self.operators.iter().find(|o| o.operator == operator)
     }
 }
 
@@ -368,6 +396,31 @@ impl JobProfile {
                     stage.max_task_shuffle_bytes_read =
                         stage.max_task_shuffle_bytes_read.max(*bytes);
                     stage.operator = Some(operator.clone());
+                }
+                Event::OperatorOutput {
+                    stage_id,
+                    operator,
+                    rows,
+                    bytes,
+                    ..
+                } => {
+                    // Driver-side drains (no stage) have nowhere to attach.
+                    if let Some(stage_id) = stage_id {
+                        let stage = profile.stage_mut(*stage_id);
+                        let stats =
+                            match stage.operators.iter_mut().find(|o| o.operator == *operator) {
+                                Some(stats) => stats,
+                                None => {
+                                    stage.operators.push(OperatorStats {
+                                        operator: operator.clone(),
+                                        ..OperatorStats::default()
+                                    });
+                                    stage.operators.last_mut().unwrap()
+                                }
+                            };
+                        stats.rows += rows;
+                        stats.bytes += bytes;
+                    }
                 }
                 Event::CacheHit {
                     dataset,

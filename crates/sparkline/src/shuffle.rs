@@ -31,6 +31,7 @@ use crate::metrics::ShuffleDetail;
 use crate::ops::Op;
 use crate::partitioner::KeyPartitioner;
 use crate::size::SizeOf;
+use crate::stream::PartitionStream;
 use crate::sync::Mutex;
 use crate::Data;
 use std::collections::HashMap;
@@ -309,7 +310,9 @@ pub struct ShuffleOp<K: Data, V: Data, C: Data> {
     /// built while the planner runs, so the tag is captured here and replayed
     /// into the trace when the shuffle materializes later.
     tag: Option<String>,
-    state: Mutex<Option<Arc<Vec<Vec<(K, C)>>>>>,
+    /// One `Arc` per reduce partition so downstream tasks get zero-copy
+    /// shared views of exactly their partition.
+    state: Mutex<Option<Vec<Arc<Vec<(K, C)>>>>>,
 }
 
 impl<K, V, C> ShuffleOp<K, V, C>
@@ -345,10 +348,10 @@ where
     /// still outstanding. Reduce tasks that find an output lost report a
     /// fetch failure instead of panicking; the loop then unwinds back to the
     /// map side. Bounded by `max_stage_attempts` with exponential backoff.
-    fn ensure_materialized(&self, ctx: &Context) -> Arc<Vec<Vec<(K, C)>>> {
+    fn materialized_partition(&self, part: usize, ctx: &Context) -> Arc<Vec<(K, C)>> {
         let mut state = self.state.lock();
-        if let Some(out) = state.as_ref() {
-            return out.clone();
+        if let Some(parts) = state.as_ref() {
+            return parts[part].clone();
         }
         let n_map = self.parent.num_partitions();
         let n_red = self.partitioner.partitions();
@@ -416,12 +419,16 @@ where
                     |idx| {
                         let p = missing[idx];
                         let owner = current_executor().map(|e| (e, ctx.executor_epoch(e)));
+                        // Drain the parent's stream straight into the write
+                        // buckets: no intermediate partition Vec, and records
+                        // are counted as they flow past.
                         let input = self.parent.compute(p, ctx);
-                        let records_in = input.len() as u64;
+                        let mut records_in = 0u64;
                         let buckets: Vec<Vec<(K, C)>> = if self.agg.map_side_combine {
                             let mut merges: Vec<OrderedMerge<K, C>> =
                                 (0..n_red).map(|_| OrderedMerge::new()).collect();
                             for (k, v) in input {
+                                records_in += 1;
                                 let b = self.partitioner.partition(&k);
                                 merges[b].fold_value(k, v, &self.agg);
                             }
@@ -430,6 +437,7 @@ where
                             let mut buckets: Vec<Vec<(K, C)>> =
                                 (0..n_red).map(|_| Vec::new()).collect();
                             for (k, v) in input {
+                                records_in += 1;
                                 let b = self.partitioner.partition(&k);
                                 buckets[b].push((k, (self.agg.create)(v)));
                             }
@@ -632,12 +640,12 @@ where
         // Materialized: the reduced output now lives on the driver, beyond
         // the reach of executor loss.
         tracker.drop_shuffle(self.shuffle_id);
-        let reduced: Vec<Vec<(K, C)>> = reduced_slots
+        let reduced: Vec<Arc<Vec<(K, C)>>> = reduced_slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("reduce partition materialized"))
+            .map(|slot| Arc::new(slot.into_inner().expect("reduce partition materialized")))
             .collect();
-        let out = Arc::new(reduced);
-        *state = Some(out.clone());
+        let out = reduced[part].clone();
+        *state = Some(reduced);
         out
     }
 }
@@ -652,8 +660,10 @@ where
         self.partitioner.partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<(K, C)> {
-        self.ensure_materialized(ctx)[part].clone()
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<(K, C)> {
+        // The materialized reduce output is driver-held; every downstream
+        // task reads a zero-copy shared view of its partition.
+        PartitionStream::shared(self.materialized_partition(part, ctx))
     }
 
     fn partitioner_descriptor(&self) -> Option<(String, usize)> {
@@ -683,15 +693,17 @@ where
     K: Data + Hash + Eq + SizeOf,
     V: Data + SizeOf,
 {
-    fn grouped_partition(&self, part: usize, ctx: &Context) -> Vec<(K, Vec<V>)> {
+    fn grouped_partition(&self, part: usize, ctx: &Context) -> PartitionStream<(K, Vec<V>)> {
         match self {
             CoGroupSide::Narrow(op) => {
+                // Fold the parent's stream straight into the group build —
+                // the one place cogroup legitimately needs ownership.
                 let agg = Aggregator::<V, Vec<V>>::grouping();
                 let mut merge = OrderedMerge::new();
                 for (k, v) in op.compute(part, ctx) {
                     merge.fold_value(k, v, &agg);
                 }
-                merge.into_entries()
+                PartitionStream::from_vec(merge.into_entries())
             }
             CoGroupSide::Shuffled(op) => op.compute(part, ctx),
         }
@@ -774,12 +786,13 @@ where
         self.partitioner.partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<(K, (Vec<V>, Vec<W>))> {
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<(K, (Vec<V>, Vec<W>))> {
         let lhs = self.left.grouped_partition(part, ctx);
         let rhs = self.right.grouped_partition(part, ctx);
-        // Merge by key, keeping left-then-right first-seen order.
+        // Merge by key, keeping left-then-right first-seen order. The merge
+        // build needs ownership, so this is a legitimate collect point.
         let mut index: HashMap<K, usize> = HashMap::new();
-        let mut out: Vec<(K, (Vec<V>, Vec<W>))> = Vec::with_capacity(lhs.len());
+        let mut out: Vec<(K, (Vec<V>, Vec<W>))> = Vec::with_capacity(lhs.len_hint().unwrap_or(0));
         for (k, vs) in lhs {
             index.insert(k.clone(), out.len());
             out.push((k, (vs, Vec::new())));
@@ -793,7 +806,7 @@ where
                 }
             }
         }
-        out
+        PartitionStream::from_vec(out)
     }
 
     fn partitioner_descriptor(&self) -> Option<(String, usize)> {

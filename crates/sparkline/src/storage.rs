@@ -20,6 +20,7 @@ use crate::context::Context;
 use crate::events::Event;
 use crate::ops::Op;
 use crate::size::SizeOf;
+use crate::stream::PartitionStream;
 use crate::sync::Mutex;
 use crate::Data;
 use std::any::Any;
@@ -624,7 +625,7 @@ impl<T: Data + SizeOf + SpillCodec> Op<T> for PersistOp<T> {
         self.parent.num_partitions()
     }
 
-    fn compute(&self, part: usize, ctx: &Context) -> Vec<T> {
+    fn compute(&self, part: usize, ctx: &Context) -> PartitionStream<T> {
         let _guard = self.guards[part].lock();
         let storage = ctx.storage();
         if let Some(read) = storage.get::<T>(self.id, part) {
@@ -635,7 +636,9 @@ impl<T: Data + SizeOf + SpillCodec> Op<T> for PersistOp<T> {
                 from_disk: read.from_disk,
                 stage_id,
             });
-            return read.data.as_ref().clone();
+            // A hit is a refcount bump on the stored block, never a copy:
+            // every consumer of this partition shares one allocation.
+            return PartitionStream::shared(read.data);
         }
         let recompute = self.computed[part].load(Ordering::Relaxed);
         emit_cache_event(ctx, |stage_id| {
@@ -653,7 +656,7 @@ impl<T: Data + SizeOf + SpillCodec> Op<T> for PersistOp<T> {
                 }
             }
         });
-        let data = Arc::new(self.parent.compute(part, ctx));
+        let data = Arc::new(self.parent.compute(part, ctx).into_vec());
         let outcome = storage.put(self.id, part, data.clone(), self.level);
         for victim in &outcome.evicted {
             emit_cache_event(ctx, |stage_id| Event::CacheEvict {
@@ -681,7 +684,7 @@ impl<T: Data + SizeOf + SpillCodec> Op<T> for PersistOp<T> {
             });
         }
         self.computed[part].store(true, Ordering::Relaxed);
-        data.as_ref().clone()
+        PartitionStream::shared(data)
     }
 
     fn partitioner_descriptor(&self) -> Option<(String, usize)> {
@@ -837,5 +840,35 @@ mod tests {
         m.put(1, 0, part(&[1, 2]), StorageLevel::Memory);
         assert!(m.get::<f64>(1, 0).is_none());
         assert!(m.get::<i64>(1, 0).is_some());
+    }
+
+    #[test]
+    fn persisted_partitions_are_served_as_one_shared_allocation() {
+        // Two consumers of a persisted dataset must observe the *same*
+        // underlying allocation: a cache hit is a refcount bump, not a
+        // double-buffered copy of the stored block.
+        let ctx = Context::builder()
+            .workers(2)
+            .storage_memory(64 << 20)
+            .chaos_off()
+            .build();
+        let src: Arc<dyn Op<i64>> = Arc::new(crate::ops::SourceOp::new((0..100).collect(), 2));
+        let persist = PersistOp::new(&ctx, src, StorageLevel::Memory);
+        // First compute stores the block; the returned stream shares it.
+        let first = persist.compute(0, &ctx);
+        let (block_first, _) = first.as_shared().expect("persist store must be shared");
+        let stored = ctx
+            .storage()
+            .get::<i64>(persist.cache_id().unwrap(), 0)
+            .expect("block resident")
+            .data;
+        assert!(Arc::ptr_eq(block_first, &stored));
+        // Two subsequent consumers both see that same allocation.
+        let a = persist.compute(0, &ctx);
+        let b = persist.compute(0, &ctx);
+        let (block_a, _) = a.as_shared().expect("hit must be shared");
+        let (block_b, _) = b.as_shared().expect("hit must be shared");
+        assert!(Arc::ptr_eq(block_a, block_b));
+        assert!(Arc::ptr_eq(block_a, &stored));
     }
 }

@@ -200,3 +200,74 @@ fn eviction_with_injected_failures_stays_bit_identical() {
         "evicted blocks must be recomputed from lineage"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Streaming-pipeline pinning (ISSUE 5, satellite 3, cache side): a fused
+// narrow chain *downstream* of the persist point must replay bit-identically
+// across the whole budget spectrum and injected failures — later passes pull
+// the chain lazily from cached `Shared` views instead of recomputing the
+// shuffle.
+// ---------------------------------------------------------------------------
+
+/// map/filter chain keyed purely off the record key, replayable on plain
+/// Vecs. (flat_map duplication is covered by the chaos-side chain test.)
+fn chain_dataset(
+    mut d: Dataset<((usize, usize), DenseMatrix)>,
+    ops: &[u8],
+    p: usize,
+) -> Dataset<((usize, usize), DenseMatrix)> {
+    for &op in ops {
+        d = if op % 2 == 0 {
+            d.map(move |((a, b), t)| (((a + p) % 6, b), t))
+        } else {
+            d.filter(move |&((a, b), _)| !(a + b + p).is_multiple_of(4))
+        };
+    }
+    d
+}
+
+fn chain_vec(
+    mut v: Vec<((usize, usize), DenseMatrix)>,
+    ops: &[u8],
+    p: usize,
+) -> Vec<((usize, usize), DenseMatrix)> {
+    for &op in ops {
+        v = if op % 2 == 0 {
+            v.into_iter()
+                .map(|((a, b), t)| (((a + p) % 6, b), t))
+                .collect()
+        } else {
+            v.into_iter()
+                .filter(|&((a, b), _)| !(a + b + p).is_multiple_of(4))
+                .collect()
+        };
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn fused_chain_over_persisted_blocks_is_bit_identical(
+        rows in 1usize..6, cols in 1usize..6, salt in 0u64..1000,
+        budget in budgets(), failures in 0u32..3,
+        ops in proptest::collection::vec(0u8..2, 0..5), p in 0usize..6) {
+        let oracle_ctx = Context::builder().workers(3).build();
+        let oracle = by_key(chain_vec(
+            by_key(dense_tiles(&oracle_ctx, rows, cols, salt).collect()),
+            &ops, p,
+        ));
+
+        let c = Context::builder().workers(3).storage_memory(budget).build();
+        let d = chain_dataset(dense_tiles(&c, rows, cols, salt).persist(), &ops, p);
+        for pass in 0..3 {
+            let _guard = c.inject_task_failures_scoped(failures);
+            prop_assert_eq!(
+                &by_key(d.collect()), &oracle,
+                "chain {:?} budget {} failures {} pass {} diverged",
+                ops, budget, failures, pass
+            );
+        }
+    }
+}

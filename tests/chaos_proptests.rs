@@ -256,3 +256,144 @@ fn chaos_recovery_is_visible_in_explain_analyze() {
         .iter()
         .any(|s| s.restarts > 0));
 }
+
+// ---------------------------------------------------------------------------
+// Streaming-pipeline pinning (ISSUE 5, satellite 3): random narrow-op chains,
+// fused by the pull-based runtime into a single operator pipeline, must stay
+// bit-identical to eager Vec semantics — replayed driver-side on plain Vecs —
+// under seeded chaos, tiny storage budgets, and speculation, for dense and
+// CSC-sparse tiles alike.
+// ---------------------------------------------------------------------------
+
+/// Applies a random narrow-op chain to a dataset. Every opcode picks one of
+/// map / filter / flat_map, parameterised by `p`; all routing decisions are
+/// pure functions of the record key, so `apply_chain_vec` can replay them
+/// exactly. `b * 7 + 1000` is injective and stays above every pre-existing
+/// key, so any duplicated key always carries an identical payload and key
+/// order alone is a total order up to full-record equality.
+fn apply_chain_dataset<T: sac_repro::sparkline::Data>(
+    mut d: Dataset<((usize, usize), T)>,
+    ops: &[u8],
+    p: usize,
+) -> Dataset<((usize, usize), T)> {
+    for &op in ops {
+        d = match op % 3 {
+            0 => d.map(move |((a, b), t)| (((a + p) % 6, b), t)),
+            1 => d.filter(move |&((a, b), _)| !(a + b + p).is_multiple_of(4)),
+            _ => d.flat_map(move |((a, b), t)| {
+                if b.is_multiple_of(2) {
+                    vec![((a, b * 7 + 1000), t.clone()), ((a, b), t)]
+                } else {
+                    vec![((a, b), t)]
+                }
+            }),
+        };
+    }
+    d
+}
+
+/// The eager oracle: the exact same chain, replayed with plain `Vec`
+/// combinators on the driver — the semantics the seed runtime had before
+/// streams.
+fn apply_chain_vec<T: Clone>(
+    mut v: Vec<((usize, usize), T)>,
+    ops: &[u8],
+    p: usize,
+) -> Vec<((usize, usize), T)> {
+    for &op in ops {
+        v = match op % 3 {
+            0 => v
+                .into_iter()
+                .map(|((a, b), t)| (((a + p) % 6, b), t))
+                .collect(),
+            1 => v
+                .into_iter()
+                .filter(|&((a, b), _)| !(a + b + p).is_multiple_of(4))
+                .collect(),
+            _ => v
+                .into_iter()
+                .flat_map(|((a, b), t)| {
+                    if b.is_multiple_of(2) {
+                        vec![((a, b * 7 + 1000), t.clone()), ((a, b), t)]
+                    } else {
+                        vec![((a, b), t)]
+                    }
+                })
+                .collect(),
+        };
+    }
+    v
+}
+
+/// Driver-side replica of the `dense_tiles` generator (shuffle reordering is
+/// irrelevant — both sides are compared through `by_key`).
+fn oracle_dense(rows: usize, cols: usize, salt: u64) -> Vec<((usize, usize), DenseMatrix)> {
+    (0..12u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(i ^ salt);
+            let tile = LocalMatrix::random(rows, cols, -2.0, 2.0, &mut rng).to_dense();
+            (((i % 6) as usize, i as usize), tile)
+        })
+        .collect()
+}
+
+/// Driver-side replica of the `sparse_tiles` generator.
+fn oracle_sparse(rows: usize, cols: usize, salt: u64) -> Vec<((usize, usize), CscTile)> {
+    (0..12u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(i ^ salt);
+            let tile = LocalMatrix::sparse_random(rows, cols, 0.4, &mut rng).to_dense();
+            (((i % 6) as usize, i as usize), CscTile::from_dense(&tile))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random fused narrow-op chains over a persisted shuffle output, run
+    /// under explicit chaos + speculation + a storage budget spanning
+    /// nothing-fits to everything-fits, must equal the Vec oracle on every
+    /// pass (pass 2 re-pulls the streams through the cache/recompute path).
+    #[test]
+    fn fused_narrow_chains_match_vec_semantics_under_chaos(
+        rows in 1usize..5, cols in 1usize..5, salt in 0u64..1000,
+        ops in proptest::collection::vec(0u8..3, 0..6), p in 0usize..6,
+        kill_at in 3u64..40, kill_exec in 0usize..4,
+        fetch_every in 2u64..8,
+        budget in prop_oneof![Just(0usize), Just(300usize), Just(usize::MAX)],
+        sparse in proptest::bool::ANY,
+    ) {
+        let plan = explicit_plan(4, kill_at, kill_exec, fetch_every, 5);
+        let c = Context::builder()
+            .workers(4)
+            .executors(4)
+            .max_task_attempts(8)
+            .max_stage_attempts(12)
+            .storage_memory(budget)
+            .speculation(1.5)
+            .chaos(plan)
+            .build();
+        if sparse {
+            let want = by_key(apply_chain_vec(oracle_sparse(rows, cols, salt), &ops, p));
+            let d = apply_chain_dataset(sparse_tiles(&c, rows, cols, salt).persist(), &ops, p);
+            for pass in 0..2 {
+                prop_assert_eq!(
+                    &by_key(d.collect()), &want,
+                    "sparse chain {:?} p {} budget {} pass {} diverged",
+                    ops, p, budget, pass
+                );
+            }
+        } else {
+            let want = by_key(apply_chain_vec(oracle_dense(rows, cols, salt), &ops, p));
+            let d = apply_chain_dataset(dense_tiles(&c, rows, cols, salt).persist(), &ops, p);
+            for pass in 0..2 {
+                prop_assert_eq!(
+                    &by_key(d.collect()), &want,
+                    "dense chain {:?} p {} budget {} pass {} diverged",
+                    ops, p, budget, pass
+                );
+            }
+        }
+    }
+}

@@ -346,3 +346,57 @@ fn kill_between_map_and_reduce_resubmits_exactly_the_lost_partitions() {
         1
     );
 }
+
+#[test]
+fn narrow_chain_runs_as_one_fused_operator_pipeline() {
+    use sac_repro::sparkline::Context;
+    // chaos_off: retried or speculated attempts would emit extra
+    // operator_output events and skew the exact per-operator counts.
+    let c = Context::builder()
+        .workers(4)
+        .default_parallelism(4)
+        .chaos_off()
+        .build();
+    let d = c
+        .parallelize((0..1000i64).collect(), 4)
+        .map(|x| x * 2)
+        .filter(|x| x % 4 == 0)
+        .map(|x| x + 1);
+    c.trace();
+    let out = d.collect();
+    let profile = c.take_profile();
+    assert_eq!(out.len(), 500);
+
+    // The whole map -> filter -> map chain pipelines inside ONE stage: no
+    // intermediate stage (and certainly no shuffle) between the narrow ops.
+    assert_eq!(profile.jobs.len(), 1);
+    assert_eq!(
+        profile.stages.len(),
+        1,
+        "narrow chain must fuse into a single stage:\n{}",
+        profile.render()
+    );
+    let stage = &profile.stages[0];
+    assert_eq!(stage.tasks, 4);
+
+    // ... and that single fused stage still reports per-operator output
+    // cardinalities. Same-named operators aggregate: the two `map`s report
+    // 1000 + 500 rows.
+    let rows = |op: &str| {
+        stage
+            .operator_stats(op)
+            .unwrap_or_else(|| panic!("no stats for {op}:\n{}", profile.render()))
+            .rows
+    };
+    assert_eq!(rows("source"), 1000);
+    assert_eq!(rows("map"), 1500);
+    assert_eq!(rows("filter"), 500);
+    // bytes_out is the shallow per-row estimate: rows * size_of::<i64>().
+    assert_eq!(stage.operator_stats("source").unwrap().bytes, 8000);
+    // The rendered profile surfaces the pipeline for explain_analyze.
+    assert!(
+        stage.render().contains("operators ["),
+        "render must show per-operator cardinalities: {}",
+        stage.render()
+    );
+}

@@ -207,3 +207,39 @@ fn failure_injection_mid_iteration_recovers() {
         assert_eq!(got, expected, "round {round} corrupted results");
     }
 }
+
+#[test]
+fn source_partitions_are_shared_views_not_per_task_copies() {
+    use sac_repro::sparkline::PartitionStream;
+    use std::sync::Arc;
+    // A multi-stage job over a sizable source: map tasks drain the source
+    // stream straight into shuffle buckets.
+    let c = Context::builder()
+        .workers(4)
+        .default_parallelism(4)
+        .chaos_off()
+        .build();
+    let d = c.parallelize((0..100_000i64).collect(), 4);
+    assert_eq!(
+        d.map(|x| (x % 7, x)).reduce_by_key(4, |a, b| a + b).count(),
+        7
+    );
+    // Arc probe: every compute of a source partition (every task attempt,
+    // retry, or speculative duplicate) reads the SAME backing allocation —
+    // the partition is never deep-cloned into a task.
+    let s1 = d.op().compute(0, d.context());
+    let s2 = d.op().compute(0, d.context());
+    let (b1, _) = s1.as_shared().expect("source must stream a shared view");
+    let (b2, _) = s2.as_shared().expect("source must stream a shared view");
+    assert!(
+        Arc::ptr_eq(b1, b2),
+        "two reads of one source partition must share one allocation"
+    );
+    assert_eq!(s2.len_hint(), Some(25_000));
+    // Draining a shared view clones elements on demand, never the block:
+    // the original allocation is still the one the op holds.
+    let drained: PartitionStream<i64> = d.op().compute(0, d.context());
+    assert_eq!(drained.into_vec().len(), 25_000);
+    let s3 = d.op().compute(0, d.context());
+    assert!(Arc::ptr_eq(s3.as_shared().unwrap().0, b1));
+}
