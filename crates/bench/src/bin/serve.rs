@@ -1,0 +1,295 @@
+//! Multi-tenant query-service load generator.
+//!
+//! Boots a [`service::QueryService`] with its TCP front end on an ephemeral
+//! port, registers two shared matrices, and drives it with closed-loop
+//! clients in three phases:
+//!
+//! 1. **warmup** — one pass over the query mix to populate the plan cache
+//!    and materialize the shared blocks;
+//! 2. **solo** — a single well-behaved tenant (`alice`) runs the mix alone,
+//!    establishing the baseline latency distribution and the per-query
+//!    result fingerprints;
+//! 3. **contended** — three well-behaved tenants (`alice`, `bob`, `carol`)
+//!    run the same closed-loop mix, one outstanding request each, while a
+//!    noisy neighbor (`mallory`) floods the service from
+//!    `NOISE_CONNECTIONS` parallel connections for the whole phase. Without
+//!    fair scheduling mallory's waiters would FIFO-queue ahead of every
+//!    well-behaved request; stride scheduling instead admits the tenant
+//!    with the least accrued virtual time first.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve            # writes BENCH_service.json
+//! cargo run --release -p bench --bin serve -- out.json
+//! ```
+//!
+//! Exit is nonzero (failing CI) unless
+//! - every well-behaved tenant's per-query fingerprints under contention are
+//!   bit-identical to alice's solo fingerprints, and
+//! - alice's contended p99 is within `FAIRNESS_LIMIT` (3x) of her solo p99 —
+//!   i.e. fair scheduling actually bounded the noisy neighbor's impact.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use service::net::{serve, Client};
+use service::QueryService;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tiled::LocalMatrix;
+
+const N: usize = 96;
+const TILE: usize = 16;
+const SLOTS: usize = 1;
+const ROUNDS: usize = 20;
+const NOISE_CONNECTIONS: usize = 6;
+/// Pause between a well-behaved tenant's requests: interactive users think,
+/// floods don't. Keeps the three polite tenants from saturating the pool
+/// against each other, which would swamp the noisy-neighbor signal.
+const THINK_MILLIS: u64 = 12;
+const FAIRNESS_LIMIT: f64 = 3.0;
+
+const QUERIES: &[(&str, &str)] = &[
+    ("scale", "tiled(n,n)[ ((i,j), a*2.0) | ((i,j),a) <- A ]"),
+    (
+        "add",
+        "tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]",
+    ),
+    (
+        "rowsum",
+        "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]",
+    ),
+    ("trace", "+/[ v | ((i,j),v) <- A, i == j ]"),
+    (
+        "matmul",
+        "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+         let v = a*b, group by (i,j) ]",
+    ),
+];
+
+/// One closed-loop client pass: `rounds` rounds over the query mix,
+/// returning per-request latencies (micros) and per-query fingerprints.
+fn drive(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    rounds: usize,
+) -> (Vec<u64>, BTreeMap<String, String>) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(rounds * QUERIES.len());
+    let mut fingerprints = BTreeMap::new();
+    for _ in 0..rounds {
+        for (name, query) in QUERIES {
+            let started = Instant::now();
+            let reply = client
+                .run(tenant, query)
+                .expect("io")
+                .unwrap_or_else(|e| panic!("{tenant}/{name} failed: {e}"));
+            latencies.push(started.elapsed().as_micros() as u64);
+            let fp = json_field(&reply, "fingerprint").expect("fingerprint in reply");
+            fingerprints.insert((*name).to_string(), fp);
+            std::thread::sleep(std::time::Duration::from_millis(THINK_MILLIS));
+        }
+    }
+    (latencies, fingerprints)
+}
+
+/// Extract a top-level numeric/bool field from a flat JSON object.
+fn json_field(json: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().to_string())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct TenantReport {
+    tenant: String,
+    requests: usize,
+    p50_micros: u64,
+    p99_micros: u64,
+    throughput_qps: f64,
+}
+
+fn report(tenant: &str, mut latencies: Vec<u64>, wall_micros: u64) -> TenantReport {
+    latencies.sort_unstable();
+    TenantReport {
+        tenant: tenant.to_string(),
+        requests: latencies.len(),
+        p50_micros: percentile(&latencies, 50.0),
+        p99_micros: percentile(&latencies, 99.0),
+        throughput_qps: latencies.len() as f64 / (wall_micros as f64 / 1e6),
+    }
+}
+
+impl TenantReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"tenant\":\"{}\",\"requests\":{},\"p50_micros\":{},\"p99_micros\":{},\
+             \"throughput_qps\":{:.2}}}",
+            self.tenant, self.requests, self.p50_micros, self.p99_micros, self.throughput_qps
+        )
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let svc = QueryService::builder()
+        .workers(4)
+        .executors(4)
+        .storage_memory(256 << 20)
+        .slots(SLOTS)
+        .chaos_off()
+        .build();
+    let mut rng = StdRng::seed_from_u64(2021);
+    let a = LocalMatrix::random(N, N, -1.0, 1.0, &mut rng);
+    let b = LocalMatrix::random(N, N, -1.0, 1.0, &mut rng);
+    svc.register_shared_matrix("A", &a, TILE)
+        .expect("register A");
+    svc.register_shared_matrix("B", &b, TILE)
+        .expect("register B");
+    svc.register_shared_int("n", N as i64);
+    let server = serve(svc.clone(), ("127.0.0.1", 0)).expect("bind");
+    let addr = server.addr();
+    eprintln!("serving {} tenants mix on {addr}", 4);
+
+    // Phase 1: warmup — compile every plan once, materialize shared blocks.
+    let (_, _) = drive(addr, "alice", 1);
+
+    // Phase 2: solo baseline.
+    let solo_started = Instant::now();
+    let (solo_lat, solo_fps) = drive(addr, "alice", ROUNDS);
+    let solo_wall = solo_started.elapsed().as_micros() as u64;
+    let solo = report("alice", solo_lat, solo_wall);
+    eprintln!(
+        "solo: {} requests, p50 {}us p99 {}us, {:.1} q/s",
+        solo.requests, solo.p50_micros, solo.p99_micros, solo.throughput_qps
+    );
+
+    // Phase 3: contended — three well-behaved closed-loop tenants while the
+    // noisy neighbor floods from NOISE_CONNECTIONS parallel connections for
+    // the whole phase.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let contended_started = Instant::now();
+    let noise_handles: Vec<_> = (0..NOISE_CONNECTIONS)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    for (name, query) in QUERIES {
+                        let started = Instant::now();
+                        client
+                            .run("mallory", query)
+                            .expect("io")
+                            .unwrap_or_else(|e| panic!("mallory/{name} failed: {e}"));
+                        latencies.push(started.elapsed().as_micros() as u64);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    // Let the flood accrue virtual time first: the well-behaved tenants
+    // must arrive at an already-noisy service, not race it from zero.
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    let handles: Vec<_> = ["alice", "bob", "carol"]
+        .into_iter()
+        .map(|tenant| {
+            std::thread::spawn(move || {
+                let (lat, fps) = drive(addr, tenant, ROUNDS);
+                (tenant, lat, fps)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+    let contended_wall = contended_started.elapsed().as_micros() as u64;
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mallory_lat: Vec<u64> = noise_handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("noise client"))
+        .collect();
+    let mut contended_reports = Vec::new();
+    let mut contended_fps: Vec<(String, BTreeMap<String, String>)> = Vec::new();
+    for (tenant, lat, fps) in results {
+        contended_reports.push(report(tenant, lat, contended_wall));
+        contended_fps.push((tenant.to_string(), fps));
+    }
+    contended_reports.push(report("mallory", mallory_lat, contended_wall));
+    for r in &contended_reports {
+        eprintln!(
+            "contended {}: {} requests, p50 {}us p99 {}us, {:.1} q/s",
+            r.tenant, r.requests, r.p50_micros, r.p99_micros, r.throughput_qps
+        );
+    }
+
+    // Gate 1: bit-identical results — every well-behaved tenant's per-query
+    // fingerprint under contention equals alice's solo fingerprint.
+    let mut bit_identical = true;
+    for (tenant, fps) in &contended_fps {
+        for (name, fp) in fps {
+            let solo_fp = solo_fps.get(name).expect("query in solo set");
+            if fp != solo_fp {
+                eprintln!("MISMATCH: {tenant}/{name} fingerprint {fp} != solo {solo_fp}");
+                bit_identical = false;
+            }
+        }
+    }
+
+    // Gate 2: fairness — the noisy neighbor must not degrade alice's p99
+    // beyond FAIRNESS_LIMIT x her solo p99.
+    let alice = contended_reports
+        .iter()
+        .find(|r| r.tenant == "alice")
+        .expect("alice report");
+    let fairness_ratio = alice.p99_micros as f64 / solo.p99_micros.max(1) as f64;
+    eprintln!(
+        "fairness: alice p99 {}us contended vs {}us solo = {:.2}x (limit {FAIRNESS_LIMIT}x)",
+        alice.p99_micros, solo.p99_micros, fairness_ratio
+    );
+
+    let (hits, misses, entries) = svc.plan_cache_stats();
+    let pass = bit_identical && fairness_ratio <= FAIRNESS_LIMIT;
+
+    let tenants_json: Vec<String> = contended_reports
+        .iter()
+        .map(TenantReport::to_json)
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service\",\n  \"config\": {{\"n\": {N}, \"tile\": {TILE}, \
+         \"slots\": {SLOTS}, \"rounds\": {ROUNDS}, \"clients\": 4, \
+         \"noisy_tenant\": \"mallory\", \"noise_connections\": {NOISE_CONNECTIONS}}},\n  \
+         \"queries\": [{queries}],\n  \
+         \"solo\": {solo_json},\n  \
+         \"contended\": {{\"wall_micros\": {contended_wall}, \"tenants\": [{tenants}]}},\n  \
+         \"fairness_ratio\": {fairness_ratio:.3},\n  \"fairness_limit\": {FAIRNESS_LIMIT},\n  \
+         \"plan_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"entries\": {entries}}},\n  \
+         \"results_bit_identical\": {bit_identical},\n  \"pass\": {pass}\n}}\n",
+        queries = QUERIES
+            .iter()
+            .map(|(name, _)| format!("\"{name}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        solo_json = solo.to_json(),
+        tenants = tenants_json.join(", "),
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    server.shutdown();
+    if !pass {
+        eprintln!("FAIL: service bench gates violated");
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@ use tiled::{CooMatrix, LocalMatrix, TiledMatrix, TiledVector};
 
 /// Builder for [`Session`].
 pub struct SessionBuilder {
+    context: Option<Context>,
     workers: usize,
     executors: Option<usize>,
     partitions: usize,
@@ -26,6 +27,7 @@ pub struct SessionBuilder {
 impl Default for SessionBuilder {
     fn default() -> Self {
         SessionBuilder {
+            context: None,
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             executors: None,
             // 0 = derive shuffle parallelism from the worker count and the
@@ -46,6 +48,19 @@ impl Default for SessionBuilder {
 }
 
 impl SessionBuilder {
+    /// Attach the session to an *existing* runtime context instead of
+    /// building a fresh one — how a multi-tenant query service hosts many
+    /// sessions over one shared executor pool. When set, the runtime-level
+    /// knobs on this builder (`workers`, `executors`, `storage_memory`,
+    /// attempt limits, speculation, chaos) are ignored: they belong to
+    /// whoever built the shared context. Planner-level knobs (`partitions`,
+    /// `matmul`, `broadcast_budget`, `tile_threads`, `auto_persist`) still
+    /// apply per session.
+    pub fn context(mut self, ctx: Context) -> Self {
+        self.context = Some(ctx);
+        self
+    }
+
     /// Executor threads of the underlying runtime.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
@@ -138,29 +153,35 @@ impl SessionBuilder {
     }
 
     pub fn build(self) -> Session {
-        let mut ctx = Context::builder().workers(self.workers);
-        if let Some(bytes) = self.storage_memory {
-            ctx = ctx.storage_memory(bytes);
-        }
-        if let Some(n) = self.executors {
-            ctx = ctx.executors(n);
-        }
-        if let Some(n) = self.max_task_attempts {
-            ctx = ctx.max_task_attempts(n);
-        }
-        if let Some(n) = self.max_stage_attempts {
-            ctx = ctx.max_stage_attempts(n);
-        }
-        if let Some(m) = self.speculation {
-            ctx = ctx.speculation(m);
-        }
-        if let Some(plan) = self.chaos {
-            ctx = ctx.chaos(plan);
-        } else if self.chaos_off {
-            ctx = ctx.chaos_off();
-        }
+        let ctx = match self.context {
+            Some(ctx) => ctx,
+            None => {
+                let mut ctx = Context::builder().workers(self.workers);
+                if let Some(bytes) = self.storage_memory {
+                    ctx = ctx.storage_memory(bytes);
+                }
+                if let Some(n) = self.executors {
+                    ctx = ctx.executors(n);
+                }
+                if let Some(n) = self.max_task_attempts {
+                    ctx = ctx.max_task_attempts(n);
+                }
+                if let Some(n) = self.max_stage_attempts {
+                    ctx = ctx.max_stage_attempts(n);
+                }
+                if let Some(m) = self.speculation {
+                    ctx = ctx.speculation(m);
+                }
+                if let Some(plan) = self.chaos {
+                    ctx = ctx.chaos(plan);
+                } else if self.chaos_off {
+                    ctx = ctx.chaos_off();
+                }
+                ctx.build()
+            }
+        };
         Session {
-            ctx: ctx.build(),
+            ctx,
             env: PlanEnv::new(),
             config: PlanConfig {
                 partitions: self.partitions,
@@ -216,6 +237,17 @@ impl Session {
     /// The underlying runtime context (for metrics, parallelize, ...).
     pub fn spark(&self) -> &Context {
         &self.ctx
+    }
+
+    /// The session's binding environment (arrays, scalars, persist overlays).
+    pub fn env(&self) -> &PlanEnv {
+        &self.env
+    }
+
+    /// Mutable binding environment — how a query service installs shared
+    /// read-only datasets into a tenant session.
+    pub fn env_mut(&mut self) -> &mut PlanEnv {
+        &mut self.env
     }
 
     /// Planner configuration (mutable: switch matmul strategy, partitions).
@@ -380,6 +412,13 @@ impl Session {
             plan: planned.explain(),
             profile,
         })
+    }
+
+    /// Execute an already-compiled plan against the session's bindings —
+    /// the plan-cache path of the query service, where the same [`Planned`]
+    /// is reused across alpha-equivalent queries.
+    pub fn run_planned(&self, planned: &Planned) -> Result<ExecResult, CompError> {
+        planner::exec::execute(planned, &self.env, &self.ctx, &self.config)
     }
 
     /// Compile and execute a comprehension.
@@ -576,6 +615,67 @@ mod tests {
     fn storage_budget_flows_to_runtime() {
         let s = Session::builder().workers(2).storage_memory(4096).build();
         assert_eq!(s.storage_status().budget, Some(4096));
+    }
+
+    /// Send/Sync audit: the query service drives one session per tenant
+    /// from server threads over a shared runtime, so `Session`, `Context`,
+    /// and compiled plans must all cross (and be shared across) threads.
+    #[test]
+    fn sessions_and_plans_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<Context>();
+        assert_send_sync::<PlanEnv>();
+        assert_send_sync::<PlanConfig>();
+        assert_send_sync::<Planned>();
+        assert_send_sync::<ExecResult>();
+    }
+
+    #[test]
+    fn sessions_share_an_attached_runtime_context() {
+        let ctx = Context::builder()
+            .workers(2)
+            .storage_memory(1 << 20)
+            .chaos_off()
+            .build();
+        let mk = |seed: u64| {
+            let mut s = Session::builder()
+                .context(ctx.clone())
+                .partitions(2)
+                .build();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = LocalMatrix::random(4, 4, -1.0, 1.0, &mut rng);
+            s.register_local_matrix("A", &m, 2);
+            s.set_int("n", 4);
+            (s, m)
+        };
+        let (s1, m1) = mk(21);
+        let (s2, m2) = mk(22);
+        // Both sessions run on the same executor pool but keep private
+        // bindings: each sees its own "A".
+        let src = "tiled(n,n)[ ((i,j), a*2.0) | ((i,j),a) <- A ]";
+        std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| s1.matrix(src).unwrap().to_local());
+            let h2 = scope.spawn(|| s2.matrix(src).unwrap().to_local());
+            assert!(h1.join().unwrap().approx_eq(&m1.scale(2.0), 1e-12));
+            assert!(h2.join().unwrap().approx_eq(&m2.scale(2.0), 1e-12));
+        });
+        assert_eq!(s1.storage_status().budget, Some(1 << 20));
+        assert_eq!(s1.spark().workers(), s2.spark().workers());
+    }
+
+    #[test]
+    fn run_planned_reuses_a_compiled_plan() {
+        let (mut s, ms) = chaos_off_session_with(&[("A", 6, 6, 31)]);
+        s.set_int("n", 6);
+        let planned = s
+            .compile("tiled(n,n)[ ((i,j), a+a) | ((i,j),a) <- A ]")
+            .unwrap();
+        let expected = ms[0].scale(2.0);
+        for _ in 0..2 {
+            let got = s.run_planned(&planned).unwrap().into_matrix().unwrap();
+            assert!(got.to_local().approx_eq(&expected, 1e-12));
+        }
     }
 
     #[test]

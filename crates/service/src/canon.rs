@@ -1,0 +1,330 @@
+//! Query canonicalization for the plan cache.
+//!
+//! Two textually different queries should share one cache entry when they
+//! are the *same program*: alpha-renamed bound variables and reordered
+//! independent generators change the text but not the plan. The cache key is
+//! the pretty-printed [`canonicalize`]d expression, built in three passes:
+//!
+//! 1. [`comp::normalize::normalize`] — the planner's own source-to-source
+//!    rules (comprehension flattening, index removal, group-by elimination),
+//!    so the cached plan is compiled from exactly the key expression.
+//! 2. Generator reordering — within each run of consecutive generators,
+//!    adjacent pairs are bubble-sorted by a name-insensitive key, swapping
+//!    only when neither generator binds a variable the other's source reads
+//!    (commutative qualifiers, rule (3) of the paper permits any order).
+//! 3. Alpha-renaming — every bound variable is renamed to `%c0`, `%c1`, ...
+//!    in binding order, so user-chosen names vanish from the key.
+
+use comp::ast::{Comprehension, Expr, Pattern, Qualifier};
+use std::collections::HashMap;
+
+/// Canonical form of a query: normalize, reorder commutative generators,
+/// then alpha-rename bound variables. Alpha-equivalent queries (and
+/// reorderings of independent generators) map to equal expressions, hence
+/// equal pretty-printed cache keys.
+pub fn canonicalize(expr: Expr) -> Expr {
+    let expr = comp::normalize::normalize(expr);
+    let expr = reorder(expr);
+    Renamer::default().rename(&expr)
+}
+
+/// The canonical cache-key text of a query.
+pub fn canonical_key(expr: Expr) -> String {
+    format!("{}", canonicalize(expr))
+}
+
+/// FNV-1a over the key text — the `key` field of `plan_cache_hit` events.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: generator reordering.
+
+fn reorder(expr: Expr) -> Expr {
+    match expr {
+        Expr::Comprehension(c) => Expr::Comprehension(reorder_comp(c)),
+        Expr::Tuple(es) => Expr::Tuple(es.into_iter().map(reorder).collect()),
+        Expr::Call(f, es) => Expr::Call(f, es.into_iter().map(reorder).collect()),
+        Expr::Reduce(m, e) => Expr::Reduce(m, Box::new(reorder(*e))),
+        Expr::UnOp(op, e) => Expr::UnOp(op, Box::new(reorder(*e))),
+        Expr::Field(e, f) => Expr::Field(Box::new(reorder(*e)), f),
+        Expr::BinOp(op, a, b) => Expr::BinOp(op, Box::new(reorder(*a)), Box::new(reorder(*b))),
+        Expr::Index(e, idx) => Expr::Index(
+            Box::new(reorder(*e)),
+            idx.into_iter().map(reorder).collect(),
+        ),
+        Expr::Range { lo, hi, inclusive } => Expr::Range {
+            lo: Box::new(reorder(*lo)),
+            hi: Box::new(reorder(*hi)),
+            inclusive,
+        },
+        Expr::If(c, t, e) => Expr::If(
+            Box::new(reorder(*c)),
+            Box::new(reorder(*t)),
+            Box::new(reorder(*e)),
+        ),
+        Expr::Build {
+            builder,
+            args,
+            body,
+        } => Expr::Build {
+            builder,
+            args: args.into_iter().map(reorder).collect(),
+            body: Box::new(reorder(*body)),
+        },
+        leaf => leaf,
+    }
+}
+
+fn reorder_comp(c: Comprehension) -> Comprehension {
+    let mut qualifiers: Vec<Qualifier> = c
+        .qualifiers
+        .into_iter()
+        .map(|q| match q {
+            Qualifier::Generator(p, e) => Qualifier::Generator(p, reorder(e)),
+            Qualifier::Let(p, e) => Qualifier::Let(p, reorder(e)),
+            Qualifier::Guard(e) => Qualifier::Guard(reorder(e)),
+            Qualifier::GroupBy(p, k) => Qualifier::GroupBy(p, k.map(reorder)),
+        })
+        .collect();
+    // Bubble-sort adjacent generator pairs within each consecutive run; a
+    // swap needs both independence (neither side reads what the other
+    // binds) and a strict key ordering. Dependent chains keep their order.
+    let mut swapped = true;
+    while swapped {
+        swapped = false;
+        for i in 0..qualifiers.len().saturating_sub(1) {
+            let (a, b) = (&qualifiers[i], &qualifiers[i + 1]);
+            let (Qualifier::Generator(p1, e1), Qualifier::Generator(p2, e2)) = (a, b) else {
+                continue;
+            };
+            if !independent(p1, e2) || !independent(p2, e1) {
+                continue;
+            }
+            if sort_key(p2, e2) < sort_key(p1, e1) {
+                qualifiers.swap(i, i + 1);
+                swapped = true;
+            }
+        }
+    }
+    Comprehension {
+        head: Box::new(reorder(*c.head)),
+        qualifiers,
+    }
+}
+
+/// Does `source` avoid every variable `pattern` binds?
+fn independent(pattern: &Pattern, source: &Expr) -> bool {
+    let free = source.free_vars();
+    !pattern.vars().iter().any(|v| free.contains(v))
+}
+
+/// Name-insensitive ordering key of a generator: the source's pretty text
+/// with *bound-looking* occurrences left as-is (sources of independent
+/// generators only read outer/free names, which alpha-renaming preserves),
+/// plus the pattern's structural shape.
+fn sort_key(pattern: &Pattern, source: &Expr) -> (String, String) {
+    (format!("{source}"), pattern_shape(pattern))
+}
+
+fn pattern_shape(p: &Pattern) -> String {
+    match p {
+        Pattern::Var(_) => "v".into(),
+        Pattern::Wildcard => "_".into(),
+        Pattern::Tuple(ps) => {
+            let inner: Vec<String> = ps.iter().map(pattern_shape).collect();
+            format!("({})", inner.join(","))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: alpha-renaming.
+
+#[derive(Default)]
+struct Renamer {
+    /// Scope stack of `user name -> canonical name` maps.
+    scopes: Vec<HashMap<String, String>>,
+    counter: usize,
+}
+
+impl Renamer {
+    fn fresh(&mut self) -> String {
+        let name = format!("%c{}", self.counter);
+        self.counter += 1;
+        name
+    }
+
+    fn lookup(&self, name: &str) -> Option<&String> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn bind_pattern(&mut self, p: &Pattern) -> Pattern {
+        match p {
+            Pattern::Var(v) => {
+                let fresh = self.fresh();
+                self.scopes
+                    .last_mut()
+                    .expect("binding outside any scope")
+                    .insert(v.clone(), fresh.clone());
+                Pattern::Var(fresh)
+            }
+            Pattern::Tuple(ps) => Pattern::Tuple(ps.iter().map(|p| self.bind_pattern(p)).collect()),
+            Pattern::Wildcard => Pattern::Wildcard,
+        }
+    }
+
+    /// Rewrite a pattern whose variables *reference* existing bindings (the
+    /// `group by p` form, where `p` re-binds already-bound names to the key).
+    fn reference_pattern(&self, p: &Pattern) -> Pattern {
+        match p {
+            Pattern::Var(v) => Pattern::Var(self.lookup(v).cloned().unwrap_or_else(|| v.clone())),
+            Pattern::Tuple(ps) => {
+                Pattern::Tuple(ps.iter().map(|p| self.reference_pattern(p)).collect())
+            }
+            Pattern::Wildcard => Pattern::Wildcard,
+        }
+    }
+
+    fn rename(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => e.clone(),
+            Expr::Var(v) => Expr::Var(self.lookup(v).cloned().unwrap_or_else(|| v.clone())),
+            Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| self.rename(e)).collect()),
+            Expr::Call(f, es) => Expr::Call(f.clone(), es.iter().map(|e| self.rename(e)).collect()),
+            Expr::Reduce(m, e) => Expr::Reduce(*m, Box::new(self.rename(e))),
+            Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(self.rename(e))),
+            Expr::Field(e, f) => Expr::Field(Box::new(self.rename(e)), f.clone()),
+            Expr::BinOp(op, a, b) => {
+                Expr::BinOp(*op, Box::new(self.rename(a)), Box::new(self.rename(b)))
+            }
+            Expr::Index(e, idx) => Expr::Index(
+                Box::new(self.rename(e)),
+                idx.iter().map(|i| self.rename(i)).collect(),
+            ),
+            Expr::Range { lo, hi, inclusive } => Expr::Range {
+                lo: Box::new(self.rename(lo)),
+                hi: Box::new(self.rename(hi)),
+                inclusive: *inclusive,
+            },
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(self.rename(c)),
+                Box::new(self.rename(t)),
+                Box::new(self.rename(e)),
+            ),
+            Expr::Build {
+                builder,
+                args,
+                body,
+            } => Expr::Build {
+                builder: builder.clone(),
+                args: args.iter().map(|a| self.rename(a)).collect(),
+                body: Box::new(self.rename(body)),
+            },
+            Expr::Comprehension(c) => {
+                self.scopes.push(HashMap::new());
+                let qualifiers = c
+                    .qualifiers
+                    .iter()
+                    .map(|q| match q {
+                        Qualifier::Generator(p, e) => {
+                            let e = self.rename(e);
+                            Qualifier::Generator(self.bind_pattern(p), e)
+                        }
+                        Qualifier::Let(p, e) => {
+                            let e = self.rename(e);
+                            Qualifier::Let(self.bind_pattern(p), e)
+                        }
+                        Qualifier::Guard(e) => Qualifier::Guard(self.rename(e)),
+                        Qualifier::GroupBy(p, Some(k)) => {
+                            let k = self.rename(k);
+                            Qualifier::GroupBy(self.bind_pattern(p), Some(k))
+                        }
+                        Qualifier::GroupBy(p, None) => {
+                            Qualifier::GroupBy(self.reference_pattern(p), None)
+                        }
+                    })
+                    .collect();
+                let head = Box::new(self.rename(&c.head));
+                self.scopes.pop();
+                Expr::Comprehension(Comprehension { head, qualifiers })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: &str) -> String {
+        canonical_key(comp::parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn alpha_renamed_queries_share_a_key() {
+        let a =
+            key("tiled(n,n)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]");
+        let b =
+            key("tiled(n,n)[ ((r,c), x+y) | ((r,c),x) <- A, ((rr,cc),y) <- B, rr == r, cc == c ]");
+        assert_eq!(a, b, "alpha-renaming must not change the key");
+    }
+
+    #[test]
+    fn reordered_independent_generators_share_a_key() {
+        let a = key("[ a*b | ((i,j),a) <- A, ((k,l),b) <- B ]");
+        let b = key("[ a*b | ((k,l),b) <- B, ((i,j),a) <- A ]");
+        assert_eq!(a, b, "commutative generator order must not change the key");
+    }
+
+    #[test]
+    fn reordering_composes_with_alpha_renaming() {
+        let a = key("[ a*b | ((i,j),a) <- A, ((k,l),b) <- B ]");
+        let b = key("[ x*y | ((p,q),y) <- B, ((r,s),x) <- A ]");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dependent_generators_keep_their_order() {
+        // The second generator ranges over a variable the first binds; the
+        // pair is not commutative and must not be reordered.
+        let a = key("[ y | x <- A, y <- x ]");
+        let b = key("[ y | x <- B, y <- x ]");
+        assert_ne!(a, b);
+        // Canonical text still renames the bound variables.
+        assert!(a.contains("%c0"), "{a}");
+    }
+
+    #[test]
+    fn different_sources_get_different_keys() {
+        assert_ne!(key("[ a | (i,a) <- A ]"), key("[ a | (i,a) <- B ]"));
+        assert_ne!(key("[ a+1 | (i,a) <- A ]"), key("[ a+2 | (i,a) <- A ]"));
+    }
+
+    #[test]
+    fn group_by_and_matmul_queries_canonicalize() {
+        let a = key(
+            "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+             let v = a*b, group by (i,j) ]",
+        );
+        let b = key(
+            "tiled(n,n)[ ((r,c), +/w) | ((r,m),x) <- A, ((mm,c),y) <- B, mm == m, \
+             let w = x*y, group by (r,c) ]",
+        );
+        assert_eq!(a, b);
+        assert!(!a.contains("kk"), "user names must not leak into keys: {a}");
+    }
+
+    #[test]
+    fn key_hash_is_stable_and_discriminating() {
+        let k = key("[ a | (i,a) <- A ]");
+        assert_eq!(key_hash(&k), key_hash(&k));
+        assert_ne!(key_hash("x"), key_hash("y"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Line-oriented TCP protocol for [`QueryService`].
+//!
+//! Fields are tab-separated (queries contain spaces); one request and one
+//! reply per line:
+//!
+//! ```text
+//! RUN\t<tenant>\t<query>     ->  OK\t<reply json>   |  ERR\t<message>
+//! CANCEL\t<tenant>\t<job>    ->  OK\tcancelled      |  ERR\t<message>
+//! STATUS                     ->  OK\t<status json>
+//! QUIT                       ->  (connection closes)
+//! ```
+//!
+//! Each connection is served by its own thread; a `RUN` blocks its
+//! connection until the job finishes, so cancellation is issued from a
+//! *different* connection using the job ids visible in `STATUS`.
+
+use crate::QueryService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops the
+/// accept loop.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. Connections
+    /// already being served run their current request to completion.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and serve `service` until shutdown.
+pub fn serve(service: QueryService, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    // Nonblocking accept so the loop can observe the shutdown flag.
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let accept_thread = std::thread::spawn(move || {
+        while !flag.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let svc = service.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(svc, stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+    Ok(Server {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(service: QueryService, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let reply = match dispatch(&service, &line) {
+            Dispatch::Reply(r) => r,
+            Dispatch::Quit => break,
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+enum Dispatch {
+    Reply(String),
+    Quit,
+}
+
+/// Error messages must stay one line for the wire format.
+fn one_line(msg: String) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+fn dispatch(service: &QueryService, line: &str) -> Dispatch {
+    let mut parts = line.splitn(3, '\t');
+    let verb = parts.next().unwrap_or("").trim();
+    match verb {
+        "RUN" => {
+            let (tenant, query) = (parts.next(), parts.next());
+            match (tenant, query) {
+                (Some(tenant), Some(query)) if !tenant.is_empty() => {
+                    match service.run(tenant, query) {
+                        Ok(reply) => Dispatch::Reply(format!("OK\t{}", reply.to_json())),
+                        Err(e) => Dispatch::Reply(format!("ERR\t{}", one_line(e.to_string()))),
+                    }
+                }
+                _ => Dispatch::Reply("ERR\tusage: RUN\\t<tenant>\\t<query>".to_string()),
+            }
+        }
+        "CANCEL" => {
+            let (tenant, job) = (parts.next(), parts.next());
+            match (tenant, job.and_then(|j| j.trim().parse::<u64>().ok())) {
+                (Some(tenant), Some(job)) if !tenant.is_empty() => {
+                    match service.cancel(tenant, job) {
+                        Ok(()) => Dispatch::Reply("OK\tcancelled".to_string()),
+                        Err(e) => Dispatch::Reply(format!("ERR\t{}", one_line(e.to_string()))),
+                    }
+                }
+                _ => Dispatch::Reply("ERR\tusage: CANCEL\\t<tenant>\\t<job>".to_string()),
+            }
+        }
+        "STATUS" => Dispatch::Reply(format!("OK\t{}", service.status().to_json())),
+        "QUIT" => Dispatch::Quit,
+        "" => Dispatch::Reply("ERR\tempty request".to_string()),
+        other => Dispatch::Reply(format!(
+            "ERR\tunknown verb '{}'",
+            one_line(other.to_string())
+        )),
+    }
+}
+
+/// A tiny blocking client for tests and the load generator.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw request line; return the raw reply line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// `RUN` a query; `Ok(json)` on success, `Err(message)` on an `ERR` reply.
+    pub fn run(&mut self, tenant: &str, query: &str) -> std::io::Result<Result<String, String>> {
+        let reply = self.request(&format!("RUN\t{tenant}\t{query}"))?;
+        Ok(split_reply(&reply))
+    }
+
+    pub fn cancel(&mut self, tenant: &str, job: u64) -> std::io::Result<Result<String, String>> {
+        let reply = self.request(&format!("CANCEL\t{tenant}\t{job}"))?;
+        Ok(split_reply(&reply))
+    }
+
+    pub fn status(&mut self) -> std::io::Result<Result<String, String>> {
+        let reply = self.request("STATUS")?;
+        Ok(split_reply(&reply))
+    }
+}
+
+fn split_reply(reply: &str) -> Result<String, String> {
+    match reply.split_once('\t') {
+        Some(("OK", rest)) => Ok(rest.to_string()),
+        Some(("ERR", rest)) => Err(rest.to_string()),
+        _ => Err(format!("malformed reply: {reply}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tiled::LocalMatrix;
+
+    fn served() -> (QueryService, Server) {
+        let svc = QueryService::builder()
+            .workers(4)
+            .executors(4)
+            .storage_memory(64 << 20)
+            .slots(2)
+            .chaos_off()
+            .build();
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = LocalMatrix::random(8, 8, -1.0, 1.0, &mut rng);
+        svc.register_shared_matrix("A", &a, 4).unwrap();
+        svc.register_shared_int("n", 8);
+        let server = serve(svc.clone(), ("127.0.0.1", 0)).unwrap();
+        (svc, server)
+    }
+
+    #[test]
+    fn run_status_and_errors_over_tcp() {
+        let (_svc, server) = served();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let json = c
+            .run("alice", "tiled(n,n)[ ((i,j), a*3.0) | ((i,j),a) <- A ]")
+            .unwrap()
+            .expect("query should succeed");
+        assert!(json.contains("\"kind\":\"matrix\""), "{json}");
+        assert!(json.contains("\"rows\":8"), "{json}");
+        // Same query again: served from the plan cache.
+        let json2 = c
+            .run("alice", "tiled(n,n)[ ((i,j), a*3.0) | ((i,j),a) <- A ]")
+            .unwrap()
+            .unwrap();
+        assert!(json2.contains("\"cache_hit\":true"), "{json2}");
+        let status = c.status().unwrap().unwrap();
+        assert!(status.contains("\"tenant\":\"alice\""), "{status}");
+        // Errors come back as one-line ERR replies, connection stays usable.
+        let err = c.run("alice", "tiled(n,n)[ oops").unwrap().unwrap_err();
+        assert!(!err.is_empty());
+        let err = c.request("FROB\tx").unwrap();
+        assert!(err.starts_with("ERR\t"), "{err}");
+        assert!(c.cancel("ghost", 1).unwrap().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_isolated_tenants() {
+        let (_svc, server) = served();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let tenant = format!("t{i}");
+                    c.run(&tenant, "+/[ a | ((i,j),a) <- A ]")
+                        .unwrap()
+                        .expect("shared data query should succeed")
+                })
+            })
+            .collect();
+        let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All tenants read the same shared matrix: identical fingerprints.
+        let fp = |s: &str| {
+            s.split("\"fingerprint\":")
+                .nth(1)
+                .and_then(|r| r.split(',').next())
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(fp(&replies[0]), fp(&replies[1]));
+        assert_eq!(fp(&replies[1]), fp(&replies[2]));
+        server.shutdown();
+    }
+}

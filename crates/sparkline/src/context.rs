@@ -5,11 +5,12 @@ use crate::chaos::{ChaosController, ChaosPlan, CHAOS_ENV};
 use crate::events::{Event, EventCollector};
 use crate::metrics::Metrics;
 use crate::profile::JobProfile;
+use crate::service::{panic_is_cancelled, CancelToken, CANCELLED_MSG};
 use crate::shuffle::MapOutputTracker;
 use crate::storage::{BlockManager, StorageStatus};
 use crate::sync::Mutex;
 use crate::Data;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -43,6 +44,16 @@ thread_local! {
     /// and cached blocks produced on the thread are owned by this executor's
     /// fault domain and are lost when it is killed.
     static CURRENT_EXECUTOR: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Tenant whose job is running on this thread (service-assigned id).
+    /// Set on the driver by [`Context::scoped_tenant`] and re-installed on
+    /// every stage worker thread, so blocks cached anywhere inside the job
+    /// are charged to the tenant's storage quota.
+    static CURRENT_TENANT: Cell<Option<u32>> = const { Cell::new(None) };
+    /// Cancellation token of the job running on this thread, if any. Same
+    /// propagation as [`CURRENT_TENANT`]: installed by
+    /// [`Context::scoped_cancel`] on the driver, inherited by stage workers,
+    /// checked before every task claim.
+    static CURRENT_CANCEL: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
 }
 
 /// Innermost stage running on this thread, if any — how cache events are
@@ -56,6 +67,37 @@ pub(crate) fn current_stage() -> Option<u64> {
 /// survives every kill.
 pub(crate) fn current_executor() -> Option<usize> {
     CURRENT_EXECUTOR.with(Cell::get)
+}
+
+/// Tenant owning the job on this thread, if any — how cached blocks are
+/// attributed to tenant quotas without threading ids through operators.
+pub(crate) fn current_tenant() -> Option<u32> {
+    CURRENT_TENANT.with(Cell::get)
+}
+
+/// Cancellation token of the job on this thread, if any.
+pub(crate) fn current_cancel() -> Option<CancelToken> {
+    CURRENT_CANCEL.with(|c| c.borrow().clone())
+}
+
+/// Restores the previous thread-local tenant on drop (panic-safe: a job
+/// unwinding through `scoped_tenant` must not leak its id to later work on
+/// the driver thread).
+struct RestoreTenant(Option<u32>);
+
+impl Drop for RestoreTenant {
+    fn drop(&mut self) {
+        CURRENT_TENANT.with(|c| c.set(self.0));
+    }
+}
+
+/// Restores the previous thread-local cancel token on drop.
+struct RestoreCancel(Option<CancelToken>);
+
+impl Drop for RestoreCancel {
+    fn drop(&mut self) {
+        CURRENT_CANCEL.with(|c| *c.borrow_mut() = self.0.take());
+    }
 }
 
 /// Where a context's chaos schedule comes from.
@@ -426,8 +468,48 @@ impl Context {
         }
     }
 
-    pub(crate) fn max_stage_attempts(&self) -> u32 {
+    /// Configured task-attempt limit ([`ContextBuilder::max_task_attempts`]).
+    pub fn max_task_attempts(&self) -> u32 {
+        self.inner.max_task_attempts
+    }
+
+    /// Configured stage-attempt limit ([`ContextBuilder::max_stage_attempts`]).
+    pub fn max_stage_attempts(&self) -> u32 {
         self.inner.max_stage_attempts
+    }
+
+    /// Configured speculation multiplier, `None` when speculation is off
+    /// ([`ContextBuilder::speculation`]).
+    pub fn speculation_multiplier(&self) -> Option<f64> {
+        self.inner.speculation
+    }
+
+    /// Effective storage budget in bytes ([`ContextBuilder::storage_memory`]
+    /// or the [`STORAGE_BUDGET_ENV`] override); `None` means unlimited.
+    pub fn storage_memory(&self) -> Option<usize> {
+        self.storage_status().budget.map(|b| b as usize)
+    }
+
+    /// Run `f` with `tenant` as the current tenant on this thread: blocks
+    /// cached inside (on this thread or any stage worker it drives) are
+    /// charged to the tenant's storage quota, and per-tenant usage shows up
+    /// in [`Context::storage_status`]. Nests and restores on unwind.
+    pub fn scoped_tenant<R>(&self, tenant: u32, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_TENANT.with(|c| c.replace(Some(tenant)));
+        let _restore = RestoreTenant(prev);
+        f()
+    }
+
+    /// Run `f` under `token`: stages started inside (on this thread or any
+    /// worker thread they spawn) check the token before claiming each task,
+    /// and when it is cancelled the innermost stage stops launching tasks
+    /// and unwinds with [`CANCELLED_MSG`] as the panic payload (catch it and
+    /// test with [`crate::service::panic_is_cancelled`]). Nests and restores
+    /// on unwind.
+    pub fn scoped_cancel<R>(&self, token: CancelToken, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_CANCEL.with(|c| c.borrow_mut().replace(token));
+        let _restore = RestoreCancel(prev);
+        f()
     }
 
     /// Chaos hook at every task launch: applies any kills scheduled for this
@@ -723,6 +805,8 @@ impl Context {
             failure: Mutex::new(None),
             completed_micros: Mutex::new(Vec::new()),
             running: (0..n).map(|_| Mutex::new(None)).collect(),
+            tenant: current_tenant(),
+            cancel: current_cancel(),
         };
         // Map worker threads round-robin onto the healthy executors, fixed
         // for the stage's lifetime (a kill restarts the executor in place,
@@ -781,6 +865,10 @@ struct StageShared<'a, R, F> {
     /// Durations of accepted results — the speculation baseline.
     completed_micros: Mutex<Vec<u64>>,
     running: Vec<Mutex<Option<RunningTask>>>,
+    /// Tenant/cancel context captured from the submitting (driver) thread
+    /// and re-installed on every worker, so nested stages inherit them.
+    tenant: Option<u32>,
+    cancel: Option<CancelToken>,
 }
 
 impl<R: Send, F: Fn(usize) -> R + Send + Sync> StageShared<'_, R, F> {
@@ -789,11 +877,18 @@ impl<R: Send, F: Fn(usize) -> R + Send + Sync> StageShared<'_, R, F> {
         // even when stages nest (see [`current_stage`]).
         CURRENT_STAGE.with(|c| c.set(Some(self.stage_id)));
         CURRENT_EXECUTOR.with(|c| c.set(Some(executor)));
+        CURRENT_TENANT.with(|c| c.set(self.tenant));
+        CURRENT_CANCEL.with(|c| *c.borrow_mut() = self.cancel.clone());
         loop {
             // Fail fast: once any task has permanently failed the stage's
             // outcome is fixed, so launching still-queued tasks is pure
             // wasted work (and noise in the trace).
             if self.failure.lock().is_some() {
+                return;
+            }
+            // Cooperative cancellation boundary: in-flight tasks finish,
+            // nothing further launches, the stage unwinds as cancelled.
+            if self.observe_cancellation() {
                 return;
             }
             let task = self.requeued.lock().pop().or_else(|| {
@@ -883,6 +978,17 @@ impl<R: Send, F: Fn(usize) -> R + Send + Sync> StageShared<'_, R, F> {
                     // partition; first result won, drop ours.
                     return;
                 }
+                Err(cause) if panic_is_cancelled(&cause) => {
+                    // A nested stage unwound as cancelled inside this task:
+                    // that is the job being cancelled, not this task failing.
+                    // Don't retry, don't count a failure — pin the stage's
+                    // outcome so the cancellation keeps propagating.
+                    let mut failure = self.failure.lock();
+                    if failure.is_none() {
+                        *failure = Some(cause);
+                    }
+                    return;
+                }
                 Err(cause) => {
                     inner.metrics.task_failed();
                     if self.tracing {
@@ -903,6 +1009,33 @@ impl<R: Send, F: Fn(usize) -> R + Send + Sync> StageShared<'_, R, F> {
                 }
             }
         }
+    }
+
+    /// If this stage runs under a cancelled token, pin the stage's outcome
+    /// to the cancellation payload (first observer wins; a real task failure
+    /// that landed first keeps priority) and emit one `JobCancelled` event
+    /// per token. Returns true when the worker should stop claiming tasks.
+    fn observe_cancellation(&self) -> bool {
+        let Some(token) = &self.cancel else {
+            return false;
+        };
+        if !token.is_cancelled() {
+            return false;
+        }
+        let mut failure = self.failure.lock();
+        if failure.is_none() {
+            *failure = Some(Box::new(CANCELLED_MSG));
+        }
+        drop(failure);
+        if token.first_report() {
+            self.ctx.emit_event(|at| Event::JobCancelled {
+                tenant: token.tenant().to_string(),
+                job: token.job(),
+                stage_id: Some(self.stage_id),
+                at_micros: at,
+            });
+        }
+        true
     }
 
     /// Find a straggler worth duplicating on `executor`: speculation is on,
@@ -1354,6 +1487,120 @@ mod tests {
             .filter(|e| matches!(e, Event::TaskEnd { ok: true, .. }))
             .count();
         assert_eq!(ok_ends, 6);
+    }
+
+    #[test]
+    fn builder_knobs_read_back_from_a_running_context() {
+        let ctx = Context::builder()
+            .workers(3)
+            .executors(2)
+            .default_parallelism(5)
+            .max_task_attempts(7)
+            .max_stage_attempts(9)
+            .storage_memory(1 << 20)
+            .speculation(2.5)
+            .chaos_off()
+            .build();
+        assert_eq!(ctx.workers(), 3);
+        assert_eq!(ctx.executors(), 2);
+        assert_eq!(ctx.default_parallelism(), 5);
+        assert_eq!(ctx.max_task_attempts(), 7);
+        assert_eq!(ctx.max_stage_attempts(), 9);
+        assert_eq!(ctx.storage_memory(), Some(1 << 20));
+        assert_eq!(ctx.speculation_multiplier(), Some(2.5));
+    }
+
+    #[test]
+    fn scoped_tenant_nests_and_restores_on_unwind() {
+        let ctx = Context::new();
+        assert_eq!(current_tenant(), None);
+        ctx.scoped_tenant(1, || {
+            assert_eq!(current_tenant(), Some(1));
+            ctx.scoped_tenant(2, || assert_eq!(current_tenant(), Some(2)));
+            assert_eq!(current_tenant(), Some(1));
+            let _ = catch_unwind(AssertUnwindSafe(|| ctx.scoped_tenant(3, || panic!("boom"))));
+            assert_eq!(current_tenant(), Some(1), "restored on unwind");
+        });
+        assert_eq!(current_tenant(), None);
+    }
+
+    #[test]
+    fn workers_inherit_tenant_and_cancel_from_the_driver() {
+        let ctx = Context::builder().workers(2).chaos_off().build();
+        let token = CancelToken::new("alice", 1);
+        ctx.scoped_tenant(7, || {
+            ctx.scoped_cancel(token, || {
+                let seen =
+                    ctx.run_tasks(4, |_| (current_tenant(), current_cancel().map(|t| t.job())));
+                assert!(seen.iter().all(|&s| s == (Some(7), Some(1))));
+            })
+        });
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_next_task_boundary() {
+        let ctx = Context::builder().workers(2).chaos_off().build();
+        ctx.trace();
+        let token = CancelToken::new("alice", 42);
+        let launched = Arc::new(AtomicUsize::new(0));
+        let (t2, l2) = (token.clone(), launched.clone());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ctx.scoped_cancel(token.clone(), || {
+                ctx.run_tasks(64, move |i| {
+                    l2.fetch_add(1, Ordering::SeqCst);
+                    if i == 0 {
+                        t2.cancel();
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    i
+                })
+            })
+        }));
+        let cause = result.expect_err("cancelled job must unwind");
+        assert!(crate::service::panic_is_cancelled(&cause));
+        // In-flight tasks finish, nothing further launches: with 2 workers
+        // at most one extra task can slip in per worker after the cancel.
+        assert!(
+            launched.load(Ordering::SeqCst) <= 4,
+            "launched {} tasks after cancellation",
+            launched.load(Ordering::SeqCst)
+        );
+        let cancels = ctx
+            .take_events()
+            .iter()
+            .filter(
+                |e| matches!(e, Event::JobCancelled { tenant, job: 42, .. } if tenant == "alice"),
+            )
+            .count();
+        assert_eq!(cancels, 1, "exactly one JobCancelled per token");
+        // The pool is free again: later jobs run normally.
+        assert_eq!(ctx.run_tasks(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancellation_propagates_out_of_nested_stages_without_retries() {
+        let ctx = Context::builder().workers(2).chaos_off().build();
+        let token = CancelToken::new("bob", 5);
+        let before = ctx.metrics().snapshot().tasks_failed;
+        let t2 = token.clone();
+        let nested_ctx = ctx.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ctx.scoped_cancel(token.clone(), || {
+                ctx.run_tasks(2, move |_| {
+                    // Nested stage observes the cancellation and unwinds
+                    // through the parent task.
+                    t2.cancel();
+                    nested_ctx.run_tasks(8, |i| i)
+                })
+            })
+        }));
+        let cause = result.expect_err("cancellation must reach the driver");
+        assert!(crate::service::panic_is_cancelled(&cause));
+        assert_eq!(
+            ctx.metrics().snapshot().tasks_failed,
+            before,
+            "cancellation is not a task failure and must not be retried"
+        );
     }
 
     #[test]

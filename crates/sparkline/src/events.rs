@@ -188,6 +188,38 @@ pub enum Event {
         candidates: Vec<(String, u64)>,
         at_micros: u64,
     },
+    /// The query service's fair scheduler granted a tenant job one of its
+    /// admission slots. `queue_micros` is the wall time the job waited in the
+    /// admission queue.
+    JobAdmitted {
+        /// Tenant name as registered with the service.
+        tenant: String,
+        /// Service-level job id (a separate id space from runtime `job_id`s:
+        /// one admitted service job typically runs several runtime jobs).
+        job: u64,
+        queue_micros: u64,
+        at_micros: u64,
+    },
+    /// A cooperative cancellation was observed at a task boundary: the
+    /// in-flight tasks of the current stage finish, no further tasks of the
+    /// job are launched, and the driver unwinds with a cancellation payload.
+    /// Emitted once per cancelled job.
+    JobCancelled {
+        tenant: String,
+        /// Service-level job id (see [`Event::JobAdmitted`]).
+        job: u64,
+        /// Stage whose worker observed the cancellation, if any.
+        stage_id: Option<u64>,
+        at_micros: u64,
+    },
+    /// A query's physical plan was served from the service's plan cache
+    /// instead of being re-planned. `key` is the cache key hash (canonical
+    /// comprehension text plus binding fingerprints and planner knobs).
+    PlanCacheHit {
+        tenant: String,
+        key: u64,
+        at_micros: u64,
+    },
 }
 
 /// Lock-cheap event sink owned by a [`crate::Context`].
@@ -597,6 +629,43 @@ impl Event {
                     .num_field("at_micros", *at_micros);
                 o.finish()
             }
+            Event::JobAdmitted {
+                tenant,
+                job,
+                queue_micros,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("job_admitted");
+                o.str_field("tenant", tenant)
+                    .num_field("job", *job)
+                    .num_field("queue_micros", *queue_micros)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::JobCancelled {
+                tenant,
+                job,
+                stage_id,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("job_cancelled");
+                o.str_field("tenant", tenant)
+                    .num_field("job", *job)
+                    .opt_num_field("stage_id", *stage_id)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::PlanCacheHit {
+                tenant,
+                key,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("plan_cache_hit");
+                o.str_field("tenant", tenant)
+                    .num_field("key", *key)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
         }
     }
 }
@@ -975,6 +1044,23 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             candidates: v.candidates("candidates")?,
             at_micros: v.num("at_micros")?,
         }),
+        "job_admitted" => Ok(Event::JobAdmitted {
+            tenant: v.str_of("tenant")?,
+            job: v.num("job")?,
+            queue_micros: v.num("queue_micros")?,
+            at_micros: v.num("at_micros")?,
+        }),
+        "job_cancelled" => Ok(Event::JobCancelled {
+            tenant: v.str_of("tenant")?,
+            job: v.num("job")?,
+            stage_id: v.opt_num("stage_id")?,
+            at_micros: v.num("at_micros")?,
+        }),
+        "plan_cache_hit" => Ok(Event::PlanCacheHit {
+            tenant: v.str_of("tenant")?,
+            key: v.num("key")?,
+            at_micros: v.num("at_micros")?,
+        }),
         other => Err(format!("unknown event type `{other}`")),
     }
 }
@@ -1106,6 +1192,23 @@ mod tests {
                     ("contraction/groupByJoin".into(), 65536),
                 ],
                 at_micros: 80,
+            },
+            Event::JobAdmitted {
+                tenant: "alice".into(),
+                job: 3,
+                queue_micros: 250,
+                at_micros: 82,
+            },
+            Event::JobCancelled {
+                tenant: "mallory".into(),
+                job: 4,
+                stage_id: Some(2),
+                at_micros: 85,
+            },
+            Event::PlanCacheHit {
+                tenant: "alice".into(),
+                key: 0xfeed_beef,
+                at_micros: 88,
             },
             Event::StageEnd {
                 stage_id: 1,

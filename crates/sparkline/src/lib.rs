@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod ops;
 pub mod partitioner;
 pub mod profile;
+pub mod service;
 pub mod shuffle;
 pub mod size;
 pub mod storage;
@@ -70,10 +71,14 @@ pub use events::{Event, EventCollector};
 pub use metrics::{Metrics, MetricsSnapshot, ShuffleDetail};
 pub use partitioner::KeyPartitioner;
 pub use profile::{
-    CacheStats, JobProfile, JobSummary, OperatorStats, PlanChoice, RecoveryStats, StageProfile,
+    CacheStats, JobProfile, JobSummary, OperatorStats, PlanChoice, RecoveryStats, ServiceStats,
+    StageProfile,
 };
+pub use service::{panic_is_cancelled, AdmissionGuard, CancelToken, FairScheduler, CANCELLED_MSG};
 pub use size::SizeOf;
-pub use storage::{BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus};
+pub use storage::{
+    BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus, TenantStorage,
+};
 pub use stream::PartitionStream;
 
 /// Marker bound for element types stored in datasets.

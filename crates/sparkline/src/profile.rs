@@ -115,6 +115,42 @@ impl RecoveryStats {
     }
 }
 
+/// Multi-tenant query-service activity folded from the admission-control
+/// event family (`JobAdmitted` / `JobCancelled` / `PlanCacheHit`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs the fair scheduler admitted into an execution slot.
+    pub jobs_admitted: u64,
+    /// Jobs cancelled cooperatively at a task boundary.
+    pub jobs_cancelled: u64,
+    /// Queries answered from the normalized-comprehension plan cache.
+    pub plan_cache_hits: u64,
+    /// Total wall-clock jobs spent queued before admission.
+    pub queue_micros: u64,
+}
+
+impl ServiceStats {
+    /// Any service activity at all?
+    pub fn is_empty(&self) -> bool {
+        *self == ServiceStats::default()
+    }
+
+    fn render(&self) -> String {
+        let mut parts = vec![format!(
+            "{} jobs admitted ({} queued)",
+            self.jobs_admitted,
+            fmt_micros(self.queue_micros)
+        )];
+        if self.jobs_cancelled > 0 {
+            parts.push(format!("{} cancelled", self.jobs_cancelled));
+        }
+        if self.plan_cache_hits > 0 {
+            parts.push(format!("{} plan-cache hits", self.plan_cache_hits));
+        }
+        parts.join(", ")
+    }
+}
+
 /// Statistics for one scheduler stage.
 #[derive(Debug, Clone, Default)]
 pub struct StageProfile {
@@ -304,6 +340,8 @@ pub struct JobProfile {
     pub recovery: RecoveryStats,
     /// Cost-based plan decisions (`plan.chosen` events), in emission order.
     pub plan_choices: Vec<PlanChoice>,
+    /// Multi-tenant admission / cancellation / plan-cache activity.
+    pub service: ServiceStats,
 }
 
 impl JobProfile {
@@ -474,6 +512,12 @@ impl JobProfile {
                     est_shuffle_bytes: *est_shuffle_bytes,
                     candidates: candidates.clone(),
                 }),
+                Event::JobAdmitted { queue_micros, .. } => {
+                    profile.service.jobs_admitted += 1;
+                    profile.service.queue_micros += queue_micros;
+                }
+                Event::JobCancelled { .. } => profile.service.jobs_cancelled += 1,
+                Event::PlanCacheHit { .. } => profile.service.plan_cache_hits += 1,
             }
         }
         // Recovery wall-clock: time spent in resubmitted map stages (labels
@@ -655,6 +699,9 @@ impl JobProfile {
         }
         if !self.recovery.is_empty() {
             out.push_str(&format!("recovery: {}\n", self.recovery.render()));
+        }
+        if !self.service.is_empty() {
+            out.push_str(&format!("service: {}\n", self.service.render()));
         }
         if out.is_empty() {
             out.push_str("(empty profile — was tracing enabled?)\n");
@@ -1038,6 +1085,52 @@ mod tests {
         );
         assert!(text.contains("est 4.9 KB shuffle, actual 3.9 KB"), "{text}");
         assert!(text.contains("candidate contraction/groupByJoin"), "{text}");
+    }
+
+    #[test]
+    fn folds_service_events() {
+        let events = vec![
+            Event::JobAdmitted {
+                tenant: "alice".into(),
+                job: 1,
+                queue_micros: 120,
+                at_micros: 0,
+            },
+            Event::JobAdmitted {
+                tenant: "bob".into(),
+                job: 2,
+                queue_micros: 80,
+                at_micros: 5,
+            },
+            Event::JobCancelled {
+                tenant: "bob".into(),
+                job: 2,
+                stage_id: Some(4),
+                at_micros: 9,
+            },
+            Event::PlanCacheHit {
+                tenant: "alice".into(),
+                key: 0xbeef,
+                at_micros: 12,
+            },
+        ];
+        let p = JobProfile::from_events(&events);
+        assert_eq!(
+            p.service,
+            ServiceStats {
+                jobs_admitted: 2,
+                jobs_cancelled: 1,
+                plan_cache_hits: 1,
+                queue_micros: 200,
+            }
+        );
+        let text = p.render();
+        assert!(
+            text.contains("service: 2 jobs admitted (200us queued)"),
+            "{text}"
+        );
+        assert!(text.contains("1 cancelled"), "{text}");
+        assert!(text.contains("1 plan-cache hits"), "{text}");
     }
 
     #[test]

@@ -212,6 +212,10 @@ struct BlockEntry {
     /// Blocks die with their executor: [`BlockManager::remove_executor`]
     /// sweeps them so lineage recomputes on healthy executors.
     executor: Option<usize>,
+    /// Tenant whose job computed the block (`None` outside tenant scopes).
+    /// Memory-tier bytes are charged to the tenant's quota; the blocks can
+    /// be swept together with [`BlockManager::remove_tenant`].
+    tenant: Option<u32>,
     /// Type-erased spill encoder, captured when the block was stored — the
     /// only point where the concrete element type is known, which is what
     /// lets eviction spill blocks without knowing their type.
@@ -226,6 +230,40 @@ struct State {
     memory_used: usize,
     evictions: u64,
     spills: u64,
+    /// Memory-tier bytes per tenant (subset of `memory_used`; untagged
+    /// blocks belong to no tenant). Entries are dropped at zero.
+    tenant_used: HashMap<u32, usize>,
+    /// Per-tenant memory quotas in bytes; absent means unbounded (only the
+    /// global budget applies).
+    quotas: HashMap<u32, usize>,
+}
+
+impl State {
+    /// Account a memory-tier block entering residency.
+    fn credit_memory(&mut self, bytes: usize, tenant: Option<u32>) {
+        self.memory_used += bytes;
+        if let Some(t) = tenant {
+            *self.tenant_used.entry(t).or_insert(0) += bytes;
+        }
+    }
+
+    /// Account a memory-tier block leaving residency (evicted or removed).
+    fn debit_memory(&mut self, bytes: usize, tenant: Option<u32>) {
+        self.memory_used -= bytes;
+        if let Some(t) = tenant {
+            if let Some(used) = self.tenant_used.get_mut(&t) {
+                *used = used.saturating_sub(bytes);
+                if *used == 0 {
+                    self.tenant_used.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Memory-tier bytes currently charged to `tenant`.
+    fn tenant_bytes(&self, tenant: u32) -> usize {
+        self.tenant_used.get(&tenant).copied().unwrap_or(0)
+    }
 }
 
 /// One block evicted to make room for an insertion.
@@ -259,6 +297,17 @@ pub struct CacheRead<T> {
     pub from_disk: bool,
 }
 
+/// Per-tenant slice of the storage accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStorage {
+    /// Service-assigned tenant id (see [`Context::scoped_tenant`]).
+    pub tenant: u32,
+    /// Memory-tier bytes currently charged to the tenant.
+    pub memory_used: u64,
+    /// The tenant's memory quota, `None` if unbounded.
+    pub quota: Option<u64>,
+}
+
 /// Point-in-time storage accounting, [`Context::storage_status`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StorageStatus {
@@ -271,6 +320,9 @@ pub struct StorageStatus {
     pub evictions: u64,
     /// Lifetime spill count (evictions to disk plus direct spills).
     pub spills: u64,
+    /// Per-tenant usage and quotas, sorted by tenant id. Tenants appear once
+    /// they hold resident bytes or have a quota set.
+    pub tenants: Vec<TenantStorage>,
 }
 
 static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -303,6 +355,46 @@ impl BlockManager {
     /// The memory budget, `None` if unlimited.
     pub fn budget(&self) -> Option<u64> {
         (self.budget != usize::MAX).then_some(self.budget as u64)
+    }
+
+    /// Cap `tenant`'s memory-tier bytes at `bytes`. A put that would take
+    /// the tenant over its quota first evicts the tenant's own LRU blocks
+    /// (same spill semantics as budget eviction), so one tenant filling the
+    /// cache cannot evict another tenant's working set through the shared
+    /// budget alone.
+    pub fn set_tenant_quota(&self, tenant: u32, bytes: usize) {
+        self.state.lock().quotas.insert(tenant, bytes);
+    }
+
+    /// The quota set for `tenant`, if any.
+    pub fn tenant_quota(&self, tenant: u32) -> Option<usize> {
+        self.state.lock().quotas.get(&tenant).copied()
+    }
+
+    /// Drop every block charged to `tenant` (memory and spill files) and
+    /// return the number of blocks removed. The tenant's quota, if any,
+    /// survives. Used when a tenant's last in-flight job is cancelled or a
+    /// tenant is retired, so its memory frees immediately instead of aging
+    /// out through LRU.
+    pub fn remove_tenant(&self, tenant: u32) -> usize {
+        let mut state = self.state.lock();
+        let keys: Vec<(u64, usize)> = state
+            .entries
+            .iter()
+            .filter(|(_, e)| e.tenant == Some(tenant))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in &keys {
+            if let Some(entry) = state.entries.remove(key) {
+                match entry.tier {
+                    Tier::Memory(_) => state.debit_memory(entry.bytes, entry.tenant),
+                    Tier::Disk(path) => {
+                        let _ = std::fs::remove_file(path);
+                    }
+                }
+            }
+        }
+        keys.len()
     }
 
     fn next_tick(&self) -> u64 {
@@ -403,6 +495,7 @@ impl BlockManager {
         });
         let tick = self.next_tick();
         let executor = crate::context::current_executor();
+        let tenant = crate::context::current_tenant();
         let mut outcome = PutOutcome {
             stored: false,
             spilled_directly: false,
@@ -411,8 +504,10 @@ impl BlockManager {
 
         // Oversized block: never evict the whole cache for one block that
         // cannot fit anyway. With a disk level it goes straight to a spill
-        // file; memory-only oversized blocks are simply not stored.
-        if bytes > self.budget {
+        // file; memory-only oversized blocks are simply not stored. The same
+        // treatment applies to a block larger than its tenant's whole quota.
+        let tenant_quota = tenant.and_then(|t| self.state.lock().quotas.get(&t).copied());
+        if bytes > self.budget || tenant_quota.is_some_and(|q| bytes > q) {
             if level == StorageLevel::MemoryAndDisk {
                 let mut encoded = Vec::new();
                 data.encode(&mut encoded);
@@ -427,6 +522,7 @@ impl BlockManager {
                             level,
                             tier: Tier::Disk(path),
                             executor,
+                            tenant,
                             encode,
                         },
                     );
@@ -444,6 +540,21 @@ impl BlockManager {
             return outcome;
         }
 
+        // Per-tenant quota first: a tenant over its own cap evicts its own
+        // LRU blocks, leaving other tenants' working sets alone.
+        if let (Some(t), Some(quota)) = (tenant, tenant_quota) {
+            while state.tenant_bytes(t) + bytes > quota {
+                let victim = state
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.tenant == Some(t) && matches!(e.tier, Tier::Memory(_)))
+                    .min_by_key(|(_, e)| e.tick)
+                    .map(|(k, _)| *k);
+                let Some(key) = victim else { break };
+                self.evict_block(&mut state, key, &mut outcome);
+            }
+        }
+
         // Evict least-recently-used memory blocks until the new one fits.
         while state.memory_used + bytes > self.budget {
             let victim = state
@@ -453,42 +564,10 @@ impl BlockManager {
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| *k);
             let Some(key) = victim else { break };
-            let entry = state.entries.get(&key).expect("victim vanished");
-            let spill_to = (entry.level == StorageLevel::MemoryAndDisk)
-                .then(|| {
-                    let Tier::Memory(any) = &entry.tier else {
-                        unreachable!()
-                    };
-                    let encoded = (entry.encode)(any);
-                    self.write_spill(&encoded)
-                })
-                .flatten();
-            let entry = state.entries.get_mut(&key).expect("victim vanished");
-            let victim_bytes = entry.bytes;
-            let spilled = match spill_to {
-                Some(path) => {
-                    entry.tier = Tier::Disk(path);
-                    true
-                }
-                None => {
-                    state.entries.remove(&key);
-                    false
-                }
-            };
-            state.memory_used -= victim_bytes;
-            state.evictions += 1;
-            if spilled {
-                state.spills += 1;
-            }
-            outcome.evicted.push(Evicted {
-                dataset: key.0,
-                partition: key.1,
-                bytes: victim_bytes as u64,
-                spilled,
-            });
+            self.evict_block(&mut state, key, &mut outcome);
         }
 
-        state.memory_used += bytes;
+        state.credit_memory(bytes, tenant);
         state.entries.insert(
             (dataset, partition),
             BlockEntry {
@@ -497,11 +576,51 @@ impl BlockManager {
                 level,
                 tier: Tier::Memory(data as ErasedPart),
                 executor,
+                tenant,
                 encode,
             },
         );
         outcome.stored = true;
         outcome
+    }
+
+    /// Evict one memory-tier block: spill it if its level allows, else drop
+    /// it; update global and per-tenant accounting and the outcome record.
+    fn evict_block(&self, state: &mut State, key: (u64, usize), outcome: &mut PutOutcome) {
+        let entry = state.entries.get(&key).expect("victim vanished");
+        let spill_to = (entry.level == StorageLevel::MemoryAndDisk)
+            .then(|| {
+                let Tier::Memory(any) = &entry.tier else {
+                    unreachable!()
+                };
+                let encoded = (entry.encode)(any);
+                self.write_spill(&encoded)
+            })
+            .flatten();
+        let entry = state.entries.get_mut(&key).expect("victim vanished");
+        let victim_bytes = entry.bytes;
+        let victim_tenant = entry.tenant;
+        let spilled = match spill_to {
+            Some(path) => {
+                entry.tier = Tier::Disk(path);
+                true
+            }
+            None => {
+                state.entries.remove(&key);
+                false
+            }
+        };
+        state.debit_memory(victim_bytes, victim_tenant);
+        state.evictions += 1;
+        if spilled {
+            state.spills += 1;
+        }
+        outcome.evicted.push(Evicted {
+            dataset: key.0,
+            partition: key.1,
+            bytes: victim_bytes as u64,
+            spilled,
+        });
     }
 
     /// Drop every block of a dataset (memory and spill files). Returns the
@@ -517,7 +636,7 @@ impl BlockManager {
         for key in &keys {
             if let Some(entry) = state.entries.remove(key) {
                 match entry.tier {
-                    Tier::Memory(_) => state.memory_used -= entry.bytes,
+                    Tier::Memory(_) => state.debit_memory(entry.bytes, entry.tenant),
                     Tier::Disk(path) => {
                         let _ = std::fs::remove_file(path);
                     }
@@ -541,7 +660,7 @@ impl BlockManager {
         for key in &keys {
             if let Some(entry) = state.entries.remove(key) {
                 match entry.tier {
-                    Tier::Memory(_) => state.memory_used -= entry.bytes,
+                    Tier::Memory(_) => state.debit_memory(entry.bytes, entry.tenant),
                     Tier::Disk(path) => {
                         let _ = std::fs::remove_file(path);
                     }
@@ -559,6 +678,22 @@ impl BlockManager {
             .values()
             .filter(|e| matches!(e.tier, Tier::Disk(_)))
             .count();
+        let mut ids: Vec<u32> = state
+            .tenant_used
+            .keys()
+            .chain(state.quotas.keys())
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let tenants = ids
+            .into_iter()
+            .map(|tenant| TenantStorage {
+                tenant,
+                memory_used: state.tenant_bytes(tenant) as u64,
+                quota: state.quotas.get(&tenant).map(|q| *q as u64),
+            })
+            .collect();
         StorageStatus {
             budget: self.budget(),
             memory_used: state.memory_used as u64,
@@ -566,6 +701,7 @@ impl BlockManager {
             blocks_on_disk,
             evictions: state.evictions,
             spills: state.spills,
+            tenants,
         }
     }
 }
@@ -840,6 +976,89 @@ mod tests {
         m.put(1, 0, part(&[1, 2]), StorageLevel::Memory);
         assert!(m.get::<f64>(1, 0).is_none());
         assert!(m.get::<i64>(1, 0).is_some());
+    }
+
+    #[test]
+    fn tenant_quota_evicts_same_tenant_lru_first() {
+        let ctx = Context::builder().workers(1).chaos_off().build();
+        // Global budget unlimited: only tenant 1's quota (two 28-byte
+        // blocks) forces eviction, and only among tenant 1's blocks.
+        let m = BlockManager::new(usize::MAX);
+        m.set_tenant_quota(1, 60);
+        ctx.scoped_tenant(2, || {
+            m.put(9, 0, part(&[7, 7, 7]), StorageLevel::Memory);
+        });
+        ctx.scoped_tenant(1, || {
+            m.put(1, 0, part(&[1, 1, 1]), StorageLevel::Memory);
+            m.put(1, 1, part(&[2, 2, 2]), StorageLevel::Memory);
+            let out = m.put(1, 2, part(&[3, 3, 3]), StorageLevel::Memory);
+            assert_eq!(
+                out.evicted,
+                vec![Evicted {
+                    dataset: 1,
+                    partition: 0,
+                    bytes: 28,
+                    spilled: false
+                }]
+            );
+        });
+        assert!(
+            m.get::<i64>(9, 0).is_some(),
+            "other tenant's block must survive"
+        );
+        let status = m.status();
+        let t1 = status.tenants.iter().find(|t| t.tenant == 1).unwrap();
+        assert_eq!((t1.memory_used, t1.quota), (56, Some(60)));
+        let t2 = status.tenants.iter().find(|t| t.tenant == 2).unwrap();
+        assert_eq!((t2.memory_used, t2.quota), (28, None));
+        assert_eq!(m.tenant_quota(1), Some(60));
+    }
+
+    #[test]
+    fn block_larger_than_tenant_quota_behaves_like_oversized() {
+        let ctx = Context::builder().workers(1).chaos_off().build();
+        let m = BlockManager::new(usize::MAX);
+        m.set_tenant_quota(3, 10);
+        ctx.scoped_tenant(3, || {
+            let out = m.put(1, 0, part(&[1, 2, 3]), StorageLevel::Memory);
+            assert!(!out.stored && !out.spilled_directly);
+            let out = m.put(1, 1, part(&[4, 5, 6]), StorageLevel::MemoryAndDisk);
+            assert!(out.spilled_directly);
+        });
+        assert!(m.get::<i64>(1, 0).is_none());
+        assert!(m.get::<i64>(1, 1).expect("direct spill").from_disk);
+    }
+
+    #[test]
+    fn remove_tenant_frees_only_that_tenants_blocks() {
+        let ctx = Context::builder().workers(1).chaos_off().build();
+        let m = BlockManager::new(usize::MAX);
+        ctx.scoped_tenant(1, || {
+            m.put(1, 0, part(&[1]), StorageLevel::Memory);
+            m.put(1, 1, part(&[2]), StorageLevel::Memory);
+        });
+        ctx.scoped_tenant(2, || {
+            m.put(2, 0, part(&[3]), StorageLevel::Memory);
+        });
+        assert_eq!(m.remove_tenant(1), 2);
+        assert!(m.get::<i64>(1, 0).is_none());
+        assert!(m.get::<i64>(1, 1).is_none());
+        assert!(m.get::<i64>(2, 0).is_some());
+        let status = m.status();
+        assert!(status.tenants.iter().all(|t| t.tenant != 1));
+        assert_eq!(
+            status.memory_used,
+            status.tenants.iter().map(|t| t.memory_used).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn untagged_puts_are_charged_to_no_tenant() {
+        let m = BlockManager::new(usize::MAX);
+        m.put(5, 0, part(&[1, 2]), StorageLevel::Memory);
+        let status = m.status();
+        assert!(status.tenants.is_empty());
+        assert!(status.memory_used > 0);
     }
 
     #[test]

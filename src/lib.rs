@@ -13,5 +13,6 @@ pub use diablo;
 pub use mllib;
 pub use planner;
 pub use sac;
+pub use service;
 pub use sparkline;
 pub use tiled;

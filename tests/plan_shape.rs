@@ -400,3 +400,71 @@ fn narrow_chain_runs_as_one_fused_operator_pipeline() {
         stage.render()
     );
 }
+
+#[test]
+fn plan_cache_hits_are_pinned_by_event_count() {
+    use sac_repro::service::QueryService;
+    use sac_repro::sparkline::{Event, JobProfile};
+
+    // chaos_off: an injected fault would resubmit stages but never changes
+    // service-level admission/cache events — still, keep the run hermetic.
+    let svc = QueryService::builder()
+        .workers(2)
+        .executors(2)
+        .storage_memory(64 << 20)
+        .slots(2)
+        .chaos_off()
+        .build();
+    let a = LocalMatrix::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+    svc.register_shared_matrix("A", &a, 4).unwrap();
+    svc.register_shared_int("n", 8);
+
+    svc.context().trace();
+    // One compile, then two cache hits: an alpha-renamed variant from another
+    // tenant and a verbatim re-run from the first.
+    let q = "tiled(n,n)[ ((i,j), a+a) | ((i,j),a) <- A ]";
+    let renamed = "tiled(n,n)[ ((r,c), x+x) | ((r,c),x) <- A ]";
+    assert!(!svc.run("alice", q).unwrap().cache_hit);
+    assert!(svc.run("bob", renamed).unwrap().cache_hit);
+    assert!(svc.run("alice", q).unwrap().cache_hit);
+    let events = svc.context().take_events();
+    svc.context().stop_trace();
+
+    // Pinned by event count, not by counters: exactly 3 admissions, exactly
+    // 2 plan-cache hits, zero cancellations.
+    let admitted: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobAdmitted { .. }))
+        .collect();
+    let hits: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PlanCacheHit { tenant, key, .. } => Some((tenant.clone(), *key)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(admitted.len(), 3, "3 runs -> 3 admissions");
+    assert_eq!(hits.len(), 2, "2 of the 3 runs must hit the cache");
+    assert_eq!(
+        hits[0].1, hits[1].1,
+        "alpha-renamed query must hit the same cache key"
+    );
+    assert_eq!((hits[0].0.as_str(), hits[1].0.as_str()), ("bob", "alice"));
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, Event::JobCancelled { .. })),
+        "nothing was cancelled"
+    );
+
+    // The profile folds the same events into ServiceStats.
+    let profile = JobProfile::from_events(&events);
+    assert_eq!(profile.service.jobs_admitted, 3);
+    assert_eq!(profile.service.plan_cache_hits, 2);
+    assert_eq!(profile.service.jobs_cancelled, 0);
+    assert!(
+        profile.render().contains("3 jobs admitted"),
+        "{}",
+        profile.render()
+    );
+}
