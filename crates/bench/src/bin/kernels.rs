@@ -1,0 +1,171 @@
+//! Local GEMM kernel bench: the packed, register-blocked, SIMD-dispatched
+//! microkernel against the retained naive triple-loop reference.
+//!
+//! For each size n in {96, 192, 384} the harness times `n x n x n`
+//! accumulate-GEMM through:
+//!
+//! - **naive** — `DenseMatrix::gemm_acc_naive`, the seed's i-k-j row loop,
+//!   retained as the proptest oracle;
+//! - **micro** — the packed microkernel (`gemm_acc`), single-threaded;
+//! - **micro_par** — the same kernel parallelized over row bands on every
+//!   available core.
+//!
+//! Every variant's output is fingerprinted (wrapping sum of the f64 bit
+//! patterns) and must match the naive reference exactly — the determinism
+//! contract, enforced here on top of the proptests.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kernels            # writes BENCH_kernels.json
+//! cargo run --release -p bench --bin kernels -- out.json
+//! ```
+//!
+//! Exit is nonzero (failing CI) unless the microkernel is >= 4x faster than
+//! the naive reference at 384x384 (best of single-threaded and parallel —
+//! on a single-core runner they coincide) and every fingerprint matches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tiled::kernel::Backend;
+use tiled::{DenseMatrix, LocalMatrix};
+
+const SIZES: [usize; 3] = [96, 192, 384];
+const GATE_SIZE: usize = 384;
+const GATE_SPEEDUP: f64 = 4.0;
+
+struct Row {
+    n: usize,
+    naive_ms: f64,
+    micro_ms: f64,
+    micro_par_ms: f64,
+    naive_gflops: f64,
+    micro_gflops: f64,
+    speedup: f64,
+    fingerprint_match: bool,
+}
+
+fn fingerprint(m: &DenseMatrix) -> u64 {
+    m.data().iter().fold(0u64, |acc, v| {
+        acc.wrapping_mul(0x100000001b3).wrapping_add(v.to_bits())
+    })
+}
+
+/// Best-of-k wall time of `f`, scaled so small sizes get more repetitions.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let backend = Backend::active();
+    println!("backend: {backend:?}, {threads} thread(s)");
+
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for &n in &SIZES {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = LocalMatrix::random(n, n, -1.0, 1.0, &mut rng).to_dense();
+        let b = LocalMatrix::random(n, n, -1.0, 1.0, &mut rng).to_dense();
+        let reps = (GATE_SIZE / n).max(1) * 3;
+
+        let mut c_naive = DenseMatrix::zeros(n, n);
+        let naive_ms = time_ms(reps, || {
+            c_naive = DenseMatrix::zeros(n, n);
+            c_naive.gemm_acc_naive(&a, &b);
+        });
+        let mut c_micro = DenseMatrix::zeros(n, n);
+        let micro_ms = time_ms(reps, || {
+            c_micro = DenseMatrix::zeros(n, n);
+            c_micro.gemm_acc(&a, &b);
+        });
+        let mut c_par = DenseMatrix::zeros(n, n);
+        let micro_par_ms = time_ms(reps, || {
+            c_par = DenseMatrix::zeros(n, n);
+            c_par.gemm_acc_with(&a, &b, threads, backend);
+        });
+
+        let flops = 2.0 * (n as f64).powi(3);
+        let best_ms = micro_ms.min(micro_par_ms);
+        let fp = fingerprint(&c_naive);
+        let matches = fingerprint(&c_micro) == fp && fingerprint(&c_par) == fp;
+        all_match &= matches;
+        let row = Row {
+            n,
+            naive_ms,
+            micro_ms,
+            micro_par_ms,
+            naive_gflops: flops / naive_ms / 1e6,
+            micro_gflops: flops / best_ms / 1e6,
+            speedup: naive_ms / best_ms,
+            fingerprint_match: matches,
+        };
+        println!(
+            "n={:>3}: naive {:>8.2} ms ({:>5.2} GF/s)  micro {:>7.2} ms  micro_par {:>7.2} ms ({:>5.2} GF/s)  {:>5.2}x  fp {}",
+            row.n,
+            row.naive_ms,
+            row.naive_gflops,
+            row.micro_ms,
+            row.micro_par_ms,
+            row.micro_gflops,
+            row.speedup,
+            if matches { "ok" } else { "MISMATCH" },
+        );
+        rows.push(row);
+    }
+
+    let mut json = format!(
+        "{{\"bench\":\"kernels\",\"backend\":\"{}\",\"threads\":{threads},\"results\":[",
+        match backend {
+            Backend::Avx512 => "avx512",
+            Backend::Avx2 => "avx2",
+            Backend::Scalar => "scalar",
+        }
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"n\":{},\"naive_ms\":{:.3},\"micro_ms\":{:.3},\"micro_par_ms\":{:.3},\
+             \"naive_gflops\":{:.3},\"micro_gflops\":{:.3},\"speedup\":{:.3},\
+             \"fingerprint_match\":{}}}",
+            r.n,
+            r.naive_ms,
+            r.micro_ms,
+            r.micro_par_ms,
+            r.naive_gflops,
+            r.micro_gflops,
+            r.speedup,
+            r.fingerprint_match
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+
+    // CI gates: exact-result fingerprints everywhere, >= 4x at the gate size.
+    if !all_match {
+        eprintln!("FAIL: microkernel output diverged from the naive oracle");
+        std::process::exit(1);
+    }
+    let gate = rows
+        .iter()
+        .find(|r| r.n == GATE_SIZE)
+        .expect("gate size row");
+    if gate.speedup < GATE_SPEEDUP {
+        eprintln!(
+            "FAIL: microkernel only {:.2}x naive at {GATE_SIZE} (need >= {GATE_SPEEDUP}x)",
+            gate.speedup
+        );
+        std::process::exit(1);
+    }
+}

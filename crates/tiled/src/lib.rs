@@ -8,6 +8,9 @@
 //!   and for local (driver-side) matrices, with an optimized GEMM
 //!   micro-kernel and optional multicore row-parallel tile kernels (the
 //!   Rust analog of Scala's `.par` used by the paper's generated code).
+//! * [`kernel`] — the packed, cache-blocked, runtime-SIMD-dispatched GEMM
+//!   microkernels under every dense tile operation, with a bit-exact
+//!   deterministic-reduction contract across threads and backends.
 //! * [`LocalMatrix`] — a deliberately naive reference
 //!   implementation used as the test oracle.
 //! * [`TiledMatrix`] / [`TiledVector`] — distributed block arrays over a
@@ -21,6 +24,7 @@
 //!   §8 "future work" storage extension.
 
 pub mod coo;
+pub mod kernel;
 pub mod local;
 pub mod sparse_tile;
 pub mod sparsify;

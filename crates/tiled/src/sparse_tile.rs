@@ -6,6 +6,7 @@
 //! The extension example and the ablation bench use it to show the layered
 //! sparsifier/builder design is storage-agnostic.
 
+use crate::kernel;
 use crate::tile::DenseMatrix;
 use sparkline::{SizeOf, SpillCodec};
 
@@ -108,11 +109,30 @@ impl CscTile {
         self.values.len()
     }
 
-    /// `out += self * dense` — sparse-dense GEMM, iterating only non-zeros.
+    /// `out += self * dense` — the CSC × dense-panel kernel. The dense
+    /// operand is processed in cache-sized column panels; within each panel
+    /// every stored entry `(i, k, v)` issues one SIMD-dispatched
+    /// [`kernel::axpy`] of `v · B[k, panel]` into `C[i, panel]`, so B's
+    /// active panel rows stay hot while the non-zeros stream. Contributions
+    /// to each output element arrive in ascending-k (CSC column) order with
+    /// one fused multiply-add per non-zero — bit-identical to the dense
+    /// ascending-k chain for finite inputs, since the skipped structural
+    /// zeros contribute exact no-op additions there.
     ///
     /// # Panics
     /// On dimension mismatch.
     pub fn spmm_acc(&self, dense: &DenseMatrix, out: &mut DenseMatrix) {
+        self.spmm_acc_with(dense, out, kernel::Backend::active());
+    }
+
+    /// [`CscTile::spmm_acc`] with an explicit kernel backend — the entry the
+    /// dispatch-pinning tests drive directly.
+    pub fn spmm_acc_with(
+        &self,
+        dense: &DenseMatrix,
+        out: &mut DenseMatrix,
+        backend: kernel::Backend,
+    ) {
         assert_eq!(self.cols, dense.rows(), "spmm: inner dimension mismatch");
         assert_eq!(
             (out.rows(), out.cols()),
@@ -120,14 +140,18 @@ impl CscTile {
             "spmm: output dimension mismatch"
         );
         let m = dense.cols();
-        for j in 0..self.cols {
-            let brow = dense.row(j);
-            for e in self.col_ptr[j]..self.col_ptr[j + 1] {
-                let i = self.row_idx[e];
-                let v = self.values[e];
-                let crow = &mut out.data_mut()[i * m..(i + 1) * m];
-                for (c, &b) in crow.iter_mut().zip(brow) {
-                    *c += v * b;
+        // Column-panel width: B panel rows and the touched C segments stay
+        // cache-resident even when entries scatter across many C rows.
+        const PANEL: usize = 512;
+        for c0 in (0..m).step_by(PANEL) {
+            let width = PANEL.min(m - c0);
+            for j in 0..self.cols {
+                let brow = &dense.row(j)[c0..c0 + width];
+                for e in self.col_ptr[j]..self.col_ptr[j + 1] {
+                    let i = self.row_idx[e];
+                    let v = self.values[e];
+                    let crow = &mut out.data_mut()[i * m + c0..i * m + c0 + width];
+                    kernel::axpy(v, brow, crow, backend);
                 }
             }
         }

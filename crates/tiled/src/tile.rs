@@ -4,9 +4,15 @@
 //! over a flat `Array[Double]`, with the outer loop parallelized via Scala's
 //! parallel collections. [`DenseMatrix`] is that flat array plus the kernels
 //! the generated programs need: accumulate-GEMM, pairwise add, transpose, and
-//! element-wise maps/zips. `gemm_acc_parallel` reproduces the intra-node
-//! multicore parallelism with scoped threads over row bands.
+//! element-wise maps/zips. The GEMM entry points route through the packed,
+//! register-blocked microkernels in [`crate::kernel`]; `gemm_acc_parallel`
+//! reproduces the intra-node multicore parallelism with scoped threads over
+//! row bands. The naive triple loop survives as [`DenseMatrix::gemm_acc_naive`],
+//! the independent oracle the property tests and the kernel bench pin the
+//! optimized path against (bit-for-bit — see the determinism contract in
+//! [`crate::kernel`]).
 
+use crate::kernel::{self, Backend};
 use sparkline::{SizeOf, SpillCodec};
 
 /// A dense `rows x cols` matrix of `f64` stored row-major in one flat vector.
@@ -241,12 +247,63 @@ impl DenseMatrix {
     }
 
     /// `self += a * b` — the accumulate-GEMM kernel at the heart of the
-    /// paper's generated matmul code (§3, §5.3). Uses the cache-friendly
-    /// i-k-j loop order over row slices.
+    /// paper's generated matmul code (§3, §5.3), served by the packed,
+    /// register-blocked microkernel in [`crate::kernel`].
     ///
     /// # Panics
     /// On dimension mismatch.
     pub fn gemm_acc(&mut self, a: &DenseMatrix, b: &DenseMatrix) {
+        self.gemm_acc_with(a, b, 1, Backend::active());
+    }
+
+    /// Like [`DenseMatrix::gemm_acc`] but splits the row-band loop over
+    /// `threads` scoped worker threads — the analog of the paper's
+    /// `(0 until N).par` multicore tile processing. Bit-identical to the
+    /// sequential kernel for every thread count.
+    pub fn gemm_acc_parallel(&mut self, a: &DenseMatrix, b: &DenseMatrix, threads: usize) {
+        let threads = if a.rows < 64 { 1 } else { threads.max(1) };
+        self.gemm_acc_with(a, b, threads, Backend::active());
+    }
+
+    /// `self += a * b` with an explicit thread count and kernel backend —
+    /// the dispatch-pinning entry the determinism tests and the kernel
+    /// bench drive directly.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn gemm_acc_with(
+        &mut self,
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        threads: usize,
+        backend: Backend,
+    ) {
+        assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (a.rows, b.cols),
+            "gemm: output dimension mismatch"
+        );
+        kernel::gemm(
+            &mut self.data,
+            &a.data,
+            &b.data,
+            a.rows,
+            a.cols,
+            b.cols,
+            threads,
+            backend,
+        );
+    }
+
+    /// `self += a * b` through the retained naive i-k-j triple loop — the
+    /// reference the microkernel is benched and bit-exactness-tested
+    /// against. Runs the identical ascending-k accumulation chain per
+    /// element, so it agrees with [`DenseMatrix::gemm_acc`] bit-for-bit.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    pub fn gemm_acc_naive(&mut self, a: &DenseMatrix, b: &DenseMatrix) {
         assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
         assert_eq!(
             (self.rows, self.cols),
@@ -256,34 +313,6 @@ impl DenseMatrix {
         gemm_rows(&mut self.data, &a.data, &b.data, 0..a.rows, a.cols, b.cols);
     }
 
-    /// Like [`DenseMatrix::gemm_acc`] but splits the row loop over `threads`
-    /// scoped worker threads — the analog of the paper's `(0 until N).par`
-    /// multicore tile processing.
-    pub fn gemm_acc_parallel(&mut self, a: &DenseMatrix, b: &DenseMatrix, threads: usize) {
-        assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
-        assert_eq!(
-            (self.rows, self.cols),
-            (a.rows, b.cols),
-            "gemm: output dimension mismatch"
-        );
-        let threads = threads.max(1).min(a.rows.max(1));
-        if threads == 1 || a.rows < 64 {
-            return self.gemm_acc(a, b);
-        }
-        let band = a.rows.div_ceil(threads);
-        let cols = self.cols;
-        let k = a.cols;
-        let (adata, bdata) = (&a.data, &b.data);
-        std::thread::scope(|s| {
-            for (t, chunk) in self.data.chunks_mut(band * cols).enumerate() {
-                s.spawn(move || {
-                    let rows = chunk.len() / cols;
-                    gemm_rows(chunk, &adata[t * band * k..], bdata, 0..rows, k, cols);
-                });
-            }
-        });
-    }
-
     /// `a * b` as a new matrix.
     pub fn multiply(&self, b: &DenseMatrix) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.rows, b.cols);
@@ -291,14 +320,21 @@ impl DenseMatrix {
         out
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v`, one packed [`kernel::dot`] per row
+    /// (bit-identical across the SIMD and scalar backends).
     ///
     /// # Panics
     /// If `v.len() != self.cols`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        self.matvec_with(v, Backend::active())
+    }
+
+    /// [`DenseMatrix::matvec`] with an explicit kernel backend — the entry
+    /// the dispatch-pinning tests drive directly.
+    pub fn matvec_with(&self, v: &[f64], backend: Backend) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec: dimension mismatch");
         (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, x)| a * x).sum())
+            .map(|i| kernel::dot(self.row(i), v, backend))
             .collect()
     }
 
@@ -330,9 +366,48 @@ impl DenseMatrix {
 }
 
 /// Compute `c[0..rows) += a[0..rows) * b` where all buffers are row-major,
-/// `a` is `rows x k` and `b` is `k x m`. Shared by the sequential and
-/// row-banded parallel kernels.
+/// `a` is `rows x k` and `b` is `k x m` — the retained naive oracle. The
+/// i-k-j loop runs exactly one correctly-rounded fused multiply-add per
+/// (element, k) step in ascending-k order, which is the reference chain the
+/// packed microkernels reproduce bit-for-bit (no zero-skipping — see the
+/// determinism contract in [`crate::kernel`]). On x86_64 with hardware FMA
+/// the body is re-dispatched under `target_feature(enable = "fma")` so the
+/// compiler emits `vfmadd` instead of a libm call; `fma` is exactly
+/// specified, so both paths produce the same bits.
 fn gemm_rows(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: guarded by the runtime FMA check above.
+            unsafe { gemm_rows_fma(c, a, b, rows, k, m) };
+            return;
+        }
+    }
+    gemm_rows_body(c, a, b, rows, k, m);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn gemm_rows_fma(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    rows: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+) {
+    gemm_rows_body(c, a, b, rows, k, m);
+}
+
+#[inline(always)]
+fn gemm_rows_body(
     c: &mut [f64],
     a: &[f64],
     b: &[f64],
@@ -344,12 +419,9 @@ fn gemm_rows(
         let crow = &mut c[i * m..(i + 1) * m];
         let arow = &a[i * k..(i + 1) * k];
         for (l, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
             let brow = &b[l * m..(l + 1) * m];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aval * bv;
+                *cv = aval.mul_add(bv, *cv);
             }
         }
     }
@@ -404,7 +476,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_gemm_matches_sequential() {
+    fn parallel_gemm_bit_identical_to_sequential() {
         let a = DenseMatrix::from_fn(128, 96, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
         let b = DenseMatrix::from_fn(96, 80, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
         let mut seq_out = DenseMatrix::zeros(128, 80);
@@ -412,8 +484,19 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let mut par_out = DenseMatrix::zeros(128, 80);
             par_out.gemm_acc_parallel(&a, &b, threads);
-            assert!(par_out.approx_eq(&seq_out, 1e-9), "threads={threads}");
+            assert_eq!(par_out, seq_out, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn packed_gemm_bit_identical_to_naive_oracle() {
+        let a = DenseMatrix::from_fn(67, 41, |i, j| ((i * 13 + j * 7) % 17) as f64 * 0.25 - 2.0);
+        let b = DenseMatrix::from_fn(41, 29, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.125 - 1.0);
+        let mut naive = DenseMatrix::from_fn(67, 29, |i, j| (i + j) as f64 * 0.5);
+        let mut packed = naive.clone();
+        naive.gemm_acc_naive(&a, &b);
+        packed.gemm_acc(&a, &b);
+        assert_eq!(packed, naive);
     }
 
     #[test]

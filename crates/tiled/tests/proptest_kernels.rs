@@ -118,3 +118,133 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Bit-exactness pinning: the packed, SIMD-dispatched microkernel must equal
+// the naive FMA oracle *bitwise* — not within tolerance — on every shape,
+// backend, and thread count (the determinism contract of `tiled::kernel`).
+// ---------------------------------------------------------------------------
+
+use tiled::kernel::Backend;
+
+fn bits(m: &DenseMatrix) -> Vec<u64> {
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Packed kernel == naive oracle, bit-for-bit, across shapes straddling
+    /// the 6x8 and 8x16 register tiles (remainder rows/columns included) and
+    /// across both the forced-scalar and the dispatched backend.
+    #[test]
+    fn packed_gemm_bit_identical_to_oracle(n in 1usize..=70, k in 1usize..=70,
+                                           m in 1usize..=70, seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 9);
+        let mut want = DenseMatrix::zeros(n, m);
+        want.gemm_acc_naive(&a, &b);
+        for backend in [Backend::Scalar, Backend::active()] {
+            let mut got = DenseMatrix::zeros(n, m);
+            got.gemm_acc_with(&a, &b, 1, backend);
+            prop_assert_eq!(bits(&got), bits(&want), "backend {:?}", backend);
+        }
+    }
+
+    /// Same pinning with k crossing the KC = 192 panel boundary, so the
+    /// ascending-k chain spans multiple packed panels (including a short
+    /// remainder panel).
+    #[test]
+    fn packed_gemm_bit_identical_across_kc_panels(n in 1usize..=24, k in 150usize..=250,
+                                                  m in 1usize..=24, seed in 0u64..1000) {
+        let a = rand_dense(n, k, seed);
+        let b = rand_dense(k, m, seed + 10);
+        let mut want = DenseMatrix::zeros(n, m);
+        want.gemm_acc_naive(&a, &b);
+        let mut got = DenseMatrix::zeros(n, m);
+        got.gemm_acc_with(&a, &b, 1, Backend::active());
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// Thread-count invariance over row-band splits that do not divide the
+    /// row count: 1..=8 workers must all produce the same bits.
+    #[test]
+    fn packed_gemm_thread_count_invariant(threads in 2usize..=8, n in 40usize..=70,
+                                          seed in 0u64..500) {
+        let a = rand_dense(n, 37, seed);
+        let b = rand_dense(37, 29, seed + 11);
+        let mut want = DenseMatrix::zeros(n, 29);
+        want.gemm_acc_with(&a, &b, 1, Backend::active());
+        let mut got = DenseMatrix::zeros(n, 29);
+        got.gemm_acc_with(&a, &b, threads, Backend::active());
+        prop_assert_eq!(bits(&got), bits(&want), "threads {}", threads);
+    }
+
+    /// The CSC sparse-dense kernel runs the same ascending-k FMA chain as
+    /// the dense oracle: bit-identical for finite inputs on both backends
+    /// (structural-zero skips are exact no-ops there).
+    #[test]
+    fn csc_spmm_bit_identical_to_dense_chain(n in 1usize..=40, k in 1usize..=40,
+                                             m in 1usize..=40, density in 0.05f64..0.9,
+                                             seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = LocalMatrix::sparse_random(n, k, density, &mut rng).to_dense();
+        let b = rand_dense(k, m, seed + 12);
+        let mut want = DenseMatrix::zeros(n, m);
+        want.gemm_acc_naive(&a, &b);
+        let csc = CscTile::from_dense(&a);
+        for backend in [Backend::Scalar, Backend::active()] {
+            let mut got = DenseMatrix::zeros(n, m);
+            csc.spmm_acc_with(&b, &mut got, backend);
+            prop_assert_eq!(bits(&got), bits(&want), "backend {:?}", backend);
+        }
+    }
+
+    /// matvec rides the shared dot primitive, whose fixed four-accumulator
+    /// reduction makes the SIMD and scalar paths agree bit-for-bit.
+    #[test]
+    fn matvec_backend_bit_invariant(n in 1usize..=40, m in 1usize..=70, seed in 0u64..1000) {
+        let a = rand_dense(n, m, seed);
+        let x = rand_dense(m, 1, seed + 13);
+        let scalar: Vec<u64> = a.matvec_with(x.data(), Backend::Scalar)
+            .iter().map(|v| v.to_bits()).collect();
+        let auto: Vec<u64> = a.matvec_with(x.data(), Backend::active())
+            .iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(scalar, auto);
+    }
+}
+
+/// Degenerate and remainder-tail shapes, pinned bitwise: unit dims, empty
+/// inner dimension, single row/column, exact tile multiples, and one-past
+/// tile and panel boundaries.
+#[test]
+fn degenerate_and_remainder_shapes_bit_identical() {
+    for &(n, k, m) in &[
+        (1usize, 1usize, 1usize),
+        (1, 0, 1),
+        (5, 0, 9),
+        (1, 193, 1),
+        (6, 192, 8),
+        (8, 192, 16),
+        (9, 193, 17),
+        (70, 50, 1),
+        (1, 50, 70),
+        (97, 200, 49),
+    ] {
+        let a = DenseMatrix::from_fn(n, k, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.37 - 1.9);
+        let b = DenseMatrix::from_fn(k, m, |i, j| ((i * 17 + j * 11) % 19) as f64 * 0.23 - 1.1);
+        let mut want = DenseMatrix::zeros(n, m);
+        want.gemm_acc_naive(&a, &b);
+        for backend in [Backend::Scalar, Backend::active()] {
+            for threads in [1, 3] {
+                let mut got = DenseMatrix::zeros(n, m);
+                got.gemm_acc_with(&a, &b, threads, backend);
+                assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "shape ({n},{k},{m}) backend {backend:?} threads {threads}"
+                );
+            }
+        }
+    }
+}

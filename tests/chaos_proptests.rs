@@ -397,3 +397,27 @@ proptest! {
         }
     }
 }
+
+/// One full-scale 384x384 self-multiplication (the Fig. 4 matmul query)
+/// under an explicit two-kill fault plan, bit-identical both to a
+/// fault-free run and to the driver-side naive oracle. The 128-wide tiles
+/// push every tile GEMM through the packed SIMD microkernel; integer inputs
+/// make all reduction orders exact, so recovery must not move a single bit.
+#[test]
+fn e2e_384_matmul_survives_chaos_bit_identical() {
+    let n = 384;
+    let a = LocalMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
+    let oracle = chaos_session(n, 128, &a, None);
+    let want = oracle.matrix(QUERIES[0]).unwrap().to_local();
+    assert_eq!(
+        &want,
+        &a.multiply(&a),
+        "fault-free run diverged from the driver oracle"
+    );
+    let chaotic = chaos_session(n, 128, &a, Some(explicit_plan(4, 5, 1, 4, 6)));
+    assert_eq!(
+        &chaotic.matrix(QUERIES[0]).unwrap().to_local(),
+        &want,
+        "chaotic run diverged from the fault-free run"
+    );
+}

@@ -246,3 +246,32 @@ proptest! {
         }
     }
 }
+
+/// End-to-end 384x384 distributed matmul under a seeded chaos schedule,
+/// pinned bit-identical to the driver-side naive oracle. With 128-wide
+/// tiles every tile GEMM runs the packed SIMD microkernel's threaded
+/// row-band path; integer inputs make the f64 sums exact in every reduction
+/// order, so kernel blocking, backend dispatch, and fault recovery must not
+/// move a single bit.
+#[test]
+fn e2e_384_matmul_under_seeded_chaos_bit_identical() {
+    let n = 384;
+    let a = int_mat(n, n, 77, false);
+    let b = int_mat(n, n, 78, true);
+    let want = a.multiply(&b);
+    let s = Session::builder()
+        .workers(2)
+        .executors(2)
+        .partitions(3)
+        .matmul(MatMulStrategy::Auto)
+        .max_task_attempts(8)
+        .max_stage_attempts(12)
+        .chaos(sac_repro::sparkline::ChaosPlan::seeded(99, 2))
+        .build();
+    let ta = TiledMatrix::from_local(s.spark(), &a, 128, 2);
+    let tb = TiledMatrix::from_local(s.spark(), &b, 128, 2);
+    let got = sac_repro::sac::linalg::multiply(&s, &ta, &tb)
+        .unwrap()
+        .to_local();
+    assert_eq!(&got, &want);
+}
