@@ -1,0 +1,169 @@
+//! Shuffle data-plane smoke benchmark: the 384×384 matmul panel in
+//! multi-process mode, recording the cost model's *estimated* shuffle bytes
+//! against the *true serialized wire bytes* the worker data plane carried,
+//! plus fetch latency percentiles with and without wire-fault-induced
+//! retries.
+//!
+//! ```text
+//! cargo run --release -p bench --bin shuffle            # writes BENCH_shuffle.json
+//! cargo run --release -p bench --bin shuffle -- out.json
+//! ```
+//!
+//! The emitted JSON is a flat result list consumed by the CI distributed job:
+//!
+//! ```json
+//! {"bench":"shuffle","results":[
+//!   {"name":"matmul_384","est_shuffle_bytes":..,"wire_bytes":..,
+//!    "est_actual_ratio":1.3,"wall_ms":..,"fetches":..,"fetch_retries":0,
+//!    "fetch_p50_us":..,"fetch_p99_us":..}, ...]}
+//! ```
+//!
+//! The est-vs-actual ratio is a hard contract, not just a reading: the run
+//! aborts if the cost model's estimate drifts beyond 2× from the measured
+//! wire bytes of the chosen plan.
+
+use bench::{dense_local, TILE};
+use sac::{MatMulStrategy, Session};
+use sparkline::{ChaosPlan, WireFault};
+use std::time::Instant;
+
+const MUL_SRC: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+     let v = a*b, group by (i,j) ]";
+
+struct Row {
+    name: String,
+    est_bytes: u64,
+    wire_bytes: u64,
+    ratio: f64,
+    wall_ms: f64,
+    fetches: usize,
+    fetch_retries: u64,
+    fetch_p50_us: u64,
+    fetch_p99_us: u64,
+}
+
+/// Nearest-rank percentile over a sorted series; 0 for an empty one.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_panel(name: &str, n: usize, chaos: Option<ChaosPlan>) -> Row {
+    let mut b = Session::builder()
+        .workers(std::thread::available_parallelism().map_or(4, |c| c.get()))
+        .partitions(8)
+        // Pin the shuffling contraction so the panel actually moves bytes
+        // over the wire (auto would broadcast an operand this small).
+        .matmul(MatMulStrategy::ReduceByKey)
+        .worker_processes(2)
+        .max_task_attempts(8)
+        .max_stage_attempts(12);
+    b = match chaos {
+        Some(p) => b.chaos(p),
+        None => b.chaos_off(),
+    };
+    let mut s = b.build();
+    s.register_local_matrix("A", &dense_local(n, 300 + n as u64), TILE);
+    s.register_local_matrix("B", &dense_local(n, 400 + n as u64), TILE);
+    s.set_int("n", n as i64);
+
+    let start = Instant::now();
+    let analysis = s.explain_analyze(MUL_SRC).expect("panel must run");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let choice = analysis
+        .profile
+        .plan_choices
+        .first()
+        .expect("traced run records plan.chosen");
+    let est_bytes = choice.est_shuffle_bytes;
+    let wire_bytes = analysis.profile.actual_shuffle_bytes_of_tag(&choice.chosen);
+    let ratio = est_bytes.max(wire_bytes) as f64 / est_bytes.min(wire_bytes).max(1) as f64;
+    let (mut lat, fetch_retries) = s
+        .spark()
+        .worker_fetch_stats()
+        .expect("panel runs multi-process");
+    lat.sort_unstable();
+    let row = Row {
+        name: name.to_string(),
+        est_bytes,
+        wire_bytes,
+        ratio,
+        wall_ms,
+        fetches: lat.len(),
+        fetch_retries,
+        fetch_p50_us: pct(&lat, 0.50),
+        fetch_p99_us: pct(&lat, 0.99),
+    };
+    println!(
+        "{:>16}: est {:>10} B, wire {:>10} B (x{:.2}) {:>9.1} ms, \
+         {} fetches ({} retries), p50 {} us, p99 {} us",
+        row.name,
+        row.est_bytes,
+        row.wire_bytes,
+        row.ratio,
+        row.wall_ms,
+        row.fetches,
+        row.fetch_retries,
+        row.fetch_p50_us,
+        row.fetch_p99_us
+    );
+    row
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_shuffle.json".to_string());
+    let n = 384usize;
+
+    // Clean panel: estimate-vs-wire contract and baseline fetch latency.
+    let clean = run_panel(&format!("matmul_{n}"), n, None);
+    assert!(
+        clean.ratio <= 2.0,
+        "cost-model estimate ({} B) drifted {}x from measured wire bytes ({} B)",
+        clean.est_bytes,
+        clean.ratio,
+        clean.wire_bytes
+    );
+    assert_eq!(clean.fetch_retries, 0, "clean run must not retry fetches");
+
+    // Faulty panel: garbled and dropped fetch streams force retries; the
+    // latency percentiles show what the backoff policy costs.
+    let plan = ChaosPlan::new()
+        .with_wire_fault(11, 6, WireFault::Garble)
+        .with_wire_fault(17, 6, WireFault::Drop)
+        .with_wire_fault(13, 8, WireFault::Delay(200));
+    let faulty = run_panel(&format!("matmul_{n}_wire_faults"), n, Some(plan));
+    assert!(
+        faulty.fetch_retries > 0,
+        "wire faults must force at least one fetch retry"
+    );
+
+    let mut json = String::from("{\"bench\":\"shuffle\",\"results\":[");
+    for (i, r) in [&clean, &faulty].into_iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"est_shuffle_bytes\":{},\"wire_bytes\":{},\
+             \"est_actual_ratio\":{:.3},\"wall_ms\":{:.3},\"fetches\":{},\
+             \"fetch_retries\":{},\"fetch_p50_us\":{},\"fetch_p99_us\":{}}}",
+            r.name,
+            r.est_bytes,
+            r.wire_bytes,
+            r.ratio,
+            r.wall_ms,
+            r.fetches,
+            r.fetch_retries,
+            r.fetch_p50_us,
+            r.fetch_p99_us
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -22,6 +22,8 @@ pub struct SessionBuilder {
     speculation: Option<f64>,
     chaos: Option<ChaosPlan>,
     chaos_off: bool,
+    worker_processes: Option<usize>,
+    external_shuffle: Option<bool>,
 }
 
 impl Default for SessionBuilder {
@@ -43,6 +45,8 @@ impl Default for SessionBuilder {
             speculation: None,
             chaos: None,
             chaos_off: false,
+            worker_processes: None,
+            external_shuffle: None,
         }
     }
 }
@@ -136,6 +140,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Shuffle data-plane worker processes of the runtime (0 = in-process).
+    /// See [`sparkline::ContextBuilder::worker_processes`].
+    pub fn worker_processes(mut self, n: usize) -> Self {
+        self.worker_processes = Some(n);
+        self
+    }
+
+    /// Toggle the external shuffle service spool in multi-process mode. See
+    /// [`sparkline::ContextBuilder::external_shuffle`].
+    pub fn external_shuffle(mut self, on: bool) -> Self {
+        self.external_shuffle = Some(on);
+        self
+    }
+
     /// Run the session under an explicit chaos schedule (beats the
     /// `SPARKLINE_CHAOS` environment variable).
     pub fn chaos(mut self, plan: ChaosPlan) -> Self {
@@ -171,6 +189,12 @@ impl SessionBuilder {
                 }
                 if let Some(m) = self.speculation {
                     ctx = ctx.speculation(m);
+                }
+                if let Some(n) = self.worker_processes {
+                    ctx = ctx.worker_processes(n);
+                }
+                if let Some(on) = self.external_shuffle {
+                    ctx = ctx.external_shuffle(on);
                 }
                 if let Some(plan) = self.chaos {
                     ctx = ctx.chaos(plan);

@@ -13,6 +13,14 @@
 //! Each connection is served by its own thread; a `RUN` blocks its
 //! connection until the job finishes, so cancellation is issued from a
 //! *different* connection using the job ids visible in `STATUS`.
+//!
+//! Connections are defensive: request lines are length-capped (an oversized
+//! line gets one `ERR` and the connection closes, since the stream is no
+//! longer line-synchronized), stalled sockets are hung up after the
+//! configured read timeout, and slow readers are abandoned after the write
+//! timeout — a misbehaving client can never wedge its server thread, and a
+//! mid-`RUN` disconnect only kills that connection's thread, never the
+//! accept loop.
 
 use crate::QueryService;
 use std::io::{BufRead, BufReader, Write};
@@ -20,6 +28,30 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Socket-robustness knobs for [`serve_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// How long to wait for the next request line before hanging up the
+    /// connection. `None` waits forever (the [`serve`] default).
+    pub read_timeout: Option<Duration>,
+    /// How long a reply write may block on a slow reader before the
+    /// connection is abandoned.
+    pub write_timeout: Option<Duration>,
+    /// Longest accepted request line in bytes. Longer lines get one
+    /// `ERR\tline too long` reply and the connection closes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            read_timeout: None,
+            write_timeout: None,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops the
 /// accept loop.
@@ -55,8 +87,19 @@ impl Drop for Server {
     }
 }
 
-/// Bind `addr` and serve `service` until shutdown.
+/// Bind `addr` and serve `service` until shutdown, with the default (fully
+/// patient) socket configuration.
 pub fn serve(service: QueryService, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+    serve_with(service, addr, ServeConfig::default())
+}
+
+/// Bind `addr` and serve `service` until shutdown with explicit socket
+/// timeouts and line caps.
+pub fn serve_with(
+    service: QueryService,
+    addr: impl ToSocketAddrs,
+    cfg: ServeConfig,
+) -> std::io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     // Nonblocking accept so the loop can observe the shutdown flag.
@@ -69,7 +112,7 @@ pub fn serve(service: QueryService, addr: impl ToSocketAddrs) -> std::io::Result
                 Ok((stream, _)) => {
                     let svc = service.clone();
                     std::thread::spawn(move || {
-                        let _ = handle_connection(svc, stream);
+                        let _ = handle_connection(svc, stream, cfg);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -86,20 +129,107 @@ pub fn serve(service: QueryService, addr: impl ToSocketAddrs) -> std::io::Result
     })
 }
 
-fn handle_connection(service: QueryService, stream: TcpStream) -> std::io::Result<()> {
+/// One capped request-line read.
+enum LineRead {
+    Line(Vec<u8>),
+    TooLong,
+    Eof,
+}
+
+/// Read up to (and consuming) the next `\n`, refusing to buffer more than
+/// `cap` bytes of line: the protocol is line-oriented, so an unbounded line
+/// is either a broken client or an attack, not a query.
+fn read_line_capped<R: BufRead>(r: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(idx) => {
+                let too_long = line.len() + idx > cap;
+                if !too_long {
+                    line.extend_from_slice(&buf[..idx]);
+                }
+                r.consume(idx + 1);
+                return Ok(if too_long {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line(line)
+                });
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > cap {
+                    r.consume(n);
+                    return Ok(LineRead::TooLong);
+                }
+                line.extend_from_slice(buf);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &str) -> std::io::Result<()> {
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_connection(
+    service: QueryService,
+    stream: TcpStream,
+    cfg: ServeConfig,
+) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(cfg.read_timeout)?;
+    stream.set_write_timeout(cfg.write_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_capped(&mut reader, cfg.max_line_bytes) {
+            Ok(LineRead::Line(bytes)) => match String::from_utf8(bytes) {
+                Ok(s) => s.trim_end_matches('\r').to_string(),
+                Err(_) => {
+                    write_reply(&mut writer, "ERR\trequest is not utf-8")?;
+                    continue;
+                }
+            },
+            Ok(LineRead::TooLong) => {
+                // The stream is no longer line-synchronized: reply once,
+                // then hang up rather than misparse the overflow as the
+                // next request.
+                let _ = write_reply(&mut writer, "ERR\tline too long");
+                return Ok(());
+            }
+            Ok(LineRead::Eof) => return Ok(()),
+            Err(e) if is_timeout(&e) => {
+                // Stalled socket: tell the client (best-effort) and free
+                // the thread.
+                let _ = write_reply(&mut writer, "ERR\tread timed out");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let reply = match dispatch(&service, &line) {
             Dispatch::Reply(r) => r,
             Dispatch::Quit => break,
         };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        write_reply(&mut writer, &reply)?;
     }
     Ok(())
 }
@@ -152,6 +282,15 @@ fn dispatch(service: &QueryService, line: &str) -> Dispatch {
     }
 }
 
+/// Client-side socket timeouts for [`Client::connect_with`]. `None` fields
+/// wait forever (the [`Client::connect`] default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientTimeouts {
+    pub connect: Option<Duration>,
+    pub read: Option<Duration>,
+    pub write: Option<Duration>,
+}
+
 /// A tiny blocking client for tests and the load generator.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -160,13 +299,41 @@ pub struct Client {
 
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-        })
+        Client::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connect with explicit connect/read/write timeouts, so a dead or
+    /// wedged server surfaces as a timed-out `Err` instead of a hang.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeouts: ClientTimeouts,
+    ) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for a in addr.to_socket_addrs()? {
+            let connected = match timeouts.connect {
+                Some(t) => TcpStream::connect_timeout(&a, t),
+                None => TcpStream::connect(a),
+            };
+            match connected {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(timeouts.read)?;
+                    stream.set_write_timeout(timeouts.write)?;
+                    let writer = stream.try_clone()?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no addresses to connect to",
+            )
+        }))
     }
 
     /// Send one raw request line; return the raw reply line.
@@ -284,5 +451,162 @@ mod tests {
         assert_eq!(fp(&replies[0]), fp(&replies[1]));
         assert_eq!(fp(&replies[1]), fp(&replies[2]));
         server.shutdown();
+    }
+
+    fn served_with(cfg: ServeConfig) -> (QueryService, Server) {
+        let svc = QueryService::builder()
+            .workers(2)
+            .executors(2)
+            .storage_memory(64 << 20)
+            .slots(2)
+            .chaos_off()
+            .build();
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = LocalMatrix::random(8, 8, -1.0, 1.0, &mut rng);
+        svc.register_shared_matrix("A", &a, 4).unwrap();
+        svc.register_shared_int("n", 8);
+        let server = serve_with(svc.clone(), ("127.0.0.1", 0), cfg).unwrap();
+        (svc, server)
+    }
+
+    #[test]
+    fn malformed_command_lines_get_err_replies_without_killing_the_connection() {
+        let (_svc, server) = served();
+        let mut c = Client::connect(server.addr()).unwrap();
+        for bad in [
+            "RUN",                  // missing tenant and query
+            "RUN\t\tq",             // empty tenant
+            "RUN\talice",           // missing query
+            "CANCEL\talice\tnope",  // non-numeric job id
+            "CANCEL",               // nothing at all
+            "\t\t\t",               // no verb
+            "",                     // empty line
+            "STATUS\textra\tstuff", // trailing fields on a 0-arg verb are ignored or refused, never a crash
+        ] {
+            let reply = c.request(bad).unwrap();
+            assert!(
+                reply.starts_with("ERR\t") || reply.starts_with("OK\t"),
+                "line {bad:?} must get a protocol reply, got {reply:?}"
+            );
+        }
+        // The connection is still line-synchronized and usable.
+        assert!(c.status().unwrap().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_utf8_request_gets_an_err_reply() {
+        let (_svc, server) = served();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"RUN\t\xFF\xFE\tq\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        BufReader::new(&stream).read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("ERR\t"), "{reply:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_socket_is_hung_up_after_the_read_timeout() {
+        let (_svc, server) = served_with(ServeConfig {
+            read_timeout: Some(Duration::from_millis(80)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_line_bytes: 1 << 20,
+        });
+        // Connect and send nothing: the server must hang up, not leak a
+        // blocked thread.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "ERR\tread timed out");
+        reply.clear();
+        let n = reader.read_line(&mut reply).unwrap();
+        assert_eq!(n, 0, "connection must be closed after the timeout");
+        // The listener is unaffected: a live client still gets served.
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.status().unwrap().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_the_connection_closed() {
+        let (_svc, server) = served_with(ServeConfig {
+            max_line_bytes: 1024,
+            ..ServeConfig::default()
+        });
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let huge = vec![b'x'; 64 << 10];
+        stream.write_all(b"RUN\talice\t").unwrap();
+        stream.write_all(&huge).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "ERR\tline too long");
+        reply.clear();
+        // Closing with the overflow still unread may surface as a clean EOF
+        // or a connection reset; both mean "hung up".
+        match reader.read_line(&mut reply) {
+            Ok(0) => {}
+            Ok(n) => panic!("connection must be closed, read {n} bytes: {reply:?}"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ),
+                "unexpected error: {e:?}"
+            ),
+        }
+        // Fresh connections keep working.
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.status().unwrap().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_mid_run_does_not_poison_the_listener() {
+        let (_svc, server) = served();
+        // Fire a RUN and slam the connection shut without reading the reply:
+        // the serving thread's write fails and the thread exits; nothing
+        // else must notice.
+        for _ in 0..3 {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(b"RUN\tghost\t+/[ a | ((i,j),a) <- A ]\n")
+                .unwrap();
+            stream.flush().unwrap();
+            drop(stream);
+        }
+        let mut c = Client::connect(server.addr()).unwrap();
+        let json = c
+            .run("alice", "+/[ a | ((i,j),a) <- A ]")
+            .unwrap()
+            .expect("service must still run queries after abandoned RUNs");
+        assert!(!json.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_read_timeout_surfaces_a_wedged_server_as_an_error() {
+        // A listener that accepts and never replies.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut c = Client::connect_with(
+            addr,
+            ClientTimeouts {
+                connect: Some(Duration::from_secs(2)),
+                read: Some(Duration::from_millis(80)),
+                write: Some(Duration::from_secs(2)),
+            },
+        )
+        .unwrap();
+        let err = c.request("STATUS").expect_err("read must time out");
+        assert!(is_timeout(&err), "unexpected error kind: {err:?}");
+        drop(hold);
     }
 }

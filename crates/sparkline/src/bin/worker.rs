@@ -1,0 +1,37 @@
+//! `sparkline-worker` — one shuffle data-plane process.
+//!
+//! Spawned and supervised by [`sparkline::transport::WorkerGroup`]. The
+//! process binds an ephemeral loopback port, hands it to the driver via a
+//! `PORT\t<port>` stdout handshake, and then serves the framed block-store
+//! protocol until it is killed (chaos `kill -9`), the driver drops it, or
+//! its stdin pipe closes (driver death — the watchdog below guarantees no
+//! orphan workers outlive a crashed driver).
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+
+fn main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("sparkline-worker: bind");
+    let port = listener
+        .local_addr()
+        .expect("sparkline-worker: addr")
+        .port();
+    let mut stdout = std::io::stdout();
+    writeln!(stdout, "PORT\t{port}").expect("sparkline-worker: handshake");
+    stdout.flush().expect("sparkline-worker: flush handshake");
+
+    // Parent-death watchdog: the driver holds our stdin pipe open for our
+    // whole life. EOF means the driver is gone; exit instead of lingering.
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 64];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+
+    sparkline::transport::serve_worker(listener);
+}

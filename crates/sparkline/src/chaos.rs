@@ -51,6 +51,32 @@ pub enum ChaosEvent {
     /// outputs), at most `limit` times. Each failure drops one live map
     /// output, so recovery has real recomputation to do.
     FailFetch { every: u64, limit: u32 },
+    /// Process-level fault (multi-process mode only): when the context-wide
+    /// task-launch counter reaches `at_task`, `kill -9` the worker process
+    /// hosting `executor`. In local thread mode this degrades to a plain
+    /// executor kill. One-shot.
+    KillWorkerAtTask { at_task: u64, executor: usize },
+    /// Wire-level fault on every `every`-th remote shuffle fetch, at most
+    /// `limit` times (`limit == 0` means unlimited for delays): drop the
+    /// stream, delay it, or garble a payload byte (which the frame CRC must
+    /// catch). Only consulted on the multi-process fetch path.
+    WireFaultFetch {
+        every: u64,
+        limit: u32,
+        fault: WireFault,
+    },
+}
+
+/// The wire-level fault kinds applied to a remote shuffle fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// The fetch stream dies before a frame arrives (connection reset).
+    Drop,
+    /// The fetch stalls for this many microseconds before proceeding.
+    Delay(u64),
+    /// One payload byte is flipped in transit; CRC validation must reject
+    /// the frame and the fetch must retry.
+    Garble,
 }
 
 /// A deterministic fault schedule. Build one explicitly with the
@@ -102,6 +128,26 @@ impl ChaosPlan {
         self
     }
 
+    /// Schedule the worker process hosting `executor` to be `kill -9`'d at
+    /// the `at_task`-th task launch (multi-process mode; degrades to an
+    /// executor kill in local mode).
+    pub fn with_kill_worker_at_task(mut self, at_task: u64, executor: usize) -> ChaosPlan {
+        self.events
+            .push(ChaosEvent::KillWorkerAtTask { at_task, executor });
+        self
+    }
+
+    /// Apply `fault` to every `every`-th remote shuffle fetch, at most
+    /// `limit` times (0 = unlimited).
+    pub fn with_wire_fault(mut self, every: u64, limit: u32, fault: WireFault) -> ChaosPlan {
+        self.events.push(ChaosEvent::WireFaultFetch {
+            every,
+            limit,
+            fault,
+        });
+        self
+    }
+
     /// Expand a seed into a full schedule for a pool of `executors`: up to
     /// `executors - 1` kills (so at least one executor always survives, per
     /// the recovery contract), spaced far enough apart for recovery to make
@@ -122,7 +168,13 @@ impl ChaosPlan {
             at += SEEDED_FIRST_KILL_AT + next() % 96;
         }
         plan = plan.with_task_delay(5 + next() % 8, 20 + next() % 180);
-        plan.with_fetch_failures(6 + next() % 10, 2)
+        plan = plan.with_fetch_failures(6 + next() % 10, 2);
+        // Wire-level faults: only consulted on the multi-process fetch path,
+        // free in local mode. Garbled frames exercise CRC rejection + retry;
+        // drops exercise the reconnect; delays jitter fetch interleavings.
+        plan = plan.with_wire_fault(9 + next() % 8, 2, WireFault::Garble);
+        plan = plan.with_wire_fault(11 + next() % 8, 2, WireFault::Drop);
+        plan.with_wire_fault(7 + next() % 6, 4, WireFault::Delay(30 + next() % 120))
     }
 
     /// Parse the [`CHAOS_ENV`] value: `off`/empty disables, a decimal seed
@@ -141,7 +193,8 @@ impl ChaosPlan {
 
 /// Sebastiano Vigna's splitmix64: the tiny seed-expansion PRNG (public
 /// domain algorithm), avoiding any dependency for deterministic schedules.
-fn splitmix64(state: &mut u64) -> u64 {
+/// Also used by [`crate::BackoffPolicy`] for deterministic retry jitter.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -154,6 +207,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub(crate) struct TaskFaults {
     /// Executors to kill, in schedule order.
     pub(crate) kill: Vec<usize>,
+    /// Executors whose *worker process* dies (kill -9), in schedule order.
+    pub(crate) kill_worker_of: Vec<usize>,
     /// How long to delay the launch.
     pub(crate) delay: Duration,
 }
@@ -170,6 +225,7 @@ struct ChaosState {
     tasks: u64,
     barriers: u64,
     fetches: u64,
+    wire_fetches: u64,
     /// Per-event one-shot latch (kill events) / remaining budget (fetch
     /// failures), indexed like `plan.events`.
     fired: Vec<u64>,
@@ -205,6 +261,12 @@ impl ChaosController {
                     state.fired[idx] = 1;
                     faults.kill.push(*executor);
                 }
+                ChaosEvent::KillWorkerAtTask { at_task, executor }
+                    if state.fired[idx] == 0 && now >= *at_task =>
+                {
+                    state.fired[idx] = 1;
+                    faults.kill_worker_of.push(*executor);
+                }
                 ChaosEvent::DelayTask { every, micros }
                     if *every > 0 && now.is_multiple_of(*every) =>
                 {
@@ -236,6 +298,33 @@ impl ChaosController {
             }
         }
         doomed
+    }
+
+    /// Advance the wire-fetch counter; returns the fault to apply to this
+    /// remote fetch, if any. Separate counter from [`Self::on_fetch`]: wire
+    /// faults fire per socket transfer, logical fetch failures per reduce
+    /// read.
+    pub(crate) fn on_wire_fetch(&self) -> Option<WireFault> {
+        let mut state = self.state.lock();
+        state.wire_fetches += 1;
+        let now = state.wire_fetches;
+        for (idx, event) in self.plan.events.iter().enumerate() {
+            if let ChaosEvent::WireFaultFetch {
+                every,
+                limit,
+                fault,
+            } = event
+            {
+                if *every > 0
+                    && now.is_multiple_of(*every)
+                    && (*limit == 0 || state.fired[idx] < u64::from(*limit))
+                {
+                    state.fired[idx] += 1;
+                    return Some(*fault);
+                }
+            }
+        }
+        None
     }
 
     /// Advance the fetch counter; true if this fetch should fail.
@@ -322,6 +411,30 @@ mod tests {
         assert!(ctl.on_barrier().is_empty(), "barrier 0 passes clean");
         assert_eq!(ctl.on_barrier(), vec![0], "barrier 1 kills");
         assert!(ctl.on_barrier().is_empty(), "one-shot");
+    }
+
+    #[test]
+    fn wire_faults_fire_on_their_own_counter_and_respect_limits() {
+        let ctl = ChaosController::new(
+            ChaosPlan::new()
+                .with_wire_fault(2, 2, WireFault::Garble)
+                .with_fetch_failures(2, 1),
+        );
+        let faults: Vec<_> = (0..10).map(|_| ctl.on_wire_fetch()).collect();
+        assert_eq!(faults.iter().filter(|f| f.is_some()).count(), 2);
+        assert_eq!(faults[1], Some(WireFault::Garble));
+        assert_eq!(faults[3], Some(WireFault::Garble));
+        // The logical-fetch counter is untouched by wire fetches.
+        assert!(!ctl.on_fetch());
+        assert!(ctl.on_fetch());
+    }
+
+    #[test]
+    fn worker_kills_fire_once_at_threshold() {
+        let ctl = ChaosController::new(ChaosPlan::new().with_kill_worker_at_task(2, 3));
+        assert!(ctl.on_task_start().kill_worker_of.is_empty());
+        assert_eq!(ctl.on_task_start().kill_worker_of, vec![3]);
+        assert!(ctl.on_task_start().kill_worker_of.is_empty(), "one-shot");
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Execution context: configuration, the executor pool, task retry, failure
 //! injection, and the structured-event trace.
 
-use crate::chaos::{ChaosController, ChaosPlan, CHAOS_ENV};
+use crate::chaos::{ChaosController, ChaosPlan, WireFault, CHAOS_ENV};
 use crate::events::{Event, EventCollector};
 use crate::metrics::Metrics;
 use crate::profile::JobProfile;
 use crate::service::{panic_is_cancelled, CancelToken, CANCELLED_MSG};
-use crate::shuffle::MapOutputTracker;
+use crate::shuffle::{BackoffPolicy, MapOutputTracker};
 use crate::storage::{BlockManager, StorageStatus};
 use crate::sync::Mutex;
+use crate::transport::{WorkerConfig, WorkerGroup};
 use crate::Data;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,6 +27,23 @@ const INJECTED_FAILURE_MSG: &str = "sparkline: injected task failure";
 /// are exercised on every push. An explicit
 /// [`ContextBuilder::storage_memory`] wins over the variable.
 pub const STORAGE_BUDGET_ENV: &str = "SPARKLINE_STORAGE_BUDGET";
+
+/// Environment variable setting the number of shuffle data-plane worker
+/// processes; lets CI run the whole chaos suite in multi-process mode
+/// without editing every test. An explicit
+/// [`ContextBuilder::worker_processes`] wins over the variable. `0` (or
+/// unset) keeps the in-process shuffle path.
+pub const WORKER_PROCS_ENV: &str = "SPARKLINE_WORKER_PROCS";
+
+/// Environment variable toggling the external shuffle service in
+/// multi-process mode (`0`/`false` disables it, forcing recovery through
+/// partial stage resubmission). An explicit
+/// [`ContextBuilder::external_shuffle`] wins over the variable.
+pub const EXTERNAL_SHUFFLE_ENV: &str = "SPARKLINE_EXTERNAL_SHUFFLE";
+
+/// Uniquifies external-shuffle directories created by contexts inside one
+/// driver process ([`Context::external_shuffle_path`] base dirs).
+static EXTERNAL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Strikes (kills/restarts) after which an executor is blacklisted — no
 /// longer assigned worker threads — unless it is the last healthy one.
@@ -121,6 +140,11 @@ pub struct ContextBuilder {
     storage_memory: Option<usize>,
     speculation: Option<f64>,
     chaos: ChaosChoice,
+    worker_processes: Option<usize>,
+    external_shuffle: Option<bool>,
+    resubmit_backoff: BackoffPolicy,
+    fetch_backoff: BackoffPolicy,
+    fetch_retries: u32,
 }
 
 impl Default for ContextBuilder {
@@ -134,6 +158,19 @@ impl Default for ContextBuilder {
             storage_memory: None,
             speculation: None,
             chaos: ChaosChoice::Inherit,
+            worker_processes: None,
+            external_shuffle: None,
+            resubmit_backoff: BackoffPolicy::default(),
+            // Fetch retries are cheap loopback round-trips; back off hard
+            // enough to ride out a worker respawn, but stay well under the
+            // cost of resubmitting the map stage.
+            fetch_backoff: BackoffPolicy {
+                base: Duration::from_micros(100),
+                multiplier: 2.0,
+                cap: Duration::from_millis(5),
+                jitter: 0.25,
+            },
+            fetch_retries: 3,
         }
     }
 }
@@ -200,6 +237,51 @@ impl ContextBuilder {
         self
     }
 
+    /// Number of shuffle data-plane worker processes. `0` (the default)
+    /// keeps shuffle map outputs in-process; with `n > 0` every map output
+    /// is serialized to a wire frame and PUT to worker process
+    /// `executor % n` over a framed loopback socket, so `kill -9` on a
+    /// worker genuinely loses bytes and recovery has to run through the
+    /// epoch/fetch-failure machinery. Beats [`WORKER_PROCS_ENV`].
+    pub fn worker_processes(mut self, n: usize) -> Self {
+        self.worker_processes = Some(n);
+        self
+    }
+
+    /// In multi-process mode, also park every map-output frame in a
+    /// driver-visible spool directory (an external shuffle service): reduce
+    /// tasks that exhaust fetch retries against a dead worker fall back to
+    /// the spool and the stage completes with **zero** resubmissions. On by
+    /// default in multi-process mode; disable to force recovery through
+    /// partial stage resubmission. Beats [`EXTERNAL_SHUFFLE_ENV`]. No effect
+    /// in local mode.
+    pub fn external_shuffle(mut self, on: bool) -> Self {
+        self.external_shuffle = Some(on);
+        self
+    }
+
+    /// Backoff schedule between attempts of a resubmitted shuffle map stage
+    /// (after a fetch failure). The default reproduces the historical
+    /// 200µs-doubling-to-10ms schedule with no jitter.
+    pub fn resubmit_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.resubmit_backoff = policy;
+        self
+    }
+
+    /// Backoff schedule between retries of a single shuffle fetch against a
+    /// worker process, before the fetch is declared failed.
+    pub fn fetch_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.fetch_backoff = policy;
+        self
+    }
+
+    /// Retries per shuffle fetch (beyond the first attempt) before the
+    /// fetch escalates to `FetchFailed` handling.
+    pub fn fetch_retries(mut self, n: u32) -> Self {
+        self.fetch_retries = n;
+        self
+    }
+
     /// Run this context under an explicit chaos schedule. Beats [`CHAOS_ENV`].
     pub fn chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = ChaosChoice::Plan(plan);
@@ -241,7 +323,38 @@ impl ContextBuilder {
         }
         .filter(|plan| !plan.is_empty())
         .map(ChaosController::new);
-        Context {
+        let worker_processes = self
+            .worker_processes
+            .or_else(|| {
+                std::env::var(WORKER_PROCS_ENV)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+            })
+            .unwrap_or(0);
+        let worker_group = (worker_processes > 0).then(|| {
+            WorkerGroup::spawn(worker_processes, WorkerConfig::default())
+                .expect("sparkline: failed to spawn shuffle worker processes")
+        });
+        let external_on = self.external_shuffle.or_else(|| {
+            std::env::var(EXTERNAL_SHUFFLE_ENV)
+                .ok()
+                .map(|s| !matches!(s.trim(), "0" | "false" | "off"))
+        });
+        let external_dir = worker_group
+            .is_some()
+            .then(|| external_on.unwrap_or(true))
+            .filter(|&on| on)
+            .map(|_| {
+                let dir = std::env::temp_dir().join(format!(
+                    "sparkline-shuffle-{}-{}",
+                    std::process::id(),
+                    EXTERNAL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&dir)
+                    .expect("sparkline: failed to create external shuffle dir");
+                dir
+            });
+        let ctx = Context {
             inner: Arc::new(CtxInner {
                 workers: self.workers,
                 default_parallelism: self.default_parallelism,
@@ -251,6 +364,11 @@ impl ContextBuilder {
                 executors: (0..executors).map(|_| ExecutorSlot::default()).collect(),
                 blacklist_decision: Mutex::new(()),
                 chaos,
+                worker_group,
+                external_dir,
+                resubmit_backoff: self.resubmit_backoff,
+                fetch_backoff: self.fetch_backoff,
+                fetch_retries: self.fetch_retries,
                 map_outputs: MapOutputTracker::default(),
                 metrics: Metrics::default(),
                 events: EventCollector::default(),
@@ -264,7 +382,21 @@ impl ContextBuilder {
                 plan_tags: Mutex::new(Vec::new()),
                 broadcasts: Mutex::new(Vec::new()),
             }),
+        };
+        // Supervision wiring: when the heartbeat declares a worker dead
+        // (deadline blown) and respawns it, the context must sweep the
+        // executors whose shuffle state lived in that process. Weak, so the
+        // worker group's heartbeat thread never keeps a dropped context
+        // alive.
+        if let Some(group) = ctx.inner.worker_group.clone() {
+            let weak = Arc::downgrade(&ctx.inner);
+            group.set_on_worker_lost(move |worker| {
+                if let Some(inner) = weak.upgrade() {
+                    Context { inner }.on_worker_lost(worker);
+                }
+            });
         }
+        ctx
     }
 }
 
@@ -307,6 +439,18 @@ pub(crate) struct CtxInner {
     blacklist_decision: Mutex<()>,
     /// Deterministic fault injector; `None` when chaos is off.
     chaos: Option<ChaosController>,
+    /// Shuffle data-plane worker processes; `None` in local mode. Executor
+    /// `e`'s map outputs live in worker `e % n`.
+    worker_group: Option<Arc<WorkerGroup>>,
+    /// Base directory of the external shuffle service spool; `None` when the
+    /// service is disabled or in local mode. Removed on context drop.
+    external_dir: Option<PathBuf>,
+    /// Backoff between attempts of a resubmitted shuffle map stage.
+    resubmit_backoff: BackoffPolicy,
+    /// Backoff between retries of one shuffle fetch.
+    fetch_backoff: BackoffPolicy,
+    /// Fetch retries (beyond the first attempt) before `FetchFailed`.
+    fetch_retries: u32,
     /// Which executor owns each shuffle map output, and at which epoch.
     pub(crate) map_outputs: MapOutputTracker,
     pub(crate) metrics: Metrics,
@@ -329,6 +473,16 @@ pub(crate) struct CtxInner {
     // Broadcast variables are kept alive by the context, like Spark's
     // BlockManager does; they are just Arc'd values here.
     broadcasts: Mutex<Vec<Arc<dyn std::any::Any + Send + Sync>>>,
+}
+
+impl Drop for CtxInner {
+    fn drop(&mut self) {
+        // The external shuffle spool outlives individual shuffles (that is
+        // its whole point) but not the driver.
+        if let Some(dir) = &self.external_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 /// Everything a stage reports about itself when tracing is on. Built lazily:
@@ -409,7 +563,77 @@ impl Context {
     /// Repeated kills accrue strikes; after [`BLACKLIST_STRIKES`] the
     /// executor is blacklisted (no longer assigned worker threads) unless it
     /// is the last healthy one.
+    ///
+    /// In multi-process mode an executor's shuffle state lives inside a
+    /// worker process's fault domain, so killing the executor promotes to
+    /// `kill -9` on the hosting process — which also takes down every other
+    /// executor resident in it, exactly as losing a real machine would.
     pub fn kill_executor(&self, executor: usize) -> bool {
+        if let Some(group) = &self.inner.worker_group {
+            if executor >= self.inner.executors.len() {
+                return false;
+            }
+            return self.kill_worker(executor % group.len());
+        }
+        self.kill_executor_inner(executor)
+    }
+
+    /// `kill -9` one shuffle worker process: the map-output frames it hosted
+    /// are gone for real, every executor mapped onto it is swept
+    /// (epoch-bumped, blocks and tracker entries dropped), and a fresh empty
+    /// process is respawned in the slot. Returns false for an unknown worker
+    /// or in local mode.
+    pub fn kill_worker(&self, worker: usize) -> bool {
+        let Some(group) = self.inner.worker_group.clone() else {
+            return false;
+        };
+        if worker >= group.len() {
+            return false;
+        }
+        group.kill9(worker);
+        self.on_worker_lost(worker);
+        true
+    }
+
+    /// Sweep the driver-side state of a worker process that just died (or
+    /// was declared dead by the heartbeat): bump the epoch of every executor
+    /// hosted there and emit one `WorkerLost` event. Runs on whichever
+    /// thread noticed the death — a map task whose PUT failed, the heartbeat
+    /// thread, or [`Context::kill_worker`] itself.
+    pub(crate) fn on_worker_lost(&self, worker: usize) {
+        let Some(group) = &self.inner.worker_group else {
+            return;
+        };
+        let hosts = group.len();
+        let mut swept = 0u64;
+        for executor in 0..self.inner.executors.len() {
+            if executor % hosts == worker {
+                self.kill_executor_inner(executor);
+                swept += 1;
+            }
+        }
+        if self.inner.events.is_enabled() {
+            self.inner.events.emit(Event::WorkerLost {
+                worker,
+                executors: swept,
+                at_micros: self.inner.events.now_micros(),
+            });
+        }
+    }
+
+    /// A map task failed to PUT its output to `worker` (connection refused,
+    /// timeout): treat the process as dead — kill it for certain, respawn
+    /// it, and sweep its executors so the in-flight tasks that stored there
+    /// are discarded and requeued by the epoch gate.
+    pub(crate) fn handle_worker_failure(&self, worker: usize) {
+        let _ = self.kill_worker(worker);
+    }
+
+    /// Kill one logical executor without promoting to a process kill; the
+    /// shared implementation behind [`Context::kill_executor`] (local mode)
+    /// and the per-executor sweep of [`Context::on_worker_lost`]
+    /// (multi-process mode, where the process is already dead).
+    fn kill_executor_inner(&self, executor: usize) -> bool {
         let Some(slot) = self.inner.executors.get(executor) else {
             return false;
         };
@@ -484,6 +708,59 @@ impl Context {
         self.inner.speculation
     }
 
+    /// Number of shuffle data-plane worker processes; `0` in local mode
+    /// ([`ContextBuilder::worker_processes`] or [`WORKER_PROCS_ENV`]).
+    pub fn worker_processes(&self) -> usize {
+        self.inner.worker_group.as_ref().map_or(0, |g| g.len())
+    }
+
+    /// Is the external shuffle service spool active?
+    /// ([`ContextBuilder::external_shuffle`] or [`EXTERNAL_SHUFFLE_ENV`];
+    /// always false in local mode.)
+    pub fn external_shuffle_enabled(&self) -> bool {
+        self.inner.external_dir.is_some()
+    }
+
+    /// Configured stage-resubmission backoff
+    /// ([`ContextBuilder::resubmit_backoff`]).
+    pub fn resubmit_backoff(&self) -> BackoffPolicy {
+        self.inner.resubmit_backoff
+    }
+
+    /// Configured shuffle-fetch retry backoff
+    /// ([`ContextBuilder::fetch_backoff`]).
+    pub fn fetch_backoff(&self) -> BackoffPolicy {
+        self.inner.fetch_backoff
+    }
+
+    /// Configured shuffle-fetch retry limit
+    /// ([`ContextBuilder::fetch_retries`]).
+    pub fn fetch_retries(&self) -> u32 {
+        self.inner.fetch_retries
+    }
+
+    /// The shuffle worker-process group, if this context runs multi-process.
+    pub(crate) fn worker_group(&self) -> Option<Arc<WorkerGroup>> {
+        self.inner.worker_group.clone()
+    }
+
+    /// Successful shuffle-fetch latencies (µs, unsorted) and total fetch
+    /// retries on the worker data plane so far — the raw series behind
+    /// `BENCH_shuffle.json`'s p50/p99. `None` in local mode.
+    pub fn worker_fetch_stats(&self) -> Option<(Vec<u64>, u64)> {
+        self.inner.worker_group.as_ref().map(|g| g.fetch_stats())
+    }
+
+    /// Spool directory for one shuffle's external frames, `None` when the
+    /// external shuffle service is off. The directory itself is created
+    /// lazily by the first map task that writes into it.
+    pub(crate) fn external_shuffle_path(&self, shuffle_id: u64) -> Option<PathBuf> {
+        self.inner
+            .external_dir
+            .as_ref()
+            .map(|d| d.join(format!("s{shuffle_id}")))
+    }
+
     /// Effective storage budget in bytes ([`ContextBuilder::storage_memory`]
     /// or the [`STORAGE_BUDGET_ENV`] override); `None` means unlimited.
     pub fn storage_memory(&self) -> Option<usize> {
@@ -523,6 +800,19 @@ impl Context {
         for executor in faults.kill {
             self.kill_executor(executor);
         }
+        for executor in faults.kill_worker_of {
+            // Process-level fault: kill -9 the worker hosting this executor.
+            // In local mode there is no process to kill; degrade to an
+            // executor kill so one chaos schedule exercises both modes.
+            match &self.inner.worker_group {
+                Some(group) => {
+                    self.kill_worker(executor % group.len());
+                }
+                None => {
+                    self.kill_executor_inner(executor);
+                }
+            }
+        }
         if !faults.delay.is_zero() {
             std::thread::sleep(faults.delay);
         }
@@ -549,6 +839,15 @@ impl Context {
             .chaos
             .as_ref()
             .is_some_and(ChaosController::on_fetch)
+    }
+
+    /// Chaos hook on every wire fetch in multi-process mode: the stream
+    /// fault (drop / delay / garble) to apply to this fetch, if any.
+    pub(crate) fn chaos_wire_fault(&self) -> Option<WireFault> {
+        self.inner
+            .chaos
+            .as_ref()
+            .and_then(ChaosController::on_wire_fetch)
     }
 
     /// The chaos schedule this context runs under, if any.
@@ -1491,6 +1790,18 @@ mod tests {
 
     #[test]
     fn builder_knobs_read_back_from_a_running_context() {
+        let resubmit = BackoffPolicy {
+            base: Duration::from_millis(1),
+            multiplier: 3.0,
+            cap: Duration::from_millis(40),
+            jitter: 0.5,
+        };
+        let fetch = BackoffPolicy {
+            base: Duration::from_micros(50),
+            multiplier: 1.5,
+            cap: Duration::from_millis(2),
+            jitter: 0.0,
+        };
         let ctx = Context::builder()
             .workers(3)
             .executors(2)
@@ -1499,6 +1810,9 @@ mod tests {
             .max_stage_attempts(9)
             .storage_memory(1 << 20)
             .speculation(2.5)
+            .resubmit_backoff(resubmit)
+            .fetch_backoff(fetch)
+            .fetch_retries(5)
             .chaos_off()
             .build();
         assert_eq!(ctx.workers(), 3);
@@ -1508,6 +1822,19 @@ mod tests {
         assert_eq!(ctx.max_stage_attempts(), 9);
         assert_eq!(ctx.storage_memory(), Some(1 << 20));
         assert_eq!(ctx.speculation_multiplier(), Some(2.5));
+        assert_eq!(ctx.resubmit_backoff(), resubmit);
+        assert_eq!(ctx.fetch_backoff(), fetch);
+        assert_eq!(ctx.fetch_retries(), 5);
+        // Local mode: no worker processes, no external spool.
+        assert_eq!(ctx.worker_processes(), 0);
+        assert!(!ctx.external_shuffle_enabled());
+    }
+
+    #[test]
+    fn kill_worker_is_a_no_op_in_local_mode() {
+        let ctx = Context::builder().workers(2).chaos_off().build();
+        assert!(!ctx.kill_worker(0));
+        assert_eq!(ctx.run_tasks(3, |i| i), vec![0, 1, 2]);
     }
 
     #[test]

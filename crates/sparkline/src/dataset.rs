@@ -159,7 +159,7 @@ impl<T: Data> Dataset<T> {
     /// deduplicating shuffle keyed by the element itself.
     pub fn distinct(&self, partitions: usize) -> Dataset<T>
     where
-        T: std::hash::Hash + Eq + SizeOf,
+        T: std::hash::Hash + Eq + SizeOf + SpillCodec,
     {
         self.map(|x| (x, ()))
             .reduce_by_key(partitions, |_, _| ())
@@ -289,7 +289,11 @@ where
         &self,
         partitions: usize,
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
-    ) -> Dataset<(K, V)> {
+    ) -> Dataset<(K, V)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.reduce_by_key_with(KeyPartitioner::hash(partitions), f)
     }
 
@@ -298,7 +302,11 @@ where
         &self,
         partitioner: KeyPartitioner<K>,
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
-    ) -> Dataset<(K, V)> {
+    ) -> Dataset<(K, V)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.shuffle(partitioner, Aggregator::reducing(f), "reduceByKey")
     }
 
@@ -308,7 +316,11 @@ where
         &self,
         partitions: usize,
         f: impl Fn(&mut V, V) + Send + Sync + 'static,
-    ) -> Dataset<(K, V)> {
+    ) -> Dataset<(K, V)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.shuffle(
             KeyPartitioner::hash(partitions),
             Aggregator::reducing_in_place(f),
@@ -318,22 +330,35 @@ where
 
     /// Spark's `groupByKey`: collect all values per key into a list. No
     /// map-side combining, so every record crosses the shuffle.
-    pub fn group_by_key(&self, partitions: usize) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key(&self, partitions: usize) -> Dataset<(K, Vec<V>)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.group_by_key_with(KeyPartitioner::hash(partitions))
     }
 
     /// `groupByKey` with an explicit partitioner.
-    pub fn group_by_key_with(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key_with(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, Vec<V>)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.shuffle(partitioner, Aggregator::grouping(), "groupByKey")
     }
 
-    /// Generic combine-by-key shuffle (Spark's `combineByKey`).
-    pub fn shuffle<C: Data + SizeOf>(
+    /// Generic combine-by-key shuffle (Spark's `combineByKey`). Keys and
+    /// combiners must be wire-encodable ([`SpillCodec`]): in multi-process
+    /// mode every bucket crosses a process boundary as a checksummed frame.
+    pub fn shuffle<C: Data + SizeOf + SpillCodec>(
         &self,
         partitioner: KeyPartitioner<K>,
         agg: Aggregator<V, C>,
         operator: &str,
-    ) -> Dataset<(K, C)> {
+    ) -> Dataset<(K, C)>
+    where
+        K: SpillCodec,
+    {
         Dataset {
             ctx: self.ctx.clone(),
             op: Arc::new(ShuffleOp::new(
@@ -348,7 +373,11 @@ where
 
     /// Redistribute records by a partitioner without combining; duplicate
     /// keys are preserved. A no-op (narrow) if already co-partitioned.
-    pub fn partition_by(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, V)> {
+    pub fn partition_by(&self, partitioner: KeyPartitioner<K>) -> Dataset<(K, V)>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         let target = (
             partitioner.descriptor().to_string(),
             partitioner.partitions(),
@@ -362,21 +391,29 @@ where
     /// Cogroup with another keyed dataset: all values for each key from both
     /// sides. Narrow (no shuffle) for sides already co-partitioned with the
     /// chosen partitioner.
-    pub fn cogroup<W: Data + SizeOf>(
+    pub fn cogroup<W: Data + SizeOf + SpillCodec>(
         &self,
         other: &Dataset<(K, W)>,
         partitions: usize,
-    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.cogroup_with(other, KeyPartitioner::hash(partitions))
     }
 
     /// Cogroup with an explicit partitioner. If either input is already
     /// partitioned by an equal partitioner it is not re-shuffled.
-    pub fn cogroup_with<W: Data + SizeOf>(
+    pub fn cogroup_with<W: Data + SizeOf + SpillCodec>(
         &self,
         other: &Dataset<(K, W)>,
         partitioner: KeyPartitioner<K>,
-    ) -> Dataset<(K, (Vec<V>, Vec<W>))> {
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         Dataset {
             ctx: self.ctx.clone(),
             op: Arc::new(CoGroupOp::new(
@@ -390,20 +427,28 @@ where
     }
 
     /// Inner join: one output record per matching pair of values.
-    pub fn join<W: Data + SizeOf>(
+    pub fn join<W: Data + SizeOf + SpillCodec>(
         &self,
         other: &Dataset<(K, W)>,
         partitions: usize,
-    ) -> Dataset<(K, (V, W))> {
+    ) -> Dataset<(K, (V, W))>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.join_with(other, KeyPartitioner::hash(partitions))
     }
 
     /// Inner join with an explicit partitioner.
-    pub fn join_with<W: Data + SizeOf>(
+    pub fn join_with<W: Data + SizeOf + SpillCodec>(
         &self,
         other: &Dataset<(K, W)>,
         partitioner: KeyPartitioner<K>,
-    ) -> Dataset<(K, (V, W))> {
+    ) -> Dataset<(K, (V, W))>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
         self.cogroup_with(other, partitioner)
             .flat_map(|(k, (vs, ws))| {
                 if ws.is_empty() {
@@ -564,11 +609,17 @@ mod tests {
     #[test]
     fn join_matches_pairs() {
         let c = ctx();
-        let a = c.parallelize(vec![(1, "a"), (2, "b"), (2, "bb")], 2);
+        let a = c.parallelize(
+            vec![(1, "a".to_string()), (2, "b".into()), (2, "bb".into())],
+            2,
+        );
         let b = c.parallelize(vec![(2, 20.0), (3, 30.0)], 2);
         let mut out = a.join(&b, 2).collect();
-        out.sort_by_key(|(k, (v, _))| (*k, v.to_string()));
-        assert_eq!(out, vec![(2, ("b", 20.0)), (2, ("bb", 20.0))]);
+        out.sort_by_key(|(k, (v, _))| (*k, v.clone()));
+        assert_eq!(
+            out,
+            vec![(2, ("b".to_string(), 20.0)), (2, ("bb".to_string(), 20.0))]
+        );
     }
 
     #[test]

@@ -143,6 +143,26 @@ pub enum Event {
         lost_blocks: u64,
         at_micros: u64,
     },
+    /// A worker *process* died (chaos `kill -9`, a crash, or a blown
+    /// heartbeat deadline) and was respawned with an empty block store. The
+    /// logical executors it hosted are swept like an
+    /// [`Event::ExecutorLost`] each.
+    WorkerLost {
+        worker: usize,
+        /// How many logical executors were hosted on (and swept with) it.
+        executors: u64,
+        at_micros: u64,
+    },
+    /// One remote shuffle-fetch attempt failed (dead worker, dropped stream,
+    /// CRC-rejected frame) and is being retried with backoff. `attempt` is
+    /// 0-based; exhausting the retry budget escalates to
+    /// [`Event::FetchFailed`].
+    FetchRetry {
+        shuffle_id: u64,
+        reduce_task: usize,
+        map_partition: usize,
+        attempt: u32,
+    },
     /// A reduce task found map outputs missing (executor loss or an injected
     /// fetch failure) and handed the stage back for resubmission instead of
     /// panicking.
@@ -575,6 +595,30 @@ impl Event {
                     .num_field("lost_map_outputs", *lost_map_outputs)
                     .num_field("lost_blocks", *lost_blocks)
                     .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::WorkerLost {
+                worker,
+                executors,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("worker_lost");
+                o.num_field("worker", *worker as u64)
+                    .num_field("executors", *executors)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
+            Event::FetchRetry {
+                shuffle_id,
+                reduce_task,
+                map_partition,
+                attempt,
+            } => {
+                let mut o = JsonObject::new("fetch_retry");
+                o.num_field("shuffle_id", *shuffle_id)
+                    .num_field("reduce_task", *reduce_task as u64)
+                    .num_field("map_partition", *map_partition as u64)
+                    .num_field("attempt", u64::from(*attempt));
                 o.finish()
             }
             Event::FetchFailed {
@@ -1020,6 +1064,17 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             lost_blocks: v.num("lost_blocks")?,
             at_micros: v.num("at_micros")?,
         }),
+        "worker_lost" => Ok(Event::WorkerLost {
+            worker: v.num("worker")? as usize,
+            executors: v.num("executors")?,
+            at_micros: v.num("at_micros")?,
+        }),
+        "fetch_retry" => Ok(Event::FetchRetry {
+            shuffle_id: v.num("shuffle_id")?,
+            reduce_task: v.num("reduce_task")? as usize,
+            map_partition: v.num("map_partition")? as usize,
+            attempt: v.num("attempt")? as u32,
+        }),
         "fetch_failed" => Ok(Event::FetchFailed {
             shuffle_id: v.num("shuffle_id")?,
             stage_id: v.num("stage_id")?,
@@ -1165,6 +1220,17 @@ mod tests {
                 lost_map_outputs: 3,
                 lost_blocks: 2,
                 at_micros: 70,
+            },
+            Event::WorkerLost {
+                worker: 1,
+                executors: 2,
+                at_micros: 71,
+            },
+            Event::FetchRetry {
+                shuffle_id: 7,
+                reduce_task: 1,
+                map_partition: 3,
+                attempt: 0,
             },
             Event::FetchFailed {
                 shuffle_id: 7,

@@ -61,10 +61,13 @@ pub mod size;
 pub mod storage;
 pub mod stream;
 mod sync;
+pub mod transport;
+pub mod wire;
 
-pub use chaos::{ChaosEvent, ChaosPlan, CHAOS_ENV};
+pub use chaos::{ChaosEvent, ChaosPlan, WireFault, CHAOS_ENV};
 pub use context::{
-    Context, ContextBuilder, ExecutorStatus, InjectedFailuresGuard, STORAGE_BUDGET_ENV,
+    Context, ContextBuilder, ExecutorStatus, InjectedFailuresGuard, EXTERNAL_SHUFFLE_ENV,
+    STORAGE_BUDGET_ENV, WORKER_PROCS_ENV,
 };
 pub use dataset::Dataset;
 pub use events::{Event, EventCollector};
@@ -75,11 +78,14 @@ pub use profile::{
     StageProfile,
 };
 pub use service::{panic_is_cancelled, AdmissionGuard, CancelToken, FairScheduler, CANCELLED_MSG};
+pub use shuffle::BackoffPolicy;
 pub use size::SizeOf;
 pub use storage::{
     BlockManager, CacheRead, SpillCodec, StorageLevel, StorageStatus, TenantStorage,
 };
 pub use stream::PartitionStream;
+pub use transport::{WorkerClient, WorkerGroup};
+pub use wire::WireError;
 
 /// Marker bound for element types stored in datasets.
 ///

@@ -67,12 +67,18 @@ impl CacheStats {
 /// (`ExecutorLost` / `FetchFailed` / `StageResubmitted` / `TaskSpeculated`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
+    /// Worker processes declared dead (kill -9, heartbeat deadline, or a
+    /// failed map-output PUT); each sweeps the executors it hosted.
+    pub workers_lost: u64,
     /// Executor kills observed (chaos or explicit).
     pub executors_lost: u64,
     /// Shuffle map outputs swept with lost executors.
     pub lost_map_outputs: u64,
     /// Cached blocks swept with lost executors.
     pub lost_blocks: u64,
+    /// Shuffle fetch retries against worker processes (each backed off and
+    /// tried again before escalating to a fetch failure).
+    pub fetch_retries: u64,
     /// Reduce tasks that surfaced missing map outputs.
     pub fetch_failures: u64,
     /// Map-stage resubmissions covering missing partitions.
@@ -97,6 +103,12 @@ impl RecoveryStats {
             "{} executors lost ({} map outputs, {} blocks)",
             self.executors_lost, self.lost_map_outputs, self.lost_blocks
         )];
+        if self.workers_lost > 0 {
+            parts.push(format!("{} worker processes lost", self.workers_lost));
+        }
+        if self.fetch_retries > 0 {
+            parts.push(format!("{} fetch retries", self.fetch_retries));
+        }
         if self.fetch_failures > 0 {
             parts.push(format!("{} fetch failures", self.fetch_failures));
         }
@@ -492,6 +504,8 @@ impl JobProfile {
                     profile.recovery.lost_map_outputs += lost_map_outputs;
                     profile.recovery.lost_blocks += lost_blocks;
                 }
+                Event::WorkerLost { .. } => profile.recovery.workers_lost += 1,
+                Event::FetchRetry { .. } => profile.recovery.fetch_retries += 1,
                 Event::FetchFailed { .. } => profile.recovery.fetch_failures += 1,
                 Event::StageResubmitted { missing_tasks, .. } => {
                     profile.recovery.stages_resubmitted += 1;
@@ -999,11 +1013,28 @@ mod tests {
     #[test]
     fn folds_recovery_events_and_resubmit_wall_clock() {
         let events = vec![
+            Event::WorkerLost {
+                worker: 0,
+                executors: 1,
+                at_micros: 39,
+            },
             Event::ExecutorLost {
                 executor: 1,
                 lost_map_outputs: 3,
                 lost_blocks: 2,
                 at_micros: 40,
+            },
+            Event::FetchRetry {
+                shuffle_id: 5,
+                reduce_task: 0,
+                map_partition: 2,
+                attempt: 0,
+            },
+            Event::FetchRetry {
+                shuffle_id: 5,
+                reduce_task: 0,
+                map_partition: 2,
+                attempt: 1,
             },
             Event::FetchFailed {
                 shuffle_id: 5,
@@ -1039,9 +1070,11 @@ mod tests {
         assert_eq!(
             p.recovery,
             RecoveryStats {
+                workers_lost: 1,
                 executors_lost: 1,
                 lost_map_outputs: 3,
                 lost_blocks: 2,
+                fetch_retries: 2,
                 fetch_failures: 1,
                 stages_resubmitted: 1,
                 resubmitted_tasks: 3,
@@ -1053,6 +1086,8 @@ mod tests {
         assert_eq!(p.shuffle_stage_count(), 0);
         let text = p.render();
         assert!(text.contains("recovery: 1 executors lost"), "{text}");
+        assert!(text.contains("1 worker processes lost"), "{text}");
+        assert!(text.contains("2 fetch retries"), "{text}");
         assert!(text.contains("1 stages resubmitted (3 tasks)"), "{text}");
     }
 

@@ -25,24 +25,76 @@
 //! outstanding reduce partitions. Results are bit-identical to a fault-free
 //! run because every stage recomputes deterministically from lineage.
 
+use crate::chaos::{splitmix64, WireFault};
 use crate::context::{current_executor, Context, StageMeta};
 use crate::events::Event;
 use crate::metrics::ShuffleDetail;
 use crate::ops::Op;
 use crate::partitioner::KeyPartitioner;
 use crate::size::SizeOf;
+use crate::storage::SpillCodec;
 use crate::stream::PartitionStream;
 use crate::sync::Mutex;
-use crate::Data;
+use crate::{wire, Data};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Backoff before the first stage resubmission; doubles per attempt.
-const RESUBMIT_BACKOFF_BASE_MICROS: u64 = 200;
-/// Cap on the resubmission backoff, keeping recovery fast in tests.
-const RESUBMIT_BACKOFF_CAP_MICROS: u64 = 10_000;
+/// Exponential backoff with deterministic jitter, used for both stage
+/// resubmission and shuffle-fetch retries. All four parameters are exposed
+/// as [`crate::ContextBuilder`] knobs.
+///
+/// `delay(attempt, salt)` for attempt `n` (0-based) is
+/// `min(base · multiplierⁿ, cap)`, then shrunk by up to `jitter` of itself
+/// using a hash of `(attempt, salt)` — deterministic, so chaos runs with the
+/// same seed reproduce the same schedule, but de-synchronized across
+/// shuffles/tasks (different salts) to avoid retry stampedes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Growth factor per attempt (≥ 1.0).
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Fraction of each delay randomized away, in `[0, 1]`. 0 = fully
+    /// deterministic delays.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    /// The historical stage-resubmission schedule: 200µs base, doubling,
+    /// capped at 10ms, no jitter — keeps recovery fast in tests.
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_micros(200),
+            multiplier: 2.0,
+            cap: Duration::from_millis(10),
+            jitter: 0.0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before retry number `attempt` (0-based). `salt` decorrelates
+    /// independent retry loops (pass e.g. the shuffle id or task index).
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.base.as_micros() as f64;
+        let cap = self.cap.as_micros() as f64;
+        let raw = (base * self.multiplier.powi(attempt.min(64) as i32)).min(cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let micros = if jitter == 0.0 {
+            raw
+        } else {
+            // Deterministic "randomness": hash of (attempt, salt).
+            let mut state = salt ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+            let frac = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            raw * (1.0 - jitter * frac)
+        };
+        Duration::from_micros(micros as u64)
+    }
+}
 
 /// Who produced (and therefore owns) one shuffle map output.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +103,21 @@ enum OutputOwner {
     Executor { executor: usize, epoch: u64 },
     /// Produced on a driver thread (no executor): survives every kill.
     Driver,
+    /// Written through the external shuffle service (a driver-visible
+    /// directory): survives the death of the executor (and worker process)
+    /// that produced it. The producing executor is kept so chaos plans can
+    /// still target "the owner of map output p".
+    External { executor: usize },
+}
+
+/// How a finished map task registers its output with the tracker.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RegisterOwner {
+    /// `(executor, epoch)` observed at task launch, or `None` for a driver
+    /// thread.
+    Executor(Option<(usize, u64)>),
+    /// Output persisted via the external shuffle service by `executor`.
+    External(usize),
 }
 
 /// Driver-side registry of which executor owns each shuffle map output —
@@ -72,13 +139,15 @@ impl MapOutputTracker {
             .or_insert_with(|| vec![None; n_map]);
     }
 
-    /// Record who produced map output `part`. `owner` is `(executor, epoch)`
-    /// as observed when the task launched, or `None` for a driver thread.
-    pub(crate) fn register(&self, shuffle: u64, part: usize, owner: Option<(usize, u64)>) {
+    /// Record who produced map output `part`.
+    pub(crate) fn register(&self, shuffle: u64, part: usize, owner: RegisterOwner) {
         if let Some(parts) = self.state.lock().get_mut(&shuffle) {
             parts[part] = Some(match owner {
-                Some((executor, epoch)) => OutputOwner::Executor { executor, epoch },
-                None => OutputOwner::Driver,
+                RegisterOwner::Executor(Some((executor, epoch))) => {
+                    OutputOwner::Executor { executor, epoch }
+                }
+                RegisterOwner::Executor(None) => OutputOwner::Driver,
+                RegisterOwner::External(executor) => OutputOwner::External { executor },
             });
         }
     }
@@ -114,12 +183,23 @@ impl MapOutputTracker {
             .and_then(|parts| parts.iter().position(Option::is_some))
     }
 
-    /// Executor currently owning map output `part`, if executor-owned.
+    /// Executor that produced map output `part`, if executor-produced
+    /// (including outputs parked in the external shuffle service, so chaos
+    /// plans can target the producer even when its output would survive it).
     pub fn owner(&self, shuffle: u64, part: usize) -> Option<usize> {
         match self.state.lock().get(&shuffle)?.get(part)? {
-            Some(OutputOwner::Executor { executor, .. }) => Some(*executor),
+            Some(OutputOwner::Executor { executor, .. })
+            | Some(OutputOwner::External { executor }) => Some(*executor),
             _ => None,
         }
+    }
+
+    /// True if map output `part` lives in the external shuffle service.
+    pub(crate) fn is_external(&self, shuffle: u64, part: usize) -> bool {
+        matches!(
+            self.state.lock().get(&shuffle).and_then(|p| p.get(part)),
+            Some(Some(OutputOwner::External { .. }))
+        )
     }
 
     /// Live outputs registered for `shuffle` (diagnostics).
@@ -132,8 +212,9 @@ impl MapOutputTracker {
 
     /// Sweep every output owned by `executor` up to and including
     /// `dead_epoch` (older incarnations are just as dead; outputs registered
-    /// by the restarted incarnation survive). Returns how many outputs were
-    /// lost.
+    /// by the restarted incarnation survive). Outputs parked in the external
+    /// shuffle service are *not* swept — surviving executor death is the
+    /// point of that mode. Returns how many outputs were lost.
     pub(crate) fn remove_executor(&self, executor: usize, dead_epoch: u64) -> usize {
         let mut lost = 0;
         for parts in self.state.lock().values_mut() {
@@ -317,9 +398,9 @@ pub struct ShuffleOp<K: Data, V: Data, C: Data> {
 
 impl<K, V, C> ShuffleOp<K, V, C>
 where
-    K: Data + Hash + Eq + SizeOf,
+    K: Data + Hash + Eq + SizeOf + SpillCodec,
     V: Data,
-    C: Data + SizeOf,
+    C: Data + SizeOf + SpillCodec,
 {
     pub fn new(
         ctx: &Context,
@@ -359,6 +440,17 @@ where
         let tracker = &ctx.inner.map_outputs;
         tracker.register_shuffle(self.shuffle_id, n_map);
 
+        // Multi-process mode: map outputs live as wire frames in worker
+        // processes (and, in external-shuffle-service mode, also as frames in
+        // a driver-visible directory); reduce tasks fetch real bytes back.
+        // Local mode keeps the in-process grid path below.
+        let remote = ctx.worker_group();
+        let external = if remote.is_some() {
+            ctx.external_shuffle_path(self.shuffle_id)
+        } else {
+            None
+        };
+
         // grid[p][r]: the bucket map partition p wrote for reduce partition
         // r. Resubmitted map tasks overwrite their row; reduce tasks consume
         // their column.
@@ -390,9 +482,9 @@ where
                     }
                     // Exponential backoff: repeated faults on the same
                     // shuffle back off before burning another attempt.
-                    let backoff = (RESUBMIT_BACKOFF_BASE_MICROS << (resubmits - 1).min(8))
-                        .min(RESUBMIT_BACKOFF_CAP_MICROS);
-                    std::thread::sleep(Duration::from_micros(backoff));
+                    std::thread::sleep(
+                        ctx.resubmit_backoff().delay(resubmits - 1, self.shuffle_id),
+                    );
                     if tracing {
                         ctx.events().emit(Event::StageResubmitted {
                             shuffle_id: self.shuffle_id,
@@ -443,11 +535,50 @@ where
                             }
                             buckets
                         };
-                        let bytes: u64 = buckets
-                            .iter()
-                            .flat_map(|b| b.iter())
-                            .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
-                            .sum();
+                        // True wire accounting: whenever the buckets are
+                        // serialized anyway (multi-process mode) or the run
+                        // is traced, `bytes` is the exact framed wire length,
+                        // so `plan_chosen` est-vs-actual compares against real
+                        // serialized bytes. Untraced local runs keep the
+                        // cheap shallow estimate.
+                        let frames: Option<Vec<Vec<u8>>> = (remote.is_some() || tracing)
+                            .then(|| buckets.iter().map(wire::encode_frame).collect());
+                        let bytes: u64 = match &frames {
+                            Some(frames) => frames.iter().map(|f| f.len() as u64).sum(),
+                            None => buckets
+                                .iter()
+                                .flat_map(|b| b.iter())
+                                .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
+                                .sum(),
+                        };
+                        if let (Some(group), Some(frames)) = (remote.as_ref(), frames) {
+                            // External-shuffle-service mode: park every frame
+                            // in the driver-visible directory first, so the
+                            // bytes survive the worker process.
+                            if let Some(dir) = external.as_ref() {
+                                std::fs::create_dir_all(dir).expect("create external shuffle dir");
+                                for (r, frame) in frames.iter().enumerate() {
+                                    let path = dir.join(format!("m{p}.r{r}"));
+                                    std::fs::write(path, frame)
+                                        .expect("write external shuffle frame");
+                                }
+                            }
+                            let worker = owner.map_or(p, |(executor, _)| executor) % group.len();
+                            for (r, frame) in frames.into_iter().enumerate() {
+                                if group
+                                    .put(worker, self.shuffle_id, p as u64, r as u64, frame)
+                                    .is_err()
+                                {
+                                    // The worker died under us: supervision
+                                    // kills + respawns it and bumps the
+                                    // hosted executors' epochs, which makes
+                                    // the scheduler discard and requeue this
+                                    // very task.
+                                    ctx.handle_worker_failure(worker);
+                                    break;
+                                }
+                            }
+                        }
                         (buckets, bytes, records_in, owner)
                     },
                 );
@@ -479,11 +610,21 @@ where
                     let p = missing[idx];
                     // Register, then re-check the epoch: a kill racing this
                     // registration may have swept before we registered.
-                    tracker.register(self.shuffle_id, p, owner);
-                    if let Some((executor, epoch)) = owner {
-                        if ctx.executor_epoch(executor) != epoch {
-                            tracker.unregister(self.shuffle_id, p);
-                            continue;
+                    // Outputs parked in the external shuffle service are
+                    // registered as such and survive executor death, so no
+                    // epoch check applies to them.
+                    match (external.as_ref(), owner) {
+                        (Some(_), Some((executor, _))) => {
+                            tracker.register(self.shuffle_id, p, RegisterOwner::External(executor));
+                        }
+                        _ => {
+                            tracker.register(self.shuffle_id, p, RegisterOwner::Executor(owner));
+                            if let Some((executor, epoch)) = owner {
+                                if ctx.executor_epoch(executor) != epoch {
+                                    tracker.unregister(self.shuffle_id, p);
+                                    continue;
+                                }
+                            }
                         }
                     }
                     if tracing {
@@ -496,8 +637,10 @@ where
                             records: buckets.iter().map(Vec::len).sum::<usize>() as u64,
                         });
                     }
-                    for (r, bucket) in buckets.into_iter().enumerate() {
-                        *grid[p][r].lock() = Some(bucket);
+                    if remote.is_none() {
+                        for (r, bucket) in buckets.into_iter().enumerate() {
+                            *grid[p][r].lock() = Some(bucket);
+                        }
                     }
                 }
                 // Anything lost between launch and registration is still
@@ -561,6 +704,49 @@ where
                     if !lost.is_empty() {
                         return FetchOutcome { read: None, lost };
                     }
+                    // Multi-process mode: pull each map output back over the
+                    // wire (with bounded retry + backoff and the external-dir
+                    // fallback) instead of reading the in-process grid.
+                    if let Some(group) = remote.as_ref() {
+                        let mut buckets: Vec<Vec<(K, C)>> = Vec::with_capacity(n_map);
+                        let mut wire_bytes = 0u64;
+                        let mut lost: Vec<usize> = Vec::new();
+                        for p in 0..n_map {
+                            match self.fetch_bucket(ctx, group, external.as_deref(), p, r) {
+                                Some((bucket, frame_len)) => {
+                                    wire_bytes += frame_len;
+                                    buckets.push(bucket);
+                                }
+                                None => lost.push(p),
+                            }
+                        }
+                        if !lost.is_empty() {
+                            for &p in &lost {
+                                tracker.unregister(self.shuffle_id, p);
+                            }
+                            return FetchOutcome { read: None, lost };
+                        }
+                        let read = tracing.then(|| {
+                            let records: u64 = buckets.iter().map(Vec::len).sum::<usize>() as u64;
+                            (wire_bytes, records)
+                        });
+                        let merged = if self.agg.merge_on_reduce {
+                            let mut merge = OrderedMerge::new();
+                            for bucket in buckets {
+                                for (k, c) in bucket {
+                                    merge.fold_combiner(k, c, &self.agg);
+                                }
+                            }
+                            merge.into_entries()
+                        } else {
+                            buckets.into_iter().flatten().collect()
+                        };
+                        *reduced_slots[r].lock() = Some(merged);
+                        return FetchOutcome {
+                            read,
+                            lost: Vec::new(),
+                        };
+                    }
                     // Columns half-consumed by an attempt that crashed
                     // mid-merge count as lost too: recompute from lineage
                     // instead of panicking on the gap.
@@ -584,14 +770,13 @@ where
                                 .expect("bucket checked present under the fetch lock")
                         })
                         .collect();
-                    // Shuffle-read sizes are only measured when tracing:
-                    // sizing every record again would tax untraced runs.
+                    // Shuffle-read sizes are only measured when tracing,
+                    // and mirror the write side exactly: the framed wire
+                    // length these buckets would occupy on a socket, so
+                    // local traced runs and multi-process runs account
+                    // identical byte totals.
                     let read = tracing.then(|| {
-                        let bytes: u64 = buckets
-                            .iter()
-                            .flat_map(|b| b.iter())
-                            .map(|(k, c)| (k.size_of() + c.size_of()) as u64)
-                            .sum();
+                        let bytes: u64 = buckets.iter().map(wire::encoded_len).sum();
                         let records: u64 = buckets.iter().map(Vec::len).sum::<usize>() as u64;
                         (bytes, records)
                     });
@@ -638,8 +823,15 @@ where
         }
 
         // Materialized: the reduced output now lives on the driver, beyond
-        // the reach of executor loss.
+        // the reach of executor loss. Worker stores and external frames for
+        // this shuffle are dropped best-effort.
         tracker.drop_shuffle(self.shuffle_id);
+        if let Some(group) = remote.as_ref() {
+            group.drop_shuffle(self.shuffle_id);
+        }
+        if let Some(dir) = external.as_ref() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         let reduced: Vec<Arc<Vec<(K, C)>>> = reduced_slots
             .into_iter()
             .map(|slot| Arc::new(slot.into_inner().expect("reduce partition materialized")))
@@ -648,13 +840,94 @@ where
         *state = Some(reduced);
         out
     }
+
+    /// Fetch one map-output bucket over the wire, with bounded retry +
+    /// exponential backoff + jitter, wire-level chaos faults, and the
+    /// external-shuffle-directory fallback. Returns the decoded bucket and
+    /// the framed wire length actually transferred, or `None` when the
+    /// output is genuinely unreachable (the caller escalates to a fetch
+    /// failure).
+    fn fetch_bucket(
+        &self,
+        ctx: &Context,
+        group: &Arc<crate::transport::WorkerGroup>,
+        external: Option<&std::path::Path>,
+        p: usize,
+        r: usize,
+    ) -> Option<(Vec<(K, C)>, u64)> {
+        let tracker = &ctx.inner.map_outputs;
+        let worker = tracker
+            .owner(self.shuffle_id, p)
+            .map_or(p, |executor| executor)
+            % group.len();
+        let policy = ctx.fetch_backoff();
+        let retries = ctx.fetch_retries();
+        let salt = self.shuffle_id ^ ((p as u64) << 20) ^ ((r as u64) << 4);
+        let mut attempt = 0u32;
+        loop {
+            let fault = ctx.chaos_wire_fault();
+            let fetched: Result<Vec<u8>, String> = match fault {
+                Some(WireFault::Drop) => Err("chaos: fetch stream dropped".into()),
+                other => {
+                    if let Some(WireFault::Delay(micros)) = other {
+                        std::thread::sleep(Duration::from_micros(micros));
+                    }
+                    let mut res = group.fetch(worker, self.shuffle_id, p as u64, r as u64);
+                    if let (Ok(bytes), Some(WireFault::Garble)) = (&mut res, other) {
+                        // Flip one payload byte: the frame CRC must catch it.
+                        if let Some(b) = bytes.last_mut() {
+                            *b ^= 0x40;
+                        }
+                    }
+                    res
+                }
+            };
+            let decoded = fetched.and_then(|frame| {
+                let len = frame.len() as u64;
+                wire::decode_frame::<Vec<(K, C)>>(&frame)
+                    .map(|bucket| (bucket, len))
+                    .map_err(|e| e.to_string())
+            });
+            match decoded {
+                Ok(out) => return Some(out),
+                Err(_) if attempt < retries => {
+                    if ctx.is_tracing() {
+                        ctx.events().emit(Event::FetchRetry {
+                            shuffle_id: self.shuffle_id,
+                            reduce_task: r,
+                            map_partition: p,
+                            attempt,
+                        });
+                    }
+                    group.note_retry();
+                    std::thread::sleep(policy.delay(attempt, salt));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Retries exhausted. In external-shuffle-service mode the
+                    // frame survives the worker in the driver-visible dir.
+                    if let Some(dir) = external {
+                        if tracker.is_external(self.shuffle_id, p) {
+                            if let Ok(frame) = std::fs::read(dir.join(format!("m{p}.r{r}"))) {
+                                let len = frame.len() as u64;
+                                if let Ok(bucket) = wire::decode_frame::<Vec<(K, C)>>(&frame) {
+                                    return Some((bucket, len));
+                                }
+                            }
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
 }
 
 impl<K, V, C> Op<(K, C)> for ShuffleOp<K, V, C>
 where
-    K: Data + Hash + Eq + SizeOf,
+    K: Data + Hash + Eq + SizeOf + SpillCodec,
     V: Data,
-    C: Data + SizeOf,
+    C: Data + SizeOf + SpillCodec,
 {
     fn num_partitions(&self) -> usize {
         self.partitioner.partitions()
@@ -690,8 +963,8 @@ pub(crate) enum CoGroupSide<K: Data, V: Data> {
 
 impl<K, V> CoGroupSide<K, V>
 where
-    K: Data + Hash + Eq + SizeOf,
-    V: Data + SizeOf,
+    K: Data + Hash + Eq + SizeOf + SpillCodec,
+    V: Data + SizeOf + SpillCodec,
 {
     fn grouped_partition(&self, part: usize, ctx: &Context) -> PartitionStream<(K, Vec<V>)> {
         match self {
@@ -724,9 +997,9 @@ pub struct CoGroupOp<K: Data, V: Data, W: Data> {
 
 impl<K, V, W> CoGroupOp<K, V, W>
 where
-    K: Data + Hash + Eq + SizeOf,
-    V: Data + SizeOf,
-    W: Data + SizeOf,
+    K: Data + Hash + Eq + SizeOf + SpillCodec,
+    V: Data + SizeOf + SpillCodec,
+    W: Data + SizeOf + SpillCodec,
 {
     /// Build a cogroup, shuffling only the sides that are not already
     /// co-partitioned with `partitioner`.
@@ -778,9 +1051,9 @@ where
 
 impl<K, V, W> Op<(K, (Vec<V>, Vec<W>))> for CoGroupOp<K, V, W>
 where
-    K: Data + Hash + Eq + SizeOf,
-    V: Data + SizeOf,
-    W: Data + SizeOf,
+    K: Data + Hash + Eq + SizeOf + SpillCodec,
+    V: Data + SizeOf + SpillCodec,
+    W: Data + SizeOf + SpillCodec,
 {
     fn num_partitions(&self) -> usize {
         self.partitioner.partitions()

@@ -418,14 +418,16 @@ impl BlockManager {
         Some(path)
     }
 
-    /// Write `bytes` to a fresh spill file. `None` if the write failed.
+    /// Write `bytes` to a fresh spill file, wrapped in a checksummed wire
+    /// frame so truncation and bit rot are detected on read instead of
+    /// decoding garbage. `None` if the write failed.
     fn write_spill(&self, bytes: &[u8]) -> Option<PathBuf> {
         let dir = self.spill_dir()?;
         let path = dir.join(format!(
             "{}.blk",
             self.file_seq.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&path, bytes).ok()?;
+        std::fs::write(&path, crate::wire::frame_bytes(bytes)).ok()?;
         Some(path)
     }
 
@@ -452,10 +454,18 @@ impl BlockManager {
                 })
             }
             Tier::Disk(path) => {
+                // The CRC-checked frame rejects truncated and bit-flipped
+                // spill files; trailing bytes past the frame are corruption
+                // too. Either way the block is forgotten below and the
+                // persist operator recomputes it from lineage.
                 let decoded = std::fs::read(path).ok().and_then(|buf| {
+                    let (payload, consumed) = crate::wire::unframe_bytes(&buf).ok()?;
+                    if consumed != buf.len() {
+                        return None;
+                    }
                     let mut pos = 0;
-                    let v = Vec::<T>::decode(&buf, &mut pos)?;
-                    (pos == buf.len()).then_some(v)
+                    let v = Vec::<T>::decode(payload, &mut pos)?;
+                    (pos == payload.len()).then_some(v)
                 });
                 match decoded {
                     Some(v) => Some(CacheRead {
@@ -935,6 +945,101 @@ mod tests {
         assert!(!out.stored && !out.spilled_directly);
         assert!(m.get::<i64>(1, 0).is_none());
         assert_eq!(m.status().memory_used, 0);
+    }
+
+    /// The on-disk path of a spilled block (test-only escape hatch).
+    fn spill_path(m: &BlockManager, dataset: u64, partition: usize) -> PathBuf {
+        let state = m.state.lock();
+        match &state
+            .entries
+            .get(&(dataset, partition))
+            .expect("entry")
+            .tier
+        {
+            Tier::Disk(p) => p.clone(),
+            Tier::Memory(_) => panic!("expected a spilled block"),
+        }
+    }
+
+    #[test]
+    fn spill_files_are_wire_framed() {
+        let m = BlockManager::new(0);
+        m.put(1, 0, part(&[5, 6, 7]), StorageLevel::MemoryAndDisk);
+        let bytes = std::fs::read(spill_path(&m, 1, 0)).unwrap();
+        assert_eq!(&bytes[..4], crate::wire::MAGIC.as_slice());
+        assert_eq!(bytes[4], crate::wire::VERSION);
+        let read = m.get::<i64>(1, 0).expect("framed spill reads back");
+        assert_eq!(*read.data, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn bit_flipped_spill_fails_the_crc_and_is_forgotten() {
+        let m = BlockManager::new(0);
+        m.put(1, 0, part(&[5, 6, 7]), StorageLevel::MemoryAndDisk);
+        let path = spill_path(&m, 1, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(m.get::<i64>(1, 0).is_none(), "corrupt spill must miss");
+        assert!(!path.exists(), "corrupt file must be removed");
+        assert!(m.get::<i64>(1, 0).is_none(), "block must be forgotten");
+    }
+
+    #[test]
+    fn truncated_spill_is_a_miss() {
+        let m = BlockManager::new(0);
+        m.put(1, 0, part(&[5, 6, 7]), StorageLevel::MemoryAndDisk);
+        let path = spill_path(&m, 1, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(m.get::<i64>(1, 0).is_none(), "truncated spill must miss");
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_spill_frame_is_a_miss() {
+        let m = BlockManager::new(0);
+        m.put(1, 0, part(&[5, 6]), StorageLevel::MemoryAndDisk);
+        let path = spill_path(&m, 1, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAB, 0xCD]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(m.get::<i64>(1, 0).is_none());
+    }
+
+    #[test]
+    fn corrupt_spill_recomputes_from_lineage_with_cache_recompute_event() {
+        // Zero budget: every persisted partition spills straight to disk.
+        let ctx = Context::builder().workers(2).storage_memory(0).build();
+        ctx.trace();
+        let d = ctx
+            .parallelize((0..40i64).collect(), 4)
+            .persist_with(StorageLevel::MemoryAndDisk);
+        let first = d.collect();
+        let dataset_id = {
+            let state = ctx.storage().state.lock();
+            *state
+                .entries
+                .keys()
+                .map(|(d, _)| d)
+                .next()
+                .expect("spilled")
+        };
+        for p in 0..4 {
+            let path = spill_path(ctx.storage(), dataset_id, p);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        assert_eq!(d.collect(), first, "recompute must restore the data");
+        let recomputes = ctx
+            .take_events()
+            .iter()
+            .filter(|e| matches!(e, Event::CacheRecompute { .. }))
+            .count();
+        assert_eq!(recomputes, 4, "every corrupt partition recomputes once");
     }
 
     #[test]

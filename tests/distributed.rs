@@ -1,0 +1,259 @@
+//! Multi-process data plane (ISSUE 8): worker processes host shuffle bytes
+//! behind the wire protocol, `kill -9` genuinely loses them, and both
+//! recovery paths — external-shuffle-service refetch and partial stage
+//! resubmission — restore results bit-identical to a fault-free oracle.
+//!
+//! These tests spawn real `sparkline-worker` processes (built alongside the
+//! workspace) and kill them with signal 9 mid-query.
+
+use sac_repro::sac::{MatMulStrategy, Session};
+use sac_repro::sparkline::{ChaosPlan, Context, Event, WireFault};
+use sac_repro::tiled::LocalMatrix;
+use std::collections::HashMap;
+
+/// The paper's Fig. 4 matmul comprehension — one contraction shuffle whose
+/// map outputs live in worker processes in multi-process mode.
+const MATMUL: &str = "tiled(n,n)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, kk == k, \
+     let v = a*b, group by (i,j) ]";
+
+/// Integer-valued inputs: f64 summation over small integers is exact, so
+/// any reduction/recovery order must yield bit-identical results.
+fn int_mat(n: usize, seed: u64) -> LocalMatrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    LocalMatrix::from_fn(n, n, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 7) as f64 - 3.0
+    })
+}
+
+fn session(
+    n: usize,
+    configure: impl FnOnce(sac_repro::sac::SessionBuilder) -> sac_repro::sac::SessionBuilder,
+) -> Session {
+    let builder = Session::builder()
+        .workers(4)
+        .executors(4)
+        .partitions(4)
+        .max_task_attempts(8)
+        .max_stage_attempts(12)
+        .matmul(MatMulStrategy::ReduceByKey);
+    let mut s = configure(builder).build();
+    s.register_local_matrix("A", &int_mat(n, 1), 2);
+    s.register_local_matrix("B", &int_mat(n, 2), 2);
+    s.set_int("n", n as i64);
+    s
+}
+
+fn oracle(n: usize) -> LocalMatrix {
+    let s = session(n, |b| b.chaos_off());
+    s.matrix(MATMUL).unwrap().to_local()
+}
+
+#[test]
+fn multi_process_shuffle_matches_local_oracle() {
+    let local = Context::builder().workers(4).chaos_off().build();
+    let remote = Context::builder()
+        .workers(4)
+        .executors(4)
+        .worker_processes(2)
+        .chaos_off()
+        .build();
+    assert_eq!(remote.worker_processes(), 2);
+    assert!(remote.external_shuffle_enabled());
+    let data: Vec<(i64, i64)> = (0..500).map(|i| (i % 37, i)).collect();
+    let run = |ctx: &Context| {
+        let mut out = ctx
+            .parallelize(data.clone(), 8)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    assert_eq!(run(&remote), run(&local));
+}
+
+/// Acceptance: chaos kill -9's a live worker mid-matmul; with the external
+/// shuffle service on, reduce tasks refetch the lost map outputs from the
+/// spool and the job completes bit-identical with ZERO stage resubmissions.
+#[test]
+fn kill9_mid_matmul_recovers_via_external_refetch_no_resubmission() {
+    let n = 8;
+    let want = oracle(n);
+    // Kill the owner of map partition 0 of the contraction's reduceByKey
+    // shuffle at its map→reduce barrier: deterministically after its map
+    // outputs were PUT to the worker processes, before any reduce task
+    // fetched them. Barriers 0-3 are the two ingest partitionBys and the
+    // cogroup's left/right shuffles; barrier 4 is the contraction. In
+    // multi-process mode the executor kill promotes to kill -9 on the
+    // hosting worker process.
+    let plan = ChaosPlan::new().with_kill_owner_at_barrier(4, 0);
+    let s = session(n, |b| {
+        b.worker_processes(2).external_shuffle(true).chaos(plan)
+    });
+    s.spark().trace();
+    let got = s.matrix(MATMUL).unwrap().to_local();
+    let profile = s.spark().take_profile();
+    assert_eq!(got, want, "recovered result must be bit-identical");
+    assert!(
+        profile.recovery.workers_lost >= 1,
+        "the kill -9 must be visible in the trace: {:?}",
+        profile.recovery
+    );
+    assert_eq!(
+        profile.recovery.stages_resubmitted, 0,
+        "external shuffle service must recover without resubmission: {:?}",
+        profile.recovery
+    );
+}
+
+/// Acceptance: the same kill -9 with the external shuffle service DISABLED
+/// must recover through partial stage resubmission instead — only the dead
+/// worker's map partitions are recomputed — and still be bit-identical.
+#[test]
+fn kill9_mid_matmul_recovers_via_partial_stage_resubmission() {
+    let n = 8;
+    let want = oracle(n);
+    let plan = ChaosPlan::new().with_kill_owner_at_barrier(4, 0);
+    let s = session(n, |b| {
+        b.worker_processes(2).external_shuffle(false).chaos(plan)
+    });
+    assert!(!s.spark().external_shuffle_enabled());
+    s.spark().trace();
+    let got = s.matrix(MATMUL).unwrap().to_local();
+    let profile = s.spark().take_profile();
+    assert_eq!(got, want, "recovered result must be bit-identical");
+    assert!(
+        profile.recovery.workers_lost >= 1,
+        "the kill -9 must be visible in the trace: {:?}",
+        profile.recovery
+    );
+    assert!(
+        profile.recovery.stages_resubmitted >= 1,
+        "without the external service, recovery must resubmit the lost \
+         map partitions: {:?}",
+        profile.recovery
+    );
+    assert!(
+        profile.recovery.resubmitted_tasks < 16,
+        "resubmission must be partial (only the lost partitions), got {:?}",
+        profile.recovery
+    );
+}
+
+/// Wire-level chaos: garbled frames fail the CRC check and dropped streams
+/// error out; bounded retry with backoff absorbs both, emits `fetch_retry`
+/// events, and the result is still exact.
+#[test]
+fn wire_faults_are_retried_with_backoff_and_do_not_corrupt_results() {
+    let local = Context::builder().workers(4).chaos_off().build();
+    let plan = ChaosPlan::new()
+        .with_wire_fault(3, 2, WireFault::Garble)
+        .with_wire_fault(5, 2, WireFault::Drop)
+        .with_wire_fault(4, 3, WireFault::Delay(50));
+    let chaotic = Context::builder()
+        .workers(4)
+        .executors(4)
+        .worker_processes(2)
+        .chaos(plan)
+        .build();
+    chaotic.trace();
+    let data: Vec<(i64, i64)> = (0..400).map(|i| (i % 23, i * i)).collect();
+    let run = |ctx: &Context| {
+        let mut out = ctx
+            .parallelize(data.clone(), 6)
+            .reduce_by_key(4, |a, b| a + b)
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let got = run(&chaotic);
+    let retries = chaotic
+        .take_events()
+        .iter()
+        .filter(|e| matches!(e, Event::FetchRetry { .. }))
+        .count();
+    assert_eq!(got, run(&local));
+    assert!(
+        retries >= 2,
+        "garbled/dropped fetches must surface as fetch_retry events, saw {retries}"
+    );
+}
+
+/// Tentpole observability claim: traced shuffle byte accounting is the TRUE
+/// serialized wire length — identical whether the bytes crossed a process
+/// boundary (multi-process) or were only measured (local traced run), and
+/// reads account exactly the frames that were written.
+#[test]
+fn traced_shuffle_bytes_are_true_wire_bytes_in_both_modes() {
+    let data: Vec<(i64, i64)> = (0..300).map(|i| (i % 17, i)).collect();
+    let totals = |worker_processes: usize| {
+        let mut b = Context::builder().workers(4).executors(4).chaos_off();
+        if worker_processes > 0 {
+            b = b.worker_processes(worker_processes);
+        }
+        let ctx = b.build();
+        ctx.trace();
+        ctx.parallelize(data.clone(), 5)
+            .reduce_by_key(3, |a, b| a + b)
+            .collect();
+        let mut written = HashMap::new();
+        let mut read = 0u64;
+        for e in ctx.take_events() {
+            match e {
+                Event::ShuffleWrite {
+                    shuffle_id,
+                    task,
+                    bytes,
+                    ..
+                } => {
+                    // Resubmissions overwrite; count each map output once.
+                    written.insert((shuffle_id, task), bytes);
+                }
+                Event::ShuffleRead { bytes, .. } => read += bytes,
+                _ => {}
+            }
+        }
+        (written.values().sum::<u64>(), read)
+    };
+    let (local_written, local_read) = totals(0);
+    let (remote_written, remote_read) = totals(2);
+    assert!(local_written > 0);
+    assert_eq!(
+        local_written, remote_written,
+        "local traced runs must account the same serialized frame bytes \
+         that multi-process runs actually transfer"
+    );
+    assert_eq!(
+        remote_written, remote_read,
+        "every written frame is fetched exactly once"
+    );
+    assert_eq!(local_read, remote_read);
+}
+
+/// Killing a worker process between jobs must not poison the context: the
+/// supervisor respawns the slot and later shuffles use the fresh process.
+#[test]
+fn explicit_kill_worker_respawns_and_later_jobs_succeed() {
+    let ctx = Context::builder()
+        .workers(4)
+        .executors(4)
+        .worker_processes(2)
+        .chaos_off()
+        .build();
+    let data: Vec<(i64, i64)> = (0..100).map(|i| (i % 11, i)).collect();
+    let run = |ctx: &Context| {
+        let mut out = ctx
+            .parallelize(data.clone(), 4)
+            .reduce_by_key(3, |a, b| a + b)
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let first = run(&ctx);
+    assert!(ctx.kill_worker(0));
+    assert!(ctx.kill_worker(1));
+    assert!(!ctx.kill_worker(2), "unknown worker id");
+    assert_eq!(run(&ctx), first, "respawned workers serve later shuffles");
+}
