@@ -133,6 +133,9 @@ fn main() {
             .map(|x| x + 1)
             .count()
     });
+    // The deprecated Vec shim is exactly the materialized baseline this
+    // bench exists to compare against, so its use here is deliberate.
+    #[allow(deprecated)]
     let materialized = measure("materialized_chain", expect, || {
         d.map_partitions(|_, v: Vec<i64>| v.into_iter().map(|x| x * 3).collect())
             .map_partitions(|_, v| v.into_iter().filter(|x| x % 5 != 0).collect())

@@ -26,6 +26,25 @@ impl BinOp {
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
         )
     }
+
+    /// Short operator tag, used in fused-region op sequences.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
 }
 
 /// Unary operators.
@@ -239,6 +258,55 @@ impl Expr {
     }
 }
 
+impl Expr {
+    /// Post-order sequence of scalar operator tags for an elementwise head
+    /// expression — the trace the planner's fuse pass follows when it
+    /// collapses a normalized comprehension region into one fused program.
+    /// Literals tag as `const`, variables as `load`; structure-level forms
+    /// (comprehensions, builders, generators) tag as `expr` and break
+    /// fusion upstream.
+    pub fn op_sequence(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        self.collect_ops(&mut out);
+        out
+    }
+
+    fn collect_ops(&self, out: &mut Vec<&'static str>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Str(_) => out.push("const"),
+            Expr::Var(_) => out.push("load"),
+            Expr::BinOp(op, a, b) => {
+                a.collect_ops(out);
+                b.collect_ops(out);
+                out.push(op.tag());
+            }
+            Expr::UnOp(UnOp::Neg, e) => {
+                e.collect_ops(out);
+                out.push("neg");
+            }
+            Expr::UnOp(UnOp::Not, e) => {
+                e.collect_ops(out);
+                out.push("not");
+            }
+            Expr::If(c, t, e) => {
+                c.collect_ops(out);
+                t.collect_ops(out);
+                e.collect_ops(out);
+                out.push("select");
+            }
+            Expr::Call(f, args) => {
+                args.iter().for_each(|a| a.collect_ops(out));
+                match f.as_str() {
+                    "abs" => out.push("abs"),
+                    "sqrt" => out.push("sqrt"),
+                    _ => out.push("call"),
+                }
+            }
+            _ => out.push("expr"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +361,34 @@ mod tests {
     fn monoid_symbols() {
         assert_eq!(Monoid::Sum.symbol(), "+");
         assert_eq!(Monoid::And.symbol(), "&&");
+    }
+
+    #[test]
+    fn op_sequence_is_postorder() {
+        // a + b * 0.5  →  load; load; const; mul; add
+        let e = Expr::BinOp(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::BinOp(
+                BinOp::Mul,
+                Box::new(Expr::Var("b".into())),
+                Box::new(Expr::Float(0.5)),
+            )),
+        );
+        assert_eq!(e.op_sequence(), vec!["load", "load", "const", "mul", "add"]);
+        // if (a > 0) abs(a) else -b  →  load; const; gt; load; abs; load; neg; select
+        let guarded = Expr::If(
+            Box::new(Expr::BinOp(
+                BinOp::Gt,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Int(0)),
+            )),
+            Box::new(Expr::Call("abs".into(), vec![Expr::Var("a".into())])),
+            Box::new(Expr::UnOp(UnOp::Neg, Box::new(Expr::Var("b".into())))),
+        );
+        assert_eq!(
+            guarded.op_sequence(),
+            vec!["load", "const", "gt", "load", "abs", "load", "neg", "select"]
+        );
     }
 }

@@ -214,6 +214,7 @@ impl SessionBuilder {
                 tile_threads: self.tile_threads,
                 allow_local_fallback: true,
                 auto_persist: self.auto_persist,
+                ..PlanConfig::default()
             },
         }
     }

@@ -97,6 +97,21 @@ pub fn execute(
         tuned.partitions = autotune_partitions(&planned.output, ctx);
     }
     let config = &tuned;
+    if let Plan::FusedEltwise {
+        inputs,
+        program,
+        region_ops,
+        ..
+    } = &planned.plan
+    {
+        ctx.emit_event(|at_micros| Event::RegionFused {
+            ops: program.len() as u64,
+            inputs: inputs.len() as u64,
+            signature: program.signature(),
+            source: region_ops.join(";"),
+            at_micros,
+        });
+    }
     if let Some(decision) = planned.plan.decision() {
         ctx.emit_event(|at_micros| Event::PlanChosen {
             chosen: decision.chosen.to_string(),
@@ -177,6 +192,9 @@ fn execute_untagged(
         (Plan::Eltwise { .. }, OutputKind::Matrix { rows, cols }) => {
             exec_eltwise(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
         }
+        (Plan::FusedEltwise { .. }, OutputKind::Matrix { rows, cols }) => {
+            exec_fused_eltwise(&planned.plan, env, config, *rows, *cols).map(ExecResult::Matrix)
+        }
         (Plan::Contraction { .. }, OutputKind::Matrix { rows, cols }) => {
             exec_contraction(&planned.plan, env, ctx, config, *rows, *cols).map(ExecResult::Matrix)
         }
@@ -214,6 +232,95 @@ fn matrix_input<'a>(env: &'a PlanEnv, name: &str) -> Result<&'a TiledMatrix, Com
         .ok_or_else(|| CompError::plan(format!("`{name}` is not a registered tiled matrix")))
 }
 
+/// Validated elementwise inputs: the co-indexed tile join plus the shape
+/// facts both the unfused and fused executors need.
+struct EltwiseInputs {
+    joined: Dataset<(TileCoord, Vec<DenseMatrix>)>,
+    /// Tile size.
+    n: usize,
+    /// Logical input shape (pre-transpose).
+    in_rows: i64,
+    in_cols: i64,
+    /// Input count.
+    k: usize,
+}
+
+/// Resolve, validate, and cogroup-join the inputs of an elementwise plan on
+/// tile coordinates, using the grid partitioner of the output shape: inputs
+/// registered grid-partitioned (mllib-style) cogroup narrowly, so e.g.
+/// matrix addition runs with zero shuffle stages. Tile coordinates are
+/// unique per matrix, so each cogroup side holds at most one tile — popping
+/// it moves the buffer instead of cloning a join pair. All per-key steps
+/// preserve partitioning, keeping later cogroups in the chain narrow too.
+fn join_eltwise_inputs(
+    inputs: &[String],
+    transposed: bool,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<EltwiseInputs, CompError> {
+    let mats: Vec<&TiledMatrix> = inputs
+        .iter()
+        .map(|n| matrix_input(env, n))
+        .collect::<Result<_, _>>()?;
+    let first = mats[0];
+    let n = first.tile_size();
+    for m in &mats {
+        if !m.same_shape(first) {
+            return Err(CompError::plan(
+                "element-wise inputs must have identical dimensions and tiling",
+            ));
+        }
+    }
+    let (in_rows, in_cols) = (first.rows(), first.cols());
+    let expected = if transposed {
+        (in_cols, in_rows)
+    } else {
+        (in_rows, in_cols)
+    };
+    if expected != (rows, cols) {
+        return Err(CompError::plan(format!(
+            "builder dimensions ({rows},{cols}) do not match input dimensions {expected:?}"
+        )));
+    }
+    let grid = first.grid_partitioner(config.partitions);
+    let mut joined: Dataset<(TileCoord, Vec<DenseMatrix>)> = first.tiles().map_values(|t| vec![t]);
+    for m in &mats[1..] {
+        joined = joined
+            .cogroup_with(m.tiles(), grid.clone())
+            // Inner-join semantics: unmatched coordinates drop.
+            .filter(|(_, (accs, ts))| !accs.is_empty() && !ts.is_empty())
+            .map_values(|(mut accs, mut ts)| {
+                let mut acc = accs.pop().expect("filtered non-empty");
+                acc.push(ts.pop().expect("filtered non-empty"));
+                acc
+            });
+    }
+    Ok(EltwiseInputs {
+        joined,
+        n,
+        in_rows,
+        in_cols,
+        k: mats.len(),
+    })
+}
+
+/// Zero the padding region of a tile buffer (elements past the logical
+/// bounds of tile `(bi, bj)` in an `in_rows x in_cols` matrix).
+fn zero_tile_padding(data: &mut [f64], n: usize, bi: i64, bj: i64, in_rows: i64, in_cols: i64) {
+    let valid_rows = ((in_rows - bi * n as i64).clamp(0, n as i64)) as usize;
+    let valid_cols = ((in_cols - bj * n as i64).clamp(0, n as i64)) as usize;
+    if valid_rows < n {
+        data[valid_rows * n..].fill(0.0);
+    }
+    if valid_cols < n {
+        for ti in 0..valid_rows {
+            data[ti * n + valid_cols..(ti + 1) * n].fill(0.0);
+        }
+    }
+}
+
 /// §5.1: join co-indexed tile sets and apply the element kernel.
 fn exec_eltwise(
     plan: &Plan,
@@ -231,56 +338,17 @@ fn exec_eltwise(
     else {
         unreachable!()
     };
-    let mats: Vec<&TiledMatrix> = inputs
-        .iter()
-        .map(|n| matrix_input(env, n))
-        .collect::<Result<_, _>>()?;
-    let first = mats[0];
-    let n = first.tile_size();
-    for m in &mats {
-        if !m.same_shape(first) {
-            return Err(CompError::plan(
-                "element-wise inputs must have identical dimensions and tiling",
-            ));
-        }
-    }
-    let (in_rows, in_cols) = (first.rows(), first.cols());
-    let expected = if *transposed {
-        (in_cols, in_rows)
-    } else {
-        (in_rows, in_cols)
-    };
-    if expected != (rows, cols) {
-        return Err(CompError::plan(format!(
-            "builder dimensions ({rows},{cols}) do not match input dimensions {expected:?}"
-        )));
-    }
-
-    // Join all inputs on tile coordinates using the grid partitioner of the
-    // output shape: inputs registered grid-partitioned (mllib-style) cogroup
-    // narrowly, so e.g. matrix addition runs with zero shuffle stages. Tile
-    // coordinates are unique per matrix, so each cogroup side holds at most
-    // one tile — popping it moves the buffer instead of cloning a join pair.
-    // All per-key steps preserve partitioning, keeping later cogroups in the
-    // chain narrow as well.
-    let grid = first.grid_partitioner(config.partitions);
-    let mut joined: Dataset<(TileCoord, Vec<DenseMatrix>)> = first.tiles().map_values(|t| vec![t]);
-    for m in &mats[1..] {
-        joined = joined
-            .cogroup_with(m.tiles(), grid.clone())
-            // Inner-join semantics: unmatched coordinates drop.
-            .filter(|(_, (accs, ts))| !accs.is_empty() && !ts.is_empty())
-            .map_values(|(mut accs, mut ts)| {
-                let mut acc = accs.pop().expect("filtered non-empty");
-                acc.push(ts.pop().expect("filtered non-empty"));
-                acc
-            });
-    }
+    let EltwiseInputs {
+        joined,
+        n,
+        in_rows,
+        in_cols,
+        k,
+    } = join_eltwise_inputs(inputs, *transposed, env, config, rows, cols)?;
 
     let value = value.clone();
     let guard = guard.clone();
     let transposed = *transposed;
-    let k = mats.len();
     // Index buffers are only materialized when the expression uses them.
     let max_slot = value
         .max_slot()
@@ -314,17 +382,56 @@ fn exec_eltwise(
                 }
             }
         }
-        // Zero the padding region (elements past the logical bounds).
-        let valid_rows = ((in_rows - bi * n as i64).clamp(0, n as i64)) as usize;
-        let valid_cols = ((in_cols - bj * n as i64).clamp(0, n as i64)) as usize;
-        if valid_rows < n {
-            data[valid_rows * n..].fill(0.0);
+        zero_tile_padding(&mut data, n, bi, bj, in_rows, in_cols);
+        let out = DenseMatrix::from_vec(n, n, data);
+        if transposed {
+            ((bj, bi), out.transpose())
+        } else {
+            ((bi, bj), out)
         }
-        if valid_cols < n {
-            for ti in 0..valid_rows {
-                data[ti * n + valid_cols..(ti + 1) * n].fill(0.0);
-            }
-        }
+    });
+    Ok(TiledMatrix::new(rows, cols, n, tiles))
+}
+
+/// The fused elementwise lowering: identical join and padding semantics as
+/// [`exec_eltwise`], but the whole region runs as one
+/// `tiled::kernel::fused_eltwise` pass per tile — no per-expression-node
+/// scratch vectors, no boxed per-element dispatch. The tile map carries the
+/// `fused_eltwise` operator label so traces attribute the region to exactly
+/// one operator.
+fn exec_fused_eltwise(
+    plan: &Plan,
+    env: &PlanEnv,
+    config: &PlanConfig,
+    rows: i64,
+    cols: i64,
+) -> Result<TiledMatrix, CompError> {
+    let Plan::FusedEltwise {
+        inputs,
+        transposed,
+        program,
+        ..
+    } = plan
+    else {
+        unreachable!()
+    };
+    let EltwiseInputs {
+        joined,
+        n,
+        in_rows,
+        in_cols,
+        k,
+    } = join_eltwise_inputs(inputs, *transposed, env, config, rows, cols)?;
+
+    let program = program.clone();
+    let transposed = *transposed;
+    let backend = tiled::kernel::Backend::active();
+    let tiles = joined.map_named("fused_eltwise", move |((bi, bj), ts)| {
+        debug_assert_eq!(ts.len(), k, "join dropped an input tile");
+        let len = n * n;
+        let bufs: Vec<&[f64]> = ts.iter().map(|t| t.data()).collect();
+        let mut data = tiled::kernel::fused_eltwise(&program, &bufs, len, backend);
+        zero_tile_padding(&mut data, n, bi, bj, in_rows, in_cols);
         let out = DenseMatrix::from_vec(n, n, data);
         if transposed {
             ((bj, bi), out.transpose())

@@ -1,0 +1,259 @@
+//! Trace-and-fuse: collapse an elementwise plan region into one tile
+//! program.
+//!
+//! `plan_eltwise` compiles the head value and guard of an elementwise
+//! comprehension into [`ScalarFn`] trees; executed directly, every tree
+//! node costs one scratch vector per tile (`eval_batch`). This pass traces
+//! the whole region — value, guard masking, scalar constants — into a
+//! single postfix [`FusedProgram`] executed by `tiled::kernel::fused_eltwise`
+//! in one pass per tile.
+//!
+//! # Region rules
+//!
+//! A region fuses when every slot it reads is a tile-value slot. Reading the
+//! global row/column index planes (slots `>= n_inputs`) breaks the region:
+//! the unfused path materializes those planes lazily per tile, and fusing
+//! them would re-introduce exactly the buffers fusion exists to remove. Such
+//! plans stay on [`Plan::Eltwise`](crate::plan::Plan). Guards do not break a
+//! region — masking folds into the program as `select(guard, value, 0.0)`,
+//! which is bit-identical to the unfused evaluate-then-mask (both produce
+//! `+0.0` for failing elements).
+//!
+//! # Determinism
+//!
+//! Constant folding at trace time performs the same IEEE-754 operation the
+//! unfused oracle performs per element, so a folded constant is bit-equal to
+//! the value every element would have computed. The emitted program contains
+//! the identical per-element op chain as `ScalarFn::eval_batch` — plain
+//! `+ - * /`, no FMA contraction, no reassociation — so fused output is
+//! bit-identical to the unfused plan on every backend and thread count.
+
+use crate::scalar::ScalarFn;
+use comp::ast::BinOp;
+use tiled::fused::{CmpOp, ElemwiseOp, FusedProgram};
+
+/// Trace an elementwise region (value + optional guard over `n_inputs` tile
+/// slots) into a fused program. Returns `None` when the region does not
+/// qualify: it reads the row/col index planes, or contains an operator with
+/// no fused equivalent.
+pub fn fuse_region(
+    n_inputs: usize,
+    value: &ScalarFn,
+    guard: Option<&ScalarFn>,
+) -> Option<FusedProgram> {
+    let max_slot = value.max_slot().max(guard.and_then(ScalarFn::max_slot));
+    if max_slot.is_some_and(|s| s >= n_inputs) {
+        return None;
+    }
+    let mut ops = Vec::new();
+    match guard {
+        Some(g) => {
+            // select(guard, value, 0.0): postfix order cond, then, else.
+            let folded = trace(g, &mut ops).ok()?;
+            if let Some(gv) = folded {
+                // Constant guard: the mask is uniform; emit only the taken
+                // side.
+                ops.clear();
+                if gv != 0.0 {
+                    trace(value, &mut ops).ok()?;
+                } else {
+                    ops.push(ElemwiseOp::Const(0.0));
+                }
+            } else {
+                trace(value, &mut ops).ok()?;
+                ops.push(ElemwiseOp::Const(0.0));
+                ops.push(ElemwiseOp::Select);
+            }
+        }
+        None => {
+            trace(value, &mut ops).ok()?;
+        }
+    }
+    FusedProgram::new(ops).ok()
+}
+
+/// Post-order linearization with constant folding. Returns the constant
+/// value when the traced subtree folded to a single `Const` op, so parents
+/// can fold further. Folding uses the same f64 arithmetic the runtime would
+/// — a folded subtree's constant is bit-equal to its per-element result.
+fn trace(f: &ScalarFn, ops: &mut Vec<ElemwiseOp>) -> Result<Option<f64>, ()> {
+    match f {
+        ScalarFn::Const(x) => {
+            ops.push(ElemwiseOp::Const(*x));
+            Ok(Some(*x))
+        }
+        ScalarFn::Var(i) => {
+            ops.push(ElemwiseOp::Slot(*i));
+            Ok(None)
+        }
+        ScalarFn::Add(a, b) => bin(a, b, ElemwiseOp::Add, |x, y| x + y, ops),
+        ScalarFn::Sub(a, b) => bin(a, b, ElemwiseOp::Sub, |x, y| x - y, ops),
+        ScalarFn::Mul(a, b) => bin(a, b, ElemwiseOp::Mul, |x, y| x * y, ops),
+        ScalarFn::Div(a, b) => bin(a, b, ElemwiseOp::Div, |x, y| x / y, ops),
+        ScalarFn::Neg(a) => un(a, ElemwiseOp::Neg, |x| -x, ops),
+        ScalarFn::Abs(a) => un(a, ElemwiseOp::Abs, f64::abs, ops),
+        ScalarFn::Sqrt(a) => un(a, ElemwiseOp::Sqrt, f64::sqrt, ops),
+        ScalarFn::If(c, t, e) => {
+            let start = ops.len();
+            if let Some(cv) = trace(c, ops)? {
+                // Constant condition: selection is by value, so emitting
+                // only the taken branch yields the same bits per element.
+                ops.truncate(start);
+                return trace(if cv != 0.0 { t } else { e }, ops);
+            }
+            trace(t, ops)?;
+            trace(e, ops)?;
+            ops.push(ElemwiseOp::Select);
+            Ok(None)
+        }
+        ScalarFn::Cmp(op, a, b) => {
+            let cmp = match op {
+                BinOp::Eq => CmpOp::Eq,
+                BinOp::Ne => CmpOp::Ne,
+                BinOp::Lt => CmpOp::Lt,
+                BinOp::Le => CmpOp::Le,
+                BinOp::Gt => CmpOp::Gt,
+                BinOp::Ge => CmpOp::Ge,
+                // ScalarFn::compile never emits other operators here.
+                _ => return Err(()),
+            };
+            let ca = trace(a, ops)?;
+            let cb = trace(b, ops)?;
+            if let (Some(x), Some(y)) = (ca, cb) {
+                ops.pop();
+                ops.pop();
+                let r = match cmp {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                };
+                let v = if r { 1.0 } else { 0.0 };
+                ops.push(ElemwiseOp::Const(v));
+                return Ok(Some(v));
+            }
+            ops.push(ElemwiseOp::Cmp(cmp));
+            Ok(None)
+        }
+    }
+}
+
+fn bin(
+    a: &ScalarFn,
+    b: &ScalarFn,
+    op: ElemwiseOp,
+    fold: impl Fn(f64, f64) -> f64,
+    ops: &mut Vec<ElemwiseOp>,
+) -> Result<Option<f64>, ()> {
+    let ca = trace(a, ops)?;
+    let cb = trace(b, ops)?;
+    if let (Some(x), Some(y)) = (ca, cb) {
+        // Constant subtrees linearize to exactly one Const op each.
+        ops.pop();
+        ops.pop();
+        let v = fold(x, y);
+        ops.push(ElemwiseOp::Const(v));
+        return Ok(Some(v));
+    }
+    ops.push(op);
+    Ok(None)
+}
+
+fn un(
+    a: &ScalarFn,
+    op: ElemwiseOp,
+    fold: impl Fn(f64) -> f64,
+    ops: &mut Vec<ElemwiseOp>,
+) -> Result<Option<f64>, ()> {
+    if let Some(x) = trace(a, ops)? {
+        ops.pop();
+        let v = fold(x);
+        ops.push(ElemwiseOp::Const(v));
+        return Ok(Some(v));
+    }
+    ops.push(op);
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(f: ScalarFn) -> Box<ScalarFn> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn traces_value_to_postfix() {
+        // a + b * 0.5
+        let value = ScalarFn::Add(
+            b(ScalarFn::Var(0)),
+            b(ScalarFn::Mul(b(ScalarFn::Var(1)), b(ScalarFn::Const(0.5)))),
+        );
+        let p = fuse_region(2, &value, None).expect("fuses");
+        assert_eq!(p.signature(), "s0;s1;c0.5;mul;add");
+    }
+
+    #[test]
+    fn constant_folding_collapses_scalar_subtrees() {
+        // a * (2 * 3)  →  s0; c6; mul
+        let value = ScalarFn::Mul(
+            b(ScalarFn::Var(0)),
+            b(ScalarFn::Mul(
+                b(ScalarFn::Const(2.0)),
+                b(ScalarFn::Const(3.0)),
+            )),
+        );
+        let p = fuse_region(1, &value, None).expect("fuses");
+        assert_eq!(p.signature(), "s0;c6.0;mul");
+    }
+
+    #[test]
+    fn guard_folds_to_select() {
+        let value = ScalarFn::Var(0);
+        let guard = ScalarFn::Cmp(BinOp::Gt, b(ScalarFn::Var(1)), b(ScalarFn::Const(0.0)));
+        let p = fuse_region(2, &value, Some(&guard)).expect("fuses");
+        assert_eq!(p.signature(), "s1;c0.0;gt;s0;c0.0;select");
+        assert_eq!(p.eval_scalar(&[7.0, 1.0]).to_bits(), 7.0f64.to_bits());
+        assert_eq!(p.eval_scalar(&[7.0, -1.0]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn index_reading_regions_do_not_fuse() {
+        // value reads slot 2 == row plane with 2 inputs.
+        let value = ScalarFn::Add(b(ScalarFn::Var(0)), b(ScalarFn::Var(2)));
+        assert!(fuse_region(2, &value, None).is_none());
+        // the same slot index is fine when it is a tile slot.
+        assert!(fuse_region(3, &value, None).is_some());
+    }
+
+    #[test]
+    fn fused_matches_scalar_fn_bitwise() {
+        // select(a > b, a - b, b / a) + abs(a) * 0.25
+        let value = ScalarFn::Add(
+            b(ScalarFn::If(
+                b(ScalarFn::Cmp(
+                    BinOp::Gt,
+                    b(ScalarFn::Var(0)),
+                    b(ScalarFn::Var(1)),
+                )),
+                b(ScalarFn::Sub(b(ScalarFn::Var(0)), b(ScalarFn::Var(1)))),
+                b(ScalarFn::Div(b(ScalarFn::Var(1)), b(ScalarFn::Var(0)))),
+            )),
+            b(ScalarFn::Mul(
+                b(ScalarFn::Abs(b(ScalarFn::Var(0)))),
+                b(ScalarFn::Const(0.25)),
+            )),
+        );
+        let p = fuse_region(2, &value, None).expect("fuses");
+        for i in 0..100 {
+            let a = (i as f64) * 0.37 - 18.0;
+            let x = (i as f64) * -0.11 + 2.0;
+            let want = value.eval(&[a, x]);
+            let got = p.eval_scalar(&[a, x]);
+            assert_eq!(got.to_bits(), want.to_bits(), "case {i}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 pub mod analysis;
 pub mod env;
 pub mod exec;
+pub mod fuse;
 pub mod plan;
 pub mod scalar;
 
@@ -105,7 +106,7 @@ mod tests {
         env.set_int("m", 7);
         let src = "tiled(n,m)[ ((i,j), a+b) | ((i,j),a) <- A, ((ii,jj),b) <- B, \
                     ii == i, jj == j ]";
-        assert_eq!(planned_strategy(src, &env), "eltwise");
+        assert_eq!(planned_strategy(src, &env), "eltwise/fused");
         let got = run_text(src, &env, &c, &config())
             .unwrap()
             .into_matrix()
@@ -121,7 +122,7 @@ mod tests {
         env.set_int("n", 6);
         env.set_float("gamma", 2.5);
         let src = "tiled(n,n)[ ((i,j), a * gamma) | ((i,j),a) <- A ]";
-        assert_eq!(planned_strategy(src, &env), "eltwise");
+        assert_eq!(planned_strategy(src, &env), "eltwise/fused");
         let got = run_text(src, &env, &c, &config())
             .unwrap()
             .into_matrix()
@@ -131,13 +132,44 @@ mod tests {
     }
 
     #[test]
+    fn fusion_off_keeps_the_unfused_oracle_and_matches_bitwise() {
+        let c = ctx();
+        let (mut env, _ms) = setup(&c, &[("A", 9, 7, 1), ("B", 9, 7, 2)], 4);
+        env.set_int("n", 9);
+        env.set_int("m", 7);
+        let src = "tiled(n,m)[ ((i,j), a + b*0.5) | ((i,j),a) <- A, ((ii,jj),b) <- B, \
+                    ii == i, jj == j ]";
+        let unfused_cfg = PlanConfig {
+            partitions: 4,
+            fuse_eltwise: false,
+            ..Default::default()
+        };
+        let expr = comp::parse_expr(src).unwrap();
+        let unfused_plan = plan::plan(&expr, &env, &unfused_cfg).unwrap();
+        assert_eq!(unfused_plan.plan.strategy_name(), "eltwise");
+        let fused = run_text(src, &env, &c, &config())
+            .unwrap()
+            .into_matrix()
+            .unwrap()
+            .to_local();
+        let unfused = execute(&unfused_plan, &env, &c, &unfused_cfg)
+            .unwrap()
+            .into_matrix()
+            .unwrap()
+            .to_local();
+        for (f, u) in fused.data().iter().zip(unfused.data()) {
+            assert_eq!(f.to_bits(), u.to_bits(), "fused must be bit-identical");
+        }
+    }
+
+    #[test]
     fn transpose_plans_eltwise_swapped() {
         let c = ctx();
         let (mut env, ms) = setup(&c, &[("A", 5, 8, 4)], 4);
         env.set_int("n", 5);
         env.set_int("m", 8);
         let src = "tiled(m,n)[ ((j,i), a) | ((i,j),a) <- A ]";
-        assert_eq!(planned_strategy(src, &env), "eltwise");
+        assert_eq!(planned_strategy(src, &env), "eltwise/fused");
         let got = run_text(src, &env, &c, &config())
             .unwrap()
             .into_matrix()

@@ -96,6 +96,10 @@ pub struct PlanConfig {
     /// both sides of `A*A`) through the block manager, so their lineage is
     /// computed once per execution instead of once per reference.
     pub auto_persist: bool,
+    /// Collapse elementwise regions into single fused tile programs
+    /// ([`Plan::FusedEltwise`]); `false` keeps the per-node interpreter
+    /// ([`Plan::Eltwise`], the bit-identical oracle).
+    pub fuse_eltwise: bool,
 }
 
 impl Default for PlanConfig {
@@ -107,6 +111,7 @@ impl Default for PlanConfig {
             tile_threads: 1,
             allow_local_fallback: true,
             auto_persist: true,
+            fuse_eltwise: true,
         }
     }
 }
@@ -141,6 +146,23 @@ pub enum Plan {
         value: ScalarFn,
         /// Optional guard (same slots); failing elements become 0.
         guard: Option<ScalarFn>,
+    },
+    /// §5.1 elementwise after the trace-and-fuse pass: the whole region
+    /// (value, guard masking, scalar constants) collapsed into one postfix
+    /// tile program, executed as a single kernel pass per tile by
+    /// `tiled::kernel::fused_eltwise`. Bit-identical to the unfused
+    /// [`Plan::Eltwise`] oracle.
+    FusedEltwise {
+        /// Input matrix names, in slot order.
+        inputs: Vec<String>,
+        /// Head key is `(col, row)` — transpose the output.
+        transposed: bool,
+        /// Constant-folded program over slots `[val_0, ..., val_{k-1}]`
+        /// (index-reading regions do not fuse).
+        program: tiled::fused::FusedProgram,
+        /// Post-order operator tags of the source region (from the
+        /// normalized comprehension head), for the `region_fused` event.
+        region_ops: Vec<String>,
     },
     /// §5.3/§5.4 contraction (matrix multiplication shaped).
     Contraction {
@@ -237,9 +259,9 @@ impl Plan {
     /// input's lineage twice — the signal the auto-persist pass looks for).
     pub fn input_names(&self) -> Vec<&str> {
         match self {
-            Plan::Eltwise { inputs, .. } | Plan::VectorEltwise { inputs, .. } => {
-                inputs.iter().map(String::as_str).collect()
-            }
+            Plan::Eltwise { inputs, .. }
+            | Plan::FusedEltwise { inputs, .. }
+            | Plan::VectorEltwise { inputs, .. } => inputs.iter().map(String::as_str).collect(),
             Plan::Contraction { left, right, .. } => vec![left, right],
             Plan::AxisReduce { input, .. }
             | Plan::IndexRemap { input, .. }
@@ -253,6 +275,9 @@ impl Plan {
     pub fn strategy_name(&self) -> &'static str {
         match self {
             Plan::Eltwise { .. } => "eltwise",
+            // Contains "eltwise" so shape assertions on the logical
+            // operation hold whether or not fusion is enabled.
+            Plan::FusedEltwise { .. } => "eltwise/fused",
             Plan::Contraction { strategy, .. } => contraction_tag(*strategy),
             Plan::AxisReduce { .. } => "axisReduce",
             Plan::MatVec {
@@ -407,7 +432,7 @@ fn plan_matrix_body(body: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<P
         ));
     }
     if d.group_by.is_none() {
-        if let Ok(p) = plan_eltwise(&d, env) {
+        if let Ok(p) = plan_eltwise(&d, env, config) {
             return Ok(p);
         }
         return plan_index_remap(&d, env);
@@ -438,8 +463,8 @@ fn plan_vector_body(body: &Expr, env: &PlanEnv, config: &PlanConfig) -> Result<P
     plan_group_by_aggregate(&d, env, GroupShape::Vector)
 }
 
-/// §5.1 rule 17.
-fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
+/// §5.1 rule 17 (plus the trace-and-fuse pass when the region qualifies).
+fn plan_eltwise(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Result<Plan, CompError> {
     if d.matrix_gens.is_empty()
         || !d.vector_gens.is_empty()
         || !d.range_gens.is_empty()
@@ -476,7 +501,7 @@ fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
         }
     }
     let head = inline_lets(&d.head, &d.lets);
-    let (key, value) = split_head(&head)?;
+    let (key, value_expr) = split_head(&head)?;
     let Expr::Tuple(kij) = key else {
         return Err(CompError::plan("matrix head key must be (i, j)"));
     };
@@ -499,20 +524,46 @@ fn plan_eltwise(d: &Decomposed, env: &PlanEnv) -> Result<Plan, CompError> {
     // Rewrite index aliases to the canonical generator's names.
     let canon = |e: &Expr| canonicalize_vars(e, d, &classes);
     let consts = |v: &str| env.float_scalar(v);
-    let value = ScalarFn::compile(&canon(value), &slots, &consts)?;
+    let value = ScalarFn::compile(&canon(value_expr), &slots, &consts)?;
     let all_guards: Vec<Expr> = d.other_guards.iter().cloned().chain(extra_guards).collect();
-    let guard = match all_guards.as_slice() {
+    let guard_expr = match all_guards.as_slice() {
         [] => None,
         guards => {
             let mut conj = canon(&guards[0]);
             for g in &guards[1..] {
                 conj = Expr::BinOp(comp::BinOp::And, Box::new(conj), Box::new(canon(g)));
             }
-            Some(ScalarFn::compile(&conj, &slots, &consts)?)
+            Some(conj)
         }
     };
+    let guard = guard_expr
+        .as_ref()
+        .map(|c| ScalarFn::compile(c, &slots, &consts))
+        .transpose()?;
+    let inputs: Vec<String> = d.matrix_gens.iter().map(|g| g.name.clone()).collect();
+    if config.fuse_eltwise {
+        if let Some(program) = crate::fuse::fuse_region(inputs.len(), &value, guard.as_ref()) {
+            // Source op tags (post-order over the canonicalized head value,
+            // then the guard region) for the `region_fused` event.
+            let mut region_ops: Vec<String> = canon(value_expr)
+                .op_sequence()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            if let Some(conj) = &guard_expr {
+                region_ops.extend(conj.op_sequence().into_iter().map(str::to_string));
+                region_ops.push("select".to_string());
+            }
+            return Ok(Plan::FusedEltwise {
+                inputs,
+                transposed,
+                program,
+                region_ops,
+            });
+        }
+    }
     Ok(Plan::Eltwise {
-        inputs: d.matrix_gens.iter().map(|g| g.name.clone()).collect(),
+        inputs,
         transposed,
         value,
         guard,

@@ -599,6 +599,15 @@ impl QueryService {
         Ok(())
     }
 
+    /// Mutate a tenant's planner configuration (e.g. flip elementwise
+    /// fusion, pin a matmul strategy). The plan-cache key covers the full
+    /// config signature, so a change here can never resurrect a plan
+    /// compiled under the previous configuration.
+    pub fn configure_tenant(&self, tenant: &str, f: impl FnOnce(&mut planner::plan::PlanConfig)) {
+        let mut st = self.lock();
+        f(self.tenant_entry(&mut st, tenant).session.config_mut());
+    }
+
     /// Request cooperative cancellation of a running job.
     pub fn cancel(&self, tenant: &str, job: u64) -> Result<(), ServiceError> {
         let st = self.lock();
@@ -755,13 +764,20 @@ impl QueryService {
                     key.push_str(&format!("|u:{v}"));
                 }
             }
+            // The config signature must cover every knob that changes the
+            // *compiled plan*, not just its execution: flipping elementwise
+            // fusion (or the kernel backend via `SAC_KERNEL`) between two
+            // alpha-equivalent compiles must produce distinct keys, or one
+            // tenant's cached plan leaks the other configuration's kernels.
             key.push_str(&format!(
-                "|c:{}:{:?}:{}:{}:{}",
+                "|c:{}:{:?}:{}:{}:{}:{}:{}",
                 config.partitions,
                 config.matmul,
                 config.broadcast_budget,
                 config.tile_threads,
-                config.auto_persist
+                config.auto_persist,
+                config.fuse_eltwise,
+                tiled::kernel::signature(),
             ));
             (tid, key, env, config)
         };
@@ -947,6 +963,42 @@ mod tests {
         assert_eq!(r1.fingerprint, r2.fingerprint);
         let (hits, misses, entries) = svc.plan_cache_stats();
         assert_eq!((hits, misses, entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn fusion_config_changes_never_share_compiled_plans() {
+        let svc = small_service();
+        svc.register_shared_matrix("A", &random_matrix(8, 3), 4)
+            .unwrap();
+        svc.register_shared_matrix("B", &random_matrix(8, 4), 4)
+            .unwrap();
+        svc.register_shared_int("n", 8);
+        let q_alice = "tiled(n,n)[ ((i,j), a + b*0.5) | ((i,j),a) <- A, ((r,c),b) <- B, \
+                       r == i, c == j ]";
+        // Alpha-equivalent rename, submitted by another tenant.
+        let q_bob = "tiled(n,n)[ ((p,q), x + y*0.5) | ((p,q),x) <- A, ((s,t),y) <- B, \
+                     s == p, t == q ]";
+        let fused = svc.run("alice", q_alice).unwrap();
+        assert!(!fused.cache_hit);
+        // Bob compiles the same canonical query with fusion disabled: the
+        // config signatures differ, so the cached fused plan must NOT be
+        // shared — this is the before/after-config-change audit case.
+        svc.configure_tenant("bob", |c| c.fuse_eltwise = false);
+        let unfused = svc.run("bob", q_bob).unwrap();
+        assert!(
+            !unfused.cache_hit,
+            "a fusion-flipped config must never reuse a fused compiled plan"
+        );
+        assert_eq!(
+            fused.fingerprint, unfused.fingerprint,
+            "fused and unfused plans must stay bit-identical"
+        );
+        let (_, misses, entries) = svc.plan_cache_stats();
+        assert_eq!((misses, entries), (2, 2), "two distinct cache entries");
+        // Same config, same canonical query → now it may share.
+        svc.configure_tenant("bob", |c| c.fuse_eltwise = true);
+        let refused = svc.run("bob", q_bob).unwrap();
+        assert!(refused.cache_hit, "restored config hits alice's entry");
     }
 
     #[test]

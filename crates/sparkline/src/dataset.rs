@@ -90,8 +90,19 @@ impl<T: Data> Dataset<T> {
     /// action, and at run time the transform fuses onto the parent's stream
     /// (no intermediate collection within a task).
     pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Dataset<U> {
+        self.map_named("map", f)
+    }
+
+    /// [`Dataset::map`] with an explicit operator label, so traces attribute
+    /// the stream to a specific plan region (e.g. `fused_eltwise`) instead
+    /// of a generic `map` row in `StageProfile::operators`.
+    pub fn map_named<U: Data>(
+        &self,
+        label: &str,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Dataset<U> {
         let f = Arc::new(f);
-        self.narrow("map", false, move |_, s| {
+        self.narrow(label, false, move |_, s| {
             let f = f.clone();
             s.map(move |t| f(t))
         })
@@ -124,6 +135,7 @@ impl<T: Data> Dataset<T> {
     /// exclusively-held stream gives its allocation back for free) and the
     /// result re-wrapped. Use [`Dataset::map_partitions_stream`] when `f` can
     /// work on the stream directly.
+    #[deprecated(note = "use map_partitions_stream")]
     pub fn map_partitions<U: Data>(
         &self,
         f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,

@@ -240,6 +240,22 @@ pub enum Event {
         key: u64,
         at_micros: u64,
     },
+    /// The planner collapsed an elementwise region into one fused tile
+    /// program (`region_fused`): `ops` compiled instructions over `inputs`
+    /// tile inputs, executed as a single kernel pass per tile.
+    RegionFused {
+        /// Compiled instruction count of the fused program (after constant
+        /// folding).
+        ops: u64,
+        /// Number of tile inputs joined into the region.
+        inputs: u64,
+        /// Compiled program signature (also folded into service plan-cache
+        /// keys).
+        signature: String,
+        /// Post-order source operator tags of the region, `;`-joined.
+        source: String,
+        at_micros: u64,
+    },
 }
 
 /// Lock-cheap event sink owned by a [`crate::Context`].
@@ -710,6 +726,21 @@ impl Event {
                     .num_field("at_micros", *at_micros);
                 o.finish()
             }
+            Event::RegionFused {
+                ops,
+                inputs,
+                signature,
+                source,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("region_fused");
+                o.num_field("ops", *ops)
+                    .num_field("inputs", *inputs)
+                    .str_field("signature", signature)
+                    .str_field("source", source)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
         }
     }
 }
@@ -1116,6 +1147,13 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             key: v.num("key")?,
             at_micros: v.num("at_micros")?,
         }),
+        "region_fused" => Ok(Event::RegionFused {
+            ops: v.num("ops")?,
+            inputs: v.num("inputs")?,
+            signature: v.str_of("signature")?,
+            source: v.str_of("source")?,
+            at_micros: v.num("at_micros")?,
+        }),
         other => Err(format!("unknown event type `{other}`")),
     }
 }
@@ -1275,6 +1313,13 @@ mod tests {
                 tenant: "alice".into(),
                 key: 0xfeed_beef,
                 at_micros: 88,
+            },
+            Event::RegionFused {
+                ops: 5,
+                inputs: 2,
+                signature: "s0;s1;c0.5;mul;add".into(),
+                source: "load;load;const;mul;add".into(),
+                at_micros: 89,
             },
             Event::StageEnd {
                 stage_id: 1,

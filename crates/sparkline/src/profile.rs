@@ -326,6 +326,21 @@ pub struct PlanChoice {
     pub candidates: Vec<(String, u64)>,
 }
 
+/// One fused elementwise region (`region_fused` event): the planner
+/// collapsed a multi-operator elementwise expression into a single compiled
+/// tile program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedRegion {
+    /// Compiled instruction count (after constant folding).
+    pub ops: u64,
+    /// Tile inputs joined into the region.
+    pub inputs: u64,
+    /// Compiled program signature.
+    pub signature: String,
+    /// `;`-joined post-order source operator tags.
+    pub source: String,
+}
+
 /// Summary of one job (one action: `collect`, `count`, ...).
 #[derive(Debug, Clone, Default)]
 pub struct JobSummary {
@@ -352,6 +367,8 @@ pub struct JobProfile {
     pub recovery: RecoveryStats,
     /// Cost-based plan decisions (`plan.chosen` events), in emission order.
     pub plan_choices: Vec<PlanChoice>,
+    /// Fused elementwise regions (`region_fused` events), in emission order.
+    pub fused_regions: Vec<FusedRegion>,
     /// Multi-tenant admission / cancellation / plan-cache activity.
     pub service: ServiceStats,
 }
@@ -532,6 +549,18 @@ impl JobProfile {
                 }
                 Event::JobCancelled { .. } => profile.service.jobs_cancelled += 1,
                 Event::PlanCacheHit { .. } => profile.service.plan_cache_hits += 1,
+                Event::RegionFused {
+                    ops,
+                    inputs,
+                    signature,
+                    source,
+                    ..
+                } => profile.fused_regions.push(FusedRegion {
+                    ops: *ops,
+                    inputs: *inputs,
+                    signature: signature.clone(),
+                    source: source.clone(),
+                }),
             }
         }
         // Recovery wall-clock: time spent in resubmitted map stages (labels

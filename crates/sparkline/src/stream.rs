@@ -247,6 +247,15 @@ impl<T> Iterator for CountingIter<T> {
 
 impl<T> Drop for CountingIter<T> {
     fn drop(&mut self) {
+        // A task unwinding mid-drain (chaos-injected failure, cooperative
+        // cancellation, any in-task panic) did not complete: its partial
+        // counts describe work that is discarded and retried, and emitting
+        // them would pollute `StageProfile::operators` with phantom rows.
+        // Successful tasks that legitimately stop early (e.g. `take`) drop
+        // without panicking and still report what actually flowed.
+        if std::thread::panicking() {
+            return;
+        }
         self.ctx.events().emit(Event::OperatorOutput {
             stage_id: crate::context::current_stage(),
             task: self.part,
@@ -385,6 +394,45 @@ mod tests {
             })
             .collect();
         assert_eq!(outputs, vec![("map", 5, 40), ("source", 2, 16)]);
+    }
+
+    #[test]
+    fn panicking_drop_suppresses_operator_output() {
+        let ctx = Context::new();
+        ctx.trace();
+        let inner = ctx.clone();
+        // A consumer that drains part of the pipeline and then dies: the
+        // counting adapter is dropped during the unwind and must not report
+        // the partial count as if the task had completed.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut it =
+                instrument(PartitionStream::from_iter(0..100i64), "map", 0, &inner).into_iter();
+            it.next();
+            it.next();
+            panic!("task died mid-drain");
+        }));
+        assert!(unwound.is_err());
+        assert!(
+            ctx.take_events()
+                .iter()
+                .all(|e| !matches!(e, Event::OperatorOutput { .. })),
+            "partially-consumed pipeline of a failed task must not emit stats"
+        );
+        // A non-panicking partial drain still reports (the documented
+        // partial-drain semantics).
+        let mut it = instrument(PartitionStream::from_iter(0..100i64), "map", 0, &ctx).into_iter();
+        it.next();
+        it.next();
+        drop(it);
+        let rows: Vec<u64> = ctx
+            .take_events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::OperatorOutput { rows, .. } => Some(*rows),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rows, vec![2]);
     }
 
     #[test]

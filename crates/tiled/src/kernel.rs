@@ -150,6 +150,25 @@ impl Backend {
     }
 }
 
+/// The kernel signature a compiled plan depends on, resolved *fresh* from
+/// `SAC_KERNEL` and hardware capability on every call — deliberately not the
+/// [`Backend::active`] `OnceLock`, because cached plans must never be shared
+/// across a config change that flips the knob. Folded into the service's
+/// plan-cache key next to the fusion flag.
+pub fn signature() -> String {
+    let knob = std::env::var("SAC_KERNEL").ok();
+    let backend = Backend::from_knob(
+        knob.as_deref(),
+        Backend::simd_available(),
+        Backend::avx512_available(),
+    );
+    format!("{backend:?}")
+}
+
+// The fused elementwise entry points live in [`crate::fused`] but are part
+// of the kernel surface: same determinism contract, same backend dispatch.
+pub use crate::fused::{fused_eltwise, fused_eltwise_into, fused_eltwise_sparsify};
+
 // ---------------------------------------------------------------------------
 // Packing
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 //!   §8 "future work" storage extension.
 
 pub mod coo;
+pub mod fused;
 pub mod kernel;
 pub mod local;
 pub mod sparse_tile;
@@ -33,6 +34,7 @@ pub mod tiled_matrix;
 pub mod tiled_vector;
 
 pub use coo::CooMatrix;
+pub use fused::{ElemwiseOp, FusedProgram};
 pub use local::LocalMatrix;
 pub use sparse_tile::CscTile;
 pub use tile::DenseMatrix;

@@ -7,6 +7,7 @@
 //! sparsifier/builder design is storage-agnostic.
 
 use crate::kernel;
+use crate::kernel::Backend;
 use crate::tile::DenseMatrix;
 use sparkline::{SizeOf, SpillCodec};
 
@@ -79,6 +80,71 @@ impl CscTile {
         CscTile {
             rows,
             cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Assemble from raw CSC arrays. Crate-internal: the fused sparsifier
+    /// builds pruned tiles directly without a dense intermediate.
+    pub(crate) fn from_raw(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), cols + 1);
+        debug_assert_eq!(row_idx.len(), values.len());
+        debug_assert_eq!(col_ptr.last().copied(), Some(values.len()));
+        CscTile {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Apply a single-slot fused program over the stored non-zeros only —
+    /// one pass, no densify. Requires [`FusedProgram::preserves_zero`]
+    /// (structural zeros must map to bit-exact `+0.0`) and a program reading
+    /// at most slot 0; computed zeros are dropped so the result stays
+    /// canonical (no explicit zeros). Bit-identical to densify → fused dense
+    /// pass → re-compress, because every surviving element runs the same
+    /// postfix chain and CSC order is preserved.
+    ///
+    /// # Panics
+    /// If the program reads more than one slot or does not preserve zero.
+    pub fn map_fused(&self, prog: &crate::fused::FusedProgram, backend: Backend) -> CscTile {
+        assert!(
+            prog.n_slots() <= 1,
+            "CscTile::map_fused: program reads {} slots, sparse tiles carry one",
+            prog.n_slots()
+        );
+        assert!(
+            prog.preserves_zero(),
+            "CscTile::map_fused: program does not map 0.0 to +0.0"
+        );
+        let mapped = crate::fused::fused_eltwise(prog, &[&self.values], self.values.len(), backend);
+        let mut col_ptr = Vec::with_capacity(self.cols + 1);
+        let mut row_idx = Vec::with_capacity(self.row_idx.len());
+        let mut values = Vec::with_capacity(mapped.len());
+        col_ptr.push(0);
+        for j in 0..self.cols {
+            let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            for (&r, &v) in self.row_idx[lo..hi].iter().zip(&mapped[lo..hi]) {
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(values.len());
+        }
+        CscTile {
+            rows: self.rows,
+            cols: self.cols,
             col_ptr,
             row_idx,
             values,

@@ -1,0 +1,190 @@
+//! Property tests for the fused elementwise kernel: random expression trees
+//! (depth <= 5, with scalar constants) over dense and CSC tiles must match
+//! the per-element `eval_scalar` oracle *bitwise* on every backend — the
+//! determinism contract of `tiled::fused`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tiled::kernel::Backend;
+use tiled::{CscTile, DenseMatrix, ElemwiseOp, FusedProgram, LocalMatrix};
+
+/// Build a random postfix expression tree of the given depth over `n_slots`
+/// inputs. Leaves are slot loads or scalar constants; interior nodes draw
+/// from the full op set. `sqrt` is emitted as `abs; sqrt` so random trees
+/// stay NaN-free and the CSC oracle's `f64` comparisons stay meaningful.
+fn random_tree(rng: &mut StdRng, depth: usize, n_slots: usize, ops: &mut Vec<ElemwiseOp>) {
+    if depth == 0 || rng.gen_range(0..6) == 0 {
+        if n_slots > 0 && rng.gen_range(0..4) != 0 {
+            ops.push(ElemwiseOp::Slot(rng.gen_range(0..n_slots)));
+        } else {
+            // Small half-unit constants: exactly representable, so trace-time
+            // folding and per-element evaluation agree trivially.
+            ops.push(ElemwiseOp::Const(rng.gen_range(-8i32..=8) as f64 * 0.5));
+        }
+        return;
+    }
+    match rng.gen_range(0..8) {
+        0 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Add);
+        }
+        1 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Sub);
+        }
+        2 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Mul);
+        }
+        3 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Neg);
+        }
+        4 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Abs);
+        }
+        5 => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Abs);
+            ops.push(ElemwiseOp::Sqrt);
+        }
+        6 => {
+            use tiled::fused::CmpOp;
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            let cmp = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][rng.gen_range(0usize..6)];
+            ops.push(ElemwiseOp::Cmp(cmp));
+        }
+        _ => {
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            random_tree(rng, depth - 1, n_slots, ops);
+            ops.push(ElemwiseOp::Select);
+        }
+    }
+}
+
+fn random_program(seed: u64, depth: usize, n_slots: usize) -> FusedProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    random_tree(&mut rng, depth, n_slots, &mut ops);
+    FusedProgram::new(ops).expect("generated postfix tree is always balanced")
+}
+
+fn rand_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LocalMatrix::random(rows, cols, -2.0, 2.0, &mut rng).to_dense()
+}
+
+const BACKENDS: [Backend; 3] = [Backend::Scalar, Backend::Avx2, Backend::Avx512];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked executor == per-element oracle, bit-for-bit, on every backend
+    /// chunk width, for random trees over up to 3 dense slot buffers and
+    /// lengths straddling the chunk boundaries.
+    #[test]
+    fn fused_dense_bit_identical_to_scalar_oracle(
+        seed in 0u64..10_000, depth in 1usize..=5, n_slots in 1usize..=3,
+        len in 1usize..700,
+    ) {
+        let p = random_program(seed, depth, n_slots);
+        let bufs: Vec<Vec<f64>> = (0..n_slots)
+            .map(|s| rand_dense(1, len, seed ^ (s as u64 + 1)).data().to_vec())
+            .collect();
+        let views: Vec<&[f64]> = bufs.iter().map(Vec::as_slice).collect();
+        for backend in BACKENDS {
+            let got = tiled::kernel::fused_eltwise(&p, &views, len, backend);
+            for i in 0..len {
+                let slots: Vec<f64> = bufs.iter().map(|b| b[i]).collect();
+                let want = p.eval_scalar(&slots);
+                prop_assert_eq!(
+                    got[i].to_bits(), want.to_bits(),
+                    "element {} backend {:?} sig {}", i, backend, p.signature()
+                );
+            }
+        }
+    }
+
+    /// The fused sparsifier == dense pass then compress, on every backend.
+    /// Both drop exact zeros (including -0.0) through the identical
+    /// `!= 0.0` test, so the densified results must agree bitwise.
+    #[test]
+    fn fused_sparsify_bit_identical_to_dense_then_compress(
+        seed in 0u64..10_000, depth in 1usize..=5, n_slots in 1usize..=3,
+        rows in 1usize..20, cols in 1usize..20,
+    ) {
+        let p = random_program(seed, depth, n_slots);
+        let bufs: Vec<Vec<f64>> = (0..n_slots)
+            .map(|s| rand_dense(rows, cols, seed ^ (s as u64 + 11)).data().to_vec())
+            .collect();
+        let views: Vec<&[f64]> = bufs.iter().map(Vec::as_slice).collect();
+        let dense = tiled::kernel::fused_eltwise(&p, &views, rows * cols, Backend::Scalar);
+        let want = CscTile::from_dense(&DenseMatrix::from_vec(rows, cols, dense));
+        for backend in BACKENDS {
+            let got = tiled::kernel::fused_eltwise_sparsify(&p, &views, rows, cols, backend);
+            prop_assert_eq!(got.nnz(), want.nnz(), "backend {:?}", backend);
+            let gb: Vec<u64> = got.to_dense().data().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u64> = want.to_dense().data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, wb, "backend {:?} sig {}", backend, p.signature());
+        }
+    }
+
+    /// Single-input zero-preserving programs over CSC non-zeros only ==
+    /// densify, run, re-compress — the sparse fast path never changes bits.
+    #[test]
+    fn csc_map_fused_bit_identical_to_densified_oracle(
+        seed in 0u64..10_000, depth in 1usize..=5,
+        rows in 1usize..16, cols in 1usize..16, density in 0.0f64..0.9,
+    ) {
+        let p = random_program(seed, depth, 1);
+        // No prop_assume in the vendored shim: programs that shift zero
+        // (roughly half of random trees) simply skip the sparse fast path,
+        // exactly as the planner's `preserves_zero` gate does.
+        if p.preserves_zero() {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC5C);
+            let dense = LocalMatrix::sparse_random(rows, cols, density, &mut rng).to_dense();
+            let csc = CscTile::from_dense(&dense);
+            let full =
+                tiled::kernel::fused_eltwise(&p, &[dense.data()], rows * cols, Backend::Scalar);
+            let want = CscTile::from_dense(&DenseMatrix::from_vec(rows, cols, full));
+            for backend in BACKENDS {
+                let got = csc.map_fused(&p, backend);
+                prop_assert_eq!(got.nnz(), want.nnz(), "backend {:?}", backend);
+                let gb: Vec<u64> = got.to_dense().data().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u64> = want.to_dense().data().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(gb, wb, "backend {:?} sig {}", backend, p.signature());
+            }
+        }
+    }
+
+    /// Constant folding at any subtree is bit-safe: folding uses the same
+    /// f64 arithmetic as per-element evaluation, so a program made entirely
+    /// of constants equals its folded value everywhere.
+    #[test]
+    fn constant_programs_fill_with_their_folded_value(
+        seed in 0u64..10_000, depth in 1usize..=5, len in 1usize..600,
+    ) {
+        let p = random_program(seed, depth, 0);
+        let folded = p.eval_scalar(&[]);
+        for backend in BACKENDS {
+            let got = tiled::kernel::fused_eltwise(&p, &[], len, backend);
+            for (i, v) in got.iter().enumerate() {
+                prop_assert_eq!(v.to_bits(), folded.to_bits(), "element {}", i);
+            }
+        }
+    }
+}

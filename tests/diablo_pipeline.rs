@@ -74,7 +74,9 @@ fn elementwise_loop_plans_as_eltwise() {
     let translated = translate(&parse_program(src).unwrap()).unwrap();
     let expr = &translated.outputs[0].1;
     let plan = s.compile_expr(expr).unwrap();
-    assert_eq!(plan.plan.strategy_name(), "eltwise", "{expr}");
+    // Loop-translated elementwise programs go through the same fuse pass as
+    // hand-written comprehensions: the whole region plans as one fused kernel.
+    assert_eq!(plan.plan.strategy_name(), "eltwise/fused", "{expr}");
     let got = s.run_expr(expr).unwrap().into_matrix().unwrap().to_local();
     let want = a.add(&b.scale(2.0));
     assert!(got.approx_eq(&want, 1e-12));

@@ -1,0 +1,158 @@
+//! Fused-pipeline correctness sweep: random elementwise expression trees
+//! (depth <= 5, scalar constants) compiled through the whole stack must be
+//! bit-identical between the fused plan (`Plan::FusedEltwise`, one tile
+//! kernel) and the unfused per-op oracle (`fuse_eltwise = false`) — under
+//! seeded chaos, a 256-byte storage budget, and 1..N tile threads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_repro::sac::Session;
+use sac_repro::sparkline::ChaosPlan;
+use sac_repro::tiled::LocalMatrix;
+
+/// Render a random fully-parenthesized elementwise expression over the tile
+/// variables `a`, `b` and exactly-representable scalar constants. `sqrt` is
+/// wrapped in `abs` so results stay finite and both paths' bits are the
+/// plain-arithmetic chain, not NaN payloads.
+fn random_expr(rng: &mut StdRng, depth: usize) -> String {
+    if depth == 0 || rng.gen_range(0u32..5) == 0 {
+        return match rng.gen_range(0u32..4) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            _ => format!("{:?}", rng.gen_range(-6i32..=6) as f64 * 0.25),
+        };
+    }
+    match rng.gen_range(0u32..6) {
+        0 => format!(
+            "({} + {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        1 => format!(
+            "({} - {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        2 => format!(
+            "({} * {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        3 => format!("abs({})", random_expr(rng, depth - 1)),
+        4 => format!("sqrt(abs({}))", random_expr(rng, depth - 1)),
+        _ => format!(
+            "({} * {:?})",
+            random_expr(rng, depth - 1),
+            rng.gen_range(-8i32..=8) as f64 * 0.5
+        ),
+    }
+}
+
+fn query(expr: &str) -> String {
+    format!("tiled(n,n)[ ((i,j), {expr}) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]")
+}
+
+struct Knobs {
+    n: usize,
+    tile: usize,
+    tile_threads: usize,
+    chaos: Option<u64>,
+    storage: usize,
+    fuse: bool,
+}
+
+fn run_query(src: &str, a: &LocalMatrix, b: &LocalMatrix, k: &Knobs) -> Vec<u64> {
+    let mut builder = Session::builder()
+        .workers(4)
+        .executors(4)
+        .partitions(4)
+        .tile_threads(k.tile_threads)
+        .storage_memory(k.storage)
+        .max_task_attempts(8)
+        .max_stage_attempts(12);
+    builder = match k.chaos {
+        Some(seed) => builder.chaos(ChaosPlan::seeded(seed, 4)),
+        None => builder.chaos_off(),
+    };
+    let mut s = builder.build();
+    s.register_local_matrix("A", a, k.tile);
+    s.register_local_matrix("B", b, k.tile);
+    s.set_int("n", k.n as i64);
+    s.config_mut().fuse_eltwise = k.fuse;
+    let out = s.matrix(src).unwrap().to_local();
+    out.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fused == unfused per-op oracle, bitwise, for random trees — the fused
+    /// run under seeded chaos + a 256-byte storage budget (nothing fits:
+    /// every persisted block is evicted and recomputed) + a swept tile-thread
+    /// count, the oracle fault-free and single-threaded.
+    #[test]
+    fn random_elementwise_trees_fused_equals_unfused_bitwise(
+        seed in 0u64..10_000, depth in 1usize..=5,
+        n in 4usize..10, tile in 2usize..5,
+        tile_threads in 1usize..=4, chaos_seed in 0u64..5_000,
+        sparse_inputs in proptest::bool::ANY,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = query(&random_expr(&mut rng, depth));
+        let (a, b) = if sparse_inputs {
+            // Zero-heavy inputs: exercises the `preserves_zero` boundary and
+            // tile padding without a session-level CSC registration path.
+            (
+                LocalMatrix::sparse_random(n, n, 0.3, &mut rng),
+                LocalMatrix::sparse_random(n, n, 0.3, &mut rng),
+            )
+        } else {
+            (
+                LocalMatrix::random(n, n, -2.0, 2.0, &mut rng),
+                LocalMatrix::random(n, n, -2.0, 2.0, &mut rng),
+            )
+        };
+
+        let oracle = run_query(&src, &a, &b, &Knobs {
+            n, tile, tile_threads: 1, chaos: None, storage: usize::MAX, fuse: false,
+        });
+        let fused = run_query(&src, &a, &b, &Knobs {
+            n, tile, tile_threads, chaos: Some(chaos_seed), storage: 256, fuse: true,
+        });
+        prop_assert_eq!(
+            fused, oracle,
+            "src {} chaos {} threads {} diverged", src, chaos_seed, tile_threads
+        );
+    }
+}
+
+/// The acceptance scenario, pinned: `A + B * c` over 384^2 inputs with
+/// 128-wide tiles plans as one fused region and matches the unfused oracle
+/// bit-for-bit (integer-derived inputs: every bit is meaningful).
+#[test]
+fn e2e_384_fused_add_scale_bit_identical_to_unfused() {
+    let n = 384;
+    let a = LocalMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
+    let b = LocalMatrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+    let src = query("(a + (b * 0.5))");
+    let knobs = |fuse| Knobs {
+        n,
+        tile: 128,
+        tile_threads: 2,
+        chaos: None,
+        storage: usize::MAX,
+        fuse,
+    };
+    let fused = run_query(&src, &a, &b, &knobs(true));
+    let unfused = run_query(&src, &a, &b, &knobs(false));
+    assert_eq!(fused, unfused);
+    // And both equal the driver-side oracle.
+    let want: Vec<u64> = (0..n * n)
+        .map(|idx| {
+            let (i, j) = (idx / n, idx % n);
+            (a.get(i, j) + b.get(i, j) * 0.5).to_bits()
+        })
+        .collect();
+    assert_eq!(fused, want);
+}

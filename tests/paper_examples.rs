@@ -281,8 +281,9 @@ fn paper_queries_all_plan() {
     s.set_int("m", 8);
     for (src, expected_plan) in [
         (
+            // Elementwise regions plan as one fused kernel since the fuse pass.
             "tiled(n,m)[ ((i,j), a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N, ii == i, jj == j ]",
-            "eltwise",
+            "eltwise/fused",
         ),
         (
             // Tiny operands under the default broadcast budget: the adaptive

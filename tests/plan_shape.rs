@@ -401,6 +401,122 @@ fn narrow_chain_runs_as_one_fused_operator_pipeline() {
     );
 }
 
+/// Fusible region: `a + b*0.5` — two loads, a folded scalar constant, a
+/// multiply and an add, all elementwise over co-partitioned tiles.
+const FUSED_SRC: &str =
+    "tiled(n,n)[ ((i,j), a + b*0.5) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]";
+
+#[test]
+fn fused_region_executes_as_one_operator_and_no_shuffle() {
+    // The whole `a + b*0.5` region lowers to ONE Plan::FusedEltwise node and
+    // runs as ONE tile-level operator: exactly one `fused_eltwise` operator
+    // entry across every traced stage, no per-op intermediates, no shuffle.
+    let s = session(8, 4);
+    let analysis = s.explain_analyze(FUSED_SRC).unwrap();
+    assert!(analysis.plan.contains("eltwise/fused"), "{}", analysis.plan);
+    assert!(!analysis.profile.jobs.is_empty(), "trace saw no jobs");
+    assert_eq!(
+        shuffle_stages(&analysis.profile),
+        0,
+        "co-partitioned fused eltwise must not shuffle:\n{}",
+        analysis.profile.render()
+    );
+
+    // Exactly one operator entry for the region, over all stages: the fused
+    // kernel. No unfused per-op `map` chain survives between the join and
+    // the output tiles.
+    let fused_entries: Vec<_> = analysis
+        .profile
+        .stages
+        .iter()
+        .flat_map(|st| st.operators.iter())
+        .filter(|o| o.operator == "fused_eltwise")
+        .collect();
+    assert_eq!(
+        fused_entries.len(),
+        1,
+        "the region must surface as exactly one operator:\n{}",
+        analysis.profile.render()
+    );
+    // 8x8 over 4x4 tiles -> a 2x2 grid of output tiles.
+    assert_eq!(fused_entries[0].rows, 4, "{}", analysis.profile.render());
+
+    // The planner announced the fusion on the event bus: one region, both
+    // inputs, with the traced postfix signature carrying the folded constant.
+    assert_eq!(
+        analysis.profile.fused_regions.len(),
+        1,
+        "{}",
+        analysis.profile.render()
+    );
+    let region = &analysis.profile.fused_regions[0];
+    assert_eq!(region.inputs, 2);
+    assert!(region.ops >= 4, "loads + const + mul + add: {region:?}");
+    assert!(
+        region.signature.contains("mul") && region.signature.contains("add"),
+        "{region:?}"
+    );
+}
+
+#[test]
+fn failed_attempts_emit_no_partial_operator_counts() {
+    use sac_repro::sparkline::{ChaosPlan, Context};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // A map attempt panics partway through its partition (after yielding 3
+    // of 25 rows) while a kill-at-task plan loses executors underneath.
+    // Failed attempts must contribute ZERO operator_output rows — the
+    // on-drop emission is suppressed while unwinding — so every traced
+    // per-operator total stays a multiple of whole 25-row partitions.
+    // (A kill never truncates a drain: the task runs to completion and the
+    // epoch gate discards its *result*, so re-runs re-count whole
+    // partitions — the documented double-emission, still a multiple of 25.)
+    let fails = Arc::new(AtomicUsize::new(0));
+    let f = fails.clone();
+    let plan = ChaosPlan::new()
+        .with_kill_at_task(2, 1)
+        .with_kill_at_task(5, 3);
+    let c = Context::builder()
+        .workers(4)
+        .executors(4)
+        .max_task_attempts(8)
+        .max_stage_attempts(12)
+        .chaos(plan)
+        .build();
+    c.trace();
+    let mut out = c
+        .parallelize((0..100i64).collect(), 4)
+        .map(move |x| {
+            if x == 3 && f.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected mid-partition failure");
+            }
+            x * 2
+        })
+        .collect();
+    let profile = c.take_profile();
+
+    out.sort();
+    assert_eq!(out, (0..100i64).map(|x| x * 2).collect::<Vec<_>>());
+    assert!(
+        fails.load(Ordering::SeqCst) >= 2,
+        "the poisoned partition must have run at least twice"
+    );
+    let rows: u64 = profile
+        .stages
+        .iter()
+        .filter_map(|st| st.operator_stats("map"))
+        .map(|o| o.rows)
+        .sum();
+    assert!(rows >= 100, "{}", profile.render());
+    assert_eq!(
+        rows % 25,
+        0,
+        "a failed attempt leaked a partial row count:\n{}",
+        profile.render()
+    );
+}
+
 #[test]
 fn plan_cache_hits_are_pinned_by_event_count() {
     use sac_repro::service::QueryService;
