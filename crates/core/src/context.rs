@@ -24,6 +24,7 @@ pub struct SessionBuilder {
     chaos_off: bool,
     worker_processes: Option<usize>,
     external_shuffle: Option<bool>,
+    adaptive: Option<bool>,
 }
 
 impl Default for SessionBuilder {
@@ -47,6 +48,7 @@ impl Default for SessionBuilder {
             chaos_off: false,
             worker_processes: None,
             external_shuffle: None,
+            adaptive: None,
         }
     }
 }
@@ -110,6 +112,15 @@ impl SessionBuilder {
     /// more than once (on by default).
     pub fn auto_persist(mut self, on: bool) -> Self {
         self.auto_persist = on;
+        self
+    }
+
+    /// Enable or disable adaptive stage-frontier re-planning (on by
+    /// default; unset falls back to the `SAC_ADAPTIVE` environment
+    /// variable). `false` freezes every plan at its registration-time
+    /// decision — the bit-exactness oracle.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = Some(on);
         self
     }
 
@@ -204,6 +215,7 @@ impl SessionBuilder {
                 ctx.build()
             }
         };
+        let defaults = PlanConfig::default();
         Session {
             ctx,
             env: PlanEnv::new(),
@@ -214,7 +226,8 @@ impl SessionBuilder {
                 tile_threads: self.tile_threads,
                 allow_local_fallback: true,
                 auto_persist: self.auto_persist,
-                ..PlanConfig::default()
+                adaptive: self.adaptive.unwrap_or(defaults.adaptive),
+                ..defaults
             },
         }
     }

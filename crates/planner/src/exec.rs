@@ -484,26 +484,54 @@ fn exec_contraction(
         swap_output,
         value,
         strategy,
-        ..
+        decision,
     } = plan
     else {
         unreachable!()
     };
-    let a = matrix_input(env, left)?;
-    let b = matrix_input(env, right)?;
-    if a.tile_size() != b.tile_size() {
+    let a0 = matrix_input(env, left)?;
+    let b0 = matrix_input(env, right)?;
+    if a0.tile_size() != b0.tile_size() {
         return Err(CompError::plan("contraction inputs must share a tile size"));
     }
+
+    // Adaptive stage driver: a shuffling auto-chosen contraction's inputs
+    // are this node's first materialization point. Probe them, overlay the
+    // measured stats, and let the cost model re-decide strategy and
+    // partition count before the remainder is lowered. A zero-shuffle
+    // broadcast choice has nothing left to save, and a pinned strategy must
+    // be honored — neither probes.
+    let mut strategy = *strategy;
+    let mut config = config.clone();
+    if config.adaptive && decision.auto && !matches!(strategy, MatMulStrategy::Broadcast) {
+        let replan = crate::stage::adapt_contraction(
+            env,
+            ctx,
+            &config,
+            left,
+            right,
+            a0,
+            b0,
+            *left_contract_row,
+            *right_contract_col,
+            strategy,
+            decision,
+        );
+        strategy = replan.strategy;
+        config.partitions = replan.partitions;
+    }
+    let config = &config;
+
     // Normalize to standard C = A' * B' with contraction on A'.col / B'.row.
     let a = if *left_contract_row {
-        a.transpose()
+        a0.transpose()
     } else {
-        a.clone()
+        a0.clone()
     };
     let b = if *right_contract_col {
-        b.transpose()
+        b0.transpose()
     } else {
-        b.clone()
+        b0.clone()
     };
     if a.cols() != b.rows() {
         return Err(CompError::plan(format!(
@@ -542,6 +570,29 @@ fn exec_contraction(
         }
     };
 
+    let std = lower_contraction(strategy, &a, &b, n, config.partitions, multiply, ctx)?;
+    let result = TiledMatrix::new(std_dims.0, std_dims.1, n, std);
+    Ok(if *swap_output {
+        result.transpose()
+    } else {
+        result
+    })
+}
+
+/// Lower one fully-resolved contraction strategy to its dataset DAG.
+/// `a`/`b` are already oriented standard (contraction on `a.col`/`b.row`);
+/// the caller — the frozen plan or the adaptive stage driver — has resolved
+/// `strategy` and `partitions`. Shared by both paths so a runtime strategy
+/// switch runs bit-identically to the same strategy chosen at plan time.
+fn lower_contraction(
+    strategy: MatMulStrategy,
+    a: &TiledMatrix,
+    b: &TiledMatrix,
+    n: usize,
+    partitions: usize,
+    multiply: impl Fn(&DenseMatrix, &DenseMatrix, i64, &mut DenseMatrix) + Clone + Send + Sync + 'static,
+    ctx: &Context,
+) -> Result<Dataset<(TileCoord, DenseMatrix)>, CompError> {
     let std = match strategy {
         MatMulStrategy::JoinGroupBy => {
             // §4's naive translation: every partial product tile crosses the
@@ -550,21 +601,19 @@ fn exec_contraction(
             let rhs = b.tiles().map(|((k, j), t)| (k, (j, t)));
             let multiply = multiply.clone();
             let prods = lhs
-                .join(&rhs, config.partitions)
+                .join(&rhs, partitions)
                 .map(move |(k, ((i, av), (j, bv)))| {
                     let mut out = DenseMatrix::zeros(n, n);
                     multiply(&av, &bv, k, &mut out);
                     ((i, j), out)
                 });
-            prods
-                .group_by_key(config.partitions)
-                .map_values(move |tiles| {
-                    let mut acc = DenseMatrix::zeros(n, n);
-                    for t in tiles {
-                        acc.add_in_place(&t);
-                    }
-                    acc
-                })
+            prods.group_by_key(partitions).map_values(move |tiles| {
+                let mut acc = DenseMatrix::zeros(n, n);
+                for t in tiles {
+                    acc.add_in_place(&t);
+                }
+                acc
+            })
         }
         MatMulStrategy::ReduceByKey => {
             // §5.3: join on the contracted block index, one partial product
@@ -573,13 +622,13 @@ fn exec_contraction(
             let rhs = b.tiles().map(|((k, j), t)| (k, (j, t)));
             let multiply = multiply.clone();
             let prods = lhs
-                .join(&rhs, config.partitions)
+                .join(&rhs, partitions)
                 .map(move |(k, ((i, av), (j, bv)))| {
                     let mut out = DenseMatrix::zeros(n, n);
                     multiply(&av, &bv, k, &mut out);
                     ((i, j), out)
                 });
-            prods.reduce_by_key_in_place(config.partitions, |acc, t| acc.add_in_place(&t))
+            prods.reduce_by_key_in_place(partitions, |acc, t| acc.add_in_place(&t))
         }
         MatMulStrategy::GroupByJoin => {
             // §5.4: replicate rows of A across result columns and columns of
@@ -598,7 +647,7 @@ fn exec_contraction(
                     .collect::<Vec<_>>()
             });
             lefts
-                .cogroup(&rights, config.partitions)
+                .cogroup(&rights, partitions)
                 .map(move |(coord, (ls, rs))| {
                     let mut out = DenseMatrix::zeros(n, n);
                     // Index the right tiles by contraction coordinate.
@@ -621,7 +670,6 @@ fn exec_contraction(
             // output tiles map-side. A single reduceByKey round combines
             // partials whose contraction spans several partitions of the
             // big side — no join shuffle at all.
-            let partitions = config.partitions;
             if b.rows() * b.cols() <= a.rows() * a.cols() {
                 // Broadcast B, keyed by the contracted block index.
                 let mut table: HashMap<i64, Vec<(i64, DenseMatrix)>> = HashMap::new();
@@ -677,12 +725,7 @@ fn exec_contraction(
             ))
         }
     };
-    let result = TiledMatrix::new(std_dims.0, std_dims.1, n, std);
-    Ok(if *swap_output {
-        result.transpose()
-    } else {
-        result
-    })
+    Ok(std)
 }
 
 /// Fig. 1: per-tile axis reduction then block-wise `reduceByKey`.
@@ -800,7 +843,7 @@ fn exec_mat_vec(
         contract_row,
         value,
         broadcast,
-        ..
+        decision,
     } = plan
     else {
         unreachable!()
@@ -836,7 +879,25 @@ fn exec_mat_vec(
     let fast = value.is_product_of(0, 1);
     let value = value.clone();
 
-    if *broadcast {
+    // Adaptive stage driver: when the cost model picked the shuffle path
+    // from estimates, probe the materialized vector at this node's frontier
+    // and promote to the zero-shuffle broadcast path if the observed size
+    // fits the budget and wins on cost.
+    let broadcast = *broadcast
+        || (config.adaptive
+            && decision.auto
+            && crate::stage::adapt_mat_vec(
+                env,
+                ctx,
+                config,
+                matrix,
+                vector,
+                v,
+                *contract_row,
+                decision,
+            ));
+
+    if broadcast {
         // Zero-shuffle path: collect the vector's blocks, broadcast them,
         // compute per-partition pre-merged partial output blocks map-side,
         // collect those partials, and finish the merge on the driver. Every
@@ -1614,6 +1675,20 @@ mod tests {
                 .is_some_and(|t| t.starts_with("contraction")),
             "recovery stage must carry the plan-node tag, got {:?}",
             resubmit.tag
+        );
+        // est-vs-actual pairing under faults: the resubmitted attempt's
+        // bytes carry the same plan-node tag but must NOT inflate the
+        // actual-of-tag figure — it reports first-successful-attempt bytes,
+        // so the killed run pairs the estimate with exactly what the clean
+        // run measured.
+        let tag = "contraction/groupByJoin";
+        let clean_bytes = clean.actual_shuffle_bytes_of_tag(tag);
+        assert!(clean_bytes > 0, "{}", clean.render());
+        assert_eq!(
+            profile.actual_shuffle_bytes_of_tag(tag),
+            clean_bytes,
+            "resubmitted attempts must not be summed into actual bytes:\n{}",
+            profile.render()
         );
     }
 }

@@ -21,6 +21,7 @@ pub mod exec;
 pub mod fuse;
 pub mod plan;
 pub mod scalar;
+mod stage;
 
 pub use env::{DistArray, PlanEnv};
 pub use exec::{execute, ExecResult};

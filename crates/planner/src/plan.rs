@@ -100,6 +100,13 @@ pub struct PlanConfig {
     /// ([`Plan::FusedEltwise`]); `false` keeps the per-node interpreter
     /// ([`Plan::Eltwise`], the bit-identical oracle).
     pub fuse_eltwise: bool,
+    /// Re-plan at stage boundaries from measured statistics: probe the
+    /// materialized inputs of an auto-chosen shuffling strategy, overlay the
+    /// observed [`crate::env::ArrayStats`], and re-run the candidate cost
+    /// model on the not-yet-lowered remainder (Spark-AQE shape). `false`
+    /// freezes the registration-time plan — the bit-exactness oracle.
+    /// Defaults to on; env `SAC_ADAPTIVE=0` opts out process-wide.
+    pub adaptive: bool,
 }
 
 impl Default for PlanConfig {
@@ -112,6 +119,9 @@ impl Default for PlanConfig {
             allow_local_fallback: true,
             auto_persist: true,
             fuse_eltwise: true,
+            adaptive: std::env::var("SAC_ADAPTIVE")
+                .map(|v| v != "0")
+                .unwrap_or(true),
         }
     }
 }
@@ -304,7 +314,7 @@ impl Plan {
 ///
 /// # Panics
 /// On [`MatMulStrategy::Auto`], which plan selection always resolves away.
-fn contraction_tag(strategy: MatMulStrategy) -> &'static str {
+pub(crate) fn contraction_tag(strategy: MatMulStrategy) -> &'static str {
     match strategy {
         MatMulStrategy::JoinGroupBy => "contraction/joinGroupBy",
         MatMulStrategy::ReduceByKey => "contraction/reduceByKey",
@@ -693,7 +703,7 @@ const ROUND_COST: u64 = 16 << 10;
 
 /// Nominal partition count for cost estimation when autotuning defers the
 /// real choice to execution time.
-fn nominal_partitions(config: &PlanConfig) -> u64 {
+pub(crate) fn nominal_partitions(config: &PlanConfig) -> u64 {
     if config.partitions > 0 {
         config.partitions as u64
     } else {
@@ -702,8 +712,9 @@ fn nominal_partitions(config: &PlanConfig) -> u64 {
 }
 
 /// Estimated costs (shuffle bytes + round latency) of every eligible
-/// contraction strategy, in tie-break preference order.
-fn contraction_candidates(
+/// contraction strategy, in tie-break preference order. Also re-invoked by
+/// the adaptive stage driver with measured stats overlaid on `env`.
+pub(crate) fn contraction_candidates(
     env: &PlanEnv,
     config: &PlanConfig,
     left: &str,
@@ -936,16 +947,16 @@ fn plan_mat_vec(d: &Decomposed, env: &PlanEnv, config: &PlanConfig) -> Result<Pl
     })
 }
 
-/// Physical path for a matrix–vector contraction: broadcast the vector when
-/// it fits the budget (no shuffle at all), else join + reduceByKey. A pinned
-/// `matmul` strategy pins the analogous mat-vec path.
-fn choose_mat_vec_path(
+/// Estimated costs of both mat-vec paths, in tie-break preference order
+/// (broadcast first when it fits the budget). Also re-invoked by the
+/// adaptive stage driver with measured stats overlaid on `env`.
+pub(crate) fn mat_vec_candidates(
     env: &PlanEnv,
     config: &PlanConfig,
     matrix: &str,
     vector: &str,
     contract_row: bool,
-) -> (bool, PlanDecision) {
+) -> Vec<(&'static str, u64)> {
     let mut candidates: Vec<(&'static str, u64)> = Vec::new();
     if let (Some(sm), Some(sv)) = (env.stats(matrix), env.stats(vector)) {
         let out_blocks = if contract_row {
@@ -972,6 +983,20 @@ fn choose_mat_vec_path(
                 + 3 * ROUND_COST,
         ));
     }
+    candidates
+}
+
+/// Physical path for a matrix–vector contraction: broadcast the vector when
+/// it fits the budget (no shuffle at all), else join + reduceByKey. A pinned
+/// `matmul` strategy pins the analogous mat-vec path.
+fn choose_mat_vec_path(
+    env: &PlanEnv,
+    config: &PlanConfig,
+    matrix: &str,
+    vector: &str,
+    contract_row: bool,
+) -> (bool, PlanDecision) {
+    let candidates = mat_vec_candidates(env, config, matrix, vector, contract_row);
     let (broadcast, auto) = match config.matmul {
         MatMulStrategy::Auto => {
             let best = candidates.iter().copied().min_by_key(|&(_, c)| c);

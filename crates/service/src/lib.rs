@@ -769,14 +769,19 @@ impl QueryService {
             // fusion (or the kernel backend via `SAC_KERNEL`) between two
             // alpha-equivalent compiles must produce distinct keys, or one
             // tenant's cached plan leaks the other configuration's kernels.
+            // `adaptive` is part of the signature too so a frozen tenant
+            // never shares an adaptive tenant's entry; runtime re-decisions
+            // themselves are made per-execution from measured stats and are
+            // never written back into this cache.
             key.push_str(&format!(
-                "|c:{}:{:?}:{}:{}:{}:{}:{}",
+                "|c:{}:{:?}:{}:{}:{}:{}:{}:{}",
                 config.partitions,
                 config.matmul,
                 config.broadcast_budget,
                 config.tile_threads,
                 config.auto_persist,
                 config.fuse_eltwise,
+                config.adaptive,
                 tiled::kernel::signature(),
             ));
             (tid, key, env, config)

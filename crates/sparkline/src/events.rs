@@ -208,6 +208,29 @@ pub enum Event {
         candidates: Vec<(String, u64)>,
         at_micros: u64,
     },
+    /// The adaptive stage driver revised a plan-time decision at a stage
+    /// frontier (`plan_replanned`): measured statistics from the node's
+    /// materialized inputs re-ran the cost model and either switched the
+    /// physical strategy, changed the shuffle partition count, or both.
+    /// Emitted only when something actually changed — a frozen or honest
+    /// plan produces none.
+    PlanReplanned {
+        /// Plan-node tag the re-decision applies to (the tag its shuffle
+        /// stages carry), e.g. `contraction/reduceByKey`.
+        tag: String,
+        /// Strategy tag chosen at plan time.
+        from: String,
+        /// Strategy tag the node actually runs with.
+        to: String,
+        /// Plan-time estimated shuffle bytes of `from`.
+        est_shuffle_bytes: u64,
+        /// Re-costed shuffle bytes of `to` under the measured statistics.
+        observed_bytes: u64,
+        /// Shuffle partition count the remainder runs with (doubled when
+        /// the frontier revealed >= 2x partition skew).
+        partitions: u64,
+        at_micros: u64,
+    },
     /// The query service's fair scheduler granted a tenant job one of its
     /// admission slots. `queue_micros` is the wall time the job waited in the
     /// admission queue.
@@ -689,6 +712,25 @@ impl Event {
                     .num_field("at_micros", *at_micros);
                 o.finish()
             }
+            Event::PlanReplanned {
+                tag,
+                from,
+                to,
+                est_shuffle_bytes,
+                observed_bytes,
+                partitions,
+                at_micros,
+            } => {
+                let mut o = JsonObject::new("plan_replanned");
+                o.str_field("tag", tag)
+                    .str_field("from", from)
+                    .str_field("to", to)
+                    .num_field("est_shuffle_bytes", *est_shuffle_bytes)
+                    .num_field("observed_bytes", *observed_bytes)
+                    .num_field("partitions", *partitions)
+                    .num_field("at_micros", *at_micros);
+                o.finish()
+            }
             Event::JobAdmitted {
                 tenant,
                 job,
@@ -1130,6 +1172,15 @@ fn event_from_json(v: &JsonValue) -> Result<Event, String> {
             candidates: v.candidates("candidates")?,
             at_micros: v.num("at_micros")?,
         }),
+        "plan_replanned" => Ok(Event::PlanReplanned {
+            tag: v.str_of("tag")?,
+            from: v.str_of("from")?,
+            to: v.str_of("to")?,
+            est_shuffle_bytes: v.num("est_shuffle_bytes")?,
+            observed_bytes: v.num("observed_bytes")?,
+            partitions: v.num("partitions")?,
+            at_micros: v.num("at_micros")?,
+        }),
         "job_admitted" => Ok(Event::JobAdmitted {
             tenant: v.str_of("tenant")?,
             job: v.num("job")?,
@@ -1296,6 +1347,15 @@ mod tests {
                     ("contraction/groupByJoin".into(), 65536),
                 ],
                 at_micros: 80,
+            },
+            Event::PlanReplanned {
+                tag: "contraction/reduceByKey".into(),
+                from: "contraction/reduceByKey".into(),
+                to: "contraction/broadcast".into(),
+                est_shuffle_bytes: 65536,
+                observed_bytes: 4096,
+                partitions: 16,
+                at_micros: 81,
             },
             Event::JobAdmitted {
                 tenant: "alice".into(),

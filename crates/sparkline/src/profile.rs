@@ -324,6 +324,28 @@ pub struct PlanChoice {
     pub est_shuffle_bytes: u64,
     /// Every eligible candidate with its estimated shuffle bytes.
     pub candidates: Vec<(String, u64)>,
+    /// Stage-frontier re-decisions the adaptive driver made against this
+    /// choice (`plan_replanned` events), in emission order. Empty for frozen
+    /// plans and for plans whose measured statistics confirmed the estimate.
+    pub replans: Vec<PlanReplan>,
+}
+
+/// One adaptive re-decision (`plan_replanned` event): measured statistics at
+/// a stage frontier revised the strategy, the partition count, or both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReplan {
+    /// Plan-node tag the re-decision applies to.
+    pub tag: String,
+    /// Strategy tag chosen at plan time.
+    pub from: String,
+    /// Strategy tag the node actually ran with.
+    pub to: String,
+    /// Plan-time estimated shuffle bytes of `from`.
+    pub est_shuffle_bytes: u64,
+    /// Re-costed shuffle bytes of `to` under the measured statistics.
+    pub observed_bytes: u64,
+    /// Partition count the remainder ran with.
+    pub partitions: u64,
 }
 
 /// One fused elementwise region (`region_fused` event): the planner
@@ -542,7 +564,37 @@ impl JobProfile {
                     partitions: *partitions,
                     est_shuffle_bytes: *est_shuffle_bytes,
                     candidates: candidates.clone(),
+                    replans: Vec::new(),
                 }),
+                Event::PlanReplanned {
+                    tag,
+                    from,
+                    to,
+                    est_shuffle_bytes,
+                    observed_bytes,
+                    partitions,
+                    ..
+                } => {
+                    let replan = PlanReplan {
+                        tag: tag.clone(),
+                        from: from.clone(),
+                        to: to.clone(),
+                        est_shuffle_bytes: *est_shuffle_bytes,
+                        observed_bytes: *observed_bytes,
+                        partitions: *partitions,
+                    };
+                    // Fold onto the choice the re-decision revised: the last
+                    // choice whose chosen tag matches, else the last choice
+                    // (a replan is always preceded by its `plan_chosen`).
+                    let idx = profile
+                        .plan_choices
+                        .iter()
+                        .rposition(|c| c.chosen == *tag)
+                        .or_else(|| profile.plan_choices.len().checked_sub(1));
+                    if let Some(i) = idx {
+                        profile.plan_choices[i].replans.push(replan);
+                    }
+                }
                 Event::JobAdmitted { queue_micros, .. } => {
                     profile.service.jobs_admitted += 1;
                     profile.service.queue_micros += queue_micros;
@@ -669,10 +721,15 @@ impl JobProfile {
     /// Actual shuffle bytes written by the stages a plan choice produced:
     /// the sum over stages whose `tag` equals the chosen strategy tag. The
     /// est-vs-actual comparison `explain_analyze` prints.
+    ///
+    /// Resubmitted map stages (labels `shuffle.resubmit(op)`) inherit the
+    /// plan tag but re-write bytes the first attempt already wrote, so they
+    /// are excluded — a faulted run reports first-successful-attempt bytes,
+    /// the figure the estimate is comparable to.
     pub fn actual_shuffle_bytes_of_tag(&self, tag: &str) -> u64 {
         self.stages
             .iter()
-            .filter(|s| s.tag.as_deref() == Some(tag))
+            .filter(|s| s.tag.as_deref() == Some(tag) && !s.label.starts_with("shuffle.resubmit"))
             .map(|s| s.shuffle_bytes_written)
             .sum()
     }
@@ -735,6 +792,16 @@ impl JobProfile {
             ));
             for (tag, est) in &choice.candidates {
                 out.push_str(&format!("  candidate {tag}: est {}\n", fmt_bytes(*est)));
+            }
+            for replan in &choice.replans {
+                out.push_str(&format!(
+                    "  plan.replanned {} -> {} ({} partitions): est {}, observed {}\n",
+                    replan.from,
+                    replan.to,
+                    replan.partitions,
+                    fmt_bytes(replan.est_shuffle_bytes),
+                    fmt_bytes(replan.observed_bytes),
+                ));
             }
         }
         for (dataset, stats) in &self.cache_by_dataset {
@@ -1149,6 +1216,89 @@ mod tests {
         );
         assert!(text.contains("est 4.9 KB shuffle, actual 3.9 KB"), "{text}");
         assert!(text.contains("candidate contraction/groupByJoin"), "{text}");
+    }
+
+    /// A resubmitted map stage inherits the plan tag but re-writes bytes the
+    /// first attempt already wrote; actual-vs-estimate must count only the
+    /// first successful attempt, not sum attempts.
+    #[test]
+    fn resubmitted_stage_bytes_do_not_inflate_actual_of_tag() {
+        let mut events = log();
+        events.extend([
+            Event::StageStart {
+                stage_id: 12,
+                job_id: Some(3),
+                label: "shuffle.resubmit(reduceByKey)".into(),
+                tag: Some("contraction/reduceByKey".into()),
+                lineage: None,
+                tasks: 1,
+                at_micros: 200,
+            },
+            Event::ShuffleWrite {
+                stage_id: 12,
+                shuffle_id: 0,
+                operator: "reduceByKey".into(),
+                task: 1,
+                bytes: 1000,
+                records: 3,
+            },
+            Event::StageEnd {
+                stage_id: 12,
+                wall_micros: 30,
+            },
+        ]);
+        let p = JobProfile::from_events(&events);
+        // The resubmission is still visible in totals and recovery stats...
+        assert_eq!(p.total_shuffle_bytes_written(), 5000);
+        assert_eq!(p.recovery.recovery_wall_micros, 30);
+        // ...but the est-vs-actual pairing reports first-attempt bytes only.
+        assert_eq!(
+            p.actual_shuffle_bytes_of_tag("contraction/reduceByKey"),
+            4000
+        );
+    }
+
+    #[test]
+    fn folds_replans_onto_their_plan_choice_and_renders_them() {
+        let mut events = log();
+        events.push(Event::PlanChosen {
+            chosen: "contraction/reduceByKey".into(),
+            auto: true,
+            partitions: 4,
+            est_shuffle_bytes: 5000,
+            candidates: vec![("contraction/reduceByKey".into(), 5000)],
+            at_micros: 240,
+        });
+        events.push(Event::PlanReplanned {
+            tag: "contraction/reduceByKey".into(),
+            from: "contraction/reduceByKey".into(),
+            to: "contraction/broadcast".into(),
+            est_shuffle_bytes: 5000,
+            observed_bytes: 700,
+            partitions: 8,
+            at_micros: 245,
+        });
+        let p = JobProfile::from_events(&events);
+        assert_eq!(p.plan_choices.len(), 1);
+        assert_eq!(
+            p.plan_choices[0].replans,
+            vec![PlanReplan {
+                tag: "contraction/reduceByKey".into(),
+                from: "contraction/reduceByKey".into(),
+                to: "contraction/broadcast".into(),
+                est_shuffle_bytes: 5000,
+                observed_bytes: 700,
+                partitions: 8,
+            }]
+        );
+        let text = p.render();
+        assert!(
+            text.contains(
+                "plan.replanned contraction/reduceByKey -> contraction/broadcast \
+                 (8 partitions): est 4.9 KB, observed 700 B"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -421,3 +421,89 @@ fn e2e_384_matmul_survives_chaos_bit_identical() {
         "chaotic run diverged from the fault-free run"
     );
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Adaptive re-planning vs the frozen oracle (`SAC_ADAPTIVE=0` /
+    /// `.adaptive(false)`): random paper queries over dense and sparse
+    /// (CSC-discounted) integer-valued inputs, under seeded chaos, a
+    /// 256-byte storage budget, and two worker processes, must be
+    /// bit-identical whether or not the stage driver is allowed to
+    /// re-decide mid-plan. Integer values make every reduction order exact,
+    /// so even a genuine strategy switch may not move a bit. The tiny
+    /// broadcast budget arm forces shuffling initial plans — the cases that
+    /// actually probe.
+    #[test]
+    fn adaptive_matches_frozen_oracle_under_chaos(
+        n in 4usize..9, tile in 1usize..4, seed in 0usize..500, query in 0usize..4,
+        kill_at in 3u64..60, kill_exec in 0usize..4, fetch_every in 2u64..8,
+        budget in prop_oneof![Just(64u64), Just(1u64 << 20)],
+        sparse in proptest::bool::ANY,
+    ) {
+        let src = QUERIES[query];
+        let a = if sparse {
+            // ~25% nnz: registration keeps dense estimated_bytes while the
+            // probe observes the CSC-discounted truth — the honest
+            // mis-estimate that can legitimately re-decide.
+            LocalMatrix::from_fn(n, n, |i, j| {
+                if (i * 5 + j * 3 + seed) % 4 == 0 {
+                    ((i + j + seed) % 7) as f64 - 3.0
+                } else {
+                    0.0
+                }
+            })
+        } else {
+            LocalMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 3 + seed) % 9) as f64 - 4.0)
+        };
+        let session = |adaptive: bool, plan: Option<ChaosPlan>| {
+            let mut b = Session::builder()
+                .workers(4)
+                .executors(4)
+                .partitions(4)
+                .max_task_attempts(8)
+                .max_stage_attempts(12)
+                .storage_memory(256)
+                .worker_processes(2)
+                .broadcast_budget(budget)
+                .adaptive(adaptive);
+            b = match plan {
+                Some(p) => b.chaos(p),
+                None => b.chaos_off(),
+            };
+            let mut s = b.build();
+            s.register_local_matrix("A", &a, tile);
+            s.set_int("n", n as i64);
+            s
+        };
+
+        let frozen = session(false, None);
+        let adaptive_clean = session(true, None);
+        let adaptive_chaotic = session(
+            true,
+            Some(explicit_plan(4, kill_at, kill_exec, fetch_every, 5)),
+        );
+
+        if query == 3 {
+            let want = frozen.vector(src).unwrap().to_local();
+            prop_assert_eq!(
+                &adaptive_clean.vector(src).unwrap().to_local(), &want,
+                "adaptive fault-free run diverged from the frozen oracle"
+            );
+            prop_assert_eq!(
+                &adaptive_chaotic.vector(src).unwrap().to_local(), &want,
+                "adaptive kill@{} run diverged from the frozen oracle", kill_at
+            );
+        } else {
+            let want = frozen.matrix(src).unwrap().to_local();
+            prop_assert_eq!(
+                &adaptive_clean.matrix(src).unwrap().to_local(), &want,
+                "adaptive fault-free run diverged from the frozen oracle"
+            );
+            prop_assert_eq!(
+                &adaptive_chaotic.matrix(src).unwrap().to_local(), &want,
+                "adaptive kill@{} run diverged from the frozen oracle", kill_at
+            );
+        }
+    }
+}

@@ -584,3 +584,111 @@ fn plan_cache_hits_are_pinned_by_event_count() {
         profile.render()
     );
 }
+
+#[test]
+fn runtime_probe_switches_mis_estimated_join_to_broadcast() {
+    // The adaptive stage driver's headline case: registration-time
+    // statistics lie 8x about both contraction operands, so at plan time
+    // broadcast looks over-budget and the planner freezes on reduceByKey.
+    // The stage-frontier probe observes the honest bytes, re-runs the same
+    // candidate cost model, and promotes the node to the broadcast
+    // contraction mid-plan — exactly one plan_replanned re-decision, with a
+    // final strategy different from the initial one.
+    let n = 96;
+    let mut s = Session::builder()
+        .workers(4)
+        .partitions(4)
+        .broadcast_budget(100_000)
+        // Explicit, so the test still pins a switch when CI re-runs the
+        // whole suite under SAC_ADAPTIVE=0.
+        .adaptive(true)
+        .build();
+    // Fully dense, small-integer values: every strategy's partial sums are
+    // exact in f64, so results are bit-identical even across the switch.
+    let a = LocalMatrix::from_fn(n, n, |i, j| ((i * n + j) % 7 + 1) as f64);
+    let b = LocalMatrix::from_fn(n, n, |i, j| ((i + 2 * j) % 5 + 1) as f64);
+    s.register_local_matrix("A", &a, 32);
+    s.register_local_matrix("B", &b, 32);
+    s.set_int("n", n as i64);
+    // The lie: 8x the honest resident bytes, density unknown. 9 dense
+    // 32x32 tiles are 74 016 bytes — claimed 592 128, past the budget.
+    for name in ["A", "B"] {
+        let mut lied = *s.env().stats(name).unwrap();
+        lied.nnz = None;
+        lied.estimated_bytes *= 8;
+        s.env_mut().set_stats(name, lied);
+    }
+
+    let analysis = s.explain_analyze(MUL_SRC).unwrap();
+    let choice = &analysis.profile.plan_choices[0];
+    assert_eq!(
+        choice.chosen, "contraction/reduceByKey",
+        "the lie must freeze the plan on a shuffling strategy:\n{}",
+        analysis.plan
+    );
+    assert!(choice.auto, "the switch is only legal on an auto decision");
+    assert_eq!(
+        choice.replans.len(),
+        1,
+        "exactly one runtime re-decision:\n{}",
+        analysis.profile.render()
+    );
+    let replan = &choice.replans[0];
+    assert_eq!(replan.from, "contraction/reduceByKey");
+    assert_eq!(replan.to, "contraction/broadcast");
+    assert!(
+        replan.observed_bytes < replan.est_shuffle_bytes,
+        "the probe must observe cheaper than the estimate: {} vs {}",
+        replan.observed_bytes,
+        replan.est_shuffle_bytes
+    );
+    assert!(
+        analysis.profile.render().contains("plan.replanned"),
+        "explain_analyze must render the re-decision:\n{}",
+        analysis.profile.render()
+    );
+    // The switched node really ran on the broadcast path: no join shuffle,
+    // only the single partial-combining reduce round — versus the three
+    // rounds of the frozen reduceByKey plan (asserted against the oracle
+    // run below).
+    let adaptive_shuffles = shuffle_stages(&analysis.profile);
+    assert!(
+        adaptive_shuffles <= 1,
+        "the re-planned broadcast contraction keeps at most the combining \
+         round, got {adaptive_shuffles}:\n{}",
+        analysis.profile.render()
+    );
+
+    // Bit-exactness oracle: a frozen session under the same lie runs the
+    // original reduceByKey plan and must agree with the switched run
+    // bit-for-bit.
+    let mut frozen = Session::builder()
+        .workers(4)
+        .partitions(4)
+        .broadcast_budget(100_000)
+        .adaptive(false)
+        .build();
+    frozen.register_local_matrix("A", &a, 32);
+    frozen.register_local_matrix("B", &b, 32);
+    frozen.set_int("n", n as i64);
+    for name in ["A", "B"] {
+        let mut lied = *frozen.env().stats(name).unwrap();
+        lied.nnz = None;
+        lied.estimated_bytes *= 8;
+        frozen.env_mut().set_stats(name, lied);
+    }
+    let frozen_analysis = frozen.explain_analyze(MUL_SRC).unwrap();
+    assert!(
+        frozen_analysis.profile.plan_choices[0].replans.is_empty(),
+        "a frozen session must never re-decide:\n{}",
+        frozen_analysis.profile.render()
+    );
+    assert!(
+        adaptive_shuffles < shuffle_stages(&frozen_analysis.profile),
+        "the switch must shed shuffle rounds against the frozen plan:\n{}",
+        frozen_analysis.profile.render()
+    );
+    let got = s.matrix(MUL_SRC).unwrap().to_local();
+    let oracle = frozen.matrix(MUL_SRC).unwrap().to_local();
+    assert_eq!(got, oracle, "adaptive switch changed the result bits");
+}
